@@ -1,0 +1,462 @@
+(* The ConAir command-line interface.
+
+   Subcommands:
+   - [list]            benchmarks in the registry
+   - [show APP]        print the benchmark's Mir program
+   - [analyze APP]     run the static pipeline, print per-site plans
+   - [harden APP]      print the transformed (hardened) program
+   - [run APP]         execute (optionally hardened), print the outcome
+   - [restart APP]     the whole-program-restart baseline
+   - [fullckpt APP]    the whole-program-checkpoint baseline
+
+   Examples:
+     conair_cli analyze HawkNL
+     conair_cli run MozillaXP --hardened --variant buggy
+     conair_cli run FFT --variant clean --no-harden *)
+
+open Cmdliner
+module Spec = Conair_bugbench.Bench_spec
+module Registry = Conair_bugbench.Registry
+module Machine = Conair.Runtime.Machine
+module Outcome = Conair.Runtime.Outcome
+module Sched = Conair.Runtime.Sched
+module Stats = Conair.Runtime.Stats
+module Plan = Conair.Analysis.Plan
+
+(* --- shared arguments --------------------------------------------- *)
+
+let app_arg =
+  let doc = "Benchmark application name (see the list subcommand)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let variant_arg =
+  let doc = "Program variant: buggy (failure-inducing sleeps) or clean." in
+  let v = Arg.enum [ ("buggy", Spec.Buggy); ("clean", Spec.Clean) ] in
+  Arg.(value & opt v Spec.Buggy & info [ "variant" ] ~doc)
+
+let oracle_arg =
+  let doc =
+    "Include developer output-correctness oracles (needed to detect \
+     wrong-output failures)."
+  in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 8_000_000
+    & info [ "fuel" ] ~doc:"Scheduler-step budget before giving up.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ]
+        ~doc:"Use a random scheduler with this seed (default: round-robin).")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "max-retries" ] ~doc:"Per-site recovery retry budget.")
+
+let no_optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "no-optimize" ]
+        ~doc:"Disable the unnecessary-rollback optimization (section 4.2).")
+
+let no_interproc_arg =
+  Arg.(
+    value & flag
+    & info [ "no-interproc" ]
+        ~doc:"Disable inter-procedural recovery (section 4.3).")
+
+let prune_arg =
+  Arg.(
+    value & flag
+    & info [ "prune-safe" ]
+        ~doc:
+          "Drop failure sites statically proven unable to fail (section \
+           3.4 extension).")
+
+let depth_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "depth" ]
+        ~doc:"Inter-procedural recovery caller-chain depth budget.")
+
+let find_spec name =
+  match Registry.find name with
+  | Some s -> Ok s
+  | None ->
+      Error
+        (Printf.sprintf "unknown application %S; try: %s" name
+           (String.concat ", " Registry.names))
+
+let instance spec variant oracle =
+  let oracle = oracle || spec.Spec.info.needs_oracle in
+  spec.Spec.make ~variant ~oracle
+
+let analysis_options no_optimize no_interproc depth prune_safe =
+  {
+    Plan.optimize = not no_optimize;
+    interproc = not no_interproc;
+    max_depth = depth;
+    prune_safe;
+    exclude_iids = [];
+  }
+
+let machine_config fuel seed max_retries =
+  {
+    Machine.default_config with
+    fuel;
+    max_retries;
+    policy =
+      (match seed with None -> Sched.Round_robin | Some s -> Sched.Random s);
+  }
+
+(* --- subcommands --------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Spec.t) ->
+        Printf.printf "%-13s %-34s %-8s %-12s %s\n" s.info.name
+          s.info.app_type s.info.loc_paper s.info.failure s.info.cause)
+      Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark applications.")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run app variant oracle =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+        let inst = instance spec variant oracle in
+        Format.printf "%a@." Conair.Ir.Program.pp inst.program;
+        0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the benchmark's Mir program.")
+    Term.(const run $ app_arg $ variant_arg $ oracle_arg)
+
+let analyze_cmd =
+  let run app variant oracle no_opt no_ip depth prune =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec -> (
+        let inst = instance spec variant oracle in
+        let options = analysis_options no_opt no_ip depth prune in
+        match Conair.harden ~analysis:options inst.program Conair.Survival with
+        | Error e -> prerr_endline e; 1
+        | Ok h ->
+            List.iter
+              (fun sp -> Format.printf "%a@." Plan.pp_site_plan sp)
+              h.plan.site_plans;
+            Format.printf "@.%a@." Conair.Transform.Report.pp h.report;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the ConAir static analysis and print every site plan.")
+    Term.(
+      const run $ app_arg $ variant_arg $ oracle_arg $ no_optimize_arg
+      $ no_interproc_arg $ depth_arg $ prune_arg)
+
+let harden_cmd =
+  let run app variant oracle no_opt no_ip depth prune =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec -> (
+        let inst = instance spec variant oracle in
+        let options = analysis_options no_opt no_ip depth prune in
+        match Conair.harden ~analysis:options inst.program Conair.Survival with
+        | Error e -> prerr_endline e; 1
+        | Ok h ->
+            Format.printf "%a@." Conair.Ir.Program.pp h.hardened.program;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "harden" ~doc:"Print the transformed (hardened) Mir program.")
+    Term.(
+      const run $ app_arg $ variant_arg $ oracle_arg $ no_optimize_arg
+      $ no_interproc_arg $ depth_arg $ prune_arg)
+
+let run_cmd =
+  let no_harden_arg =
+    Arg.(
+      value & flag
+      & info [ "no-harden" ] ~doc:"Run the original, unhardened program.")
+  in
+  let fix_arg =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Use fix mode (harden only the benchmark's known failing site) \
+             instead of survival mode.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the recovery-event summary of the run (detections, \
+                rollbacks, compensations).")
+  in
+  let run app variant oracle no_harden fix trace fuel seed max_retries =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+        let inst = instance spec variant oracle in
+        let config = machine_config fuel seed max_retries in
+        let sink = Conair.Runtime.Trace.create () in
+        let r =
+          if no_harden then Conair.execute ~config inst.program
+          else begin
+            let mode =
+              if fix then Conair.Fix inst.fix_site_iids else Conair.Survival
+            in
+            let h = Conair.harden_exn inst.program mode in
+            let meta = Machine.meta_of_harden h.hardened in
+            let m = Machine.create ~config ~meta h.hardened.program in
+            if trace then Machine.set_trace m sink;
+            let outcome = Machine.run m in
+            {
+              Conair.outcome;
+              outputs = Machine.outputs m;
+              stats = Machine.stats m;
+              machine = m;
+            }
+          end
+        in
+        Format.printf "outcome:  %a@." Outcome.pp r.outcome;
+        List.iter (fun o -> Format.printf "output:   %s@." o) r.outputs;
+        Format.printf "accepted: %b@." (inst.accept r.outputs);
+        Format.printf "stats:    %a@." Stats.pp r.stats;
+        if r.stats.rollbacks > 0 then
+          Format.printf "recovery: %d virtual steps (longest episode)@."
+            (Stats.max_recovery_time r.stats);
+        if trace then
+          Format.printf "@[<v 2>recovery trace:@ %a@]@."
+            Conair.Runtime.Trace.pp_recovery_summary sink;
+        if Outcome.is_success r.outcome then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a benchmark, hardened by default.")
+    Term.(
+      const run $ app_arg $ variant_arg $ oracle_arg $ no_harden_arg $ fix_arg
+      $ trace_arg $ fuel_arg $ seed_arg $ max_retries_arg)
+
+let restart_cmd =
+  let run app variant oracle fuel =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+        let inst = instance spec variant oracle in
+        let config = machine_config fuel None 1_000_000 in
+        let r =
+          Conair_baselines.Restart.run ~config ~accept:inst.accept
+            inst.program
+        in
+        Format.printf
+          "outcome: %a@.attempts: %d@.total steps: %d (wasted %d)@."
+          Outcome.pp r.outcome r.attempts r.total_steps r.wasted_steps;
+        if Outcome.is_success r.outcome then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "restart" ~doc:"Run the whole-program-restart baseline.")
+    Term.(const run $ app_arg $ variant_arg $ oracle_arg $ fuel_arg)
+
+let fullckpt_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt int 250
+      & info [ "interval" ] ~doc:"Steps between whole-program checkpoints.")
+  in
+  let run app variant oracle fuel interval =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+        let inst = instance spec variant oracle in
+        let config =
+          {
+            Conair_baselines.Full_checkpoint.default_config with
+            machine = machine_config fuel None 1_000_000;
+            interval;
+          }
+        in
+        let r = Conair_baselines.Full_checkpoint.run ~config inst.program in
+        Format.printf
+          "outcome: %a@.snapshots: %d, restores: %d@.run steps: %d, \
+           checkpoint overhead: %d, total: %d@.recovery: %d steps@."
+          Outcome.pp r.outcome r.snapshots_taken r.restores r.run_steps
+          r.checkpoint_overhead_steps r.total_steps r.recovery_steps;
+        if Outcome.is_success r.outcome then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "fullckpt"
+       ~doc:"Run the whole-program-checkpoint/rollback baseline.")
+    Term.(const run $ app_arg $ variant_arg $ oracle_arg $ fuel_arg
+          $ interval_arg)
+
+let file_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A Mir source file (.mir).")
+  in
+  let no_harden_arg =
+    Arg.(
+      value & flag
+      & info [ "no-harden" ] ~doc:"Run the program as written, unhardened.")
+  in
+  let emit_arg =
+    Arg.(
+      value & flag
+      & info [ "emit" ]
+          ~doc:"Print the (possibly hardened) program instead of running it.")
+  in
+  let run file no_harden emit fuel seed max_retries =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Conair.Ir.Parse.program src with
+    | Error e ->
+        Format.eprintf "%s: %a@." file Conair.Ir.Parse.pp_error e;
+        1
+    | Ok p -> (
+        match Conair.Ir.Validate.check p with
+        | _ :: _ as problems ->
+            List.iter
+              (fun pb ->
+                Format.eprintf "%s: %a@." file Conair.Ir.Validate.pp_problem pb)
+              problems;
+            1
+        | [] ->
+            let config = machine_config fuel seed max_retries in
+            if no_harden then begin
+              if emit then begin
+                print_string (Conair.Ir.Emit.program p);
+                0
+              end
+              else begin
+                let r = Conair.execute ~config p in
+                Format.printf "outcome: %a@." Outcome.pp r.outcome;
+                List.iter (Format.printf "output:  %s@.") r.outputs;
+                if Outcome.is_success r.outcome then 0 else 2
+              end
+            end
+            else
+              let h = Conair.harden_exn p Conair.Survival in
+              if emit then begin
+                print_string (Conair.Ir.Emit.program h.hardened.program);
+                0
+              end
+              else begin
+                let r = Conair.execute_hardened ~config h in
+                Format.printf "outcome: %a@." Outcome.pp r.outcome;
+                List.iter (Format.printf "output:  %s@.") r.outputs;
+                Format.printf "stats:   %a@." Stats.pp r.stats;
+                if Outcome.is_success r.outcome then 0 else 2
+              end)
+  in
+  Cmd.v
+    (Cmd.info "file"
+       ~doc:
+         "Parse a Mir source file, harden it (survival mode) and run it; \
+          --emit prints the program instead.")
+    Term.(
+      const run $ file_arg $ no_harden_arg $ emit_arg $ fuel_arg $ seed_arg
+      $ max_retries_arg)
+
+let dot_cmd =
+  let func_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "func" ]
+          ~doc:
+            "Render only this function (default: the function holding the \
+             first recoverable site).")
+  in
+  let run app variant oracle func =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec -> (
+        let inst = instance spec variant oracle in
+        match Conair.harden inst.program Conair.Survival with
+        | Error e -> prerr_endline e; 1
+        | Ok h -> (
+            let module A = Conair.Analysis in
+            let pick =
+              match func with
+              | Some name ->
+                  List.find_opt
+                    (fun (sp : A.Plan.site_plan) ->
+                      Conair.Ir.Ident.Fname.name sp.site.func = name
+                      && sp.verdict = A.Optimize.Recoverable)
+                    h.plan.site_plans
+              | None ->
+                  List.find_opt
+                    (fun (sp : A.Plan.site_plan) ->
+                      sp.verdict = A.Optimize.Recoverable)
+                    h.plan.site_plans
+            in
+            match pick with
+            | None ->
+                prerr_endline "no recoverable site to render";
+                1
+            | Some sp ->
+                print_string (A.Viz.site_to_dot inst.program sp.site);
+                0))
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Print a Graphviz rendering of a failure site's function with its \
+          idempotent region highlighted.")
+    Term.(const run $ app_arg $ variant_arg $ oracle_arg $ func_arg)
+
+let profile_cmd =
+  let runs_arg =
+    Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Profiling runs.")
+  in
+  let run app variant oracle runs fuel =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+        let inst = instance spec variant oracle in
+        let config = machine_config fuel None 1_000_000 in
+        let profiles = Conair.profile_sites ~config ~runs inst.program in
+        Printf.printf "%-8s %-12s %10s  %s
+" "site" "kind" "executions"
+          "message";
+        List.iter
+          (fun (p : Conair.site_profile) ->
+            Printf.printf "%-8d %-12s %10d  %s
+" p.site.site_id
+              (Format.asprintf "%a" Conair.Ir.Instr.pp_failure_kind
+                 p.site.kind)
+              p.executions p.site.msg)
+          profiles;
+        0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile per-site execution counts over clean runs (ConSeq-style \
+          well-tested-site analysis).")
+    Term.(const run $ app_arg $ variant_arg $ oracle_arg $ runs_arg $ fuel_arg)
+
+let main_cmd =
+  let doc =
+    "ConAir: featherweight concurrency-bug recovery via single-threaded \
+     idempotent execution (ASPLOS 2013), on the Mir IR substrate."
+  in
+  Cmd.group (Cmd.info "conair" ~version:"1.0.0" ~doc)
+    [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; restart_cmd;
+      fullckpt_cmd; file_cmd; dot_cmd; profile_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

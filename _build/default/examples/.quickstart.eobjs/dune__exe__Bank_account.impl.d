@@ -1,0 +1,1 @@
+examples/bank_account.ml: Conair Conair_baselines Conair_bugbench Format List

@@ -1,0 +1,1 @@
+examples/crawler_deadlock.ml: Conair Conair_bugbench Format List Option

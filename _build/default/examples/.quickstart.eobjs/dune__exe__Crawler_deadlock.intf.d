@@ -1,0 +1,1 @@
+examples/crawler_deadlock.mli:

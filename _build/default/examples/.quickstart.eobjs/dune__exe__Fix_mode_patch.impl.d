@@ -1,0 +1,1 @@
+examples/fix_mode_patch.ml: Conair Conair_bugbench Format List Option

@@ -1,0 +1,1 @@
+examples/fix_mode_patch.mli:

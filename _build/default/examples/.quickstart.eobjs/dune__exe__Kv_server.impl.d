@@ -1,0 +1,1 @@
+examples/kv_server.ml: Builder Conair Conair_bugbench Format Instr List Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Conair Format Instr List Value

@@ -1,0 +1,1 @@
+examples/survival_audit.ml: Conair Conair_bugbench Format List

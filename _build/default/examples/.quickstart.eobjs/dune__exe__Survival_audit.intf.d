@@ -1,0 +1,1 @@
+examples/survival_audit.mli:

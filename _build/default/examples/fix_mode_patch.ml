@@ -1,0 +1,54 @@
+(* The fix-mode workflow (§3.1.2): a user reports a non-deterministic
+   crash; the developer does not yet understand the root cause, but the
+   crash report names the failing instruction — that is all ConAir needs
+   to generate a safe temporary patch.
+
+   1. run the program, watch it crash;
+   2. read the failing instruction id out of the crash report;
+   3. harden exactly that site (fix mode) and ship the patched program;
+   4. verify over many seeds with a recovery trial, as in §5.
+
+   Run with:  dune exec examples/fix_mode_patch.exe *)
+
+module Registry = Conair_bugbench.Registry
+module Spec = Conair_bugbench.Bench_spec
+module Outcome = Conair.Runtime.Outcome
+
+let () =
+  let spec = Option.get (Registry.find "HTTrack") in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:false in
+
+  print_endline "=== 1. The user's crash ===";
+  let crash = Conair.execute inst.program in
+  Format.printf "outcome: %a@." Outcome.pp crash.outcome;
+
+  let failing_iid =
+    match crash.outcome with
+    | Outcome.Failed { iid = Some iid; _ } -> iid
+    | _ -> failwith "expected a crash with a failing instruction"
+  in
+  Format.printf "@.=== 2. The crash report names instruction %d ===@."
+    failing_iid;
+
+  print_endline "\n=== 3. Fix mode hardens exactly that site ===";
+  let patched = Conair.harden_exn inst.program (Conair.Fix [ failing_iid ]) in
+  Format.printf "sites hardened: %d, checkpoints inserted: %d@."
+    (List.length patched.plan.site_plans)
+    patched.report.static_points;
+  let r = Conair.execute_hardened patched in
+  Format.printf "patched run: %a@." Outcome.pp r.outcome;
+  List.iter (Format.printf "output: %s@.") r.outputs;
+
+  print_endline "\n=== 4. Verify across seeds (the paper's 1000-run check) ===";
+  let trial =
+    Conair.recovery_trial
+      ~config:
+        {
+          Conair.Runtime.Machine.default_config with
+          policy = Conair.Runtime.Sched.Random 1;
+          fuel = 8_000_000;
+        }
+      ~runs:25 ~accept:inst.accept patched
+  in
+  Format.printf "recovered %d/%d runs (%d rollbacks total)@." trial.recovered
+    trial.runs trial.total_rollbacks

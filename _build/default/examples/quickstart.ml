@@ -1,0 +1,54 @@
+(* Quickstart: build a small multi-threaded program with a hidden order
+   violation, watch it crash, then harden it with ConAir and watch it
+   recover.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Conair.Ir
+module B = Builder
+module Outcome = Conair.Runtime.Outcome
+
+(* A config-reader thread races with the config-writer thread: under an
+   unlucky schedule the reader dereferences the shared pointer before the
+   writer has published it. *)
+let program =
+  B.build ~main:"main" @@ fun b ->
+  B.global b "config" Value.Null;
+  (B.func b "reader" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.load f "cfg" (Instr.Global "config");
+   B.load_idx f "port" (B.reg "cfg") (B.int 0);
+   B.output f "listening on port %v" [ B.reg "port" ];
+   B.ret f None);
+  (B.func b "writer" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.sleep f 25;
+   (* the writer is slow to publish *)
+   B.alloc f "cfg" (B.int 1);
+   B.store_idx f (B.reg "cfg") (B.int 0) (B.int 8080);
+   B.store f (Instr.Global "config") (B.reg "cfg");
+   B.ret f None);
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  B.spawn f "t1" "reader" [];
+  B.spawn f "t2" "writer" [];
+  B.join f (B.reg "t1");
+  B.join f (B.reg "t2");
+  B.exit_ f
+
+let () =
+  print_endline "=== The original program, under the buggy schedule ===";
+  let r = Conair.execute program in
+  Format.printf "outcome: %a@." Outcome.pp r.outcome;
+
+  print_endline "\n=== ConAir hardens it (survival mode, no bug knowledge) ===";
+  let h = Conair.harden_exn program Conair.Survival in
+  Format.printf "%a@." Conair.Transform.Report.pp h.report;
+
+  print_endline "\n=== The hardened program, same schedule ===";
+  let r = Conair.execute_hardened h in
+  Format.printf "outcome: %a@." Outcome.pp r.outcome;
+  List.iter (fun o -> Format.printf "output: %s@." o) r.outputs;
+  Format.printf "rollbacks performed: %d@." r.stats.rollbacks;
+  Format.printf "recovery took %d virtual steps@."
+    (Conair.Runtime.Stats.max_recovery_time r.stats)

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Conair_ir Func Ident Instr Option Program

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.mli: Conair_ir Ident Instr Program

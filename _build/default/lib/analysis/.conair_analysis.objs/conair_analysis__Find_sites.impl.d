@@ -1,0 +1,1 @@
+lib/analysis/find_sites.ml: Array Block Conair_ir Format Func Instr List Printf Program Site

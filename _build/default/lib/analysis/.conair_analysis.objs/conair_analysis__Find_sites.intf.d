@@ -1,0 +1,1 @@
+lib/analysis/find_sites.mli: Conair_ir Program Site

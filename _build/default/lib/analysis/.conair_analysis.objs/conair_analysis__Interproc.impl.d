@@ -1,0 +1,1 @@
+lib/analysis/interproc.ml: Block Callgraph Cfg Conair_ir Func Ident Instr List Optimize Option Region Slice

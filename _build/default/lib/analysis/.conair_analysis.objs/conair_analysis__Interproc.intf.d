@@ -1,0 +1,1 @@
+lib/analysis/interproc.mli: Callgraph Cfg Conair_ir Ident Optimize Region

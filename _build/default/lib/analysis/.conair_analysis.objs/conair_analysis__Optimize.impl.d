@@ -1,0 +1,1 @@
+lib/analysis/optimize.ml: Array Block Cfg Conair_ir Format Func Instr Region Site Slice

@@ -1,0 +1,1 @@
+lib/analysis/optimize.mli: Conair_ir Format Region

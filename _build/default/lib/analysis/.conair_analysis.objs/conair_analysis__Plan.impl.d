@@ -1,0 +1,1 @@
+lib/analysis/plan.ml: Callgraph Cfg Conair_ir Find_sites Format Hashtbl Ident Interproc List Optimize Program Prune Region Site

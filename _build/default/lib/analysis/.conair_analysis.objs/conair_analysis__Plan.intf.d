@@ -1,0 +1,1 @@
+lib/analysis/plan.mli: Conair_ir Format Optimize Program Region Site

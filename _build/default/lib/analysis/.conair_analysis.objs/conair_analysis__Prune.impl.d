@@ -1,0 +1,1 @@
+lib/analysis/prune.ml: Array Block Conair_ir Ident Instr List Program Site Value

@@ -1,0 +1,1 @@
+lib/analysis/prune.mli: Conair_ir Program Site

@@ -1,0 +1,1 @@
+lib/analysis/region.ml: Array Block Cfg Conair_ir Format Func Ident Instr Int List Set Site

@@ -1,0 +1,1 @@
+lib/analysis/region.mli: Cfg Conair_ir Format Ident Set Site

@@ -1,0 +1,1 @@
+lib/analysis/site.ml: Conair_ir Format Ident Instr

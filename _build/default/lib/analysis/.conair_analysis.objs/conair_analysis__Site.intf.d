@@ -1,0 +1,1 @@
+lib/analysis/site.mli: Conair_ir Format Ident Instr

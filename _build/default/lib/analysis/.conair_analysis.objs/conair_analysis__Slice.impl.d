@@ -1,0 +1,1 @@
+lib/analysis/slice.ml: Array Block Cfg Conair_ir Func Hashtbl Ident Instr List Option Region Site

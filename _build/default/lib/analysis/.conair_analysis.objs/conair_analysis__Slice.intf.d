@@ -1,0 +1,1 @@
+lib/analysis/slice.mli: Cfg Conair_ir Ident Region Site

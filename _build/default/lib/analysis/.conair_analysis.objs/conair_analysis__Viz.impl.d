@@ -1,0 +1,1 @@
+lib/analysis/viz.ml: Array Block Buffer Cfg Conair_ir Format Func Ident Instr List Printf Program Region Site String

@@ -1,0 +1,1 @@
+lib/analysis/viz.mli: Conair_ir Func Program Region Site

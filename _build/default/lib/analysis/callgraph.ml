@@ -1,0 +1,43 @@
+(* Call graph: who calls (or spawns) whom, and at which instruction.
+
+   Spawn edges are kept distinct from call edges: rolling a failing thread
+   back across its own creation is impossible, so the inter-procedural
+   analysis must stop at thread-root functions. *)
+
+open Conair_ir
+module Fname = Ident.Fname
+
+type edge = {
+  caller : Fname.t;
+  call_iid : int;  (** the [Call] instruction in the caller *)
+  args : Instr.operand list;
+}
+
+type t = {
+  callers : edge list Fname.Map.t;  (** callee -> call edges *)
+  spawned : Fname.Set.t;  (** functions used as thread roots *)
+  main : Fname.t;
+}
+
+let of_program (p : Program.t) =
+  let callers = ref Fname.Map.empty in
+  let spawned = ref Fname.Set.empty in
+  let add_edge callee e =
+    let cur = Option.value ~default:[] (Fname.Map.find_opt callee !callers) in
+    callers := Fname.Map.add callee (e :: cur) !callers
+  in
+  Program.iter_funcs p (fun f ->
+      Func.iter_instrs f (fun _ i ->
+          match i.op with
+          | Instr.Call (_, callee, args) ->
+              add_edge callee { caller = f.name; call_iid = i.iid; args }
+          | Instr.Spawn (_, callee, _) ->
+              spawned := Fname.Set.add callee !spawned
+          | _ -> ()));
+  { callers = !callers; spawned = !spawned; main = p.main }
+
+let callers_of g f = Option.value ~default:[] (Fname.Map.find_opt f g.callers)
+
+(** A thread-root function starts a thread's stack: rolling back past its
+    entrance is impossible. *)
+let is_thread_root g f = Fname.Set.mem f g.spawned || Fname.equal f g.main

@@ -1,0 +1,25 @@
+(** The call graph: who calls whom and at which instruction. Spawn edges
+    are tracked separately — a failing thread can never roll back across
+    its own creation, so inter-procedural recovery stops at thread
+    roots. *)
+
+open Conair_ir
+module Fname = Ident.Fname
+
+type edge = {
+  caller : Fname.t;
+  call_iid : int;  (** the [Call] instruction in the caller *)
+  args : Instr.operand list;
+}
+
+type t = {
+  callers : edge list Fname.Map.t;
+  spawned : Fname.Set.t;
+  main : Fname.t;
+}
+
+val of_program : Program.t -> t
+val callers_of : t -> Fname.t -> edge list
+
+val is_thread_root : t -> Fname.t -> bool
+(** Spawned as a thread body, or the main function. *)

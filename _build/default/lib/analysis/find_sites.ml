@@ -1,0 +1,70 @@
+(* Failure-site identification (§3.1).
+
+   Survival mode scans the whole program for the four symptom classes;
+   fix mode takes the instruction ids the user observed failing. Neither
+   mode needs to be sound or complete — unrecoverable sites only cost a
+   little overhead, which the §4.2 optimization then removes. *)
+
+open Conair_ir
+
+(** Survival mode: every assert, output, pointer dereference and lock
+    acquisition is a potential failure site (§3.1.1). *)
+let survival (p : Program.t) : Site.t list =
+  let next = ref 0 in
+  let sites = ref [] in
+  Program.iter_funcs p (fun f ->
+      Func.iter_instrs f (fun _ i ->
+          match Site.classify_instr i with
+          | None -> ()
+          | Some (kind, detectable, msg) ->
+              let site_id = !next in
+              incr next;
+              sites :=
+                { Site.site_id; iid = i.iid; func = f.name; kind; detectable; msg }
+                :: !sites));
+  List.rev !sites
+
+(** Fix mode: the user names the failing instructions (§3.1.2); kinds are
+    inferred from the instruction. Unknown or non-site iids are rejected. *)
+let fix (p : Program.t) ~(iids : int list) : (Site.t list, string) result =
+  let rec go acc site_id = function
+    | [] -> Ok (List.rev acc)
+    | iid :: rest -> (
+        match Program.find_instr p iid with
+        | None -> Error (Printf.sprintf "fix mode: no instruction with id %d" iid)
+        | Some (f, b, i) -> (
+            let instr = b.Block.instrs.(i) in
+            match Site.classify_instr instr with
+            | None ->
+                Error
+                  (Format.asprintf
+                     "fix mode: instruction %d (%a) is not a failure site"
+                     iid Instr.pp_op instr.op)
+            | Some (kind, detectable, msg) ->
+                go
+                  ({ Site.site_id; iid; func = f.Func.name; kind; detectable; msg }
+                  :: acc)
+                  (site_id + 1) rest))
+  in
+  go [] 0 iids
+
+(** Site census per failure kind — the rows of Table 4. *)
+type census = {
+  assertion : int;
+  wrong_output : int;
+  seg_fault : int;
+  deadlock : int;
+}
+
+let total c = c.assertion + c.wrong_output + c.seg_fault + c.deadlock
+
+let census sites =
+  List.fold_left
+    (fun c (s : Site.t) ->
+      match s.kind with
+      | Instr.Assert_fail -> { c with assertion = c.assertion + 1 }
+      | Instr.Wrong_output -> { c with wrong_output = c.wrong_output + 1 }
+      | Instr.Seg_fault -> { c with seg_fault = c.seg_fault + 1 }
+      | Instr.Deadlock -> { c with deadlock = c.deadlock + 1 })
+    { assertion = 0; wrong_output = 0; seg_fault = 0; deadlock = 0 }
+    sites

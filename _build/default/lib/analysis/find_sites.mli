@@ -1,0 +1,25 @@
+(** Failure-site identification (§3.1): survival mode scans the program
+    for all potential sites; fix mode takes the instruction ids the user
+    observed failing. Neither needs to be sound or complete — unhelpful
+    sites only cost a little overhead, which the optimization removes. *)
+
+open Conair_ir
+
+val survival : Program.t -> Site.t list
+(** Every assert, output, heap dereference and lock acquisition, with
+    sequential site ids. *)
+
+val fix : Program.t -> iids:int list -> (Site.t list, string) result
+(** The designated instructions; rejects unknown ids and instructions
+    that cannot fail. *)
+
+(** The per-kind site counts — one row of Table 4. *)
+type census = {
+  assertion : int;
+  wrong_output : int;
+  seg_fault : int;
+  deadlock : int;
+}
+
+val total : census -> int
+val census : Site.t list -> census

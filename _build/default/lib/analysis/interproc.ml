@@ -1,0 +1,179 @@
+(* Inter-procedural recovery analysis (§4.3).
+
+   A site [f] inside function [foo] is selected for inter-procedural
+   recovery when all three conditions hold:
+
+   (1) every backward path from [f] reaches the entrance of [foo] without a
+       destroying instruction ([Region.reaches_entry_clean]), so an
+       inter-procedural rollback is always correct whatever path the failure
+       run followed inside [foo];
+   (2) for a non-deadlock site, at least one parameter of [foo] is on the
+       backward slice of [f] (a "critical parameter") — parameters are the
+       only way a caller can affect the outcome at [f], since regions
+       contain no shared-variable writes;
+   (3) [f] is locally unrecoverable, i.e. the §4.2 optimization would
+       otherwise drop it — this is when inter-procedural recovery is needed
+       most.
+
+   The analysis then walks backward in each caller starting just before the
+   call instruction. If the caller region makes the site recoverable (a
+   shared read feeding a critical argument for non-deadlock sites; a lock
+   acquisition for deadlock sites), its reexecution points are adopted. If
+   the caller path is itself clean back to the caller's entrance, the
+   analysis recurses into the callers' callers, up to [max_depth] levels
+   (default 3, as in the paper). If the depth budget runs out, or a function
+   on the chain is a thread root with no helpful region, the
+   inter-procedural attempt for [f] is abandoned and the reexecution point
+   falls back to the entrance of [foo]. *)
+
+open Conair_ir
+module Fname = Ident.Fname
+module Reg = Ident.Reg
+
+type outcome = {
+  selected : bool;  (** conditions (1)-(3) held and the analysis ran *)
+  success : bool;  (** some caller chain made the site recoverable *)
+  points : Region.point list;
+      (** replacement reexecution points (inter-procedural on success, the
+          entry-of-[foo] fallback otherwise) *)
+  levels_used : int;
+}
+
+let not_selected =
+  { selected = false; success = false; points = []; levels_used = 0 }
+
+(* Map the critical parameters of the callee to the caller registers feeding
+   them at a given call edge. Constant arguments contribute nothing; only
+   register arguments can carry a shared read. *)
+let critical_args (callee : Func.t) (edge : Callgraph.edge)
+    (critical : Reg.t list) =
+  List.concat
+    (List.mapi
+       (fun i p ->
+         if List.exists (Reg.equal p) critical then
+           match List.nth_opt edge.args i with
+           | Some (Instr.Reg r) -> [ r ]
+           | Some (Instr.Const _) | None -> []
+         else [])
+       callee.params)
+
+(** Analyze one site for inter-procedural recovery.
+
+    [cfg_of] memoizes per-function CFGs. Returns [not_selected] when the
+    §4.3 conditions do not hold. *)
+let analyze ~(cfg_of : Fname.t -> Cfg.t) ~(graph : Callgraph.t)
+    ~(max_depth : int) (region : Region.t) (local_verdict : Optimize.verdict)
+    =
+  let site = region.site in
+  let foo = site.func in
+  let foo_cfg = cfg_of foo in
+  let critical =
+    match site.kind with
+    | Instr.Deadlock -> []
+    | Instr.Assert_fail | Instr.Wrong_output | Instr.Seg_fault ->
+        Slice.critical_params foo_cfg (Slice.of_site foo_cfg region)
+  in
+  let needs_critical =
+    match site.kind with Instr.Deadlock -> false | _ -> true
+  in
+  let selected =
+    region.reaches_entry_clean
+    && local_verdict = Optimize.Unrecoverable
+    && ((not needs_critical) || critical <> [])
+  in
+  if not selected then not_selected
+  else begin
+    let max_level = ref 0 in
+    (* Explore one function level: for every caller of [callee], walk
+       backward from the call site; succeed if the caller region helps;
+       recurse when the caller path is clean to its own entrance. Returns
+       [Some points] when every caller chain succeeds, [None] otherwise
+       (the paper then abandons the attempt for this site). *)
+    let rec explore callee_name (critical : Reg.t list) depth :
+        Region.point list option =
+      if depth > !max_level then max_level := depth;
+      if Callgraph.is_thread_root graph callee_name then None
+      else if depth > max_depth then None
+      else
+        let callee =
+          (cfg_of callee_name).func
+        in
+        let edges = Callgraph.callers_of graph callee_name in
+        if edges = [] then None
+        else
+          let results =
+            List.map
+              (fun (edge : Callgraph.edge) ->
+                let caller_cfg = cfg_of edge.caller in
+                match Func.find_instr caller_cfg.func edge.call_iid with
+                | None -> None
+                | Some (b, idx) ->
+                    let points, region_iids, _boundary, conds, clean =
+                      Region.walk caller_cfg ~label:b.Block.label ~idx
+                    in
+                    let caller_region =
+                      {
+                        Region.site;
+                        points;
+                        region_iids;
+                        boundary_iids = Region.Iid_set.empty;
+                        branch_conds = conds;
+                        reaches_entry_clean = clean;
+                      }
+                    in
+                    let seeds = critical_args callee edge critical in
+                    let helps =
+                      match site.kind with
+                      | Instr.Deadlock ->
+                          Region.contains_lock_acquisition caller_cfg
+                            caller_region
+                      | _ ->
+                          seeds <> []
+                          && Slice.reaches_shared_read
+                               (Slice.within_region caller_cfg caller_region
+                                  ~seeds)
+                    in
+                    if helps then Some points
+                    else if clean then
+                      (* Push further up: the new critical parameters are
+                         the caller's own parameters on the argument
+                         slice. *)
+                      let slice =
+                        Slice.within_region caller_cfg caller_region ~seeds
+                      in
+                      let caller_critical =
+                        match site.kind with
+                        | Instr.Deadlock -> []
+                        | _ -> Slice.critical_params caller_cfg slice
+                      in
+                      if needs_critical && caller_critical = [] then None
+                      else explore edge.caller caller_critical (depth + 1)
+                    else None)
+              edges
+          in
+          if List.for_all Option.is_some results then
+            Some
+              (List.concat_map (function Some p -> p | None -> []) results)
+          else None
+    in
+    match explore foo critical 1 with
+    | Some points ->
+        let points =
+          List.fold_left
+            (fun acc p ->
+              if List.exists (Region.point_equal p) acc then acc
+              else p :: acc)
+            [] points
+          |> List.rev
+        in
+        { selected = true; success = true; points; levels_used = !max_level }
+    | None ->
+        (* Fallback: give up inter-procedural recovery, put the point back
+           at the entrance of [foo] (§4.3 "other issues"). *)
+        {
+          selected = true;
+          success = false;
+          points = [ Region.Entry foo ];
+          levels_used = !max_level;
+        }
+  end

@@ -1,0 +1,36 @@
+(** Inter-procedural recovery analysis (§4.3).
+
+    A site is selected when (1) every backward path from it reaches its
+    function's entrance destroying-op-free, (2) for non-deadlock sites, a
+    parameter is on its slice (a critical parameter — the only way a
+    caller can affect the outcome), and (3) it is locally unrecoverable.
+    The analysis then walks backward in each caller from the call site; a
+    caller region helps when a shared read feeds a critical argument
+    (non-deadlock) or contains a lock acquisition (deadlock). Clean caller
+    paths recurse further up, to [max_depth] levels (paper default 3);
+    exhausted budgets or thread roots abandon the attempt, falling back to
+    the entry of the site's own function. *)
+
+open Conair_ir
+module Fname = Ident.Fname
+
+type outcome = {
+  selected : bool;  (** the §4.3 conditions held *)
+  success : bool;  (** every caller chain produced usable points *)
+  points : Region.point list;
+      (** replacement points (inter-procedural on success, the
+          entry-of-own-function fallback otherwise) *)
+  levels_used : int;
+}
+
+val not_selected : outcome
+
+val analyze :
+  cfg_of:(Fname.t -> Cfg.t) ->
+  graph:Callgraph.t ->
+  max_depth:int ->
+  Region.t ->
+  Optimize.verdict ->
+  outcome
+(** [analyze ~cfg_of ~graph ~max_depth region local_verdict] — [cfg_of]
+    should memoize per-function CFGs. *)

@@ -1,0 +1,47 @@
+(* Unnecessary-rollback removal (§4.2).
+
+   A failure site that is statically proven unrecoverable gets no recovery
+   code, and reexecution points that no longer serve any site are dropped:
+
+   - a deadlock site is unrecoverable unless at least one of its
+     reexecution regions contains another lock acquisition (Fig 7a/7b) —
+     otherwise no lock is released at the failure site and the other
+     threads in the deadlock can never make progress;
+
+   - a non-deadlock site is unrecoverable unless its backward slice reaches
+     at least one global/heap read inside a reexecution region (Fig 7c/7d)
+     — otherwise reexecution is guaranteed to evaluate the same failing
+     outcome again. *)
+
+open Conair_ir
+
+type verdict = Recoverable | Unrecoverable
+
+let pp_verdict ppf v =
+  Format.pp_print_string ppf
+    (match v with
+    | Recoverable -> "recoverable"
+    | Unrecoverable -> "unrecoverable")
+
+(* Is the site instruction an event wait? Lost-wakeup hangs recover by
+   re-checking shared state, not by releasing a lock, so they are judged
+   with the shared-read rule even though their symptom (and site kind) is
+   a hang. *)
+let is_wait_site (cfg : Cfg.t) (site : Site.t) =
+  match Func.find_instr cfg.func site.iid with
+  | Some (b, i) -> (
+      match b.Block.instrs.(i).op with
+      | Instr.Wait _ | Instr.Timed_wait _ -> true
+      | _ -> false)
+  | None -> false
+
+(** Judge a site from its region (and slice, for non-deadlock sites). *)
+let judge (cfg : Cfg.t) (region : Region.t) =
+  match region.site.kind with
+  | Instr.Deadlock when not (is_wait_site cfg region.site) ->
+      if Region.contains_lock_acquisition cfg region then Recoverable
+      else Unrecoverable
+  | Instr.Deadlock | Instr.Assert_fail | Instr.Wrong_output | Instr.Seg_fault
+    ->
+      if Slice.reaches_shared_read (Slice.of_site cfg region) then Recoverable
+      else Unrecoverable

@@ -1,0 +1,11 @@
+(** Unnecessary-rollback removal (§4.2): a deadlock site is unrecoverable
+    unless a region of it contains another lock acquisition (nothing would
+    be released, Fig 7a/7b); a non-deadlock site is unrecoverable unless
+    its slice reaches a shared read inside a region (reexecution would be
+    deterministic, Fig 7c/7d). Unrecoverable sites get no recovery code
+    and their orphaned reexecution points are dropped. *)
+
+type verdict = Recoverable | Unrecoverable
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val judge : Conair_ir.Cfg.t -> Region.t -> verdict

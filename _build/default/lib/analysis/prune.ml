@@ -1,0 +1,68 @@
+(* Statically-safe-site pruning (§3.4 "Future work can extend ConAir by
+   extending its failure-site identification. Some potential failure sites
+   could be pruned, if we can statically prove that failures can never
+   occur there").
+
+   Two cheap, sound proofs are implemented:
+
+   - a dereference [p[k]] with constant [k] is safe when [p] is defined by
+     an [Alloc] of a constant size [n > k] *in the same block*, with no
+     redefinition of [p], no [Free], and no escape of [p] (store or call)
+     in between — an unescaped fresh block cannot be freed by another
+     thread;
+
+   - an [Assert]/[oracle] on a constant-true condition can never fire.
+
+   Pruned sites get no recovery code and no reexecution points, reducing
+   static footprint and overhead; `bench/main.exe` does not enable this by
+   default (the paper's prototype did not either), but the ablation tests
+   exercise it. *)
+
+open Conair_ir
+module Reg = Ident.Reg
+
+(* Does operand [o] mention register [r]? *)
+let mentions r = function
+  | Instr.Reg r' -> Reg.equal r r'
+  | Instr.Const _ -> false
+
+(* Scan backwards inside the block from index [idx-1], looking for the
+   definition of [pr]. Abort (return false) on anything that could
+   invalidate the proof. *)
+let provably_safe_deref (b : Block.t) ~idx ~(pr : Reg.t) ~(k : int) =
+  let rec scan i =
+    if i < 0 then false
+    else
+      let instr = b.instrs.(i) in
+      match instr.op with
+      | Instr.Alloc (r, Instr.Const (Value.Int n)) when Reg.equal r pr ->
+          k >= 0 && k < n
+      | Instr.Free _ -> false (* any free in between spoils liveness *)
+      | Instr.Call _ | Instr.Spawn _ ->
+          false (* the pointer could escape or the callee could free *)
+      | Instr.Store (_, a) when mentions pr a -> false (* escapes *)
+      | Instr.Store_idx (_, _, v) when mentions pr v ->
+          false (* the pointer itself escapes into the heap; writing
+                   *through* it is harmless for this proof *)
+      | op when Instr.def op = Some pr -> false (* redefined by something else *)
+      | _ -> scan (i - 1)
+  in
+  scan (idx - 1)
+
+(** Can this site provably never fail? *)
+let provably_safe (p : Program.t) (site : Site.t) =
+  match Program.find_instr p site.iid with
+  | None -> false
+  | Some (_, b, idx) -> (
+      match b.instrs.(idx).op with
+      | Instr.Assert { cond = Instr.Const v; _ } -> Value.is_true v
+      | Instr.Load_idx (_, Instr.Reg pr, Instr.Const (Value.Int k))
+      | Instr.Store_idx (Instr.Reg pr, Instr.Const (Value.Int k), _) ->
+          provably_safe_deref b ~idx ~pr ~k
+      | _ -> false)
+
+(** Drop the provably-safe sites; returns the survivors and the number
+    pruned. *)
+let filter_sites (p : Program.t) (sites : Site.t list) =
+  let keep, dropped = List.partition (fun s -> not (provably_safe p s)) sites in
+  (keep, List.length dropped)

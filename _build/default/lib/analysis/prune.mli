@@ -1,0 +1,11 @@
+(** Statically-safe-site pruning (a §3.4 extension): drop failure sites
+    that provably cannot fail — constant-indexed dereferences of fresh,
+    unescaped, constant-size allocations, and constant-true asserts. Off
+    by default (see {!Plan.options.prune_safe}). *)
+
+open Conair_ir
+
+val provably_safe : Program.t -> Site.t -> bool
+
+val filter_sites : Program.t -> Site.t list -> Site.t list * int
+(** The surviving sites and the number pruned. *)

@@ -1,0 +1,188 @@
+(* Idempotent-region / reexecution-point identification (§3.2.2).
+
+   For a failure site [f], we walk the instruction-level CFG backwards from
+   the position just before [f]:
+
+   - hitting an idempotency-destroying instruction [d] ends that path and
+     emits the reexecution point "right after [d]";
+   - hitting the entrance of the enclosing function emits the point "at the
+     function entry" (the basic design never crosses into callers — §4.3
+     revisits this);
+   - safe and compensable instructions (§4.1: allocation and lock
+     acquisition) are part of the region and the walk continues through
+     them;
+   - a visited set makes the walk linear in the function size and makes it
+     terminate on loops: a destroying instruction *inside* a loop on the way
+     to [f] gets a point after it inside the loop, so at run time the most
+     recent checkpoint is always within the idempotent region.
+
+   One deliberate strengthening versus the paper's prose: when the entry
+   block is also a loop target (a back edge jumps to the function's first
+   block), we both emit the entry point and keep exploring the back-edge
+   predecessors, because at run time "before the first instruction" can be
+   reached from inside the loop too. *)
+
+open Conair_ir
+module Label = Ident.Label
+module Fname = Ident.Fname
+
+(** A reexecution point, i.e. where the transformation inserts a
+    checkpoint. *)
+type point =
+  | Entry of Fname.t  (** at the entrance of the function *)
+  | After of int  (** immediately after the instruction with this id *)
+
+let point_equal a b =
+  match (a, b) with
+  | Entry f, Entry g -> Fname.equal f g
+  | After i, After j -> i = j
+  | (Entry _ | After _), _ -> false
+
+let pp_point ppf = function
+  | Entry f -> Format.fprintf ppf "entry(%a)" Fname.pp f
+  | After i -> Format.fprintf ppf "after(%d)" i
+
+module Iid_set = Set.Make (Int)
+
+type t = {
+  site : Site.t;
+  points : point list;
+  region_iids : Iid_set.t;
+      (** safe/compensable instructions inside the region (candidates for
+          slicing and for the lock-acquisition check) *)
+  boundary_iids : Iid_set.t;
+      (** the destroying instructions that delimit the region *)
+  branch_conds : Ident.Reg.t list;
+      (** condition registers of branches crossed inside the region —
+          control-dependence seeds for the slice *)
+  reaches_entry_clean : bool;
+      (** true iff every backward path from the site reaches the function
+          entrance without meeting a destroying instruction — the §4.3
+          inter-procedural condition (1) *)
+}
+
+(* A walk position: [Before_instr (l, i)] examines instruction [i] of block
+   [l]; [Block_start l] is the point before any instruction of [l]. *)
+type pos = Before_instr of Label.t * int | Block_start of Label.t
+
+let pos_compare = compare
+
+module Pos_set = Set.Make (struct
+  type nonrec t = pos
+
+  let compare = pos_compare
+end)
+
+(* The walk can start either just before an instruction of the function, or
+   (for the inter-procedural analysis) just before a call instruction. Both
+   reduce to a list of initial positions. *)
+let start_positions label idx =
+  if idx > 0 then [ Before_instr (label, idx - 1) ] else [ Block_start label ]
+
+let preds_positions (cfg : Cfg.t) label =
+  List.map
+    (fun p ->
+      let b = Cfg.block cfg p in
+      let n = Block.length b in
+      if n > 0 then Before_instr (p, n - 1) else Block_start p)
+    (Cfg.preds cfg label)
+
+(* Branch-condition register of a block's terminator, if any. *)
+let branch_cond (cfg : Cfg.t) label =
+  match (Cfg.block cfg label).term with
+  | Instr.Branch (Instr.Reg r, _, _) -> Some r
+  | Instr.Branch (Instr.Const _, _, _)
+  | Instr.Jump _ | Instr.Return _ | Instr.Exit ->
+      None
+
+(** Walk backwards from the position just before instruction index [idx] of
+    block [label]. Exposed separately from {!of_site} so the
+    inter-procedural analysis can walk from a call site. *)
+let walk (cfg : Cfg.t) ~label ~idx =
+  let points = ref [] in
+  let region = ref Iid_set.empty in
+  let boundary = ref Iid_set.empty in
+  let conds = ref [] in
+  let dirty_path = ref false in
+  let add_point p =
+    if not (List.exists (point_equal p) !points) then points := p :: !points
+  in
+  let visited = ref Pos_set.empty in
+  let rec go = function
+    | [] -> ()
+    | pos :: rest when Pos_set.mem pos !visited -> go rest
+    | pos :: rest -> (
+        visited := Pos_set.add pos !visited;
+        match pos with
+        | Block_start l ->
+            (* Crossing from a block start into its predecessors also
+               crosses the predecessors' terminators: collect branch
+               conditions for control-dependence slicing. *)
+            let preds = Cfg.preds cfg l in
+            List.iter
+              (fun p ->
+                match branch_cond cfg p with
+                | Some r -> conds := r :: !conds
+                | None -> ())
+              preds;
+            if Cfg.is_entry cfg l then begin
+              add_point (Entry cfg.func.name);
+              go (preds_positions cfg l @ rest)
+            end
+            else if preds = [] then
+              (* unreachable block head: nothing executes before it *)
+              go rest
+            else go (preds_positions cfg l @ rest)
+        | Before_instr (l, i) ->
+            let instr = (Cfg.block cfg l).instrs.(i) in
+            (match Instr.classify instr.op with
+            | Instr.Destroying ->
+                boundary := Iid_set.add instr.iid !boundary;
+                dirty_path := true;
+                add_point (After instr.iid);
+                go rest
+            | Instr.Safe | Instr.Compensable ->
+                region := Iid_set.add instr.iid !region;
+                let next =
+                  if i > 0 then Before_instr (l, i - 1) else Block_start l
+                in
+                go (next :: rest)))
+  in
+  go (start_positions label idx);
+  let points = List.rev !points in
+  let reaches_entry_clean =
+    (not !dirty_path)
+    && List.exists (function Entry _ -> true | After _ -> false) points
+  in
+  ( points,
+    !region,
+    !boundary,
+    List.sort_uniq Ident.Reg.compare !conds,
+    reaches_entry_clean )
+
+(** Compute the reexecution region for [site], which must live in the
+    function [cfg] was built from. *)
+let of_site (cfg : Cfg.t) (site : Site.t) =
+  match Func.find_instr cfg.func site.iid with
+  | None ->
+      invalid_arg
+        (Format.asprintf "Region.of_site: site %a not found in %a" Site.pp
+           site Fname.pp cfg.func.name)
+  | Some (b, idx) ->
+      let points, region_iids, boundary_iids, branch_conds, reaches_entry_clean
+          =
+        walk cfg ~label:b.Block.label ~idx
+      in
+      { site; points; region_iids; boundary_iids; branch_conds;
+        reaches_entry_clean }
+
+(** Does some region of this site contain a lock acquisition? (the §4.2
+    deadlock-site recoverability test — the site's own lock does not
+    count). *)
+let contains_lock_acquisition (cfg : Cfg.t) (r : t) =
+  Iid_set.exists
+    (fun iid ->
+      match Func.find_instr cfg.func iid with
+      | Some (b, i) -> Instr.acquires_lock b.Block.instrs.(i).op
+      | None -> false)
+    r.region_iids

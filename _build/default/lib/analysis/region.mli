@@ -1,0 +1,56 @@
+(** Idempotent-region / reexecution-point identification (§3.2.2): a
+    backward, instruction-level CFG walk from each failure site that emits
+    a reexecution point right after every idempotency-destroying
+    instruction it meets, or at the function entry; safe and compensable
+    instructions (§4.1) are part of the region. Linear in the function
+    size; terminates on loops via a visited set.
+
+    Safety invariant (property-tested): on every entry-to-site path, a
+    point follows the path's last destroying instruction — so at run time
+    the thread's most recent checkpoint always lies within the site's
+    idempotent region. *)
+
+open Conair_ir
+module Fname = Ident.Fname
+module Label = Ident.Label
+
+type point =
+  | Entry of Fname.t  (** at the entrance of the function *)
+  | After of int  (** immediately after the instruction with this id *)
+
+val point_equal : point -> point -> bool
+val pp_point : Format.formatter -> point -> unit
+
+module Iid_set : Set.S with type elt = int
+
+type t = {
+  site : Site.t;
+  points : point list;  (** the reexecution points of this site *)
+  region_iids : Iid_set.t;
+      (** safe/compensable instructions inside the region *)
+  boundary_iids : Iid_set.t;
+      (** the destroying instructions delimiting it *)
+  branch_conds : Ident.Reg.t list;
+      (** condition registers of branches crossed inside the region —
+          control-dependence seeds for the slice *)
+  reaches_entry_clean : bool;
+      (** every backward path reaches the entry destroying-free — the
+          §4.3 inter-procedural condition (1) *)
+}
+
+val walk :
+  Cfg.t ->
+  label:Label.t ->
+  idx:int ->
+  point list * Iid_set.t * Iid_set.t * Ident.Reg.t list * bool
+(** Walk backwards from just before instruction [idx] of block [label];
+    returns (points, region, boundary, branch conds, clean-to-entry).
+    Exposed so the inter-procedural analysis can walk from a call site. *)
+
+val of_site : Cfg.t -> Site.t -> t
+(** The region of a site in the function [Cfg.t] was built from.
+    @raise Invalid_argument if the site is not in that function. *)
+
+val contains_lock_acquisition : Cfg.t -> t -> bool
+(** The §4.2 deadlock-site recoverability test (the site's own lock does
+    not count). *)

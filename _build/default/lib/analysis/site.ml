@@ -1,0 +1,44 @@
+(* Failure-site model (§3.1 of the paper).
+
+   A site is an instruction where one of the four common failure symptoms
+   can manifest. Sites carry a stable [site_id] used by the transformation
+   and the recovery runtime. *)
+
+open Conair_ir
+module Fname = Ident.Fname
+
+type t = {
+  site_id : int;
+  iid : int;  (** the instruction at which the failure manifests *)
+  func : Fname.t;
+  kind : Instr.failure_kind;
+  detectable : bool;
+      (** wrong-output sites without a developer oracle are counted and
+          checkpointed but cannot be detected at run time (§6.1.2) *)
+  msg : string;
+}
+
+let pp ppf s =
+  Format.fprintf ppf "site#%d %a at iid=%d in %a%s" s.site_id
+    Instr.pp_failure_kind s.kind s.iid Fname.pp s.func
+    (if s.detectable then "" else " (undetectable)")
+
+(** What kind of site, if any, is this instruction?
+
+    - [assert]            -> assertion-failure site (Fig 5a)
+    - [oracle assert]     -> wrong-output site with oracle (Fig 5b, Fig 9)
+    - [output]            -> wrong-output site without oracle
+    - [load_idx/store_idx]-> segmentation-fault site (Fig 5c)
+    - [lock]              -> deadlock site candidate (Fig 5d) *)
+let classify_instr (i : Instr.t) =
+  match i.op with
+  | Instr.Assert { oracle = false; msg; _ } ->
+      Some (Instr.Assert_fail, true, msg)
+  | Instr.Assert { oracle = true; msg; _ } ->
+      Some (Instr.Wrong_output, true, msg)
+  | Instr.Output { fmt; _ } -> Some (Instr.Wrong_output, false, fmt)
+  | Instr.Load_idx _ | Instr.Store_idx _ ->
+      Some (Instr.Seg_fault, true, "invalid pointer dereference")
+  | Instr.Lock _ -> Some (Instr.Deadlock, true, "lock acquisition timed out")
+  | Instr.Wait _ -> Some (Instr.Deadlock, true, "event wait timed out")
+  | _ -> None

@@ -1,0 +1,26 @@
+(** The failure-site model (§3.1): an instruction where one of the four
+    common failure symptoms can manifest. *)
+
+open Conair_ir
+module Fname = Ident.Fname
+
+type t = {
+  site_id : int;  (** stable id used by the transformation and runtime *)
+  iid : int;  (** the instruction at which the failure manifests *)
+  func : Fname.t;
+  kind : Instr.failure_kind;
+  detectable : bool;
+      (** wrong-output sites without a developer oracle are counted and
+          checkpointed but cannot be detected at run time (§6.1.2) *)
+  msg : string;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val classify_instr : Instr.t -> (Instr.failure_kind * bool * string) option
+(** What kind of site, if any, is this instruction? Returns
+    [(kind, detectable, message)]:
+    asserts are assertion sites, oracle asserts and outputs are
+    wrong-output sites (outputs undetectable without an oracle), heap
+    dereferences are segfault sites, lock acquisitions and event waits are
+    deadlock/hang candidates. *)

@@ -1,0 +1,91 @@
+(* Intra-procedural backward slicing restricted to an idempotent region
+   (§4.2, Fig 8).
+
+   ConAir's slicing is much simpler than general program slicing: inside a
+   reexecution region every write is to a virtual register, so data
+   dependence is tracked purely through register def-use chains. When the
+   chain reaches a read of a non-register location — a global, the heap, or
+   a stack slot — the chain stops there: if the location is shared (global
+   or heap) the slice has found a shared read; if it is a stack slot, the
+   defining write lies outside any idempotent region, so continuing would
+   be useless (Fig 8b). No alias analysis is needed.
+
+   The slice is seeded with the registers the failure site reads plus the
+   condition registers of branches crossed inside the region
+   (control dependence). *)
+
+open Conair_ir
+module Reg = Ident.Reg
+
+type result = {
+  shared_read_iids : Region.Iid_set.t;
+      (** global/heap reads inside the region that can affect the site *)
+  open_regs : Reg.Set.t;
+      (** registers on the slice with no defining instruction inside the
+          region — if one of them is a parameter of the enclosing function
+          it is a "critical parameter" for §4.3 *)
+}
+
+let reaches_shared_read r = not (Region.Iid_set.is_empty r.shared_read_iids)
+
+(** Registers a failure site reads — the data-dependence seeds. *)
+let site_seed_regs (cfg : Cfg.t) (site : Site.t) =
+  match Func.find_instr cfg.func site.iid with
+  | None -> []
+  | Some (b, i) -> Instr.uses b.Block.instrs.(i).op
+
+(** Compute the slice of [region] seeded by [seeds].
+
+    Conservative in the recoverability direction: a register with several
+    in-region definitions contributes all of them ("can affect" semantics),
+    so we only declare a site unrecoverable when no shared read can
+    possibly influence it. *)
+let within_region (cfg : Cfg.t) (region : Region.t) ~(seeds : Reg.t list) =
+  (* Index the in-region instructions by the register they define. *)
+  let defs : (Reg.t, Instr.t) Hashtbl.t = Hashtbl.create 32 in
+  Region.Iid_set.iter
+    (fun iid ->
+      match Func.find_instr cfg.func iid with
+      | None -> ()
+      | Some (b, i) ->
+          let instr = b.Block.instrs.(i) in
+          Option.iter (fun r -> Hashtbl.add defs r instr) (Instr.def instr.op))
+    region.region_iids;
+  let shared = ref Region.Iid_set.empty in
+  let open_regs = ref Reg.Set.empty in
+  let seen_regs = ref Reg.Set.empty in
+  let seen_iids = ref Region.Iid_set.empty in
+  let rec chase = function
+    | [] -> ()
+    | r :: rest when Reg.Set.mem r !seen_regs -> chase rest
+    | r :: rest ->
+        seen_regs := Reg.Set.add r !seen_regs;
+        let ds = Hashtbl.find_all defs r in
+        if ds = [] then open_regs := Reg.Set.add r !open_regs;
+        let more =
+          List.concat_map
+            (fun (d : Instr.t) ->
+              if Region.Iid_set.mem d.iid !seen_iids then []
+              else begin
+                seen_iids := Region.Iid_set.add d.iid !seen_iids;
+                if Instr.reads_shared d.op then
+                  shared := Region.Iid_set.add d.iid !shared;
+                (* Reads of stack slots stop the chain (Fig 8); register
+                   uses continue it. *)
+                Instr.uses d.op
+              end)
+            ds
+        in
+        chase (more @ rest)
+  in
+  chase (seeds @ region.branch_conds);
+  { shared_read_iids = !shared; open_regs = !open_regs }
+
+(** Slice of a failure site within its own region. *)
+let of_site (cfg : Cfg.t) (region : Region.t) =
+  within_region cfg region ~seeds:(site_seed_regs cfg region.site)
+
+(** Parameters of the enclosing function that are on the slice — the
+    critical parameters of §4.3. *)
+let critical_params (cfg : Cfg.t) (r : result) =
+  List.filter (fun p -> Reg.Set.mem p r.open_regs) cfg.func.params

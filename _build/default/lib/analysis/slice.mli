@@ -1,0 +1,37 @@
+(** Backward slicing restricted to an idempotent region (§4.2, Fig 8).
+
+    Inside a region every write is to a virtual register, so data
+    dependence is tracked purely through register def-use chains; a chain
+    reaching a non-register read stops there (if it is a global or heap
+    read, the slice has found a shared read; a stack read leads outside
+    any region and is useless to chase). No alias analysis is needed. The
+    slice is seeded with the site's operands plus the region's branch
+    conditions (control dependence). *)
+
+open Conair_ir
+module Reg = Ident.Reg
+
+type result = {
+  shared_read_iids : Region.Iid_set.t;
+      (** global/heap reads inside the region that can affect the site *)
+  open_regs : Reg.Set.t;
+      (** slice registers with no in-region definition; parameters among
+          them are the §4.3 critical parameters *)
+}
+
+val reaches_shared_read : result -> bool
+
+val site_seed_regs : Cfg.t -> Site.t -> Reg.t list
+(** The registers the site instruction reads. *)
+
+val within_region : Cfg.t -> Region.t -> seeds:Reg.t list -> result
+(** Slice with explicit seeds — used by the inter-procedural analysis
+    with the critical arguments of a call. Conservative in the
+    keep-recovery direction: all in-region definitions of a register
+    contribute. *)
+
+val of_site : Cfg.t -> Region.t -> result
+(** Slice of a site within its own region. *)
+
+val critical_params : Cfg.t -> result -> Reg.t list
+(** Parameters of the enclosing function on the slice (§4.3). *)

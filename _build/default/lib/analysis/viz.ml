@@ -1,0 +1,100 @@
+(* Graphviz (DOT) export: render a function's CFG with a site's idempotent
+   region highlighted — the picture the paper draws by hand in its
+   figures. Reexecution points are marked on the edge after the
+   destroying instruction (or at the function entry); region instructions
+   are shaded; the failure site is the red node. *)
+
+open Conair_ir
+module Label = Ident.Label
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let instr_line ~(region : Region.t option) (i : Instr.t) =
+  let text = escape (Format.asprintf "%a" Instr.pp_op i.op) in
+  let mark =
+    match region with
+    | Some r when r.site.iid = i.iid -> "(X) "  (* the failure site *)
+    | Some r when Region.Iid_set.mem i.iid r.region_iids -> "[*] "
+    | Some r when Region.Iid_set.mem i.iid r.boundary_iids -> "--- "
+    | Some r
+      when List.exists
+             (Region.point_equal (Region.After i.iid))
+             r.points ->
+        "--- "
+    | _ -> ""
+  in
+  Printf.sprintf "%s%d: %s\\l" mark i.iid text
+
+(** Render [func] as a DOT digraph; when [region] is given, its
+    instructions are annotated: [(X)] the failure site, [[*]] inside the
+    idempotent region, [---] a region boundary, and blocks holding a
+    reexecution point get a bold border. *)
+let func_to_dot ?region (f : Func.t) =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph \"%s\" {\n" (escape (Ident.Fname.name f.name));
+  add "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+  let has_point_in (b : Block.t) =
+    match region with
+    | None -> false
+    | Some (r : Region.t) ->
+        List.exists
+          (function
+            | Region.Entry g ->
+                Ident.Fname.equal g f.name && Label.equal b.label f.entry
+            | Region.After iid ->
+                Array.exists (fun (i : Instr.t) -> i.iid = iid) b.instrs)
+          r.points
+  in
+  let has_site (b : Block.t) =
+    match region with
+    | None -> false
+    | Some r -> Array.exists (fun (i : Instr.t) -> i.iid = r.site.iid) b.instrs
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      let body =
+        Array.to_list b.instrs
+        |> List.map (instr_line ~region)
+        |> String.concat ""
+      in
+      let style =
+        if has_site b then ", color=red, penwidth=2"
+        else if has_point_in b then ", penwidth=2"
+        else ""
+      in
+      add "  \"%s\" [label=\"%s:\\l%s%s\\l\"%s];\n"
+        (escape (Label.name b.label))
+        (escape (Label.name b.label))
+        body
+        (escape (Format.asprintf "%a" Instr.pp_terminator b.term))
+        style)
+    f.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun succ ->
+          add "  \"%s\" -> \"%s\";\n"
+            (escape (Label.name b.label))
+            (escape (Label.name succ)))
+        (Block.successors b))
+    f.blocks;
+  add "}\n";
+  Buffer.contents buf
+
+(** DOT for a failure site: look the site up, compute its region, render
+    its function. *)
+let site_to_dot (p : Program.t) (site : Site.t) =
+  let f = Program.func_exn p site.func in
+  let region = Region.of_site (Cfg.of_func f) site in
+  func_to_dot ~region f

@@ -1,0 +1,13 @@
+(** Graphviz (DOT) export of CFGs with idempotent regions highlighted —
+    the hand-drawn pictures of the paper's figures, generated. *)
+
+open Conair_ir
+
+val func_to_dot : ?region:Region.t -> Func.t -> string
+(** Render a function as a DOT digraph. With [region]: [(X)] marks the
+    failure site, [[*]] instructions inside the idempotent region, [---]
+    region boundaries; blocks holding a reexecution point get a bold
+    border and the site's block is red. *)
+
+val site_to_dot : Program.t -> Site.t -> string
+(** Compute the site's region and render its enclosing function. *)

@@ -1,0 +1,1 @@
+lib/baselines/full_checkpoint.ml: Conair Option Program

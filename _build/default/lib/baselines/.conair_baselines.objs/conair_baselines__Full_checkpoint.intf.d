@@ -1,0 +1,1 @@
+lib/baselines/full_checkpoint.mli: Conair Program

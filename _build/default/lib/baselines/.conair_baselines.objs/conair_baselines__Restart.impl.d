@@ -1,0 +1,1 @@
+lib/baselines/restart.ml: Conair Program

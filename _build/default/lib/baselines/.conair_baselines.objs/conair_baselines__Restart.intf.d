@@ -1,0 +1,1 @@
+lib/baselines/restart.mli: Conair Program

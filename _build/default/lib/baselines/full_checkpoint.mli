@@ -1,0 +1,35 @@
+(** Traditional whole-program checkpoint/rollback — the right end of the
+    paper's Fig 4 spectrum (Rx/ASSURE/Frost-style). Snapshots the entire
+    machine every [interval] steps; on failure or hang, restores the last
+    snapshot and continues under a re-seeded schedule with perturbed
+    timing (the Rx "environment change"). Recovers strictly more failures
+    than ConAir — including rolled-back shared writes — at a continuous
+    checkpointing overhead proportional to state size. *)
+
+open Conair.Ir
+module Machine = Conair.Runtime.Machine
+module Outcome = Conair.Runtime.Outcome
+
+type config = {
+  machine : Machine.config;
+  interval : int;  (** steps between whole-program checkpoints *)
+  max_restores : int;
+  snapshot_cost_per_block : int;
+      (** virtual cost charged per live heap block per snapshot *)
+  snapshot_cost_fixed : int;
+}
+
+val default_config : config
+
+type result = {
+  outcome : Outcome.t;
+  outputs : string list;
+  snapshots_taken : int;
+  restores : int;
+  run_steps : int;  (** pure execution steps *)
+  checkpoint_overhead_steps : int;  (** virtual snapshot cost *)
+  total_steps : int;  (** run + overhead: what the user experiences *)
+  recovery_steps : int;  (** from the first failure to final success *)
+}
+
+val run : ?config:config -> Program.t -> result

@@ -1,0 +1,25 @@
+(** Whole-program restart — Table 7's comparison point. On failure or
+    hang, rerun from scratch with a random schedule and perturbed timing
+    (a restart never reproduces the failing run's timing) until the run is
+    correct. The cost is all the work thrown away plus the successful
+    rerun, which grows with the workload while ConAir's recovery time does
+    not (§6.3). *)
+
+open Conair.Ir
+module Machine = Conair.Runtime.Machine
+module Outcome = Conair.Runtime.Outcome
+
+type result = {
+  outcome : Outcome.t;  (** of the final attempt *)
+  attempts : int;
+  total_steps : int;  (** work across all attempts — the restart cost *)
+  wasted_steps : int;  (** work of the failed attempts only *)
+  outputs : string list;
+}
+
+val run :
+  ?config:Machine.config ->
+  ?max_attempts:int ->
+  ?accept:(string list -> bool) ->
+  Program.t ->
+  result

@@ -1,0 +1,1 @@
+lib/bugbench/app_apache.ml: Bench_spec Builder Conair Instr List Mirlib String Value

@@ -1,0 +1,1 @@
+lib/bugbench/app_apache.mli: Bench_spec

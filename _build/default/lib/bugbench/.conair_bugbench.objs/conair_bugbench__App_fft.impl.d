@@ -1,0 +1,1 @@
+lib/bugbench/app_fft.ml: Bench_spec Builder Conair Instr List Mirlib Value

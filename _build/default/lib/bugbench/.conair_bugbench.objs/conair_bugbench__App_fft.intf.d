@@ -1,0 +1,1 @@
+lib/bugbench/app_fft.mli: Bench_spec

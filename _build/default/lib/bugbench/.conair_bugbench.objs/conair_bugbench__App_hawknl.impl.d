@@ -1,0 +1,1 @@
+lib/bugbench/app_hawknl.ml: Bench_spec Builder Conair Instr List Mirlib String Value

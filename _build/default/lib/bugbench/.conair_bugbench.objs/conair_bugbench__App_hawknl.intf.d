@@ -1,0 +1,1 @@
+lib/bugbench/app_hawknl.mli: Bench_spec

@@ -1,0 +1,1 @@
+lib/bugbench/app_httrack.mli: Bench_spec

@@ -1,0 +1,1 @@
+lib/bugbench/app_mozilla_js.ml: Bench_spec Builder Conair Instr Mirlib Value

@@ -1,0 +1,1 @@
+lib/bugbench/app_mozilla_js.mli: Bench_spec

@@ -1,0 +1,1 @@
+lib/bugbench/app_mozilla_xp.mli: Bench_spec

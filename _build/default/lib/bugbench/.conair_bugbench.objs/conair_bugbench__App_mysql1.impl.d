@@ -1,0 +1,1 @@
+lib/bugbench/app_mysql1.ml: Bench_spec Builder Conair Instr List Mirlib Value

@@ -1,0 +1,1 @@
+lib/bugbench/app_mysql1.mli: Bench_spec

@@ -1,0 +1,1 @@
+lib/bugbench/app_mysql2.mli: Bench_spec

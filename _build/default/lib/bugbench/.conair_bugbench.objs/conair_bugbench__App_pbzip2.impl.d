@@ -1,0 +1,1 @@
+lib/bugbench/app_pbzip2.ml: Bench_spec Builder Conair Instr List Mirlib String Value

@@ -1,0 +1,1 @@
+lib/bugbench/app_pbzip2.mli: Bench_spec

@@ -1,0 +1,1 @@
+lib/bugbench/app_sqlite.ml: Bench_spec Builder Conair Instr Mirlib Value

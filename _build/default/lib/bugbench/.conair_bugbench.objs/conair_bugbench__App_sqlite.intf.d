@@ -1,0 +1,1 @@
+lib/bugbench/app_sqlite.mli: Bench_spec

@@ -1,0 +1,1 @@
+lib/bugbench/app_transmission.mli: Bench_spec

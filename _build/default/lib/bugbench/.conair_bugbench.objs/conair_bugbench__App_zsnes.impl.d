@@ -1,0 +1,1 @@
+lib/bugbench/app_zsnes.ml: Bench_spec Builder Conair Instr List Mirlib String Value

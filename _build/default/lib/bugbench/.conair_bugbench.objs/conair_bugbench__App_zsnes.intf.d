@@ -1,0 +1,1 @@
+lib/bugbench/app_zsnes.mli: Bench_spec

@@ -1,0 +1,1 @@
+lib/bugbench/bench_spec.ml: Conair Program

@@ -1,0 +1,1 @@
+lib/bugbench/bench_spec.mli: Conair Program

@@ -1,0 +1,1 @@
+lib/bugbench/catalog.ml: Builder Conair Instr List Micro_patterns Mirlib Program Value

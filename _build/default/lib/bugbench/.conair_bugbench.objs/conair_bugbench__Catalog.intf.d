@@ -1,0 +1,1 @@
+lib/bugbench/catalog.mli: Conair Program

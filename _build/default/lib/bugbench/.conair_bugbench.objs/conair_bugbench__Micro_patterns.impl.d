@@ -1,0 +1,1 @@
+lib/bugbench/micro_patterns.ml: Builder Conair Instr Mirlib Program Value

@@ -1,0 +1,1 @@
+lib/bugbench/micro_patterns.mli: Conair Program

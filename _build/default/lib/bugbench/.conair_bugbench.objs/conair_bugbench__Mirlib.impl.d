@@ -1,0 +1,1 @@
+lib/bugbench/mirlib.ml: Builder Conair Instr List Printf

@@ -1,0 +1,1 @@
+lib/bugbench/mirlib.mli: Builder Conair Instr

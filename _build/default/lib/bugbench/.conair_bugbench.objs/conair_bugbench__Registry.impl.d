@@ -1,0 +1,1 @@
+lib/bugbench/registry.ml: App_apache App_fft App_hawknl App_httrack App_mozilla_js App_mozilla_xp App_mysql1 App_mysql2 App_pbzip2 App_sqlite App_transmission App_zsnes Bench_spec List String

@@ -1,0 +1,1 @@
+lib/bugbench/registry.mli: Bench_spec

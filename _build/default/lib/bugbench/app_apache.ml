@@ -1,0 +1,105 @@
+(* Apache (extended set — bug #25520's shape, studied across the
+   concurrency-bug literature): the log writer checks the shared buffer
+   length *outside* the critical section before reserving a slot — a
+   check-then-act atomicity violation. When the flusher lags, a writer
+   reads a stale length, the capacity assert fires; rolling the writer
+   back re-reads the length after the flusher reset it. *)
+
+open Conair.Ir
+module B = Builder
+
+let cap = 6
+
+let info =
+  {
+    Bench_spec.name = "Apache";
+    app_type = "HTTP server (extended set)";
+    loc_paper = "220K";
+    failure = "assertion";
+    cause = "A violation (TOCTOA)";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "loglock";
+    B.global b "loglen" (Value.Int 0);
+    B.global b "logbuf" Value.Null;
+    B.global b "flushes" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:4 ~reports:4 b;
+    (* A request worker: appends [n] log lines. The length check happens
+       before taking the lock — the bug. *)
+    (B.func b "log_append" ~params:[ "line" ] @@ fun f ->
+     B.label f "entry";
+     B.load f "len" (Instr.Global "loglen");
+     B.lt f "fits" (B.reg "len") (B.int cap);
+     B.assert_ f (B.reg "fits") ~msg:"log buffer has room";
+     fix_iid := B.last_iid f;
+     B.lock f (B.mutex_ref "loglock");
+     B.load f "len2" (Instr.Global "loglen");
+     B.load f "buf" (Instr.Global "logbuf");
+     B.store_idx f (B.reg "buf") (B.reg "len2") (B.reg "line");
+     B.add f "len2" (B.reg "len2") (B.int 1);
+     B.store f (Instr.Global "loglen") (B.reg "len2");
+     B.unlock f (B.mutex_ref "loglock");
+     B.ret f None);
+    (B.func b "worker" ~params:[ "base" ] @@ fun f ->
+     B.label f "entry";
+     B.move f "i" (B.int 0);
+     B.label f "serve";
+     B.lt f "more" (B.reg "i") (B.int 5);
+     B.branch f (B.reg "more") "one" "done_";
+     B.label f "one";
+     B.call f ~into:"w" "compute_kernel" [ B.int 15 ];
+     B.add f "line" (B.reg "base") (B.reg "i");
+     B.call f "log_append" [ B.reg "line" ];
+     B.add f "i" (B.reg "i") (B.int 1);
+     B.jump f "serve";
+     B.label f "done_";
+     B.ret f None);
+    (* The flusher periodically resets the buffer. When it lags (the bug
+       window), the writers fill the buffer to capacity. *)
+    (B.func b "flusher" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.move f "rounds" (B.int 0);
+     B.label f "loop";
+     B.lt f "more" (B.reg "rounds") (B.int 6);
+     B.branch f (B.reg "more") "flush" "done_";
+     B.label f "flush";
+     B.sleep f (if buggy then 1400 else 80);
+     B.lock f (B.mutex_ref "loglock");
+     B.store f (Instr.Global "loglen") (B.int 0);
+     B.unlock f (B.mutex_ref "loglock");
+     B.load f "n" (Instr.Global "flushes");
+     B.add f "n" (B.reg "n") (B.int 1);
+     B.store f (Instr.Global "flushes") (B.reg "n");
+     B.add f "rounds" (B.reg "rounds") (B.int 1);
+     B.jump f "loop";
+     B.label f "done_";
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.alloc f "buf" (B.int cap);
+    B.store f (Instr.Global "logbuf") (B.reg "buf");
+    B.spawn f "w1" "worker" [ B.int 100 ];
+    B.spawn f "w2" "worker" [ B.int 200 ];
+    B.spawn f "fl" "flusher" [];
+    B.join f (B.reg "w1");
+    B.join f (B.reg "w2");
+    B.load f "len" (Instr.Global "loglen");
+    B.output f "served 10 requests, pending log lines = %v" [ B.reg "len" ];
+    B.exit_ f
+  in
+  let accept outs =
+    List.exists
+      (fun o ->
+        String.length o >= 18 && String.sub o 0 18 = "served 10 requests")
+      outs
+  in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

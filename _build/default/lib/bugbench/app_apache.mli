@@ -1,0 +1,6 @@
+(** An extended-set benchmark (beyond the paper's Table 2); see the
+    implementation header for the bug it reproduces. *)
+
+val info : Bench_spec.info
+val make : variant:Bench_spec.variant -> oracle:bool -> Bench_spec.instance
+val spec : Bench_spec.t

@@ -1,0 +1,64 @@
+(* FFT (SPLASH-2): scientific computing, 1.2K LOC.
+
+   The paper's Fig 9: thread 1 prints timing statistics and may read the
+   shared [end_time] before the timer thread has written it — an
+   atomicity/order violation causing a wrong-output failure. With the
+   developer oracle [assert (tmp > 0)] present, ConAir rolls the reporter
+   back until the timer has written.
+
+   The transform stage runs a long register-only FFT-like kernel before
+   reporting, which is what makes whole-program restart so much more
+   expensive than ConAir recovery for this benchmark (Table 7). *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "FFT";
+    app_type = "Scientific computing";
+    loc_paper = "1.2K";
+    failure = "wrong output";
+    cause = "A/O violation";
+    needs_oracle = true;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "init_time" (Value.Int 5);
+    B.global b "end_time" (Value.Int 0);
+    B.global b "transform_sum" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:2 ~reports:2 b;
+    (* Thread 1: run the transform, then report timing. *)
+    (B.func b "fft_worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"sum" "compute_kernel" [ B.int 8000 ];
+     B.store f (Instr.Global "transform_sum") (B.reg "sum");
+     B.load f "init" (Instr.Global "init_time");
+     B.output f "Start %v" [ B.reg "init" ];
+     B.load f "tmp" (Instr.Global "end_time");
+     B.gt f "ok" (B.reg "tmp") (B.int 0);
+     if oracle then begin
+       B.assert_ f ~oracle:true (B.reg "ok") ~msg:"end_time written";
+       fix_iid := B.last_iid f
+     end;
+     B.sub f "total" (B.reg "tmp") (B.reg "init");
+     B.output f "Stop %v, Total %v" [ B.reg "tmp"; B.reg "total" ];
+     B.ret f None);
+    (* Thread 2: the timer that publishes end_time. *)
+    (B.func b "fft_timer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if buggy then B.sleep f 57_000;
+     B.store f (Instr.Global "end_time") (B.int 128);
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "fft_worker"; "fft_timer" ]
+  in
+  let accept outs = List.mem "Stop 128, Total 123" outs in
+  Bench_spec.instance program ~accept
+    ~fix_site_iids:(if oracle then [ !fix_iid ] else [])
+
+let spec = { Bench_spec.info; make }

@@ -1,0 +1,6 @@
+(** One of the ten benchmark applications of Table 2; see the
+    implementation header for the bug it reproduces. *)
+
+val info : Bench_spec.info
+val make : variant:Bench_spec.variant -> oracle:bool -> Bench_spec.instance
+val spec : Bench_spec.t

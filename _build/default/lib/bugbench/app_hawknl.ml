@@ -1,0 +1,74 @@
+(* HawkNL: a network library, 10K LOC.
+
+   The paper's Fig 11: [Close] takes [nlock] then [slock]; [Shutdown]
+   takes [slock] then (if sockets remain) [nlock] — a classic lock-order
+   deadlock. ConAir finds that Shutdown's inner acquisition has [Lock
+   slock] inside its reexecution region, turns it into a timed lock, and on
+   timeout releases [slock] and reexecutes a large chunk of Shutdown. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "HawkNL";
+    app_type = "Network library";
+    loc_paper = "10K";
+    failure = "hang";
+    cause = "deadlock";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "nlock";
+    B.mutex b "slock";
+    B.global b "n_sockets" (Value.Int 4);
+    B.global b "driver_state" (Value.Int 1);
+    Mirlib.add_stdlib ~stages:3 ~reports:2 b;
+    (* nlClose: nlock -> driver->Close() -> slock *)
+    (B.func b "nl_close" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.lock f (B.mutex_ref "nlock");
+     if buggy then B.sleep f 60;
+     B.store f (Instr.Global "driver_state") (B.int 0);
+     B.lock f (B.mutex_ref "slock");
+     B.load f "n" (Instr.Global "n_sockets");
+     B.sub f "n" (B.reg "n") (B.int 1);
+     B.store f (Instr.Global "n_sockets") (B.reg "n");
+     B.unlock f (B.mutex_ref "slock");
+     B.unlock f (B.mutex_ref "nlock");
+     B.call f ~into:"w" "compute_kernel" [ B.int 1500 ];
+     B.ret f None);
+    (* nlShutdown: slock -> (if sockets) nlock *)
+    (B.func b "nl_shutdown" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if not buggy then B.sleep f 200;
+     B.lock f (B.mutex_ref "slock");
+     B.load f "n" (Instr.Global "n_sockets");
+     B.gt f "has" (B.reg "n") (B.int 0);
+     B.branch f (B.reg "has") "close_socks" "out";
+     B.label f "close_socks";
+     B.lock f (B.mutex_ref "nlock");
+     fix_iid := B.last_iid f;
+     B.load f "d" (Instr.Global "driver_state");
+     B.output f "shutdown with driver=%v" [ B.reg "d" ];
+     B.unlock f (B.mutex_ref "nlock");
+     B.jump f "out";
+     B.label f "out";
+     B.store f (Instr.Global "n_sockets") (B.int 0);
+     B.unlock f (B.mutex_ref "slock");
+     B.call f ~into:"w" "compute_kernel" [ B.int 1500 ];
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "nl_close"; "nl_shutdown" ]
+  in
+  let accept outs =
+    List.exists (fun o -> String.length o > 0 && o.[0] = 's') outs
+  in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

@@ -1,0 +1,74 @@
+(* HTTrack: a web crawler, 55K LOC.
+
+   Order violation -> segmentation fault: the crawler back-end thread
+   dereferences the shared [opt] settings object before the front-end
+   thread has allocated and published it. ConAir's pointer sanity check
+   catches the null/garbage pointer and rolls the back-end thread back
+   until the settings are published. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "HTTrack";
+    app_type = "Web crawler";
+    loc_paper = "55K";
+    failure = "seg. fault";
+    cause = "O violation";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "global_opt" Value.Null;
+    B.global b "pages_done" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:14 ~reports:40 b;
+    (* The crawler back end: fetch pages, then consult the shared settings
+       object for the mirror depth. *)
+    (B.func b "backend" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"pages" "vec_new" [ B.int 16 ];
+     B.move f "i" (B.int 0);
+     B.label f "fetch";
+     B.lt f "more" (B.reg "i") (B.int 8);
+     B.branch f (B.reg "more") "one" "consult";
+     B.label f "one";
+     B.mul f "page" (B.reg "i") (B.int 17);
+     B.call f "vec_push" [ B.reg "pages"; B.reg "page" ];
+     B.call f ~into:"parsed" "compute_kernel" [ B.int 400 ];
+     B.add f "i" (B.reg "i") (B.int 1);
+     B.jump f "fetch";
+     B.label f "consult";
+     (* The bug: global_opt may still be null here. *)
+     B.load f "opt" (Instr.Global "global_opt");
+     B.load_idx f "depth" (B.reg "opt") (B.int 0);
+     fix_iid := B.last_iid f;
+     B.call f ~into:"ck" "run_pipeline" [ B.reg "pages" ];
+     B.store f (Instr.Global "pages_done") (B.reg "i");
+     B.output f "mirror depth=%v checksum=%v" [ B.reg "depth"; B.reg "ck" ];
+     B.ret f None);
+    (* The front end publishes the settings object. *)
+    (B.func b "frontend" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if buggy then B.sleep f 24_000;
+     B.alloc f "opt" (B.int 4);
+     B.store_idx f (B.reg "opt") (B.int 0) (B.int 5);
+     B.store_idx f (B.reg "opt") (B.int 1) (B.int 1);
+     B.store f (Instr.Global "global_opt") (B.reg "opt");
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "backend"; "frontend" ]
+  in
+  let accept outs =
+    List.exists
+      (fun o ->
+        String.length o >= 14 && String.sub o 0 14 = "mirror depth=5")
+      outs
+  in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

@@ -1,0 +1,71 @@
+(* Mozilla JS engine: 120K LOC, deadlock.
+
+   The GC thread takes the GC lock and then briefly needs the runtime
+   lock; a script thread holds the runtime lock and requests the GC lock —
+   a lock-order deadlock. The script thread's outer region contains its
+   first acquisition, so ConAir can time out on the inner one, release the
+   runtime lock and retry. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "MozillaJS";
+    app_type = "JavaScript engine";
+    loc_paper = "120K";
+    failure = "hang";
+    cause = "deadlock";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "gc_lock";
+    B.mutex b "rt_lock";
+    B.global b "gc_bytes" (Value.Int 4096);
+    B.global b "script_done" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:30 ~reports:6 b;
+    (* The garbage collector: gc_lock, mark (a write), then rt_lock. *)
+    (B.func b "gc_thread" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.lock f (B.mutex_ref "gc_lock");
+     if buggy then B.sleep f 80;
+     B.store f (Instr.Global "gc_bytes") (B.int 0);
+     B.lock f (B.mutex_ref "rt_lock");
+     B.load f "d" (Instr.Global "script_done");
+     B.unlock f (B.mutex_ref "rt_lock");
+     B.unlock f (B.mutex_ref "gc_lock");
+     B.call f ~into:"w" "compute_kernel" [ B.int 1500 ];
+     B.ret f None);
+    (* A script thread: rt_lock, check the heap budget, maybe request GC. *)
+    (B.func b "script_thread" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if not buggy then B.sleep f 300;
+     B.lock f (B.mutex_ref "rt_lock");
+     B.load f "bytes" (Instr.Global "gc_bytes");
+     B.gt f "need_gc" (B.reg "bytes") (B.int 1024);
+     B.branch f (B.reg "need_gc") "request_gc" "run";
+     B.label f "request_gc";
+     B.lock f (B.mutex_ref "gc_lock");
+     fix_iid := B.last_iid f;
+     B.load f "b2" (Instr.Global "gc_bytes");
+     B.output f "gc requested at %v bytes" [ B.reg "b2" ];
+     B.unlock f (B.mutex_ref "gc_lock");
+     B.jump f "run";
+     B.label f "run";
+     B.call f ~into:"r" "compute_kernel" [ B.int 50 ];
+     B.store f (Instr.Global "script_done") (B.int 1);
+     B.unlock f (B.mutex_ref "rt_lock");
+     B.call f ~into:"w" "compute_kernel" [ B.int 1500 ];
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "gc_thread"; "script_thread" ]
+  in
+  let accept _ = true in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

@@ -1,0 +1,84 @@
+(* Mozilla XPCOM: cross-platform component object model, 112K LOC.
+
+   The paper's Fig 10: [GetState] dereferences the shared [mThd] pointer it
+   received as a parameter; thread 2 may not have initialized [mThd] yet —
+   an order violation causing a segmentation fault. The dereference's own
+   function has no shared read in its region (the pointer arrives as a
+   parameter), so recovery must be *inter-procedural*: the reexecution
+   point lands in the caller [Get], just before [mThd] is re-read from the
+   global. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "MozillaXP";
+    app_type = "XPCOM: component object model";
+    loc_paper = "112K";
+    failure = "seg. fault";
+    cause = "O violation";
+    needs_oracle = false;
+    needs_interproc = true;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "mThd" Value.Null;
+    B.global b "events_handled" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:28 ~reports:6 b;
+    (* GetState(thd): the failure site, one call level down. *)
+    (B.func b "get_state" ~params:[ "thd" ] @@ fun f ->
+     B.label f "entry";
+     B.load_idx f "state" (B.reg "thd") (B.int 0);
+     fix_iid := B.last_iid f;
+     B.binop f "masked" Instr.Mod (B.reg "state") (B.int 16);
+     B.ret f (Some (B.reg "masked")));
+    (* Get(): reads the shared pointer and calls down. *)
+    (B.func b "get" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "p" (Instr.Global "mThd");
+     B.call f ~into:"st" "get_state" [ B.reg "p" ];
+     B.ret f (Some (B.reg "st")));
+    (* The event-loop thread: process some events, then query the state. *)
+    (B.func b "event_loop" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"events" "vec_new" [ B.int 8 ];
+     B.move f "i" (B.int 0);
+     B.label f "pump";
+     B.lt f "more" (B.reg "i") (B.int 6);
+     B.branch f (B.reg "more") "handle" "query";
+     B.label f "handle";
+     B.add f "ev" (B.reg "i") (B.int 100);
+     B.call f "vec_push" [ B.reg "events"; B.reg "ev" ];
+     B.call f ~into:"w" "compute_kernel" [ B.int 200 ];
+     B.add f "i" (B.reg "i") (B.int 1);
+     B.jump f "pump";
+     B.label f "query";
+     B.store f (Instr.Global "events_handled") (B.reg "i");
+     B.call f ~into:"st" "get" [];
+     B.call f ~into:"ck" "checksum" [ B.reg "events" ];
+     B.output f "state=%v events=%v" [ B.reg "st"; B.reg "ck" ];
+     B.ret f None);
+    (* InitThd(): creates and publishes the thread object. *)
+    (B.func b "init_thd" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if buggy then B.sleep f 12_000;
+     B.alloc f "thd" (B.int 2);
+     B.store_idx f (B.reg "thd") (B.int 0) (B.int 35);
+     B.store_idx f (B.reg "thd") (B.int 1) (B.int 1);
+     B.store f (Instr.Global "mThd") (B.reg "thd");
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "event_loop"; "init_thd" ]
+  in
+  let accept outs =
+    List.exists
+      (fun o -> String.length o >= 7 && String.sub o 0 7 = "state=3")
+      outs
+  in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

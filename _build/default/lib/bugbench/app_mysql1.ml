@@ -1,0 +1,67 @@
+(* MySQL #1 (bug 791): database server, 681K LOC.
+
+   A WAW atomicity violation (the paper's Fig 2a): the log-rotation thread
+   writes [log = CLOSE] and then [log = OPEN] without holding the lock the
+   whole time; a query thread reading between the two writes sees the log
+   closed and emits a wrong result. Rolling the *reader* back across its
+   read recovers, provided the developer supplies the output oracle
+   [assert (log == OPEN)]. *)
+
+open Conair.Ir
+module B = Builder
+
+(* log states *)
+let log_open = 1
+let log_close = 0
+
+let info =
+  {
+    Bench_spec.name = "MySQL1";
+    app_type = "Database server";
+    loc_paper = "681K";
+    failure = "wrong output";
+    cause = "A violation (WAW)";
+    needs_oracle = true;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "log_state" (Value.Int log_open);
+    B.global b "queries_served" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:48 ~reports:14 b;
+    (* The rotation thread: close and immediately reopen the binlog. The
+       pair should be atomic; the injected sleep opens the window. *)
+    (B.func b "rotate_log" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if buggy then B.sleep f 17_000;
+     B.store f (Instr.Global "log_state") (B.int log_close);
+     if buggy then B.sleep f 3_000;
+     B.store f (Instr.Global "log_state") (B.int log_open);
+     B.ret f None);
+    (* A query thread: run the query workload, then log the result. *)
+    (B.func b "query_thread" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"w" "compute_kernel" [ B.int 2500 ];
+     B.call f ~into:"tbl" "table_new" [ B.int 8 ];
+     B.call f "table_put" [ B.reg "tbl"; B.int 8; B.int 3; B.int 42 ];
+     B.call f ~into:"r" "table_get" [ B.reg "tbl"; B.int 8; B.int 3 ];
+     B.load f "log" (Instr.Global "log_state");
+     B.eq f "is_open" (B.reg "log") (B.int log_open);
+     if oracle then begin
+       B.assert_ f ~oracle:true (B.reg "is_open") ~msg:"binlog is open";
+       fix_iid := B.last_iid f
+     end;
+     B.store f (Instr.Global "queries_served") (B.int 1);
+     B.output f "result=%v log=%v" [ B.reg "r"; B.reg "log" ];
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "rotate_log"; "query_thread" ]
+  in
+  let accept outs = List.mem "result=42 log=1" outs in
+  Bench_spec.instance program ~accept
+    ~fix_site_iids:(if oracle then [ !fix_iid ] else [])
+
+let spec = { Bench_spec.info; make }

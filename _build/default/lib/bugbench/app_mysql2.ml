@@ -1,0 +1,66 @@
+(* MySQL #2 (bug 3596): database server, 693K LOC.
+
+   A read-after-read (RAR) atomicity violation (the paper's Fig 2c): a
+   worker reads a shared status twice, expecting both reads to see the
+   same epoch; a concurrent flush thread bumps the epoch in between, and
+   the worker's consistency assert fires. Reexecuting the two reads
+   back-to-back recovers immediately — this is the paper's fastest
+   recovery (8 microseconds, a single retry). *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "MySQL2";
+    app_type = "Database server";
+    loc_paper = "693K";
+    failure = "assertion";
+    cause = "A violation (RAR)";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "epoch" (Value.Int 0);
+    B.global b "rows_flushed" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:48 ~reports:16 b;
+    (* The worker: snapshot the epoch, plan the read, re-check the epoch.
+       The two loads should be atomic. *)
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "e1" (Instr.Global "epoch");
+     (* The injected sleep widens the atomicity window (§5); it sits inside
+        the reexecution region, so a retry re-sleeps — recovery still takes
+        a single reexecution, the fastest in the suite, as in the paper. *)
+     if buggy then B.sleep f 10;
+     B.move f "plan" (B.reg "e1");
+     B.load f "e2" (Instr.Global "epoch");
+     B.eq f "consistent" (B.reg "e1") (B.reg "e2");
+     B.assert_ f (B.reg "consistent") ~msg:"epoch stable across snapshot";
+     fix_iid := B.last_iid f;
+     B.call f ~into:"tbl" "table_new" [ B.int 16 ];
+     B.call f "table_put" [ B.reg "tbl"; B.int 16; B.reg "plan"; B.int 1 ];
+     B.call f ~into:"ck" "run_pipeline" [ B.reg "tbl" ];
+     B.call f ~into:"w" "compute_kernel" [ B.int 5000 ];
+     B.output f "worker done epoch=%v" [ B.reg "e2" ];
+     B.ret f None);
+    (* The flush thread bumps the epoch exactly once. *)
+    (B.func b "flusher" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if not buggy then B.sleep f 500;
+     B.store f (Instr.Global "epoch") (B.int 1);
+     B.store f (Instr.Global "rows_flushed") (B.int 64);
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "worker"; "flusher" ]
+  in
+  let accept outs =
+    List.mem "worker done epoch=1" outs || List.mem "worker done epoch=0" outs
+  in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

@@ -1,0 +1,90 @@
+(* PBZIP2 (extended set — not in the paper's Table 2, but a classic of the
+   concurrency-bug-study literature, e.g. ConMem): the main thread tears
+   down the shared FIFO while a consumer is still using it — an order
+   violation causing a use-after-free segmentation fault.
+
+   The consumer checks a [closed] flag before touching the FIFO, but the
+   check and the use are not atomic; ConAir's pointer guard catches the
+   dereference of the freed block, and reexecution re-reads [closed],
+   taking the shutdown path instead. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "PBZIP2";
+    app_type = "Parallel compressor (extended set)";
+    loc_paper = "2K";
+    failure = "seg. fault";
+    cause = "O violation (UAF)";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "fifo" Value.Null;
+    B.global b "closed" (Value.Int 0);
+    B.global b "consumed" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:3 ~reports:2 b;
+    (* The consumer: drain blocks until the queue closes. *)
+    (B.func b "consumer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.move f "total" (B.int 0);
+     B.label f "loop";
+     B.load f "cl" (Instr.Global "closed");
+     B.unop f "open_" Instr.Not (B.reg "cl");
+     B.branch f (B.reg "open_") "use" "finish";
+     B.label f "use";
+     (* the race window between the check and the use *)
+     if buggy then B.sleep f 80;
+     B.load f "q" (Instr.Global "fifo");
+     B.load_idx f "blk" (B.reg "q") (B.int 0);
+     fix_iid := B.last_iid f;
+     B.add f "total" (B.reg "total") (B.reg "blk");
+     B.call f ~into:"w" "compute_kernel" [ B.int 30 ];
+     B.jump f "loop";
+     B.label f "finish";
+     B.store f (Instr.Global "consumed") (B.reg "total");
+     B.output f "consumed %v" [ B.reg "total" ];
+     B.ret f None);
+    (* The teardown thread. The bug is the order: the buggy variant frees
+       the FIFO *before* publishing [closed]; the fixed (clean) variant
+       only closes, and the memory is reclaimed after the joins. *)
+    (B.func b "teardown" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if buggy then begin
+       B.sleep f 650;
+       B.load f "q" (Instr.Global "fifo");
+       B.free f (B.reg "q")
+     end
+     else B.sleep f 40;
+     B.store f (Instr.Global "closed") (B.int 1);
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.alloc f "q" (B.int 4);
+    B.store_idx f (B.reg "q") (B.int 0) (B.int 7);
+    B.store f (Instr.Global "fifo") (B.reg "q");
+    B.spawn f "t1" "consumer" [];
+    B.spawn f "t2" "teardown" [];
+    B.join f (B.reg "t1");
+    B.join f (B.reg "t2");
+    (if not buggy then begin
+       B.load f "q2" (Instr.Global "fifo");
+       B.free f (B.reg "q2")
+     end);
+    B.exit_ f
+  in
+  let accept outs =
+    List.exists
+      (fun o -> String.length o >= 9 && String.sub o 0 9 = "consumed ")
+      outs
+  in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

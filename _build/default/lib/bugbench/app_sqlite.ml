@@ -1,0 +1,68 @@
+(* SQLite (bug 1672): database engine, 67K LOC, deadlock.
+
+   Two connections race on the database lock and the journal lock in
+   opposite orders during a commit. The committing thread's outer region
+   contains its first acquisition, so ConAir times out on the inner lock,
+   releases the journal lock and retries the commit sequence. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "SQLite";
+    app_type = "Database engine";
+    loc_paper = "67K";
+    failure = "hang";
+    cause = "deadlock";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "db_lock";
+    B.mutex b "journal_lock";
+    B.global b "dirty_pages" (Value.Int 12);
+    B.global b "committed" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:14 ~reports:4 b;
+    (* Connection 1: checkpoint the journal — db_lock then journal_lock,
+       with a page flush (a shared write) in between. *)
+    (B.func b "checkpointer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.lock f (B.mutex_ref "db_lock");
+     if buggy then B.sleep f 70;
+     B.store f (Instr.Global "dirty_pages") (B.int 0);
+     B.lock f (B.mutex_ref "journal_lock");
+     B.store f (Instr.Global "committed") (B.int 1);
+     B.unlock f (B.mutex_ref "journal_lock");
+     B.unlock f (B.mutex_ref "db_lock");
+     B.call f ~into:"w" "compute_kernel" [ B.int 1500 ];
+     B.ret f None);
+    (* Connection 2: commit — journal_lock then (if dirty) db_lock. *)
+    (B.func b "committer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if not buggy then B.sleep f 250;
+     B.lock f (B.mutex_ref "journal_lock");
+     B.load f "dirty" (Instr.Global "dirty_pages");
+     B.gt f "need_db" (B.reg "dirty") (B.int 0);
+     B.branch f (B.reg "need_db") "take_db" "finish";
+     B.label f "take_db";
+     B.lock f (B.mutex_ref "db_lock");
+     fix_iid := B.last_iid f;
+     B.load f "d2" (Instr.Global "dirty_pages");
+     B.output f "commit flushed %v pages" [ B.reg "d2" ];
+     B.unlock f (B.mutex_ref "db_lock");
+     B.jump f "finish";
+     B.label f "finish";
+     B.unlock f (B.mutex_ref "journal_lock");
+     B.call f ~into:"w" "compute_kernel" [ B.int 1500 ];
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "checkpointer"; "committer" ]
+  in
+  Bench_spec.instance program ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

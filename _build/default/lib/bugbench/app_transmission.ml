@@ -1,0 +1,68 @@
+(* Transmission (bug 1818): BitTorrent client, 95K LOC.
+
+   Order violation -> assertion failure: [tr_sessionInitFull] publishes the
+   bandwidth object [h->bandwidth] while another thread is already running
+   the event loop; the consistency assert on the bandwidth object fires if
+   the event thread gets there first. The assert sits in a helper that
+   receives the object as a parameter, so — like MozillaXP — recovery
+   needs the *inter-procedural* reexecution point in the caller that
+   re-reads the shared pointer. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "Transmission";
+    app_type = "BitTorrent client";
+    loc_paper = "95K";
+    failure = "assertion";
+    cause = "O violation";
+    needs_oracle = false;
+    needs_interproc = true;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "session_bandwidth" Value.Null;
+    B.global b "peers_connected" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:22 ~reports:24 b;
+    (* assert_bandwidth(band): the failing consistency check, one call
+       level down, on a parameter. *)
+    (B.func b "assert_bandwidth" ~params:[ "band" ] @@ fun f ->
+     B.label f "entry";
+     B.unop f "is_nil" Instr.Is_null (B.reg "band");
+     B.unop f "ok" Instr.Not (B.reg "is_nil");
+     B.assert_ f (B.reg "ok") ~msg:"tr_isBandwidth(h->bandwidth)";
+     fix_iid := B.last_iid f;
+     B.ret f None);
+    (* The event thread reads the shared session and validates it. *)
+    (B.func b "event_thread" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"peers" "vec_new" [ B.int 8 ];
+     B.call f "vec_push" [ B.reg "peers"; B.int 51413 ];
+     B.call f ~into:"w" "compute_kernel" [ B.int 1200 ];
+     B.load f "band" (Instr.Global "session_bandwidth");
+     B.call f "assert_bandwidth" [ B.reg "band" ];
+     B.load_idx f "rate" (B.reg "band") (B.int 0);
+     B.call f ~into:"n" "vec_len" [ B.reg "peers" ];
+     B.store f (Instr.Global "peers_connected") (B.reg "n");
+     B.output f "event loop up, rate=%v" [ B.reg "rate" ];
+     B.ret f None);
+    (* Session init publishes the bandwidth object late. *)
+    (B.func b "session_init" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if buggy then B.sleep f 9_500;
+     B.alloc f "band" (B.int 2);
+     B.store_idx f (B.reg "band") (B.int 0) (B.int 100);
+     B.store f (Instr.Global "session_bandwidth") (B.reg "band");
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "event_thread"; "session_init" ]
+  in
+  let accept outs = List.mem "event loop up, rate=100" outs in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

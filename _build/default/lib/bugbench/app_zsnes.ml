@@ -1,0 +1,69 @@
+(* ZSNES (bug 10918): game console emulator, 37K LOC.
+
+   Order violation -> assertion failure: the render thread asserts on the
+   shared video depth before the init thread has configured it. Rolling
+   the render thread back across its read of the config global recovers
+   once initialization lands. *)
+
+open Conair.Ir
+module B = Builder
+
+let info =
+  {
+    Bench_spec.name = "ZSNES";
+    app_type = "Game simulator";
+    loc_paper = "37K";
+    failure = "assertion";
+    cause = "O violation";
+    needs_oracle = false;
+    needs_interproc = false;
+  }
+
+let make ~variant ~oracle:_ : Bench_spec.instance =
+  let buggy = variant = Bench_spec.Buggy in
+  let fix_iid = ref (-1) in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "video_depth" (Value.Int 0);
+    B.global b "frames_rendered" (Value.Int 0);
+    Mirlib.add_stdlib ~stages:8 ~reports:3 b;
+    (* The render thread: draw some frames, relying on the video config. *)
+    (B.func b "render_thread" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"fb" "vec_new" [ B.int 12 ];
+     B.call f ~into:"w" "compute_kernel" [ B.int 1200 ];
+     B.move f "frame" (B.int 0);
+     B.label f "frames";
+     B.lt f "more" (B.reg "frame") (B.int 4);
+     B.branch f (B.reg "more") "draw" "done_";
+     B.label f "draw";
+     B.load f "depth" (Instr.Global "video_depth");
+     B.gt f "ok" (B.reg "depth") (B.int 0);
+     B.assert_ f (B.reg "ok") ~msg:"video depth configured";
+     (if !fix_iid < 0 then fix_iid := B.last_iid f);
+     B.mul f "px" (B.reg "frame") (B.reg "depth");
+     B.call f "vec_push" [ B.reg "fb"; B.reg "px" ];
+     B.add f "frame" (B.reg "frame") (B.int 1);
+     B.jump f "frames";
+     B.label f "done_";
+     B.store f (Instr.Global "frames_rendered") (B.reg "frame");
+     B.call f ~into:"ck" "checksum" [ B.reg "fb" ];
+     B.output f "rendered %v frames ck=%v" [ B.reg "frame"; B.reg "ck" ];
+     B.ret f None);
+    (* GUI init configures the video mode. *)
+    (B.func b "gui_init" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if buggy then B.sleep f 9_500;
+     B.store f (Instr.Global "video_depth") (B.int 16);
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "render_thread"; "gui_init" ]
+  in
+  let accept outs =
+    List.exists
+      (fun o ->
+        String.length o >= 17 && String.sub o 0 17 = "rendered 4 frames")
+      outs
+  in
+  Bench_spec.instance program ~accept ~fix_site_iids:[ !fix_iid ]
+
+let spec = { Bench_spec.info; make }

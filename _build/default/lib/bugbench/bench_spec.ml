@@ -1,0 +1,41 @@
+(* The shape of one benchmark: Table 2 metadata plus a program factory.
+
+   [`Buggy] instances inject the sleeps that force the failure-inducing
+   interleaving (§5 of the paper: "we insert sleeps into each program's
+   buggy code regions"); [`Clean] instances order the threads so the bug
+   does not fire — those are used for the overhead measurements, where "no
+   sleep is inserted and software never fails". *)
+
+open Conair.Ir
+
+type variant = Buggy | Clean
+
+type info = {
+  name : string;
+  app_type : string;  (** Table 2 "App. Type" *)
+  loc_paper : string;  (** Table 2 "LOC" — the original application's size *)
+  failure : string;  (** Table 2 "Failures" *)
+  cause : string;  (** Table 2 "Causes" *)
+  needs_oracle : bool;
+      (** wrong-output bugs recover only when the developer supplies an
+          output-correctness assert (Table 3's "conditionally recovered") *)
+  needs_interproc : bool;  (** MozillaXP and Transmission in the paper *)
+}
+
+type instance = {
+  program : Program.t;
+  fix_site_iids : int list;
+      (** the failing instruction(s) a user would report in fix mode *)
+  accept : string list -> bool;
+      (** does this output list constitute a correct run? *)
+}
+
+type t = {
+  info : info;
+  (* [oracle] controls whether developer-written output-correctness asserts
+     are present (survival mode cannot detect wrong output without them). *)
+  make : variant:variant -> oracle:bool -> instance;
+}
+
+let instance ?(fix_site_iids = []) ?(accept = fun _ -> true) program =
+  { program; fix_site_iids; accept }

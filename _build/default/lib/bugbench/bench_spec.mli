@@ -1,0 +1,41 @@
+(** The shape of one benchmark application: Table 2 metadata plus a
+    program factory. [Buggy] instances inject the sleeps that force the
+    failure-inducing interleaving (§5); [Clean] instances order the
+    threads so the bug does not fire — those serve the overhead
+    measurements, where "no sleep is inserted and software never fails". *)
+
+open Conair.Ir
+
+type variant = Buggy | Clean
+
+type info = {
+  name : string;
+  app_type : string;  (** Table 2 "App. Type" *)
+  loc_paper : string;  (** Table 2 "LOC" of the original application *)
+  failure : string;
+  cause : string;
+  needs_oracle : bool;
+      (** wrong-output bugs recover only given a developer
+          output-correctness assert (Table 3's "conditionally recovered") *)
+  needs_interproc : bool;  (** MozillaXP and Transmission in the paper *)
+}
+
+type instance = {
+  program : Program.t;
+  fix_site_iids : int list;
+      (** the failing instruction(s) a user would report in fix mode *)
+  accept : string list -> bool;
+      (** is this output list a correct run? *)
+}
+
+type t = {
+  info : info;
+  make : variant:variant -> oracle:bool -> instance;
+      (** [oracle] includes the developer output-correctness asserts *)
+}
+
+val instance :
+  ?fix_site_iids:int list ->
+  ?accept:(string list -> bool) ->
+  Program.t ->
+  instance

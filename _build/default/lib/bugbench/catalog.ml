@@ -1,0 +1,377 @@
+(* A catalog of concurrency-bug patterns beyond the ten headline
+   benchmarks, reproducing the taxonomy study of §2.1/§2.2: the paper
+   examined 26 bugs from six prior papers and found 20 recoverable by
+   single-threaded reexecution, of which 16 had idempotent reexecution
+   regions, 2 needed I/O inside the region and 2 needed non-idempotent
+   memory writes.
+
+   Every entry states whether ConAir's design point covers it
+   ([Idempotent]) or which documented limitation (§6.5) it exercises; the
+   tests assert that the implementation matches the taxonomy, and the
+   bench prints the §2.2-style breakdown. *)
+
+open Conair.Ir
+module B = Builder
+
+type recovery_class =
+  | Idempotent  (** recovered by single-threaded idempotent reexecution *)
+  | Needs_io  (** the region would have to reexecute an output (§6.5) *)
+  | Needs_nonidempotent_writes
+      (** the region would have to reexecute a local memory write (§6.5) *)
+  | Needs_multithread  (** single-threaded rollback cannot help (§2.1) *)
+
+let class_name = function
+  | Idempotent -> "idempotent region"
+  | Needs_io -> "I/O in region"
+  | Needs_nonidempotent_writes -> "non-idempotent writes"
+  | Needs_multithread -> "multi-thread rollback"
+
+type entry = {
+  name : string;
+  category : string;  (** root cause, as in Table 2 *)
+  recovery : recovery_class;
+  program : Program.t;
+}
+
+let two_threads = Mirlib.two_thread_main
+
+(* 1. Order violation: read before initialization — the canonical
+   recoverable pattern (the ZSNES/HTTrack shape, minimal). *)
+let uninit_read () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "ready" (Value.Int 0);
+    (B.func b "consumer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "r" (Instr.Global "ready");
+     B.assert_ f (B.reg "r") ~msg:"initialized";
+     B.output f "consumed %v" [ B.reg "r" ];
+     B.ret f None);
+    (B.func b "producer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 40;
+     B.store f (Instr.Global "ready") (B.int 1);
+     B.ret f None);
+    two_threads b ~threads:[ "consumer"; "producer" ]
+  in
+  { name = "uninit-read"; category = "order violation"; recovery = Idempotent;
+    program }
+
+(* 2. Order violation: a pointer is published before its fields are
+   initialized; the reader sees a half-built object. *)
+let partial_publish () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "obj" Value.Null;
+    (B.func b "reader" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 6;
+     B.load f "p" (Instr.Global "obj");
+     B.unop f "nil" Instr.Is_null (B.reg "p");
+     B.branch f (B.reg "nil") "out" "use";
+     B.label f "use";
+     B.load_idx f "field" (B.reg "p") (B.int 0);
+     B.assert_ f (B.reg "field") ~msg:"field initialized before use";
+     B.output f "field=%v" [ B.reg "field" ];
+     B.jump f "out";
+     B.label f "out";
+     B.ret f None);
+    (B.func b "writer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.alloc f "p" (B.int 2);
+     (* the bug: publish before initializing *)
+     B.store f (Instr.Global "obj") (B.reg "p");
+     B.sleep f 40;
+     B.store_idx f (B.reg "p") (B.int 0) (B.int 7);
+     B.ret f None);
+    two_threads b ~threads:[ "writer"; "reader" ]
+  in
+  { name = "partial-publish"; category = "order violation";
+    recovery = Idempotent; program }
+
+(* 3. RAR atomicity on a container: length read twice must agree. *)
+let toctou_length () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "len" (Value.Int 4);
+    (B.func b "scanner" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "l1" (Instr.Global "len");
+     B.sleep f 8;
+     B.load f "l2" (Instr.Global "len");
+     B.eq f "same" (B.reg "l1") (B.reg "l2");
+     B.assert_ f (B.reg "same") ~msg:"stable length across scan";
+     B.ret f None);
+    (B.func b "shrinker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 4;
+     B.store f (Instr.Global "len") (B.int 3);
+     B.ret f None);
+    two_threads b ~threads:[ "scanner"; "shrinker" ]
+  in
+  { name = "toctou-length"; category = "atomicity violation (RAR)";
+    recovery = Idempotent; program }
+
+(* 4. Check-then-use against a concurrent free: the reader's guard and
+   dereference are both reads of shared state — reexecution takes the
+   not-freed branch once the flag is visible. *)
+let racy_free () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "buf" Value.Null;
+    B.global b "freed" (Value.Int 0);
+    (B.func b "user" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 6;
+     B.load f "fr" (Instr.Global "freed");
+     B.unop f "ok" Instr.Not (B.reg "fr");
+     B.branch f (B.reg "ok") "use" "out";
+     B.label f "use";
+     B.sleep f 8;
+     B.load f "p" (Instr.Global "buf");
+     B.load_idx f "x" (B.reg "p") (B.int 0);
+     B.output f "x=%v" [ B.reg "x" ];
+     B.jump f "out";
+     B.label f "out";
+     B.ret f None);
+    (B.func b "reclaimer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.alloc f "p" (B.int 1);
+     B.store_idx f (B.reg "p") (B.int 0) (B.int 3);
+     B.store f (Instr.Global "buf") (B.reg "p");
+     B.sleep f 10;
+     B.free f (B.reg "p");
+     B.store f (Instr.Global "freed") (B.int 1);
+     B.ret f None);
+    two_threads b ~threads:[ "reclaimer"; "user" ]
+  in
+  { name = "racy-free"; category = "atomicity violation";
+    recovery = Idempotent; program }
+
+(* 5. Self-deadlock: re-acquiring a held, non-reentrant lock. There is no
+   other lock to release, so ConAir prunes the site (§4.2) and the hang
+   stands — single-threaded rollback cannot help a one-thread cycle. *)
+let self_deadlock () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "m";
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.lock f (B.mutex_ref "m");
+     B.store f (Instr.Stack "tmp") (B.int 1);
+     B.lock f (B.mutex_ref "m");
+     B.unlock f (B.mutex_ref "m");
+     B.ret f None);
+    two_threads b ~threads:[ "worker" ]
+  in
+  { name = "self-deadlock"; category = "deadlock";
+    recovery = Needs_multithread; program }
+
+(* 6. A three-way deadlock cycle: A->B, B->C, C->A. Releasing any one
+   thread's outer lock breaks the cycle. *)
+let three_way_deadlock () =
+  let worker b name first second =
+    B.func b name ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.lock f (B.mutex_ref first);
+    B.sleep f 15;
+    B.lock f (B.mutex_ref second);
+    B.unlock f (B.mutex_ref second);
+    B.unlock f (B.mutex_ref first);
+    B.ret f None
+  in
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "A";
+    B.mutex b "B";
+    B.mutex b "C";
+    worker b "w1" "A" "B";
+    worker b "w2" "B" "C";
+    worker b "w3" "C" "A";
+    two_threads b ~threads:[ "w1"; "w2"; "w3" ]
+  in
+  { name = "three-way-deadlock"; category = "deadlock";
+    recovery = Idempotent; program }
+
+(* 7. §6.5 limitation: an output between the racy read and the failure
+   site ends the idempotent region, leaving no shared read to retry —
+   recovery would need I/O reexecution. *)
+let io_in_region () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "status" (Value.Int 0);
+    (B.func b "logger" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "st" (Instr.Global "status");
+     B.output f "status read: %v" [ B.reg "st" ];
+     B.assert_ f (B.reg "st") ~msg:"status was set before logging";
+     B.ret f None);
+    (B.func b "setter" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 30;
+     B.store f (Instr.Global "status") (B.int 1);
+     B.ret f None);
+    two_threads b ~threads:[ "logger"; "setter" ]
+  in
+  { name = "io-in-region"; category = "order violation"; recovery = Needs_io;
+    program }
+
+(* 8. §6.5 limitation: the racy read parks its value in a stack slot; the
+   slot write ends the region and slicing stops at the slot read (Fig 8) —
+   recovery would need non-idempotent local writes reexecuted. *)
+let stack_write_in_region () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "conf" (Value.Int 0);
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "c" (Instr.Global "conf");
+     B.store f (Instr.Stack "saved") (B.reg "c");
+     B.load f "s" (Instr.Stack "saved");
+     B.assert_ f (B.reg "s") ~msg:"configuration present";
+     B.ret f None);
+    (B.func b "configurer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 30;
+     B.store f (Instr.Global "conf") (B.int 2);
+     B.ret f None);
+    two_threads b ~threads:[ "worker"; "configurer" ]
+  in
+  { name = "stack-write-in-region"; category = "order violation";
+    recovery = Needs_nonidempotent_writes; program }
+
+(* 9. Multiple producers: the consumer's assert needs both increments;
+   reexecution simply waits for both. *)
+let multi_producer () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "m";
+    B.global b "count" (Value.Int 0);
+    (B.func b "producer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.lock f (B.mutex_ref "m");
+     B.load f "c" (Instr.Global "count");
+     B.add f "c" (B.reg "c") (B.int 1);
+     B.store f (Instr.Global "count") (B.reg "c");
+     B.unlock f (B.mutex_ref "m");
+     B.ret f None);
+    (B.func b "consumer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "c" (Instr.Global "count");
+     B.binop f "done_" Instr.Ge (B.reg "c") (B.int 2);
+     B.assert_ f (B.reg "done_") ~msg:"both producers finished";
+     B.output f "count=%v" [ B.reg "c" ];
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t0" "consumer" [];
+    B.spawn f "t1" "producer" [];
+    B.spawn f "t2" "producer" [];
+    B.join f (B.reg "t0");
+    B.join f (B.reg "t1");
+    B.join f (B.reg "t2");
+    B.exit_ f
+  in
+  { name = "multi-producer"; category = "order violation";
+    recovery = Idempotent; program }
+
+(* 10. Barrier miss: the worker asserts on a phase flag that the
+   coordinator flips only after its own long phase. *)
+let barrier_miss () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "phase" (Value.Int 0);
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"w" "compute_kernel" [ B.int 30 ];
+     B.load f "ph" (Instr.Global "phase");
+     B.eq f "ok" (B.reg "ph") (B.int 1);
+     B.assert_ f (B.reg "ok") ~msg:"phase 1 reached";
+     B.output f "phase=%v" [ B.reg "ph" ];
+     B.ret f None);
+    (B.func b "coordinator" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"w" "compute_kernel" [ B.int 120 ];
+     B.store f (Instr.Global "phase") (B.int 1);
+     B.ret f None);
+    Mirlib.add_compute_kernel b;
+    two_threads b ~threads:[ "worker"; "coordinator" ]
+  in
+  { name = "barrier-miss"; category = "order violation";
+    recovery = Idempotent; program }
+
+(* 11. Lost wakeup: the producer notifies before the consumer waits; the
+   pulse is lost and the consumer hangs. The hardened timed wait times
+   out, rolls back across the predicate read, sees ready=1 and skips the
+   wait — the condition-variable analogue of the deadlock recovery. *)
+let lost_wakeup () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "ready" (Value.Int 0);
+    (B.func b "consumer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "r" (Instr.Global "ready");
+     B.branch f (B.reg "r") "go" "park";
+     B.label f "park";
+     (* the race window: the producer's notify lands here, before the
+        wait starts, and is lost *)
+     B.sleep f 10;
+     B.wait f "data_ready";
+     B.jump f "go";
+     B.label f "go";
+     B.load f "r2" (Instr.Global "ready");
+     B.output f "consumed ready=%v" [ B.reg "r2" ];
+     B.ret f None);
+    (B.func b "producer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 5;
+     B.store f (Instr.Global "ready") (B.int 1);
+     B.notify f "data_ready";
+     B.ret f None);
+    two_threads b ~threads:[ "producer"; "consumer" ]
+  in
+  { name = "lost-wakeup"; category = "order violation";
+    recovery = Idempotent; program }
+
+let all () =
+  [
+    uninit_read ();
+    partial_publish ();
+    toctou_length ();
+    racy_free ();
+    self_deadlock ();
+    three_way_deadlock ();
+    io_in_region ();
+    stack_write_in_region ();
+    multi_producer ();
+    barrier_miss ();
+    lost_wakeup ();
+  ]
+
+(** The §2.2-style breakdown: patterns per recovery class, over this
+    catalog plus the four Fig 2 micro patterns. *)
+let taxonomy () =
+  let entries =
+    all ()
+    @ List.map
+        (fun (m : Micro_patterns.pattern) ->
+          {
+            name = m.name;
+            category = "atomicity violation";
+            recovery =
+              (if m.conair_recoverable then Idempotent
+               else Needs_nonidempotent_writes);
+            program = m.program;
+          })
+        (Micro_patterns.all ())
+  in
+  let count cls =
+    List.length (List.filter (fun e -> e.recovery = cls) entries)
+  in
+  ( entries,
+    [
+      (Idempotent, count Idempotent);
+      (Needs_io, count Needs_io);
+      (Needs_nonidempotent_writes, count Needs_nonidempotent_writes);
+      (Needs_multithread, count Needs_multithread);
+    ] )

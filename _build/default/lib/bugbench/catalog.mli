@@ -1,0 +1,28 @@
+(** A catalog of concurrency-bug patterns reproducing the §2.1/§2.2
+    taxonomy study: which failures single-threaded idempotent reexecution
+    covers, and which hit the documented limitations (I/O in the region,
+    non-idempotent local writes, single-thread rollback insufficient). *)
+
+open Conair.Ir
+
+type recovery_class =
+  | Idempotent  (** recovered by single-threaded idempotent reexecution *)
+  | Needs_io  (** the region would have to reexecute an output (§6.5) *)
+  | Needs_nonidempotent_writes
+      (** the region would have to reexecute a local memory write (§6.5) *)
+  | Needs_multithread  (** single-threaded rollback cannot help (§2.1) *)
+
+val class_name : recovery_class -> string
+
+type entry = {
+  name : string;
+  category : string;  (** root cause, as in Table 2 *)
+  recovery : recovery_class;
+  program : Program.t;
+}
+
+val all : unit -> entry list
+
+val taxonomy : unit -> entry list * (recovery_class * int) list
+(** The catalog plus the Fig 2 micro patterns, with per-class counts —
+    the §2.2-style breakdown printed by the bench. *)

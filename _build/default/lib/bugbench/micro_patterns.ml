@@ -1,0 +1,139 @@
+(* The four atomicity-violation shapes of the paper's Fig 2, as minimal
+   two-thread programs.
+
+   Single-threaded rollback can in principle recover all four (§2.1), but
+   ConAir's idempotent regions — no shared-variable writes, no state
+   checkpointing — recover only the patterns whose reexecution region is
+   read-only:
+
+   - WAW (2a) and RAR (2c): the failing thread only *read* the racy
+     variable; reexecuting the reads once the other thread has finished
+     recovers.
+   - RAW (2b) and WAR (2d): recovery would need to reexecute the failing
+     thread's own shared-variable *write*, which idempotent regions exclude
+     — ConAir retries and gives up; the whole-program-checkpoint baseline
+     (the expensive end of Fig 4) recovers them.
+
+   Each program fails (or emits a wrong output) with certainty under the
+   round-robin schedule thanks to an injected sleep, as in §5. *)
+
+open Conair.Ir
+module B = Builder
+
+type pattern = { name : string; conair_recoverable : bool; program : Program.t }
+
+(* Fig 2a: T1 does [log=CLOSE; log=OPEN]; T2 fails if it reads CLOSE.
+   The failing thread (T2) is a pure reader: recoverable. *)
+let waw () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "log" (Value.Int 1);
+    (B.func b "writer" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.store f (Instr.Global "log") (B.int 0);
+     B.sleep f 50;
+     B.store f (Instr.Global "log") (B.int 1);
+     B.ret f None);
+    (B.func b "reader" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 10;
+     B.load f "l" (Instr.Global "log");
+     B.eq f "open_" (B.reg "l") (B.int 1);
+     B.assert_ f ~oracle:true (B.reg "open_") ~msg:"log is open";
+     B.output f "log=%v" [ B.reg "l" ];
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "writer"; "reader" ]
+  in
+  { name = "WAW (Fig 2a)"; conair_recoverable = true; program }
+
+(* Fig 2b: T1 does [ptr=aptr; tmp=*ptr]; T2 does [ptr=NULL]. The failing
+   thread's own shared write would have to be reexecuted: unrecoverable. *)
+let raw () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "ptr" Value.Null;
+    (B.func b "assigner" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.alloc f "a" (B.int 1);
+     B.store_idx f (B.reg "a") (B.int 0) (B.int 9);
+     B.store f (Instr.Global "ptr") (B.reg "a");
+     B.sleep f 20;
+     B.load f "p" (Instr.Global "ptr");
+     B.load_idx f "tmp" (B.reg "p") (B.int 0);
+     B.output f "tmp=%v" [ B.reg "tmp" ];
+     B.ret f None);
+    (B.func b "nuller" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 10;
+     B.store f (Instr.Global "ptr") (B.null);
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "assigner"; "nuller" ]
+  in
+  { name = "RAW (Fig 2b)"; conair_recoverable = false; program }
+
+(* Fig 2c: T1 does [if (ptr) use ptr]; T2 nulls ptr between check and use.
+   Both accesses are reads of the shared pointer: recoverable (and fast —
+   one reexecution of the read-after-read). *)
+let rar () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "sptr" Value.Null;
+    B.global b "restored" (Value.Int 0);
+    (B.func b "user" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 6;
+     B.load f "p1" (Instr.Global "sptr");
+     B.unop f "nil" Instr.Is_null (B.reg "p1");
+     B.branch f (B.reg "nil") "skip" "use";
+     B.label f "use";
+     B.sleep f 10;
+     B.load f "p2" (Instr.Global "sptr");
+     B.load_idx f "c" (B.reg "p2") (B.int 0);
+     B.output f "c=%v" [ B.reg "c" ];
+     B.jump f "skip";
+     B.label f "skip";
+     B.ret f None);
+    (B.func b "swapper" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.alloc f "a" (B.int 1);
+     B.store_idx f (B.reg "a") (B.int 0) (B.int 5);
+     B.store f (Instr.Global "sptr") (B.reg "a");
+     B.sleep f 14;
+     B.store f (Instr.Global "sptr") (B.null);
+     B.sleep f 30;
+     B.store f (Instr.Global "sptr") (B.reg "a");
+     B.store f (Instr.Global "restored") (B.int 1);
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "swapper"; "user" ]
+  in
+  { name = "RAR (Fig 2c)"; conair_recoverable = true; program }
+
+(* Fig 2d: T1 does [cnt += d1; print cnt]; T2 does [cnt += d2] in between.
+   T1's own accumulating write precedes the failing read: unrecoverable. *)
+let war () =
+  let program =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "cnt" (Value.Int 0);
+    (B.func b "depositor1" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "c" (Instr.Global "cnt");
+     B.add f "c" (B.reg "c") (B.int 10);
+     B.store f (Instr.Global "cnt") (B.reg "c");
+     B.sleep f 20;
+     B.load f "bal" (Instr.Global "cnt");
+     B.eq f "ok" (B.reg "bal") (B.int 10);
+     B.assert_ f ~oracle:true (B.reg "ok") ~msg:"balance reflects deposit1 only";
+     B.output f "Balance=%v" [ B.reg "bal" ];
+     B.ret f None);
+    (B.func b "depositor2" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 10;
+     B.load f "c" (Instr.Global "cnt");
+     B.add f "c" (B.reg "c") (B.int 7);
+     B.store f (Instr.Global "cnt") (B.reg "c");
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "depositor1"; "depositor2" ]
+  in
+  { name = "WAR (Fig 2d)"; conair_recoverable = false; program }
+
+let all () = [ waw (); raw (); rar (); war () ]

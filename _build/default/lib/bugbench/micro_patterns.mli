@@ -1,0 +1,20 @@
+(** The four atomicity-violation shapes of the paper's Fig 2, as minimal
+    two-thread programs. WAW (2a) and RAR (2c) — where the failing thread
+    only reads the racy state — are recoverable by idempotent
+    reexecution; RAW (2b) and WAR (2d) would need the failing thread's own
+    shared write reexecuted and sit beyond ConAir's design point (the
+    whole-program-checkpoint baseline recovers them). *)
+
+open Conair.Ir
+
+type pattern = {
+  name : string;
+  conair_recoverable : bool;
+  program : Program.t;
+}
+
+val waw : unit -> pattern
+val raw : unit -> pattern
+val rar : unit -> pattern
+val war : unit -> pattern
+val all : unit -> pattern list

@@ -1,0 +1,235 @@
+(* A small "standard library" of application code written in Mir.
+
+   The paper's benchmarks are full applications (MySQL, Mozilla, HTTrack,
+   ...): the interesting bug is a handful of lines, but the *population* of
+   potential failure sites — pointer dereferences, asserts, outputs, locks —
+   comes from the surrounding application code. These helpers provide that
+   surrounding code for our benchmark programs: vectors, hash tables,
+   checksums, a compute kernel and a staged worker pipeline, all genuinely
+   executed by the benchmark workloads.
+
+   Every function here is ordinary Mir built with [Builder]; the analysis
+   treats it exactly like the hand-written bug cores. *)
+
+open Conair.Ir
+module B = Builder
+
+let g name = Instr.Global name
+let s name = Instr.Stack name
+
+(* ------------------------------------------------------------------ *)
+(* Pure compute                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* compute_kernel(n): sum of i*i mod 9973 for i < n — a register-only hot
+   loop, the "scientific computing" filler that keeps dereference density
+   realistic. *)
+let add_compute_kernel b =
+  B.func b "compute_kernel" ~params:[ "n" ] @@ fun f ->
+  B.label f "entry";
+  B.move f "acc" (B.int 0);
+  B.move f "i" (B.int 0);
+  B.label f "loop";
+  B.lt f "c" (B.reg "i") (B.reg "n");
+  B.branch f (B.reg "c") "body" "done_";
+  B.label f "body";
+  B.mul f "sq" (B.reg "i") (B.reg "i");
+  B.binop f "sq" Instr.Mod (B.reg "sq") (B.int 9973);
+  B.add f "acc" (B.reg "acc") (B.reg "sq");
+  B.add f "i" (B.reg "i") (B.int 1);
+  B.jump f "loop";
+  B.label f "done_";
+  B.ret f (Some (B.reg "acc"))
+
+(* ------------------------------------------------------------------ *)
+(* Vectors: [len; e0; e1; ...] on the heap                             *)
+(* ------------------------------------------------------------------ *)
+
+let add_vector_funcs b =
+  (B.func b "vec_new" ~params:[ "cap" ] @@ fun f ->
+   B.label f "entry";
+   B.add f "sz" (B.reg "cap") (B.int 1);
+   B.alloc f "v" (B.reg "sz");
+   B.store_idx f (B.reg "v") (B.int 0) (B.int 0);
+   B.ret f (Some (B.reg "v")));
+  (B.func b "vec_len" ~params:[ "v" ] @@ fun f ->
+   B.label f "entry";
+   B.load_idx f "len" (B.reg "v") (B.int 0);
+   B.ret f (Some (B.reg "len")));
+  (B.func b "vec_push" ~params:[ "v"; "x" ] @@ fun f ->
+   B.label f "entry";
+   B.load_idx f "len" (B.reg "v") (B.int 0);
+   B.add f "slot" (B.reg "len") (B.int 1);
+   B.store_idx f (B.reg "v") (B.reg "slot") (B.reg "x");
+   B.add f "len2" (B.reg "len") (B.int 1);
+   B.store_idx f (B.reg "v") (B.int 0) (B.reg "len2");
+   B.ret f (Some (B.reg "len2")));
+  (B.func b "vec_get" ~params:[ "v"; "i" ] @@ fun f ->
+   B.label f "entry";
+   B.load_idx f "len" (B.reg "v") (B.int 0);
+   B.lt f "ok" (B.reg "i") (B.reg "len");
+   B.assert_ f (B.reg "ok") ~msg:"vec_get: index within bounds";
+   B.add f "slot" (B.reg "i") (B.int 1);
+   B.load_idx f "x" (B.reg "v") (B.reg "slot");
+   B.ret f (Some (B.reg "x")));
+  B.func b "vec_sum" ~params:[ "v" ] @@ fun f ->
+  B.label f "entry";
+  B.load_idx f "len" (B.reg "v") (B.int 0);
+  B.move f "acc" (B.int 0);
+  B.move f "i" (B.int 0);
+  B.label f "loop";
+  B.lt f "c" (B.reg "i") (B.reg "len");
+  B.branch f (B.reg "c") "body" "done_";
+  B.label f "body";
+  B.add f "slot" (B.reg "i") (B.int 1);
+  B.load_idx f "x" (B.reg "v") (B.reg "slot");
+  B.add f "acc" (B.reg "acc") (B.reg "x");
+  B.add f "i" (B.reg "i") (B.int 1);
+  B.jump f "loop";
+  B.label f "done_";
+  B.ret f (Some (B.reg "acc"))
+
+(* ------------------------------------------------------------------ *)
+(* A direct-mapped table: heap array indexed by key mod size           *)
+(* ------------------------------------------------------------------ *)
+
+let add_table_funcs b =
+  (B.func b "table_new" ~params:[ "n" ] @@ fun f ->
+   B.label f "entry";
+   B.alloc f "t" (B.reg "n");
+   B.ret f (Some (B.reg "t")));
+  (B.func b "table_put" ~params:[ "t"; "n"; "k"; "x" ] @@ fun f ->
+   B.label f "entry";
+   B.binop f "i" Instr.Mod (B.reg "k") (B.reg "n");
+   B.store_idx f (B.reg "t") (B.reg "i") (B.reg "x");
+   B.ret f None);
+  B.func b "table_get" ~params:[ "t"; "n"; "k" ] @@ fun f ->
+  B.label f "entry";
+  B.binop f "i" Instr.Mod (B.reg "k") (B.reg "n");
+  B.load_idx f "x" (B.reg "t") (B.reg "i");
+  B.ret f (Some (B.reg "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Checksum + logging                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let add_checksum_funcs b =
+  B.func b "checksum" ~params:[ "v" ] @@ fun f ->
+  B.label f "entry";
+  B.load_idx f "len" (B.reg "v") (B.int 0);
+  B.move f "acc" (B.int 7);
+  B.move f "i" (B.int 0);
+  B.label f "loop";
+  B.lt f "c" (B.reg "i") (B.reg "len");
+  B.branch f (B.reg "c") "body" "done_";
+  B.label f "body";
+  B.add f "slot" (B.reg "i") (B.int 1);
+  B.load_idx f "x" (B.reg "v") (B.reg "slot");
+  B.mul f "acc" (B.reg "acc") (B.int 31);
+  B.add f "acc" (B.reg "acc") (B.reg "x");
+  B.binop f "acc" Instr.Mod (B.reg "acc") (B.int 1000003);
+  B.add f "i" (B.reg "i") (B.int 1);
+  B.jump f "loop";
+  B.label f "done_";
+  B.ret f (Some (B.reg "acc"))
+
+let add_log_funcs b =
+  B.func b "log_value" ~params:[ "x" ] @@ fun f ->
+  B.label f "entry";
+  B.output f "log %v" [ B.reg "x" ];
+  B.ret f None
+
+(* ------------------------------------------------------------------ *)
+(* A staged worker pipeline                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [add_pipeline b ~stages] adds [stage_1 .. stage_k], each reading a
+   vector, transforming it with a stage-specific multiplier, validating an
+   invariant and returning a checksum; plus [run_pipeline v] that chains
+   them. This is the bulk "application logic" whose size varies per
+   benchmark, like the very different LOC of the paper's applications. *)
+let add_pipeline b ~stages =
+  for k = 1 to stages do
+    B.func b (Printf.sprintf "stage_%d" k) ~params:[ "v" ] @@ fun f ->
+    B.label f "entry";
+    B.load_idx f "len" (B.reg "v") (B.int 0);
+    B.binop f "nonempty" Instr.Ge (B.reg "len") (B.int 0);
+    B.assert_ f (B.reg "nonempty") ~msg:(Printf.sprintf "stage %d: sane length" k);
+    B.move f "i" (B.int 0);
+    B.label f "loop";
+    B.lt f "c" (B.reg "i") (B.reg "len");
+    B.branch f (B.reg "c") "body" "done_";
+    B.label f "body";
+    B.add f "slot" (B.reg "i") (B.int 1);
+    B.load_idx f "x" (B.reg "v") (B.reg "slot");
+    B.mul f "x" (B.reg "x") (B.int (k + 1));
+    B.binop f "x" Instr.Mod (B.reg "x") (B.int 65537);
+    B.store_idx f (B.reg "v") (B.reg "slot") (B.reg "x");
+    B.add f "i" (B.reg "i") (B.int 1);
+    B.jump f "loop";
+    B.label f "done_";
+    B.call f ~into:"ck" "checksum" [ B.reg "v" ];
+    B.ret f (Some (B.reg "ck"))
+  done;
+  B.func b "run_pipeline" ~params:[ "v" ] @@ fun f ->
+  B.label f "entry";
+  B.move f "ck" (B.int 0);
+  for k = 1 to stages do
+    B.call f ~into:"ck" (Printf.sprintf "stage_%d" k) [ B.reg "v" ]
+  done;
+  B.ret f (Some (B.reg "ck"))
+
+(* ------------------------------------------------------------------ *)
+(* Reporting / diagnostics functions                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [add_reporting b ~reports] adds [report_1 .. report_k]: each validates
+   its argument against a report-specific bound (an assertion site) and
+   emits a formatted line (a wrong-output site). Real applications carry
+   large populations of such diagnostics — HTTrack's developers left
+   hundreds of assertions in the code, which dominates its Table 4 row in
+   the paper. [run_reports v] drives a few of them. *)
+let add_reporting b ~reports =
+  for k = 1 to reports do
+    B.func b (Printf.sprintf "report_%d" k) ~params:[ "v" ] @@ fun f ->
+    B.label f "entry";
+    B.binop f "sane" Instr.Ge (B.reg "v") (B.int (-1000000));
+    B.assert_ f (B.reg "sane")
+      ~msg:(Printf.sprintf "report %d: value in range" k);
+    B.output f (Printf.sprintf "report %d: %%v" k) [ B.reg "v" ];
+    B.ret f None
+  done;
+  B.func b "run_reports" ~params:[ "v" ] @@ fun f ->
+  B.label f "entry";
+  for k = 1 to min reports 2 do
+    B.call f (Printf.sprintf "report_%d" k) [ B.reg "v" ]
+  done;
+  B.ret f None
+
+(** Everything at once; [stages] scales the amount of pointer-heavy
+    application code, [reports] the amount of diagnostic code. *)
+let add_stdlib ?(stages = 3) ?(reports = 0) b =
+  add_compute_kernel b;
+  add_vector_funcs b;
+  add_table_funcs b;
+  add_checksum_funcs b;
+  add_log_funcs b;
+  add_pipeline b ~stages;
+  if reports > 0 then add_reporting b ~reports
+
+(* ------------------------------------------------------------------ *)
+(* Common main shapes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** A main that spawns the given thread functions (no arguments), joins
+    them all, then exits. *)
+let two_thread_main b ~threads =
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  List.iteri
+    (fun i name -> B.spawn f (Printf.sprintf "t%d" i) name [])
+    threads;
+  List.iteri
+    (fun i _ -> B.join f (B.reg (Printf.sprintf "t%d" i)))
+    threads;
+  B.exit_ f

@@ -1,0 +1,46 @@
+(** A small "standard library" of application code written in Mir: the
+    bulk of the potential failure sites in the benchmark programs, as in
+    the paper's real applications where the interesting bug is a handful
+    of lines inside hundreds of thousands. All helpers are ordinary Mir
+    built with {!Conair.Ir.Builder} and genuinely executed by the
+    benchmark workloads. *)
+
+open Conair.Ir
+
+val g : string -> Instr.mem
+(** A global location. *)
+
+val s : string -> Instr.mem
+(** A stack-slot location. *)
+
+val add_compute_kernel : Builder.t -> unit
+(** [compute_kernel(n)]: a register-only arithmetic hot loop — the
+    compute that keeps dereference density realistic. *)
+
+val add_vector_funcs : Builder.t -> unit
+(** [vec_new/vec_len/vec_push/vec_get/vec_sum] over heap blocks laid out
+    as [len; e0; e1; ...]. *)
+
+val add_table_funcs : Builder.t -> unit
+(** [table_new/table_put/table_get]: a direct-mapped table. *)
+
+val add_checksum_funcs : Builder.t -> unit
+val add_log_funcs : Builder.t -> unit
+
+val add_pipeline : Builder.t -> stages:int -> unit
+(** [stage_1 .. stage_k] plus [run_pipeline]: the scalable "application
+    logic" whose size varies per benchmark. Requires
+    {!add_checksum_funcs}. *)
+
+val add_reporting : Builder.t -> reports:int -> unit
+(** [report_1 .. report_k] (an assertion + a formatted output each) plus
+    [run_reports]: the scalable diagnostics population, like the hundreds
+    of assertions HTTrack's developers left in the code. *)
+
+val add_stdlib : ?stages:int -> ?reports:int -> Builder.t -> unit
+(** Everything at once; [stages] scales the pointer-heavy application
+    code, [reports] the diagnostics. *)
+
+val two_thread_main : Builder.t -> threads:string list -> unit
+(** A main that spawns the given thread functions, joins them all, then
+    exits. *)

@@ -1,0 +1,216 @@
+(** ConAir: featherweight concurrency-bug recovery via single-threaded
+    idempotent execution (Zhang et al., ASPLOS 2013), reimplemented for the
+    Mir IR.
+
+    The typical flow is:
+
+    {[
+      let hardened = Conair.harden_exn program Conair.Survival in
+      let run = Conair.execute_hardened hardened ~policy:Round_robin in
+      (* run.outcome, run.stats.rollbacks, ... *)
+    ]}
+
+    Lower-level pieces are re-exported: [Conair.Ir] (the IR and builder),
+    [Conair.Analysis] (failure sites, idempotent regions, slicing,
+    inter-procedural recovery), [Conair.Transform] (the hardening pass) and
+    [Conair.Runtime] (the interpreter with the recovery engine). *)
+
+module Ir = struct
+  module Ident = Conair_ir.Ident
+  module Value = Conair_ir.Value
+  module Instr = Conair_ir.Instr
+  module Block = Conair_ir.Block
+  module Func = Conair_ir.Func
+  module Program = Conair_ir.Program
+  module Builder = Conair_ir.Builder
+  module Cfg = Conair_ir.Cfg
+  module Validate = Conair_ir.Validate
+  module Emit = Conair_ir.Emit
+  module Parse = Conair_ir.Parse
+end
+
+module Analysis = struct
+  module Site = Conair_analysis.Site
+  module Find_sites = Conair_analysis.Find_sites
+  module Region = Conair_analysis.Region
+  module Slice = Conair_analysis.Slice
+  module Optimize = Conair_analysis.Optimize
+  module Callgraph = Conair_analysis.Callgraph
+  module Interproc = Conair_analysis.Interproc
+  module Plan = Conair_analysis.Plan
+  module Prune = Conair_analysis.Prune
+  module Viz = Conair_analysis.Viz
+end
+
+module Transform = struct
+  module Rewrite = Conair_transform.Rewrite
+  module Harden = Conair_transform.Harden
+  module Report = Conair_transform.Report
+  module Annotate = Conair_transform.Annotate
+  module Lower = Conair_transform.Lower
+end
+
+module Runtime = struct
+  module Outcome = Conair_runtime.Outcome
+  module Heap = Conair_runtime.Heap
+  module Locks = Conair_runtime.Locks
+  module Thread = Conair_runtime.Thread
+  module Sched = Conair_runtime.Sched
+  module Stats = Conair_runtime.Stats
+  module Machine = Conair_runtime.Machine
+  module Trace = Conair_runtime.Trace
+end
+
+open Conair_ir
+open Conair_analysis
+open Conair_runtime
+
+(** The two usage modes of §3.1: survival mode hardens every potential
+    failure site; fix mode hardens the instruction ids the user observed
+    failing. *)
+type mode = Plan.mode = Survival | Fix of int list
+
+type hardened = {
+  original : Program.t;
+  hardened : Conair_transform.Harden.t;
+  plan : Plan.t;
+  report : Conair_transform.Report.t;
+}
+
+(** Run the full ConAir pipeline: failure-site identification,
+    reexecution-point identification, optimization, inter-procedural
+    analysis, and the code transformation. *)
+let harden ?(analysis = Plan.default_options)
+    ?(transform = Conair_transform.Harden.default_options) (p : Program.t)
+    (mode : mode) : (hardened, string) result =
+  match Plan.analyze ~options:analysis p mode with
+  | Error e -> Error e
+  | Ok plan ->
+      let h = Conair_transform.Harden.apply ~options:transform plan in
+      Ok
+        {
+          original = p;
+          hardened = h;
+          plan;
+          report = Conair_transform.Report.of_harden h;
+        }
+
+let harden_exn ?analysis ?transform p mode =
+  match harden ?analysis ?transform p mode with
+  | Ok h -> h
+  | Error e -> invalid_arg ("Conair.harden: " ^ e)
+
+(** One program execution and everything measured about it. *)
+type run = {
+  outcome : Outcome.t;
+  outputs : string list;
+  stats : Stats.t;
+  machine : Machine.t;
+}
+
+let execute ?(config = Machine.default_config) (p : Program.t) : run =
+  let machine, outcome = Machine.run_program ~config p in
+  {
+    outcome;
+    outputs = Machine.outputs machine;
+    stats = Machine.stats machine;
+    machine;
+  }
+
+let execute_hardened ?(config = Machine.default_config) (h : hardened) : run =
+  let meta = Machine.meta_of_harden h.hardened in
+  let machine, outcome =
+    Machine.run_program ~config ~meta h.hardened.program
+  in
+  {
+    outcome;
+    outputs = Machine.outputs machine;
+    stats = Machine.stats machine;
+    machine;
+  }
+
+(** A recovery trial in the style of §5: run the hardened program [runs]
+    times (varying the random-scheduler seed) and report how many runs
+    finished successfully with acceptable outputs. *)
+type trial = {
+  runs : int;
+  recovered : int;
+  total_rollbacks : int;
+  max_recovery_steps : int;
+}
+
+(** ConSeq-style profile-based site pruning (§3.4: "use dynamic technique
+    like ConSeq to prune well tested potential failure sites").
+
+    [profile_sites] runs the *original* program [runs] times (varying the
+    random seed when the policy is random) with per-instruction profiling
+    and returns, for each survival-mode failure site, how often its
+    instruction executed across runs where the program succeeded.
+
+    [well_tested ~threshold] extracts the site iids executed at least
+    [threshold] times — candidates for exclusion via
+    [Plan.options.exclude_iids]. The trade-off is real and demonstrated in
+    the tests and the A6 ablation: a hidden bug at a well-tested site
+    loses its recovery. *)
+type site_profile = {
+  site : Analysis.Site.t;
+  executions : int;  (** across the profiled successful runs *)
+}
+
+let profile_sites ?(config = Machine.default_config) ?(runs = 5)
+    (p : Program.t) : site_profile list =
+  let sites = Conair_analysis.Find_sites.survival p in
+  let totals = Hashtbl.create 64 in
+  for i = 1 to runs do
+    let config =
+      {
+        config with
+        profile_sites = true;
+        policy =
+          (match config.policy with
+          | Sched.Random seed -> Sched.Random (seed + i)
+          | Sched.Round_robin -> Sched.Round_robin);
+      }
+    in
+    let m, outcome = Machine.run_program ~config p in
+    if Outcome.is_success outcome then
+      List.iter
+        (fun (s : Conair_analysis.Site.t) ->
+          let n = Stats.iid_hits_of (Machine.stats m) s.iid in
+          Hashtbl.replace totals s.site_id
+            (n + Option.value ~default:0 (Hashtbl.find_opt totals s.site_id)))
+        sites
+  done;
+  List.map
+    (fun (s : Conair_analysis.Site.t) ->
+      {
+        site = s;
+        executions = Option.value ~default:0 (Hashtbl.find_opt totals s.site_id);
+      })
+    sites
+
+let well_tested ?(threshold = 1) (profiles : site_profile list) : int list =
+  List.filter_map
+    (fun pr -> if pr.executions >= threshold then Some pr.site.iid else None)
+    profiles
+
+let recovery_trial ?(config = Machine.default_config) ?(runs = 50)
+    ?(accept = fun (_ : string list) -> true) (h : hardened) : trial =
+  let recovered = ref 0 and rollbacks = ref 0 and max_rec = ref 0 in
+  for i = 1 to runs do
+    let config =
+      match config.policy with
+      | Sched.Random seed -> { config with policy = Sched.Random (seed + i) }
+      | Sched.Round_robin -> config
+    in
+    let r = execute_hardened ~config h in
+    if Outcome.is_success r.outcome && accept r.outputs then incr recovered;
+    rollbacks := !rollbacks + r.stats.rollbacks;
+    max_rec := max !max_rec (Stats.max_recovery_time r.stats)
+  done;
+  {
+    runs;
+    recovered = !recovered;
+    total_rollbacks = !rollbacks;
+    max_recovery_steps = !max_rec;
+  }

@@ -1,0 +1,143 @@
+(** ConAir: featherweight concurrency-bug recovery via single-threaded
+    idempotent execution (Zhang, de Kruijf, Li, Lu, Sankaralingam —
+    ASPLOS 2013), reimplemented for the Mir IR.
+
+    The typical flow:
+
+    {[
+      let hardened = Conair.harden_exn program Conair.Survival in
+      let run = Conair.execute_hardened hardened in
+      (* run.outcome = Success; run.stats.rollbacks counts recoveries *)
+    ]}
+
+    The four layers are re-exported below: {!Ir} (the IR, builder and text
+    syntax), {!Analysis} (failure sites, idempotent regions, slicing,
+    inter-procedural recovery), {!Transform} (the hardening pass) and
+    {!Runtime} (the interpreter with the recovery engine). *)
+
+module Ir : sig
+  module Ident = Conair_ir.Ident
+  module Value = Conair_ir.Value
+  module Instr = Conair_ir.Instr
+  module Block = Conair_ir.Block
+  module Func = Conair_ir.Func
+  module Program = Conair_ir.Program
+  module Builder = Conair_ir.Builder
+  module Cfg = Conair_ir.Cfg
+  module Validate = Conair_ir.Validate
+  module Emit = Conair_ir.Emit
+  module Parse = Conair_ir.Parse
+end
+
+module Analysis : sig
+  module Site = Conair_analysis.Site
+  module Find_sites = Conair_analysis.Find_sites
+  module Region = Conair_analysis.Region
+  module Slice = Conair_analysis.Slice
+  module Optimize = Conair_analysis.Optimize
+  module Callgraph = Conair_analysis.Callgraph
+  module Interproc = Conair_analysis.Interproc
+  module Plan = Conair_analysis.Plan
+  module Prune = Conair_analysis.Prune
+  module Viz = Conair_analysis.Viz
+end
+
+module Transform : sig
+  module Rewrite = Conair_transform.Rewrite
+  module Harden = Conair_transform.Harden
+  module Report = Conair_transform.Report
+  module Annotate = Conair_transform.Annotate
+  module Lower = Conair_transform.Lower
+end
+
+module Runtime : sig
+  module Outcome = Conair_runtime.Outcome
+  module Heap = Conair_runtime.Heap
+  module Locks = Conair_runtime.Locks
+  module Thread = Conair_runtime.Thread
+  module Sched = Conair_runtime.Sched
+  module Stats = Conair_runtime.Stats
+  module Machine = Conair_runtime.Machine
+  module Trace = Conair_runtime.Trace
+end
+
+(** The two usage modes of §3.1: survival mode hardens every potential
+    failure site against hidden bugs; fix mode hardens the instruction ids
+    a user observed failing — a safe temporary patch for a bug whose root
+    cause is unknown. *)
+type mode = Conair_analysis.Plan.mode = Survival | Fix of int list
+
+type hardened = {
+  original : Conair_ir.Program.t;
+  hardened : Conair_transform.Harden.t;
+  plan : Conair_analysis.Plan.t;
+  report : Conair_transform.Report.t;
+}
+
+val harden :
+  ?analysis:Conair_analysis.Plan.options ->
+  ?transform:Conair_transform.Harden.options ->
+  Conair_ir.Program.t ->
+  mode ->
+  (hardened, string) result
+(** The full static pipeline: failure-site identification,
+    reexecution-point identification, optimization, inter-procedural
+    analysis, and the code transformation. *)
+
+val harden_exn :
+  ?analysis:Conair_analysis.Plan.options ->
+  ?transform:Conair_transform.Harden.options ->
+  Conair_ir.Program.t ->
+  mode ->
+  hardened
+(** @raise Invalid_argument on bad fix-mode sites. *)
+
+(** One program execution and everything measured about it. *)
+type run = {
+  outcome : Conair_runtime.Outcome.t;
+  outputs : string list;
+  stats : Conair_runtime.Stats.t;
+  machine : Conair_runtime.Machine.t;
+}
+
+val execute :
+  ?config:Conair_runtime.Machine.config -> Conair_ir.Program.t -> run
+(** Run an (unhardened) program. *)
+
+val execute_hardened :
+  ?config:Conair_runtime.Machine.config -> hardened -> run
+(** Run a hardened program with the recovery metadata installed. *)
+
+(** ConSeq-style profile-based site pruning (§3.4): per-site execution
+    counts over clean profiling runs of the original program. *)
+type site_profile = {
+  site : Conair_analysis.Site.t;
+  executions : int;  (** across the profiled successful runs *)
+}
+
+val profile_sites :
+  ?config:Conair_runtime.Machine.config ->
+  ?runs:int ->
+  Conair_ir.Program.t ->
+  site_profile list
+
+val well_tested : ?threshold:int -> site_profile list -> int list
+(** Site iids executed at least [threshold] times — candidates for
+    {!Conair_analysis.Plan.options.exclude_iids}. Beware the trade-off:
+    a hidden bug at a well-tested site loses its recovery. *)
+
+(** A recovery trial in the style of §5: run the hardened program many
+    times (varying the random seed) and count successful, accepted runs. *)
+type trial = {
+  runs : int;
+  recovered : int;
+  total_rollbacks : int;
+  max_recovery_steps : int;
+}
+
+val recovery_trial :
+  ?config:Conair_runtime.Machine.config ->
+  ?runs:int ->
+  ?accept:(string list -> bool) ->
+  hardened ->
+  trial

@@ -1,0 +1,1 @@
+lib/genprog/genprog.ml: Array Block Builder Cfg Conair Func Instr List Printf Program QCheck String Value

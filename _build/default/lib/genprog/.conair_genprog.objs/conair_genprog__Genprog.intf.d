@@ -1,0 +1,1 @@
+lib/genprog/genprog.mli: Conair Func Instr Program QCheck

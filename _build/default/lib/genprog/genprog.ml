@@ -1,0 +1,365 @@
+(* Random-program generators for the property-based tests.
+
+   Programs are derived deterministically from small integer "spec" values,
+   which keeps QCheck shrinking and printing trivial and failures
+   reproducible. *)
+
+open Conair.Ir
+module B = Builder
+
+(* ------------------------------------------------------------------ *)
+(* Random straight-line arithmetic with a reference evaluator           *)
+(* ------------------------------------------------------------------ *)
+
+type arith_op = { code : int; a : int; b : int }
+(* [code mod 5] selects the operator; [a]/[b] select either a previous
+   register (by index) or a constant. *)
+
+let arith_spec_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 25)
+      (map3
+         (fun code a b -> { code; a; b })
+         (int_range 0 4) (int_range 0 1000) (int_range 0 1000)))
+
+let arith_spec_print ops =
+  String.concat ";"
+    (List.map (fun o -> Printf.sprintf "(%d,%d,%d)" o.code o.a o.b) ops)
+
+(* Build the Mir program and compute the expected result with plain OCaml
+   arithmetic at the same time. *)
+let arith_program (ops : arith_op list) : Program.t * int =
+  let expected = ref [] in
+  (* values of r0, r1, ... *)
+  let operand sel =
+    let prior = List.length !expected in
+    if prior > 0 && sel mod 2 = 0 then begin
+      let i = sel / 2 mod prior in
+      (B.reg (Printf.sprintf "r%d" i), List.nth (List.rev !expected) i)
+    end
+    else
+      let c = (sel mod 19) + 1 in
+      (B.int c, c)
+  in
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    List.iteri
+      (fun i (o : arith_op) ->
+        let dst = Printf.sprintf "r%d" i in
+        let oa, va = operand o.a and ob, vb = operand o.b in
+        let v =
+          match o.code mod 5 with
+          | 0 ->
+              B.add f dst oa ob;
+              va + vb
+          | 1 ->
+              B.sub f dst oa ob;
+              va - vb
+          | 2 ->
+              B.mul f dst oa ob;
+              va * vb
+          | 3 ->
+              (* divisor is a constant >= 1 by construction of [operand]
+                 when we force the constant branch *)
+              let c = (o.b mod 19) + 1 in
+              B.binop f dst Instr.Div oa (B.int c);
+              va / c
+          | _ ->
+              let c = (o.b mod 19) + 1 in
+              B.binop f dst Instr.Mod oa (B.int c);
+              (* the interpreter uses OCaml's [mod], so the reference is
+                 literally the same operator *)
+              va mod c
+        in
+        expected := v :: !expected)
+      ops;
+    let last = Printf.sprintf "r%d" (List.length ops - 1) in
+    B.output f "%v" [ B.reg last ];
+    B.exit_ f
+  in
+  (p, List.hd !expected)
+
+(* ------------------------------------------------------------------ *)
+(* Random CFGs for the region-walk safety property                      *)
+(* ------------------------------------------------------------------ *)
+
+type cfg_spec = {
+  nblocks : int;  (** 1..5 *)
+  block_ops : int list list;  (** op codes per block, 0..5 each *)
+  terms : (int * int) list;  (** per block: branch targets *)
+}
+
+let cfg_spec_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun nblocks ->
+    list_repeat nblocks (list_size (int_range 0 4) (int_range 0 9))
+    >>= fun block_ops ->
+    list_repeat nblocks (pair (int_range 0 9) (int_range 0 9))
+    >>= fun terms -> return { nblocks; block_ops; terms })
+
+let cfg_spec_print s =
+  Printf.sprintf "{n=%d; ops=[%s]; terms=[%s]}" s.nblocks
+    (String.concat " | "
+       (List.map
+          (fun ops -> String.concat "," (List.map string_of_int ops))
+          s.block_ops))
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) s.terms))
+
+(* Op codes: 0-3 safe, 4-6 destroying, 7 compensable, 8-9 safe reads.
+   Every op writes a fresh register, so the program is trivially
+   well-formed for the *static* analyses (these programs are never run). *)
+let emit_op f fresh code =
+  let dst = Printf.sprintf "t%d" fresh in
+  match code with
+  | 0 | 1 -> B.move f dst (B.int code)
+  | 2 -> B.add f dst (B.int 1) (B.int 2)
+  | 3 -> B.unop f dst Instr.Not (B.bool false)
+  | 4 -> B.store f (Instr.Global "g") (B.int 1)
+  | 5 -> B.store f (Instr.Stack "s") (B.int 2)
+  | 6 -> B.output f "x" []
+  | 7 -> B.alloc f dst (B.int 1)
+  | 8 -> B.load f dst (Instr.Global "g")
+  | _ -> B.load f dst (Instr.Stack "s")
+
+(* The site lives at the end of the last block: [load g; assert]. *)
+let cfg_program (s : cfg_spec) : Program.t =
+  let fresh = ref 0 in
+  let next () =
+    incr fresh;
+    !fresh
+  in
+  let bname i = Printf.sprintf "b%d" i in
+  B.build ~main:"main" @@ fun b ->
+  B.global b "g" (Value.Int 1);
+  B.func b "main" ~params:[] @@ fun f ->
+  List.iteri
+    (fun i ops ->
+      B.label f (bname i);
+      List.iter (fun code -> emit_op f (next ()) code) ops;
+      if i = s.nblocks - 1 then begin
+        B.load f "site_v" (Instr.Global "g");
+        B.assert_ f (B.reg "site_v") ~msg:"the site";
+        B.exit_ f
+      end
+      else begin
+        let t1, t2 = List.nth s.terms i in
+        let target k = bname (k mod s.nblocks) in
+        if (t1 + t2) mod 3 = 0 then B.jump f (target t1)
+        else begin
+          let c = Printf.sprintf "c%d" (next ()) in
+          B.move f c (B.bool true);
+          B.branch f (B.reg c) (target t1) (target t2)
+        end
+      end)
+    s.block_ops
+
+(* Enumerate instruction paths from the entry to [site_iid], visiting each
+   block at most twice, capped. Returns the list of paths, each a list of
+   instructions in execution order (site excluded). *)
+let paths_to_site (func : Func.t) ~site_iid ~cap =
+  let cfg = Cfg.of_func func in
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go label visits acc_rev =
+    if !count >= cap then ()
+    else
+      let seen = try List.assoc label visits with Not_found -> 0 in
+      if seen >= 2 then ()
+      else
+        let visits = (label, seen + 1) :: List.remove_assoc label visits in
+        let block = Cfg.block cfg label in
+        (* walk instructions until the site or the end of the block *)
+        let n = Array.length block.instrs in
+        let rec scan i acc_rev =
+          if i >= n then `Fallthrough acc_rev
+          else
+            let instr = block.instrs.(i) in
+            if instr.Instr.iid = site_iid then `Hit acc_rev
+            else scan (i + 1) (instr :: acc_rev)
+        in
+        match scan 0 acc_rev with
+        | `Hit acc_rev ->
+            incr count;
+            results := List.rev acc_rev :: !results
+        | `Fallthrough acc_rev ->
+            List.iter
+              (fun succ -> go succ visits acc_rev)
+              (Block.successors block)
+  in
+  go func.entry [] [];
+  !results
+
+(* ------------------------------------------------------------------ *)
+(* Random racy reader/writer programs                                   *)
+(* ------------------------------------------------------------------ *)
+
+type racy_spec = {
+  pre_ops : int list;  (** safe ops the reader runs before the racy read *)
+  writer_delay : int;  (** 1..60 *)
+  expected : int;  (** the value the writer publishes *)
+}
+
+let racy_spec_gen =
+  QCheck.Gen.(
+    map3
+      (fun pre_ops writer_delay expected ->
+        { pre_ops; writer_delay; expected = 1 + expected })
+      (list_size (int_range 0 6) (int_range 0 3))
+      (int_range 1 60) (int_range 0 99))
+
+let racy_spec_print s =
+  Printf.sprintf "{pre=[%s]; delay=%d; expected=%d}"
+    (String.concat "," (List.map string_of_int s.pre_ops))
+    s.writer_delay s.expected
+
+let racy_program (s : racy_spec) : Program.t =
+  B.build ~main:"main" @@ fun b ->
+  B.global b "shared" (Value.Int 0);
+  (B.func b "reader" ~params:[] @@ fun f ->
+   B.label f "entry";
+   List.iteri
+     (fun i code ->
+       let dst = Printf.sprintf "p%d" i in
+       match code with
+       | 0 -> B.move f dst (B.int i)
+       | 1 -> B.add f dst (B.int i) (B.int 1)
+       | 2 -> B.load f dst (Instr.Global "shared")
+       | _ -> B.unop f dst Instr.Neg (B.int i))
+     s.pre_ops;
+   B.load f "v" (Instr.Global "shared");
+   B.assert_ f ~oracle:true (B.reg "v") ~msg:"shared published";
+   B.output f "%v" [ B.reg "v" ];
+   B.ret f None);
+  (B.func b "writer" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.sleep f s.writer_delay;
+   B.store f (Instr.Global "shared") (B.int s.expected);
+   B.ret f None);
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  B.spawn f "t1" "reader" [];
+  B.spawn f "t2" "writer" [];
+  B.join f (B.reg "t1");
+  B.join f (B.reg "t2");
+  B.exit_ f
+
+(* ------------------------------------------------------------------ *)
+(* Ring deadlocks and lost wakeups                                      *)
+(* ------------------------------------------------------------------ *)
+
+type ring_spec = { threads : int; hold_delay : int }
+
+let ring_spec_gen =
+  QCheck.Gen.(
+    map2
+      (fun threads hold_delay -> { threads; hold_delay })
+      (int_range 2 5) (int_range 5 40))
+
+let ring_spec_print s =
+  Printf.sprintf "{threads=%d; hold=%d}" s.threads s.hold_delay
+
+(* k threads, k locks; thread i takes lock i then lock (i+1) mod k. Hangs
+   unhardened; every inner acquisition is ConAir-recoverable. *)
+let ring_program (s : ring_spec) : Program.t =
+  let k = s.threads in
+  let lock_name i = Printf.sprintf "L%d" (i mod k) in
+  B.build ~main:"main" @@ fun b ->
+  for i = 0 to k - 1 do
+    B.mutex b (lock_name i)
+  done;
+  for i = 0 to k - 1 do
+    B.func b (Printf.sprintf "w%d" i) ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.lock f (B.mutex_ref (lock_name i));
+    B.sleep f s.hold_delay;
+    B.lock f (B.mutex_ref (lock_name (i + 1)));
+    B.unlock f (B.mutex_ref (lock_name (i + 1)));
+    B.unlock f (B.mutex_ref (lock_name i));
+    B.ret f None
+  done;
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  for i = 0 to k - 1 do
+    B.spawn f (Printf.sprintf "t%d" i) (Printf.sprintf "w%d" i) []
+  done;
+  for i = 0 to k - 1 do
+    B.join f (B.reg (Printf.sprintf "t%d" i))
+  done;
+  B.exit_ f
+
+type wakeup_spec = { check_gap : int; notify_at : int; payload : int }
+
+let wakeup_spec_gen =
+  QCheck.Gen.(
+    map3
+      (fun check_gap notify_at payload ->
+        { check_gap; notify_at; payload = 1 + payload })
+      (int_range 8 60) (int_range 2 6) (int_range 0 99))
+
+let wakeup_spec_print s =
+  Printf.sprintf "{gap=%d; notify_at=%d; payload=%d}" s.check_gap s.notify_at
+    s.payload
+
+(* Lost wakeup: the producer notifies inside the consumer's check-to-wait
+   gap; unhardened the consumer hangs, hardened the timed wait recovers. *)
+let wakeup_program (s : wakeup_spec) : Program.t =
+  B.build ~main:"main" @@ fun b ->
+  B.global b "ready" (Value.Int 0);
+  (B.func b "consumer" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.load f "r" (Instr.Global "ready");
+   B.branch f (B.reg "r") "go" "park";
+   B.label f "park";
+   B.sleep f s.check_gap;
+   B.wait f "data";
+   B.jump f "go";
+   B.label f "go";
+   B.load f "r2" (Instr.Global "ready");
+   B.output f "%v" [ B.reg "r2" ];
+   B.ret f None);
+  (B.func b "producer" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.sleep f s.notify_at;
+   B.store f (Instr.Global "ready") (B.int s.payload);
+   B.notify f "data";
+   B.ret f None);
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  B.spawn f "t1" "consumer" [];
+  B.spawn f "t2" "producer" [];
+  B.join f (B.reg "t1");
+  B.join f (B.reg "t2");
+  B.exit_ f
+
+(* ------------------------------------------------------------------ *)
+(* Random heap-operation sequences with a reference model               *)
+(* ------------------------------------------------------------------ *)
+
+type heap_op = H_alloc of int | H_free of int | H_store of int * int * int
+             | H_load of int * int
+
+let heap_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (frequency
+         [
+           (3, map (fun n -> H_alloc (1 + (n mod 5))) (int_range 0 100));
+           (1, map (fun i -> H_free i) (int_range 0 10));
+           (3, map3 (fun i o v -> H_store (i, o, v)) (int_range 0 10)
+                (int_range 0 6) (int_range 0 99));
+           (3, map (fun (i, o) -> H_load (i, o))
+                (pair (int_range 0 10) (int_range 0 6)));
+         ]))
+
+let heap_ops_print ops =
+  String.concat ";"
+    (List.map
+       (function
+         | H_alloc n -> Printf.sprintf "alloc %d" n
+         | H_free i -> Printf.sprintf "free #%d" i
+         | H_store (i, o, v) -> Printf.sprintf "#%d[%d]:=%d" i o v
+         | H_load (i, o) -> Printf.sprintf "#%d[%d]" i o)
+       ops)

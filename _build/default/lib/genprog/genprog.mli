@@ -1,0 +1,80 @@
+(** Random-program generators: the substrate of the property-based tests
+    and of the {e conair_fuzz} tool. Programs derive deterministically
+    from small integer "spec" values, so QCheck shrinking, printing and
+    failure reproduction are trivial. *)
+
+open Conair.Ir
+
+(** {1 Straight-line arithmetic with a reference evaluator} *)
+
+type arith_op = { code : int; a : int; b : int }
+
+val arith_spec_gen : arith_op list QCheck.Gen.t
+val arith_spec_print : arith_op list -> string
+
+val arith_program : arith_op list -> Program.t * int
+(** The program and its expected final output value. *)
+
+(** {1 Random CFGs for the region-walk safety property} *)
+
+type cfg_spec = {
+  nblocks : int;
+  block_ops : int list list;
+  terms : (int * int) list;
+}
+
+val cfg_spec_gen : cfg_spec QCheck.Gen.t
+val cfg_spec_print : cfg_spec -> string
+
+val cfg_program : cfg_spec -> Program.t
+(** A (statically analyzable, never executed) function whose last block
+    ends in a failure site with message ["the site"]. *)
+
+val paths_to_site :
+  Func.t -> site_iid:int -> cap:int -> Instr.t list list
+(** Instruction paths from the entry to the site (each block visited at
+    most twice, at most [cap] paths) — the reference enumeration the
+    safety property checks the region walk against. *)
+
+(** {1 Racy reader/writer programs} *)
+
+type racy_spec = { pre_ops : int list; writer_delay : int; expected : int }
+
+val racy_spec_gen : racy_spec QCheck.Gen.t
+val racy_spec_print : racy_spec -> string
+
+val racy_program : racy_spec -> Program.t
+(** Two threads: a reader with an oracle assert on a shared value the
+    writer publishes after [writer_delay] steps; output is the value. *)
+
+(** {1 Ring deadlocks and lost wakeups} *)
+
+type ring_spec = { threads : int; hold_delay : int }
+
+val ring_spec_gen : ring_spec QCheck.Gen.t
+val ring_spec_print : ring_spec -> string
+
+val ring_program : ring_spec -> Program.t
+(** [k] threads in a lock-order cycle: hangs unhardened; every inner
+    acquisition is recoverable. *)
+
+type wakeup_spec = { check_gap : int; notify_at : int; payload : int }
+
+val wakeup_spec_gen : wakeup_spec QCheck.Gen.t
+val wakeup_spec_print : wakeup_spec -> string
+
+val wakeup_program : wakeup_spec -> Program.t
+(** A lost-wakeup hang (the notify lands inside the consumer's
+    check-to-wait gap); the hardened timed wait recovers and outputs the
+    payload. *)
+
+(** {1 Heap-operation sequences with a reference model} *)
+
+type heap_op =
+  | H_alloc of int
+  | H_free of int
+  | H_store of int * int * int
+  | H_load of int * int
+
+val heap_ops_gen : heap_op list QCheck.Gen.t
+val heap_ops_print : heap_op list -> string

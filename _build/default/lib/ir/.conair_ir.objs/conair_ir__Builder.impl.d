@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Func Ident Instr List Option Printf Program Value

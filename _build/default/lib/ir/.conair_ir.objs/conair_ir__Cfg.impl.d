@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Block Format Func Ident List Option

@@ -1,0 +1,1 @@
+lib/ir/emit.ml: Array Block Buffer Func Ident Instr List Printf Program Value

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Block Buffer Format Func Ident Instr List Printf Program String Value

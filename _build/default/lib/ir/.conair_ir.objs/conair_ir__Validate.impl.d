@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Block Cfg Format Func Hashtbl Ident Instr List Program

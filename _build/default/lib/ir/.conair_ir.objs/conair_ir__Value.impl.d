@@ -1,0 +1,1 @@
+lib/ir/value.ml: Bool Format Int String

@@ -1,0 +1,26 @@
+(* Basic blocks: a label, a straight-line run of instructions, and a
+   terminator. Blocks are immutable; transformations build new ones. *)
+
+module Label = Ident.Label
+
+type t = {
+  label : Label.t;
+  instrs : Instr.t array;
+  term : Instr.terminator;
+}
+
+let v ~label ~instrs ~term = { label; instrs = Array.of_list instrs; term }
+
+let length b = Array.length b.instrs
+
+(** Labels this block can transfer control to. *)
+let successors b =
+  match b.term with
+  | Instr.Jump l -> [ l ]
+  | Instr.Branch (_, t, f) -> if Label.equal t f then [ t ] else [ t; f ]
+  | Instr.Return _ | Instr.Exit -> []
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v 2>%a:@ %a@ %a@]" Label.pp b.label
+    (Format.pp_print_seq Instr.pp)
+    (Array.to_seq b.instrs) Instr.pp_terminator b.term

@@ -1,0 +1,18 @@
+(** Basic blocks: a label, a straight-line run of instructions, and a
+    terminator. Immutable; transformations build new blocks. *)
+
+module Label = Ident.Label
+
+type t = {
+  label : Label.t;
+  instrs : Instr.t array;
+  term : Instr.terminator;
+}
+
+val v : label:Label.t -> instrs:Instr.t list -> term:Instr.terminator -> t
+val length : t -> int
+
+val successors : t -> Label.t list
+(** Labels this block can transfer control to (deduplicated). *)
+
+val pp : Format.formatter -> t -> unit

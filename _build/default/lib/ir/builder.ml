@@ -1,0 +1,187 @@
+(* Imperative construction DSL for Mir programs.
+
+   The builder assigns program-unique instruction ids, supports fallthrough
+   (an unterminated block jumps to the next label) and exposes one short
+   helper per instruction, so benchmark programs read close to the C
+   snippets in the paper:
+
+   {[
+     let prog =
+       Builder.build ~main:"main" @@ fun b ->
+       Builder.global b "flag" (Value.Int 0);
+       Builder.func b "main" ~params:[] @@ fun f ->
+       Builder.load f "v" (Global "flag");
+       Builder.assert_ f (reg "v") ~msg:"flag must be set";
+       Builder.exit_ f
+   ]} *)
+
+module Reg = Ident.Reg
+module Label = Ident.Label
+module Fname = Ident.Fname
+open Instr
+
+type fb = {
+  fname : string;
+  params : string list;
+  mutable cur_label : Label.t option;
+  mutable cur_instrs : Instr.t list;  (** reversed *)
+  mutable done_blocks : Block.t list;  (** reversed *)
+  mutable entry : Label.t option;
+  pb : t;
+}
+
+and t = {
+  mutable next_iid : int;
+  mutable globals : (string * Value.t) list;  (** reversed *)
+  mutable mutexes : string list;  (** reversed *)
+  mutable funcs : Func.t list;  (** reversed *)
+  mutable last_marked : int;
+      (** iid of the most recently emitted instruction, for tests and
+          fix-mode site designation *)
+}
+
+let create () =
+  { next_iid = 0; globals = []; mutexes = []; funcs = []; last_marked = -1 }
+
+let global b name v = b.globals <- (name, v) :: b.globals
+let mutex b name = b.mutexes <- name :: b.mutexes
+
+let fresh_iid b =
+  let id = b.next_iid in
+  b.next_iid <- id + 1;
+  id
+
+(** Id of the last instruction emitted — handy to designate a fix-mode
+    failure site right where the buggy statement is built. *)
+let last_iid fb = fb.pb.last_marked
+
+(* ------------------------------------------------------------------ *)
+(* Operand constructors                                                *)
+(* ------------------------------------------------------------------ *)
+
+let reg name = Reg (Reg.v name)
+let int n = Const (Value.Int n)
+let bool b = Const (Value.Bool b)
+let str s = Const (Value.Str s)
+let null = Const Value.Null
+let mutex_ref name = Const (Value.Mutex name)
+
+(* ------------------------------------------------------------------ *)
+(* Blocks and terminators                                              *)
+(* ------------------------------------------------------------------ *)
+
+let seal fb term =
+  match fb.cur_label with
+  | None -> invalid_arg "Builder: terminator outside any block"
+  | Some label ->
+      let instrs = Array.of_list (List.rev fb.cur_instrs) in
+      fb.done_blocks <- { Block.label; instrs; term } :: fb.done_blocks;
+      fb.cur_label <- None;
+      fb.cur_instrs <- []
+
+(** Start a new block. If the previous block has no terminator yet, it
+    falls through (a [Jump]) to this one. *)
+let label fb name =
+  let l = Label.v name in
+  (match fb.cur_label with None -> () | Some _ -> seal fb (Jump l));
+  if fb.entry = None then fb.entry <- Some l;
+  fb.cur_label <- Some l
+
+let jump fb name = seal fb (Jump (Label.v name))
+let branch fb cond t f = seal fb (Branch (cond, Label.v t, Label.v f))
+let ret fb v = seal fb (Return v)
+let exit_ fb = seal fb Exit
+
+(* ------------------------------------------------------------------ *)
+(* Instruction emitters                                                *)
+(* ------------------------------------------------------------------ *)
+
+let emit fb op =
+  (match fb.cur_label with
+  | None -> label fb (Printf.sprintf "%s_entry" fb.fname)
+  | Some _ -> ());
+  let iid = fresh_iid fb.pb in
+  fb.pb.last_marked <- iid;
+  fb.cur_instrs <- { Instr.iid; op } :: fb.cur_instrs
+
+let move fb r a = emit fb (Move (Reg.v r, a))
+let binop fb r op a c = emit fb (Binop (Reg.v r, op, a, c))
+let unop fb r op a = emit fb (Unop (Reg.v r, op, a))
+let load fb r m = emit fb (Load (Reg.v r, m))
+let store fb m a = emit fb (Store (m, a))
+let load_idx fb r p i = emit fb (Load_idx (Reg.v r, p, i))
+let store_idx fb p i v = emit fb (Store_idx (p, i, v))
+let alloc fb r n = emit fb (Alloc (Reg.v r, n))
+let free fb p = emit fb (Free p)
+let lock fb m = emit fb (Lock m)
+let unlock fb m = emit fb (Unlock m)
+
+let assert_ fb ?(oracle = false) cond ~msg =
+  emit fb (Assert { cond; msg; oracle })
+
+let output fb fmt args = emit fb (Output { fmt; args })
+let call fb ?into f args = emit fb (Call (Option.map Reg.v into, Fname.v f, args))
+let spawn fb r f args = emit fb (Spawn (Reg.v r, Fname.v f, args))
+let join fb t = emit fb (Join t)
+let sleep fb n = emit fb (Sleep n)
+let nop fb = emit fb Nop
+let wait fb e = emit fb (Wait e)
+let notify fb e = emit fb (Notify e)
+
+(* Common compound shapes. *)
+
+(** [add fb r a c] etc. — arithmetic conveniences. *)
+let add fb r a c = binop fb r Add a c
+
+let sub fb r a c = binop fb r Sub a c
+let mul fb r a c = binop fb r Mul a c
+let eq fb r a c = binop fb r Eq a c
+let ne fb r a c = binop fb r Ne a c
+let lt fb r a c = binop fb r Lt a c
+let gt fb r a c = binop fb r Gt a c
+
+(* ------------------------------------------------------------------ *)
+(* Functions and the program                                           *)
+(* ------------------------------------------------------------------ *)
+
+let func b name ~params body =
+  let fb =
+    {
+      fname = name;
+      params;
+      cur_label = None;
+      cur_instrs = [];
+      done_blocks = [];
+      entry = None;
+      pb = b;
+    }
+  in
+  body fb;
+  (match fb.cur_label with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Builder: function %s ends with unterminated block"
+           name)
+  | None -> ());
+  let entry =
+    match fb.entry with
+    | Some e -> e
+    | None -> invalid_arg (Printf.sprintf "Builder: function %s is empty" name)
+  in
+  let f =
+    Func.v ~name:(Fname.v name)
+      ~params:(List.map Reg.v params)
+      ~entry
+      ~blocks:(List.rev fb.done_blocks)
+  in
+  b.funcs <- f :: b.funcs
+
+let finish b ~main =
+  Program.v ~globals:(List.rev b.globals) ~mutexes:(List.rev b.mutexes)
+    ~funcs:(List.rev b.funcs) ~main:(Fname.v main) ()
+
+(** One-shot convenience: create a builder, run [body], finish. *)
+let build ~main body =
+  let b = create () in
+  body b;
+  finish b ~main

@@ -1,0 +1,99 @@
+(** Imperative construction DSL for Mir programs.
+
+    The builder assigns program-unique instruction ids, supports
+    fallthrough (an unterminated block jumps to the next label), and
+    exposes one short helper per instruction:
+
+    {[
+      let prog =
+        Builder.build ~main:"main" @@ fun b ->
+        Builder.global b "flag" (Value.Int 0);
+        Builder.func b "main" ~params:[] @@ fun f ->
+        Builder.load f "v" (Instr.Global "flag");
+        Builder.assert_ f (Builder.reg "v") ~msg:"flag must be set";
+        Builder.exit_ f
+    ]} *)
+
+type t
+(** A program under construction. *)
+
+type fb
+(** A function under construction. *)
+
+val create : unit -> t
+val global : t -> string -> Value.t -> unit
+val mutex : t -> string -> unit
+
+val func : t -> string -> params:string list -> (fb -> unit) -> unit
+(** Define a function. The body callback must terminate its last block.
+    @raise Invalid_argument on an empty or unterminated function. *)
+
+val finish : t -> main:string -> Program.t
+val build : main:string -> (t -> unit) -> Program.t
+
+val last_iid : fb -> int
+(** Id of the most recently emitted instruction — handy for designating a
+    fix-mode failure site right where the buggy statement is built. *)
+
+(** {1 Operand constructors} *)
+
+val reg : string -> Instr.operand
+val int : int -> Instr.operand
+val bool : bool -> Instr.operand
+val str : string -> Instr.operand
+val null : Instr.operand
+val mutex_ref : string -> Instr.operand
+
+(** {1 Blocks and terminators} *)
+
+val label : fb -> string -> unit
+(** Start a new block; an unterminated previous block falls through. *)
+
+val jump : fb -> string -> unit
+val branch : fb -> Instr.operand -> string -> string -> unit
+val ret : fb -> Instr.operand option -> unit
+val exit_ : fb -> unit
+
+(** {1 Instruction emitters} *)
+
+val emit : fb -> Instr.op -> unit
+(** Emit a raw operation (fresh id); the named helpers below cover the
+    common cases. *)
+
+val move : fb -> string -> Instr.operand -> unit
+val binop : fb -> string -> Instr.binop -> Instr.operand -> Instr.operand -> unit
+val unop : fb -> string -> Instr.unop -> Instr.operand -> unit
+val load : fb -> string -> Instr.mem -> unit
+val store : fb -> Instr.mem -> Instr.operand -> unit
+val load_idx : fb -> string -> Instr.operand -> Instr.operand -> unit
+val store_idx : fb -> Instr.operand -> Instr.operand -> Instr.operand -> unit
+val alloc : fb -> string -> Instr.operand -> unit
+val free : fb -> Instr.operand -> unit
+val lock : fb -> Instr.operand -> unit
+val unlock : fb -> Instr.operand -> unit
+
+val assert_ : fb -> ?oracle:bool -> Instr.operand -> msg:string -> unit
+(** [oracle:true] marks a developer output-correctness condition. *)
+
+val output : fb -> string -> Instr.operand list -> unit
+val call : fb -> ?into:string -> string -> Instr.operand list -> unit
+val spawn : fb -> string -> string -> Instr.operand list -> unit
+val join : fb -> Instr.operand -> unit
+val sleep : fb -> int -> unit
+val nop : fb -> unit
+
+val wait : fb -> string -> unit
+(** Block until the named event is notified (pulse semantics). *)
+
+val notify : fb -> string -> unit
+(** Wake every thread currently waiting on the named event. *)
+
+(** {1 Arithmetic conveniences} *)
+
+val add : fb -> string -> Instr.operand -> Instr.operand -> unit
+val sub : fb -> string -> Instr.operand -> Instr.operand -> unit
+val mul : fb -> string -> Instr.operand -> Instr.operand -> unit
+val eq : fb -> string -> Instr.operand -> Instr.operand -> unit
+val ne : fb -> string -> Instr.operand -> Instr.operand -> unit
+val lt : fb -> string -> Instr.operand -> Instr.operand -> unit
+val gt : fb -> string -> Instr.operand -> Instr.operand -> unit

@@ -1,0 +1,59 @@
+(* Control-flow graph view of a function: block map, successor and
+   predecessor relations, reachability. The backward walks of the ConAir
+   analyses are built on top of this. *)
+
+module Label = Ident.Label
+
+type t = {
+  func : Func.t;
+  blocks : Block.t Label.Map.t;
+  succs : Label.t list Label.Map.t;
+  preds : Label.t list Label.Map.t;
+}
+
+let of_func (f : Func.t) =
+  let blocks =
+    List.fold_left
+      (fun m (b : Block.t) -> Label.Map.add b.label b m)
+      Label.Map.empty f.blocks
+  in
+  let succs =
+    List.fold_left
+      (fun m (b : Block.t) -> Label.Map.add b.label (Block.successors b) m)
+      Label.Map.empty f.blocks
+  in
+  let preds =
+    List.fold_left
+      (fun m (b : Block.t) ->
+        List.fold_left
+          (fun m s ->
+            let cur = Option.value ~default:[] (Label.Map.find_opt s m) in
+            Label.Map.add s (b.label :: cur) m)
+          m (Block.successors b))
+      (List.fold_left
+         (fun m (b : Block.t) -> Label.Map.add b.label [] m)
+         Label.Map.empty f.blocks)
+      f.blocks
+  in
+  { func = f; blocks; succs; preds }
+
+let block g l =
+  match Label.Map.find_opt l g.blocks with
+  | Some b -> b
+  | None ->
+      invalid_arg (Format.asprintf "Cfg.block: unknown label %a" Label.pp l)
+
+let succs g l = Option.value ~default:[] (Label.Map.find_opt l g.succs)
+let preds g l = Option.value ~default:[] (Label.Map.find_opt l g.preds)
+let entry g = g.func.entry
+let is_entry g l = Label.equal l g.func.entry
+
+(** Labels reachable from the entry block. *)
+let reachable g =
+  let rec go seen = function
+    | [] -> seen
+    | l :: rest ->
+        if Label.Set.mem l seen then go seen rest
+        else go (Label.Set.add l seen) (succs g l @ rest)
+  in
+  go Label.Set.empty [ entry g ]

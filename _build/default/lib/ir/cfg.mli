@@ -1,0 +1,25 @@
+(** Control-flow-graph view of a function: block map, successor and
+    predecessor relations, reachability. The backward walks of the ConAir
+    analyses are built on top of it. *)
+
+module Label = Ident.Label
+
+type t = {
+  func : Func.t;
+  blocks : Block.t Label.Map.t;
+  succs : Label.t list Label.Map.t;
+  preds : Label.t list Label.Map.t;
+}
+
+val of_func : Func.t -> t
+
+val block : t -> Label.t -> Block.t
+(** @raise Invalid_argument on an unknown label. *)
+
+val succs : t -> Label.t -> Label.t list
+val preds : t -> Label.t -> Label.t list
+val entry : t -> Label.t
+val is_entry : t -> Label.t -> bool
+
+val reachable : t -> Label.Set.t
+(** Labels reachable from the entry block. *)

@@ -1,0 +1,255 @@
+(* The concrete text syntax of Mir programs (serializer).
+
+   The output of [program] is exactly what [Parse.program] reads back; the
+   round-trip is property-tested. The syntax:
+
+   {v
+   global g = 5
+   mutex nlock
+   main @main
+
+   func @worker(%x) {
+   entry:
+     %a = add %x, 1
+     %b = load $g
+     store ~slot, %a
+     %v = load %p[0]
+     assert %a, "message"
+     branch %a, yes, no
+   yes:
+     return %a
+   no:
+     exit
+   }
+   v}
+
+   Registers are [%name], globals [$name], stack slots [~name], functions
+   [@name], mutex literals [&name]; labels are bare identifiers. *)
+
+open Instr
+module Reg = Ident.Reg
+module Label = Ident.Label
+module Fname = Ident.Fname
+
+let value buf (v : Value.t) =
+  match v with
+  | Value.Int n -> Buffer.add_string buf (string_of_int n)
+  | Value.Bool true -> Buffer.add_string buf "true"
+  | Value.Bool false -> Buffer.add_string buf "false"
+  | Value.Str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | Value.Null -> Buffer.add_string buf "null"
+  | Value.Mutex m -> Buffer.add_string buf ("&" ^ m)
+  | Value.Ptr _ | Value.Tid _ ->
+      (* run-time-only values; they have no source syntax *)
+      invalid_arg "Emit.value: pointers and thread ids are not serializable"
+
+let reg buf r = Buffer.add_string buf ("%" ^ Reg.name r)
+
+let operand buf = function
+  | Reg r -> reg buf r
+  | Const v -> value buf v
+
+let mem buf = function
+  | Global g -> Buffer.add_string buf ("$" ^ g)
+  | Stack s -> Buffer.add_string buf ("~" ^ s)
+
+let operands buf = function
+  | [] -> ()
+  | x :: rest ->
+      operand buf x;
+      List.iter
+        (fun o ->
+          Buffer.add_string buf ", ";
+          operand buf o)
+        rest
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | And -> "and"
+  | Or -> "or"
+
+let unop_name = function Not -> "not" | Neg -> "neg" | Is_null -> "is_null"
+
+let kind_name = function
+  | Assert_fail -> "assert"
+  | Wrong_output -> "wrong_output"
+  | Seg_fault -> "segfault"
+  | Deadlock -> "deadlock"
+
+let add buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let op buf (o : op) =
+  match o with
+  | Move (r, a) ->
+      reg buf r;
+      Buffer.add_string buf " = move ";
+      operand buf a
+  | Binop (r, b, x, y) ->
+      reg buf r;
+      add buf " = %s " (binop_name b);
+      operand buf x;
+      Buffer.add_string buf ", ";
+      operand buf y
+  | Unop (r, u, x) ->
+      reg buf r;
+      add buf " = %s " (unop_name u);
+      operand buf x
+  | Load (r, m) ->
+      reg buf r;
+      Buffer.add_string buf " = load ";
+      mem buf m
+  | Store (m, a) ->
+      Buffer.add_string buf "store ";
+      mem buf m;
+      Buffer.add_string buf ", ";
+      operand buf a
+  | Load_idx (r, p, i) ->
+      reg buf r;
+      Buffer.add_string buf " = load ";
+      operand buf p;
+      Buffer.add_char buf '[';
+      operand buf i;
+      Buffer.add_char buf ']'
+  | Store_idx (p, i, v) ->
+      Buffer.add_string buf "store ";
+      operand buf p;
+      Buffer.add_char buf '[';
+      operand buf i;
+      Buffer.add_string buf "], ";
+      operand buf v
+  | Alloc (r, n) ->
+      reg buf r;
+      Buffer.add_string buf " = alloc ";
+      operand buf n
+  | Free p ->
+      Buffer.add_string buf "free ";
+      operand buf p
+  | Lock m ->
+      Buffer.add_string buf "lock ";
+      operand buf m
+  | Unlock m ->
+      Buffer.add_string buf "unlock ";
+      operand buf m
+  | Assert { cond; msg; oracle } ->
+      Buffer.add_string buf (if oracle then "oracle " else "assert ");
+      operand buf cond;
+      add buf ", %S" msg
+  | Output { fmt; args } ->
+      add buf "output %S" fmt;
+      List.iter
+        (fun a ->
+          Buffer.add_string buf ", ";
+          operand buf a)
+        args
+  | Call (r, f, args) ->
+      (match r with
+      | Some r ->
+          reg buf r;
+          Buffer.add_string buf " = "
+      | None -> ());
+      add buf "call @%s(" (Fname.name f);
+      operands buf args;
+      Buffer.add_char buf ')'
+  | Spawn (r, f, args) ->
+      reg buf r;
+      add buf " = spawn @%s(" (Fname.name f);
+      operands buf args;
+      Buffer.add_char buf ')'
+  | Join t ->
+      Buffer.add_string buf "join ";
+      operand buf t
+  | Sleep n -> add buf "sleep %d" n
+  | Nop -> Buffer.add_string buf "nop"
+  | Wait e -> add buf "wait %s" e
+  | Notify e -> add buf "notify %s" e
+  | Checkpoint id -> add buf "checkpoint %d" id
+  | Ptr_guard (r, p, i) ->
+      reg buf r;
+      Buffer.add_string buf " = ptr_guard ";
+      operand buf p;
+      Buffer.add_char buf '[';
+      operand buf i;
+      Buffer.add_char buf ']'
+  | Timed_lock (r, m, t) ->
+      reg buf r;
+      Buffer.add_string buf " = timedlock ";
+      operand buf m;
+      add buf ", %d" t
+  | Timed_wait (r, e, t) ->
+      reg buf r;
+      add buf " = timedwait %s, %d" e t
+  | Try_recover { site_id; kind } ->
+      add buf "try_recover %d, %s" site_id (kind_name kind)
+  | Fail_stop { site_id; kind; msg } ->
+      add buf "fail_stop %d, %s, %S" site_id (kind_name kind) msg
+
+let terminator buf = function
+  | Jump l -> add buf "jump %s" (Label.name l)
+  | Branch (c, t, f) ->
+      Buffer.add_string buf "branch ";
+      operand buf c;
+      add buf ", %s, %s" (Label.name t) (Label.name f)
+  | Return None -> Buffer.add_string buf "return"
+  | Return (Some v) ->
+      Buffer.add_string buf "return ";
+      operand buf v
+  | Exit -> Buffer.add_string buf "exit"
+
+let block buf (b : Block.t) =
+  add buf "%s:\n" (Label.name b.label);
+  Array.iter
+    (fun (i : Instr.t) ->
+      Buffer.add_string buf "  ";
+      op buf i.op;
+      Buffer.add_char buf '\n')
+    b.instrs;
+  Buffer.add_string buf "  ";
+  terminator buf b.term;
+  Buffer.add_char buf '\n'
+
+let func buf (f : Func.t) =
+  add buf "func @%s(" (Fname.name f.name);
+  (match f.params with
+  | [] -> ()
+  | p :: rest ->
+      reg buf p;
+      List.iter
+        (fun p ->
+          Buffer.add_string buf ", ";
+          reg buf p)
+        rest);
+  Buffer.add_string buf ") {\n";
+  (* the entry block is serialized first so parsing restores it as entry *)
+  let entry, rest =
+    List.partition (fun (b : Block.t) -> Label.equal b.label f.entry) f.blocks
+  in
+  List.iter (block buf) (entry @ rest);
+  Buffer.add_string buf "}\n"
+
+(** Serialize a whole program to its concrete syntax. *)
+let program (p : Program.t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (g, v) ->
+      add buf "global %s = " g;
+      value buf v;
+      Buffer.add_char buf '\n')
+    p.globals;
+  List.iter (fun m -> add buf "mutex %s\n" m) p.mutexes;
+  add buf "main @%s\n\n" (Fname.name p.main);
+  List.iter
+    (fun f ->
+      func buf f;
+      Buffer.add_char buf '\n')
+    p.funcs;
+  Buffer.contents buf

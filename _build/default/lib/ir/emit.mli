@@ -1,0 +1,8 @@
+(** Serializer for the Mir concrete text syntax. [Parse.program] reads the
+    output back; the round-trip is property-tested. *)
+
+val program : Program.t -> string
+(** Serialize a whole program.
+    @raise Invalid_argument on run-time-only values (pointers, thread
+    ids) in global initializers or operands — they have no source
+    syntax. *)

@@ -1,0 +1,58 @@
+(* Functions: parameters are registers; the body is a CFG of basic blocks
+   stored in definition order (the entry block first by convention, but the
+   [entry] field is authoritative). *)
+
+module Label = Ident.Label
+module Fname = Ident.Fname
+module Reg = Ident.Reg
+
+type t = {
+  name : Fname.t;
+  params : Reg.t list;
+  entry : Label.t;
+  blocks : Block.t list;
+}
+
+let v ~name ~params ~entry ~blocks = { name; params; entry; blocks }
+
+let find_block f label =
+  List.find_opt (fun (b : Block.t) -> Label.equal b.label label) f.blocks
+
+let block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Format.asprintf "Func.block_exn: no block %a in %a" Label.pp label
+           Fname.pp f.name)
+
+(** Iterate over every instruction of the function. *)
+let iter_instrs f g =
+  List.iter (fun (b : Block.t) -> Array.iter (g b) b.instrs) f.blocks
+
+(** All instructions of the function, in block order. *)
+let instrs f =
+  List.concat_map (fun (b : Block.t) -> Array.to_list b.instrs) f.blocks
+
+let instr_count f =
+  List.fold_left (fun n b -> n + Block.length b) 0 f.blocks
+
+(** Locate an instruction by id: returns the block and the index within it. *)
+let find_instr f iid =
+  let found = ref None in
+  List.iter
+    (fun (b : Block.t) ->
+      Array.iteri
+        (fun i (ins : Instr.t) ->
+          if ins.iid = iid && !found = None then found := Some (b, i))
+        b.instrs)
+    f.blocks;
+  !found
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v 2>func %a(%a) entry=%a@ %a@]" Fname.pp f.name
+    Format.(
+      pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") Reg.pp)
+    f.params Label.pp f.entry
+    Format.(pp_print_list ~pp_sep:pp_print_cut Block.pp)
+    f.blocks

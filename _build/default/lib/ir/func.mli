@@ -1,0 +1,34 @@
+(** Functions: parameters are registers; the body is a list of basic
+    blocks with a designated entry. *)
+
+module Label = Ident.Label
+module Fname = Ident.Fname
+module Reg = Ident.Reg
+
+type t = {
+  name : Fname.t;
+  params : Reg.t list;
+  entry : Label.t;
+  blocks : Block.t list;
+}
+
+val v :
+  name:Fname.t -> params:Reg.t list -> entry:Label.t -> blocks:Block.t list -> t
+
+val find_block : t -> Label.t -> Block.t option
+
+val block_exn : t -> Label.t -> Block.t
+(** @raise Invalid_argument if the label does not exist. *)
+
+val iter_instrs : t -> (Block.t -> Instr.t -> unit) -> unit
+(** Iterate over every instruction, with its enclosing block. *)
+
+val instrs : t -> Instr.t list
+(** All instructions, in block order. *)
+
+val instr_count : t -> int
+
+val find_instr : t -> int -> (Block.t * int) option
+(** Locate an instruction by id: its block and index within it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(* Identifiers used throughout the Mir IR.
+
+   All three identifier kinds are thin wrappers over strings.  Keeping them
+   as distinct types (rather than bare strings) prevents the classic bug of
+   passing a label where a register is expected, at zero runtime cost. *)
+
+module type S = sig
+  type t
+
+  val v : string -> t
+  val name : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Make (P : sig
+  val prefix : string
+end) : S = struct
+  type t = string
+
+  let v s = s
+  let name s = s
+  let equal = String.equal
+  let compare = String.compare
+  let pp ppf s = Format.fprintf ppf "%s%s" P.prefix s
+
+  module Map = Map.Make (String)
+  module Set = Set.Make (String)
+end
+
+(** Virtual registers. Printed with a [%] prefix, LLVM style. *)
+module Reg = Make (struct
+  let prefix = "%"
+end)
+
+(** Basic-block labels. *)
+module Label = Make (struct
+  let prefix = ""
+end)
+
+(** Function names. *)
+module Fname = Make (struct
+  let prefix = "@"
+end)

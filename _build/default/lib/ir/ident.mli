@@ -1,0 +1,26 @@
+(** Identifiers of the Mir IR: virtual registers, basic-block labels and
+    function names. Distinct abstract types prevent mixing them up. *)
+
+module type S = sig
+  type t
+
+  val v : string -> t
+  (** Make an identifier from its bare name (no sigil). *)
+
+  val name : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+(** Virtual registers; printed as [%name]. *)
+module Reg : S
+
+(** Basic-block labels; printed bare. *)
+module Label : S
+
+(** Function names; printed as [@name]. *)
+module Fname : S

@@ -1,0 +1,302 @@
+(* Instruction set of the Mir IR.
+
+   The design mirrors the abstraction level ConAir analyses LLVM bitcode at:
+
+   - virtual registers ([Ident.Reg]) are in unbounded supply and are the only
+     state an idempotent region may modify (they are restored from the
+     checkpointed register image on rollback);
+   - named memory locations are either [Global] (shared between threads) or
+     [Stack] (private, frame-local) — both are "real memory", so writing one
+     destroys idempotency;
+   - the heap is reached through pointer values with explicit dereference
+     instructions, which are the potential segmentation-fault sites;
+   - locks are first-class values; [Lock]/[Timed_lock] acquisitions are the
+     potential deadlock sites.
+
+   The [Checkpoint] / [Try_recover] / [Fail_stop] instructions never appear
+   in source programs: they are inserted by the ConAir transformation and
+   interpreted by the recovery runtime. *)
+
+module Reg = Ident.Reg
+module Label = Ident.Label
+module Fname = Ident.Fname
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg | Is_null
+
+type operand = Reg of Reg.t | Const of Value.t
+
+(** A named, non-register memory location. *)
+type mem =
+  | Global of string  (** shared across threads *)
+  | Stack of string  (** private to the enclosing frame *)
+
+(** Why a [Try_recover]/[Fail_stop] fired — the four failure symptoms of
+    §3.1.1 of the paper. *)
+type failure_kind = Assert_fail | Wrong_output | Seg_fault | Deadlock
+
+type op =
+  | Move of Reg.t * operand
+  | Binop of Reg.t * binop * operand * operand
+  | Unop of Reg.t * unop * operand
+  | Load of Reg.t * mem  (** read a named location *)
+  | Store of mem * operand  (** write a named location *)
+  | Load_idx of Reg.t * operand * operand
+      (** [r := ptr[idx]] — heap read, potential segfault *)
+  | Store_idx of operand * operand * operand
+      (** [ptr[idx] := v] — heap write, potential segfault *)
+  | Alloc of Reg.t * operand  (** allocate [n] heap cells *)
+  | Free of operand
+  | Lock of operand
+  | Unlock of operand
+  | Assert of { cond : operand; msg : string; oracle : bool }
+      (** [oracle] marks a developer-supplied output-correctness condition
+          (Fig 9 of the paper); it is reported as a wrong-output site *)
+  | Output of { fmt : string; args : operand list }
+  | Call of Reg.t option * Fname.t * operand list
+  | Spawn of Reg.t * Fname.t * operand list
+  | Join of operand
+  | Sleep of int  (** benchmark noise injection: skip [n] scheduler slots *)
+  | Nop
+  | Wait of string
+      (** block until the named event is notified (pulse semantics: a
+          notify with no waiter is lost — the lost-wakeup hang class) *)
+  | Notify of string  (** wake every thread currently waiting on the event *)
+  (* --- inserted by the ConAir transformation only --- *)
+  | Checkpoint of int  (** setjmp analogue; payload is the checkpoint id *)
+  | Ptr_guard of Reg.t * operand * operand
+      (** [r := valid(ptr, idx)] — the pointer sanity check inserted before
+          a potential segmentation-fault site (Fig 5c) *)
+  | Timed_lock of Reg.t * operand * int
+      (** acquire with a timeout in scheduler steps; writes [Bool] success *)
+  | Timed_wait of Reg.t * string * int
+      (** wait with a timeout; writes [Bool] "was notified" *)
+  | Try_recover of { site_id : int; kind : failure_kind }
+      (** longjmp-with-retry-budget analogue; falls through when exhausted *)
+  | Fail_stop of { site_id : int; kind : failure_kind; msg : string }
+
+(** An instruction is an operation tagged with a program-unique id. Ids
+    survive the ConAir transformation, so analysis results expressed in ids
+    remain valid in the hardened program. *)
+type t = { iid : int; op : op }
+
+type terminator =
+  | Jump of Label.t
+  | Branch of operand * Label.t * Label.t
+  | Return of operand option
+  | Exit  (** terminate the whole program successfully *)
+
+(** Classification of an operation for the idempotent-region analysis
+    (§3.2.1 / §4.1 of the paper). *)
+type idem_class =
+  | Safe  (** may appear anywhere inside an idempotent region *)
+  | Compensable
+      (** allowed inside a region because the runtime logs the acquired
+          resource and releases it at the failure site (§4.1): heap
+          allocation and lock acquisition *)
+  | Destroying  (** ends any idempotent region *)
+
+let classify = function
+  | Move _ | Binop _ | Unop _ | Load _ | Load_idx _ | Assert _ | Nop | Sleep _
+  | Ptr_guard _ ->
+      Safe
+  | Alloc _ | Lock _ | Timed_lock _ -> Compensable
+  | Store _ | Store_idx _ | Free _ | Unlock _ | Output _ | Call _ | Spawn _
+  | Join _ | Notify _ ->
+      Destroying
+  (* a re-executed Wait may block forever: conservatively a boundary (its
+     own failure-site guard handles its recovery); Timed_wait is what the
+     transformation emits and sits at the region end *)
+  | Wait _ | Timed_wait _ -> Destroying
+  (* Recovery pseudo-instructions never end a region: a [Checkpoint] *starts*
+     one and the others only run on the failure path. *)
+  | Checkpoint _ | Try_recover _ | Fail_stop _ -> Safe
+
+let is_destroying i = classify i.op = Destroying
+
+(** Does executing this operation actually mutate state that a rollback
+    cannot undo? This is the *dynamic* counterpart of [Destroying]: a
+    [Call] is a static region boundary only because the callee might have
+    side effects — the frame push itself is perfectly idempotent, which is
+    exactly what inter-procedural recovery (§4.3) relies on when it rolls
+    back across a call. [Join] merely blocks and can be re-executed. *)
+let dynamically_destroying = function
+  | Store _ | Store_idx _ | Free _ | Unlock _ | Output _ | Spawn _
+  | Notify _ ->
+      true
+  | Move _ | Binop _ | Unop _ | Load _ | Load_idx _ | Alloc _ | Lock _
+  | Assert _ | Call _ | Join _ | Sleep _ | Nop | Checkpoint _ | Ptr_guard _
+  | Timed_lock _ | Wait _ | Timed_wait _ | Try_recover _ | Fail_stop _ ->
+      false
+
+(** The register written by an operation, if any. *)
+let def = function
+  | Move (r, _)
+  | Binop (r, _, _, _)
+  | Unop (r, _, _)
+  | Load (r, _)
+  | Load_idx (r, _, _)
+  | Alloc (r, _)
+  | Spawn (r, _, _)
+  | Timed_lock (r, _, _)
+  | Timed_wait (r, _, _) ->
+      Some r
+  | Call (r, _, _) -> r
+  | Ptr_guard (r, _, _) -> Some r
+  | Store _ | Store_idx _ | Free _ | Lock _ | Unlock _ | Assert _ | Output _
+  | Join _ | Sleep _ | Nop | Wait _ | Notify _ | Checkpoint _
+  | Try_recover _ | Fail_stop _ ->
+      None
+
+let regs_of_operand = function Reg r -> [ r ] | Const _ -> []
+
+let regs_of_operands ops = List.concat_map regs_of_operand ops
+
+(** Registers read by an operation. *)
+let uses = function
+  | Move (_, a) | Unop (_, _, a) | Alloc (_, a) -> regs_of_operand a
+  | Binop (_, _, a, b) | Load_idx (_, a, b) | Ptr_guard (_, a, b) ->
+      regs_of_operands [ a; b ]
+  | Store (_, a) -> regs_of_operand a
+  | Store_idx (p, i, v) -> regs_of_operands [ p; i; v ]
+  | Load _ | Sleep _ | Nop | Wait _ | Notify _ | Timed_wait _ | Checkpoint _
+  | Try_recover _ | Fail_stop _ ->
+      []
+  | Free a | Lock a | Unlock a | Join a | Timed_lock (_, a, _) ->
+      regs_of_operand a
+  | Assert { cond; _ } -> regs_of_operand cond
+  | Output { args; _ } -> regs_of_operands args
+  | Call (_, _, args) | Spawn (_, _, args) -> regs_of_operands args
+
+(** Named locations read by an operation ([Load] only — dereferences go
+    through pointer values, not names). *)
+let mem_reads = function Load (_, m) -> [ m ] | _ -> []
+
+let mem_writes = function Store (m, _) -> [ m ] | _ -> []
+
+(** Does this operation read shared state (a global or the heap)? Used by
+    the §4.2 optimization: a non-deadlock site is only recoverable if its
+    slice reaches such a read inside the reexecution region. *)
+let reads_shared = function
+  | Load (_, Global _) | Load_idx _ -> true
+  | _ -> false
+
+(** Is this operation a lock acquisition? Used by the deadlock-site
+    optimization (§4.2). *)
+let acquires_lock = function Lock _ | Timed_lock _ -> true | _ -> false
+
+let pp_binop ppf op =
+  let s =
+    match op with
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | Div -> "div"
+    | Mod -> "mod"
+    | Eq -> "eq"
+    | Ne -> "ne"
+    | Lt -> "lt"
+    | Le -> "le"
+    | Gt -> "gt"
+    | Ge -> "ge"
+    | And -> "and"
+    | Or -> "or"
+  in
+  Format.pp_print_string ppf s
+
+let pp_unop ppf op =
+  Format.pp_print_string ppf
+    (match op with Not -> "not" | Neg -> "neg" | Is_null -> "is_null")
+
+let pp_operand ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Const v -> Value.pp ppf v
+
+let pp_mem ppf = function
+  | Global g -> Format.fprintf ppf "$%s" g
+  | Stack s -> Format.fprintf ppf "~%s" s
+
+let pp_failure_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Assert_fail -> "assert"
+    | Wrong_output -> "wrong-output"
+    | Seg_fault -> "segfault"
+    | Deadlock -> "deadlock")
+
+let pp_args ppf args =
+  Format.(pp_print_list ~pp_sep:(fun f () -> fprintf f ", ") pp_operand)
+    ppf args
+
+let pp_op ppf = function
+  | Move (r, a) -> Format.fprintf ppf "%a = %a" Reg.pp r pp_operand a
+  | Binop (r, op, a, b) ->
+      Format.fprintf ppf "%a = %a %a, %a" Reg.pp r pp_binop op pp_operand a
+        pp_operand b
+  | Unop (r, op, a) ->
+      Format.fprintf ppf "%a = %a %a" Reg.pp r pp_unop op pp_operand a
+  | Load (r, m) -> Format.fprintf ppf "%a = load %a" Reg.pp r pp_mem m
+  | Store (m, a) -> Format.fprintf ppf "store %a, %a" pp_mem m pp_operand a
+  | Load_idx (r, p, i) ->
+      Format.fprintf ppf "%a = load %a[%a]" Reg.pp r pp_operand p pp_operand i
+  | Store_idx (p, i, v) ->
+      Format.fprintf ppf "store %a[%a], %a" pp_operand p pp_operand i
+        pp_operand v
+  | Alloc (r, n) -> Format.fprintf ppf "%a = alloc %a" Reg.pp r pp_operand n
+  | Free a -> Format.fprintf ppf "free %a" pp_operand a
+  | Lock a -> Format.fprintf ppf "lock %a" pp_operand a
+  | Unlock a -> Format.fprintf ppf "unlock %a" pp_operand a
+  | Assert { cond; msg; oracle } ->
+      Format.fprintf ppf "%s %a %S"
+        (if oracle then "oracle" else "assert")
+        pp_operand cond msg
+  | Output { fmt; args } -> Format.fprintf ppf "output %S (%a)" fmt pp_args args
+  | Call (None, f, args) ->
+      Format.fprintf ppf "call %a(%a)" Fname.pp f pp_args args
+  | Call (Some r, f, args) ->
+      Format.fprintf ppf "%a = call %a(%a)" Reg.pp r Fname.pp f pp_args args
+  | Spawn (r, f, args) ->
+      Format.fprintf ppf "%a = spawn %a(%a)" Reg.pp r Fname.pp f pp_args args
+  | Join a -> Format.fprintf ppf "join %a" pp_operand a
+  | Sleep n -> Format.fprintf ppf "sleep %d" n
+  | Nop -> Format.fprintf ppf "nop"
+  | Wait e -> Format.fprintf ppf "wait %s" e
+  | Notify e -> Format.fprintf ppf "notify %s" e
+  | Timed_wait (r, e, t) ->
+      Format.fprintf ppf "%a = timedwait %s timeout=%d" Reg.pp r e t
+  | Checkpoint id -> Format.fprintf ppf "checkpoint #%d" id
+  | Ptr_guard (r, p, i) ->
+      Format.fprintf ppf "%a = ptr_guard %a[%a]" Reg.pp r pp_operand p
+        pp_operand i
+  | Timed_lock (r, a, t) ->
+      Format.fprintf ppf "%a = timedlock %a timeout=%d" Reg.pp r pp_operand a t
+  | Try_recover { site_id; kind } ->
+      Format.fprintf ppf "try_recover site=%d kind=%a" site_id pp_failure_kind
+        kind
+  | Fail_stop { site_id; kind; msg } ->
+      Format.fprintf ppf "fail_stop site=%d kind=%a %S" site_id
+        pp_failure_kind kind msg
+
+let pp ppf i = Format.fprintf ppf "[%d] %a" i.iid pp_op i.op
+
+let pp_terminator ppf = function
+  | Jump l -> Format.fprintf ppf "jump %a" Label.pp l
+  | Branch (c, t, f) ->
+      Format.fprintf ppf "branch %a, %a, %a" pp_operand c Label.pp t Label.pp f
+  | Return None -> Format.fprintf ppf "return"
+  | Return (Some a) -> Format.fprintf ppf "return %a" pp_operand a
+  | Exit -> Format.fprintf ppf "exit"

@@ -1,0 +1,135 @@
+(** The instruction set of the Mir IR, and the classification the ConAir
+    analyses rely on.
+
+    The abstraction level mirrors what the paper analyses: virtual
+    registers are in unbounded supply and are the only state an idempotent
+    region may modify (rollback restores them from the checkpointed
+    register image); writes to named memory, the heap, or I/O destroy
+    idempotency; heap allocation and lock acquisition are allowed inside a
+    region with run-time compensation (§4.1). *)
+
+module Reg = Ident.Reg
+module Label = Ident.Label
+module Fname = Ident.Fname
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg | Is_null
+
+type operand = Reg of Reg.t | Const of Value.t
+
+(** A named, non-register memory location. *)
+type mem =
+  | Global of string  (** shared across threads *)
+  | Stack of string  (** private to the enclosing frame *)
+
+(** The four failure symptoms of §3.1.1. *)
+type failure_kind = Assert_fail | Wrong_output | Seg_fault | Deadlock
+
+type op =
+  | Move of Reg.t * operand
+  | Binop of Reg.t * binop * operand * operand
+  | Unop of Reg.t * unop * operand
+  | Load of Reg.t * mem
+  | Store of mem * operand
+  | Load_idx of Reg.t * operand * operand
+      (** [r := ptr[idx]] — heap read, potential segfault site *)
+  | Store_idx of operand * operand * operand
+      (** [ptr[idx] := v] — heap write, potential segfault site *)
+  | Alloc of Reg.t * operand  (** allocate [n] zeroed heap cells *)
+  | Free of operand
+  | Lock of operand
+  | Unlock of operand
+  | Assert of { cond : operand; msg : string; oracle : bool }
+      (** [oracle] marks a developer output-correctness condition (Fig 9);
+          it is classified as a wrong-output site *)
+  | Output of { fmt : string; args : operand list }
+      (** each ["%v"] in [fmt] consumes one argument *)
+  | Call of Reg.t option * Fname.t * operand list
+  | Spawn of Reg.t * Fname.t * operand list
+  | Join of operand
+  | Sleep of int  (** benchmark noise injection: yield for [n] steps *)
+  | Nop
+  | Wait of string
+      (** block until the named event is notified (pulse semantics: a
+          notify with no waiter is lost — the lost-wakeup hang class) *)
+  | Notify of string  (** wake every thread currently waiting on the event *)
+  (* --- inserted by the ConAir transformation only --- *)
+  | Checkpoint of int  (** setjmp analogue; payload is the checkpoint id *)
+  | Ptr_guard of Reg.t * operand * operand
+      (** [r := valid(ptr, idx)] — the Fig 5c pointer sanity check *)
+  | Timed_lock of Reg.t * operand * int
+      (** acquire with a step timeout; writes [Bool] success *)
+  | Timed_wait of Reg.t * string * int
+      (** wait with a timeout; writes [Bool] "was notified" *)
+  | Try_recover of { site_id : int; kind : failure_kind }
+      (** compensate + longjmp with a retry budget; falls through when
+          exhausted *)
+  | Fail_stop of { site_id : int; kind : failure_kind; msg : string }
+
+type t = { iid : int; op : op }
+(** An instruction: an operation with a program-unique id. Ids survive the
+    transformation, so analysis results stated in ids stay valid. *)
+
+type terminator =
+  | Jump of Label.t
+  | Branch of operand * Label.t * Label.t
+  | Return of operand option
+  | Exit  (** terminate the whole program successfully, like [exit(0)] *)
+
+(** Classification for the idempotent-region analysis (§3.2.1 / §4.1). *)
+type idem_class =
+  | Safe  (** allowed anywhere inside a region *)
+  | Compensable
+      (** allowed with run-time compensation: allocation and lock
+          acquisition *)
+  | Destroying  (** ends any idempotent region *)
+
+val classify : op -> idem_class
+
+val is_destroying : t -> bool
+(** [classify i.op = Destroying]. *)
+
+val dynamically_destroying : op -> bool
+(** Does *executing* the operation mutate state a rollback cannot undo?
+    Weaker than [Destroying]: a [Call]'s frame push is idempotent (which
+    inter-procedural recovery relies on); only the callee's own effects
+    count, at the callee's own instructions. *)
+
+val def : op -> Reg.t option
+(** The register the operation writes, if any. *)
+
+val uses : op -> Reg.t list
+(** The registers the operation reads. *)
+
+val mem_reads : op -> mem list
+val mem_writes : op -> mem list
+
+val reads_shared : op -> bool
+(** Reads a global or the heap — what the §4.2 recoverability slice looks
+    for inside a region. *)
+
+val acquires_lock : op -> bool
+(** [Lock] or [Timed_lock] — what the §4.2 deadlock-site test looks for. *)
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_unop : Format.formatter -> unop -> unit
+val pp_operand : Format.formatter -> operand -> unit
+val pp_mem : Format.formatter -> mem -> unit
+val pp_failure_kind : Format.formatter -> failure_kind -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+val pp_terminator : Format.formatter -> terminator -> unit

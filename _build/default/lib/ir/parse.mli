@@ -1,0 +1,15 @@
+(** Parser for the Mir concrete syntax produced by {!Emit}.
+
+    Instruction ids are assigned densely in reading order; everything else
+    is reconstructed exactly (verified by emit/parse round-trip tests,
+    including on hardened programs with recovery pseudo-instructions). *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Error of error
+
+val program : string -> (Program.t, error) result
+val program_exn : string -> Program.t
+(** @raise Error on malformed input. *)

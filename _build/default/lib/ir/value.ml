@@ -1,0 +1,50 @@
+(* Runtime values of the Mir IR.
+
+   Pointers carry a heap block id plus an offset; there is no pointer
+   arithmetic across blocks, which keeps the segmentation-fault model crisp:
+   a dereference faults iff the pointer is null, the block is dead, or the
+   offset is out of bounds. *)
+
+type ptr = { block : int; offset : int }
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Ptr of ptr
+  | Null
+  | Mutex of string  (** handle to a named lock *)
+  | Tid of int  (** thread id returned by [Spawn] *)
+
+let zero = Int 0
+let truth = Bool true
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Str x, Str y -> String.equal x y
+  | Ptr x, Ptr y -> x.block = y.block && x.offset = y.offset
+  | Null, Null -> true
+  | Mutex x, Mutex y -> String.equal x y
+  | Tid x, Tid y -> Int.equal x y
+  | (Int _ | Bool _ | Str _ | Ptr _ | Null | Mutex _ | Tid _), _ -> false
+
+(** Truthiness used by conditional branches and assertions: zero, [false]
+    and [Null] are false, everything else is true. *)
+let is_true = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Null -> false
+  | Str _ | Ptr _ | Mutex _ | Tid _ -> true
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Str s -> Format.fprintf ppf "%S" s
+  | Ptr { block; offset } -> Format.fprintf ppf "&%d+%d" block offset
+  | Null -> Format.fprintf ppf "null"
+  | Mutex m -> Format.fprintf ppf "mutex<%s>" m
+  | Tid t -> Format.fprintf ppf "tid<%d>" t
+
+let to_string v = Format.asprintf "%a" pp v

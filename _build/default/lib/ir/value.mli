@@ -1,0 +1,32 @@
+(** Runtime values of the Mir IR. *)
+
+(** A heap pointer: block identity plus element offset. There is no
+    cross-block pointer arithmetic, which keeps the segmentation-fault
+    model crisp. *)
+type ptr = { block : int; offset : int }
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Ptr of ptr
+  | Null
+  | Mutex of string  (** handle to a named lock *)
+  | Tid of int  (** thread id returned by [Spawn] *)
+
+val zero : t
+(** [Int 0], the initial content of fresh memory. *)
+
+val truth : t
+(** [Bool true]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; values of different constructors are never equal
+    (no implicit int/bool coercion). *)
+
+val is_true : t -> bool
+(** Truthiness for branches and asserts: [Int 0], [Bool false] and [Null]
+    are false; everything else is true. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/runtime/heap.mli: Conair_ir Hashtbl Value

@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Array Block Buffer Conair_ir Conair_transform Format Func Hashtbl Heap Ident Instr List Locks Option Outcome Program Random Sched Stats String Thread Trace Value

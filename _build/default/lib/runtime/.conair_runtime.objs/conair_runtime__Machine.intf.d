@@ -1,0 +1,1 @@
+lib/runtime/machine.mli: Conair_ir Conair_transform Hashtbl Heap Ident Locks Outcome Program Sched Stats Thread Trace Value

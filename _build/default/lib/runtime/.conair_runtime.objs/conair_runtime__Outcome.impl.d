@@ -1,0 +1,1 @@
+lib/runtime/outcome.ml: Conair_ir Format Instr Printf

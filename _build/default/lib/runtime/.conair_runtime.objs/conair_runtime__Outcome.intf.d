@@ -1,0 +1,1 @@
+lib/runtime/outcome.mli: Conair_ir Format Instr

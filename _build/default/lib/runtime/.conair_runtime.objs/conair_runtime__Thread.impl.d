@@ -1,0 +1,1 @@
+lib/runtime/thread.ml: Block Conair_ir Format Func Hashtbl Ident List Option Value

@@ -1,0 +1,1 @@
+lib/runtime/thread.mli: Block Conair_ir Func Hashtbl Ident Value

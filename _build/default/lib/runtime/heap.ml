@@ -1,0 +1,101 @@
+(* The shared heap: a table of blocks with explicit liveness, so that
+   use-after-free and out-of-bounds accesses fault exactly like the
+   segmentation faults the paper's sites guard against. *)
+
+open Conair_ir
+
+type block = { cells : Value.t array; mutable live : bool }
+type t = { blocks : (int, block) Hashtbl.t; mutable next : int }
+
+let create () = { blocks = Hashtbl.create 64; next = 0 }
+
+let alloc t n =
+  if n < 0 then invalid_arg "Heap.alloc: negative size";
+  let id = t.next in
+  t.next <- id + 1;
+  Hashtbl.replace t.blocks id { cells = Array.make n Value.zero; live = true };
+  { Value.block = id; offset = 0 }
+
+let find t id = Hashtbl.find_opt t.blocks id
+
+(** Is dereferencing [v] at extra offset [idx] valid? *)
+let valid t (v : Value.t) idx =
+  match v with
+  | Value.Ptr { block; offset } -> (
+      match find t block with
+      | Some b -> b.live && offset + idx >= 0 && offset + idx < Array.length b.cells
+      | None -> false)
+  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null | Value.Mutex _
+  | Value.Tid _ ->
+      false
+
+let load t (v : Value.t) idx =
+  match v with
+  | Value.Ptr { block; offset } -> (
+      match find t block with
+      | Some b when b.live && offset + idx >= 0 && offset + idx < Array.length b.cells
+        ->
+          Ok b.cells.(offset + idx)
+      | Some { live = false; _ } -> Error "use after free"
+      | Some _ -> Error "pointer dereference out of bounds"
+      | None -> Error "dangling pointer")
+  | Value.Null -> Error "null pointer dereference"
+  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Mutex _ | Value.Tid _ ->
+      Error "dereference of a non-pointer value"
+
+let store t (v : Value.t) idx x =
+  match v with
+  | Value.Ptr { block; offset } -> (
+      match find t block with
+      | Some b when b.live && offset + idx >= 0 && offset + idx < Array.length b.cells
+        ->
+          b.cells.(offset + idx) <- x;
+          Ok ()
+      | Some { live = false; _ } -> Error "use after free"
+      | Some _ -> Error "pointer store out of bounds"
+      | None -> Error "dangling pointer")
+  | Value.Null -> Error "null pointer store"
+  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Mutex _ | Value.Tid _ ->
+      Error "store through a non-pointer value"
+
+(** Free the block behind [v]; only a pointer to offset 0 of a live block
+    may be freed, as in C. *)
+let free t (v : Value.t) =
+  match v with
+  | Value.Ptr { block; offset = 0 } -> (
+      match find t block with
+      | Some b when b.live ->
+          b.live <- false;
+          Ok ()
+      | Some _ -> Error "double free"
+      | None -> Error "free of dangling pointer")
+  | Value.Ptr _ -> Error "free of an interior pointer"
+  | Value.Null -> Error "free of null"
+  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Mutex _ | Value.Tid _ ->
+      Error "free of a non-pointer value"
+
+(** Mark dead without the offset-0 restriction — used by the recovery
+    runtime's compensation (it recorded the allocation itself). *)
+let release_block t id =
+  match find t id with
+  | Some b when b.live ->
+      b.live <- false;
+      true
+  | Some _ | None -> false
+
+let live_blocks t =
+  Hashtbl.fold (fun _ b n -> if b.live then n + 1 else n) t.blocks 0
+
+(* Deep copy, for the whole-program-checkpoint baseline. *)
+let snapshot t =
+  let blocks = Hashtbl.create (Hashtbl.length t.blocks) in
+  Hashtbl.iter
+    (fun id b ->
+      Hashtbl.replace blocks id { cells = Array.copy b.cells; live = b.live })
+    t.blocks;
+  { blocks; next = t.next }
+
+(* Low-level accessors for Machine.restore. *)
+let blocks_table t = t.blocks
+let set_next t n = t.next <- n
+let next_id t = t.next

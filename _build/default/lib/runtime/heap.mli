@@ -1,0 +1,43 @@
+(** The shared heap: a table of blocks with explicit liveness, so
+    use-after-free and out-of-bounds accesses fault exactly like the
+    segmentation faults the paper's sites guard against. *)
+
+open Conair_ir
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int -> Value.ptr
+(** Allocate [n] zeroed cells.
+    @raise Invalid_argument on a negative size. *)
+
+val valid : t -> Value.t -> int -> bool
+(** Is dereferencing this value at the extra offset valid? The predicate
+    behind [Ptr_guard]. *)
+
+val load : t -> Value.t -> int -> (Value.t, string) result
+val store : t -> Value.t -> int -> Value.t -> (unit, string) result
+
+val free : t -> Value.t -> (unit, string) result
+(** Only a pointer to offset 0 of a live block may be freed, as in C. *)
+
+val release_block : t -> int -> bool
+(** Mark a block dead by id, without the offset-0 restriction — used by
+    the recovery compensation, which recorded the allocation itself.
+    Returns whether the block was live. *)
+
+val live_blocks : t -> int
+
+val snapshot : t -> t
+(** Deep copy, for the whole-program-checkpoint baseline. *)
+
+(**/**)
+
+(* Exposed for Machine.restore. *)
+type block = { cells : Value.t array; mutable live : bool }
+
+val find : t -> int -> block option
+val blocks_table : t -> (int, block) Hashtbl.t
+val set_next : t -> int -> unit
+val next_id : t -> int

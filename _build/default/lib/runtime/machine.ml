@@ -1,0 +1,879 @@
+(* The Mir interpreter with the ConAir recovery runtime built in.
+
+   One scheduler step executes one instruction (or terminator) of one
+   thread. The recovery pseudo-instructions inserted by the transformation
+   are interpreted here:
+
+   - [Checkpoint]: bump the region counter and save the register image +
+     program point into the thread's single checkpoint slot;
+   - [Try_recover]: if a checkpoint exists and the per-site retry budget is
+     not exhausted, compensate (release locks / free blocks acquired in the
+     current region, §4.1), verify the rollback-safety invariant if asked,
+     restore the register image and jump back — otherwise fall through to
+     the [Fail_stop];
+   - [Timed_lock]: block with a timeout measured in scheduler steps and
+     report success/timeout in a register.
+
+   Unhardened programs fail exactly where hardened ones would recover:
+   asserts stop the program, invalid dereferences are segmentation faults,
+   and a configuration where every live thread is blocked is a hang. *)
+
+open Conair_ir
+module Reg = Ident.Reg
+module Label = Ident.Label
+module Fname = Ident.Fname
+
+(** How a deadlock is noticed at a hardened lock site (§3.1.1: "ConAir
+    can work with any deadlock-detection mechanism"). [Timeout_based] is
+    the paper's prototype (MySQL-style lock timeouts); [Wait_graph]
+    follows the owner chain of the contended lock and reports a deadlock
+    the moment a cycle closes (Jula et al.-style), so recovery starts
+    immediately instead of after the timeout. *)
+type deadlock_detection = Timeout_based | Wait_graph
+
+type config = {
+  policy : Sched.policy;
+  fuel : int;  (** scheduler-step budget before giving up *)
+  max_retries : int;  (** paper default: one million *)
+  deadlock_detection : deadlock_detection;
+  deadlock_backoff : int;
+      (** max random sleep after a deadlock rollback (livelock avoidance) *)
+  verify_rollbacks : bool;
+      (** check at every rollback that no destroying instruction executed
+          since the checkpoint (the static analysis' safety invariant) *)
+  perturb_timing : bool;
+      (** randomize [Sleep] durations (in [0..n]) and stagger thread
+          startup — the Rx-style "environment change during reexecution"
+          baselines rely on; never used by ConAir itself *)
+  spawn_jitter : int;
+      (** max random startup delay for spawned threads when
+          [perturb_timing] is on (a restarted process never reproduces the
+          original thread-creation timing) *)
+  profile_sites : bool;
+      (** record per-instruction execution counts (ConSeq-style
+          well-tested-site profiling, §3.4); off by default *)
+}
+
+let default_config =
+  {
+    policy = Sched.Round_robin;
+    fuel = 2_000_000;
+    max_retries = 1_000_000;
+    deadlock_detection = Timeout_based;
+    deadlock_backoff = 16;
+    verify_rollbacks = true;
+    perturb_timing = false;
+    spawn_jitter = 150;
+    profile_sites = false;
+  }
+
+(** Metadata from the hardening pass: fail-arm labels per site, used to
+    detect that a recovering thread has finally passed its failure site. *)
+type meta = { fail_blocks : (Label.t * int) list }
+
+let meta_of_harden (h : Conair_transform.Harden.t) =
+  { fail_blocks = h.site_fail_blocks }
+
+exception Fault of string
+(** Internal: an unrecovered runtime fault of the current thread. *)
+
+type t = {
+  prog : Program.t;
+  config : config;
+  meta : meta option;
+  globals : (string, Value.t) Hashtbl.t;
+  heap : Heap.t;
+  locks : Locks.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable next_tid : int;
+  mutable step : int;
+  mutable outputs : string list;  (** newest first *)
+  stats : Stats.t;
+  sched : Sched.t;
+  mutable outcome : Outcome.t option;
+  mutable trace : Trace.sink option;
+}
+
+let create ?(config = default_config) ?meta (prog : Program.t) =
+  let globals = Hashtbl.create 32 in
+  List.iter (fun (g, v) -> Hashtbl.replace globals g v) prog.globals;
+  let m =
+    {
+      prog;
+      config;
+      meta;
+      globals;
+      heap = Heap.create ();
+      locks = Locks.create prog.mutexes;
+      threads = Hashtbl.create 8;
+      next_tid = 0;
+      step = 0;
+      outputs = [];
+      stats = Stats.create ();
+      sched = Sched.create config.policy;
+      outcome = None;
+      trace = None;
+    }
+  in
+  let main = Program.func_exn prog prog.main in
+  let tid = m.next_tid in
+  m.next_tid <- tid + 1;
+  Hashtbl.replace m.threads tid (Thread.create ~tid main ~args:[]);
+  m
+
+let outputs m = List.rev m.outputs
+let stats m = m.stats
+
+(** Install a trace sink; subsequent execution reports typed events. *)
+let set_trace m sink = m.trace <- Some sink
+
+let trace m ev =
+  match m.trace with None -> () | Some sink -> Trace.record sink ev
+
+let thread m tid = Hashtbl.find m.threads tid
+
+let live_threads m =
+  Hashtbl.fold (fun tid th acc -> if Thread.is_live th then tid :: acc else acc)
+    m.threads []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let eval_reg (fr : Thread.frame) r =
+  match Reg.Map.find_opt r fr.regs with
+  | Some v -> v
+  | None ->
+      raise (Fault (Format.asprintf "use of undefined register %a" Reg.pp r))
+
+let eval (fr : Thread.frame) = function
+  | Instr.Reg r -> eval_reg fr r
+  | Instr.Const v -> v
+
+let as_int = function
+  | Value.Int n -> n
+  | Value.Bool true -> 1
+  | Value.Bool false -> 0
+  | v -> raise (Fault ("expected an integer, got " ^ Value.to_string v))
+
+let as_mutex = function
+  | Value.Mutex name -> name
+  | v -> raise (Fault ("expected a mutex, got " ^ Value.to_string v))
+
+let eval_binop op a b =
+  let module I = Instr in
+  match op with
+  | I.Add -> Value.Int (as_int a + as_int b)
+  | I.Sub -> Value.Int (as_int a - as_int b)
+  | I.Mul -> Value.Int (as_int a * as_int b)
+  | I.Div ->
+      let d = as_int b in
+      if d = 0 then raise (Fault "division by zero") else Value.Int (as_int a / d)
+  | I.Mod ->
+      let d = as_int b in
+      if d = 0 then raise (Fault "modulo by zero") else Value.Int (as_int a mod d)
+  | I.Eq -> Value.Bool (Value.equal a b)
+  | I.Ne -> Value.Bool (not (Value.equal a b))
+  | I.Lt -> Value.Bool (as_int a < as_int b)
+  | I.Le -> Value.Bool (as_int a <= as_int b)
+  | I.Gt -> Value.Bool (as_int a > as_int b)
+  | I.Ge -> Value.Bool (as_int a >= as_int b)
+  | I.And -> Value.Bool (Value.is_true a && Value.is_true b)
+  | I.Or -> Value.Bool (Value.is_true a || Value.is_true b)
+
+let eval_unop op a =
+  match op with
+  | Instr.Not -> Value.Bool (not (Value.is_true a))
+  | Instr.Neg -> Value.Int (-as_int a)
+  | Instr.Is_null -> Value.Bool (match a with Value.Null -> true | _ -> false)
+
+(* Render an output: each "%v" placeholder consumes one argument. *)
+let render_output fmt args =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let args = ref args in
+  let i = ref 0 in
+  let n = String.length fmt in
+  while !i < n do
+    if !i + 1 < n && fmt.[!i] = '%' && fmt.[!i + 1] = 'v' then begin
+      (match !args with
+      | a :: rest ->
+          Buffer.add_string buf (Value.to_string a);
+          args := rest
+      | [] -> Buffer.add_string buf "%v");
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf fmt.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Failure bookkeeping                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let set_failure m ~kind ~site_id ~iid ~tid ~msg =
+  (match (thread m tid).status with
+  | Thread.Done | Thread.Failed -> ()
+  | _ -> (thread m tid).status <- Thread.Failed);
+  m.outcome <-
+    Some (Outcome.Failed { kind; site_id; iid; tid; step = m.step; msg })
+
+(* A recovering thread has just branched around a site guard: if it took the
+   non-failing arm of its own site, the recovery episode is over. *)
+let note_branch_taken m (th : Thread.t) ~taken ~other =
+  match (m.meta, th.recovering) with
+  | Some meta, Some rec_ -> (
+      let site_of l =
+        List.find_opt (fun (lbl, _) -> Label.equal lbl l) meta.fail_blocks
+      in
+      match site_of other with
+      | Some (_, site) when site = rec_.rec_site && not (Label.equal taken other)
+        ->
+          let ep =
+            {
+              Stats.ep_site_id = site;
+              ep_tid = th.tid;
+              ep_start = rec_.rec_start;
+              ep_end = m.step;
+              ep_retries = Thread.retries_of th site - rec_.rec_retries_before;
+            }
+          in
+          m.stats.episodes <- ep :: m.stats.episodes;
+          trace m
+            (Trace.Ev_recovered { step = m.step; tid = th.tid; site_id = site });
+          th.recovering <- None
+      | _ -> ())
+  | _ -> ()
+
+let close_episode m (th : Thread.t) =
+  match th.recovering with
+  | None -> ()
+  | Some rec_ ->
+      let ep =
+        {
+          Stats.ep_site_id = rec_.rec_site;
+          ep_tid = th.tid;
+          ep_start = rec_.rec_start;
+          ep_end = m.step;
+          ep_retries = Thread.retries_of th rec_.rec_site - rec_.rec_retries_before;
+        }
+      in
+      m.stats.episodes <- ep :: m.stats.episodes;
+      trace m
+        (Trace.Ev_recovered { step = m.step; tid = th.tid; site_id = rec_.rec_site });
+      th.recovering <- None
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compensate m (th : Thread.t) =
+  let current, rest = Thread.current_region_acquisitions th in
+  List.iter
+    (fun (r, _) ->
+      match r with
+      | Thread.R_lock name ->
+          if Locks.force_release m.locks name ~tid:th.tid then begin
+            m.stats.compensated_locks <- m.stats.compensated_locks + 1;
+            trace m (Trace.Ev_compensate_lock { step = m.step; tid = th.tid; lock = name })
+          end
+      | Thread.R_block id ->
+          if Heap.release_block m.heap id then begin
+            m.stats.compensated_blocks <- m.stats.compensated_blocks + 1;
+            trace m (Trace.Ev_compensate_block { step = m.step; tid = th.tid; block = id })
+          end)
+    current;
+  th.acq_log <- rest
+
+let rollback m (th : Thread.t) (ck : Thread.checkpoint) =
+  if m.config.verify_rollbacks && th.last_destroy_step > ck.ck_step then
+    m.stats.tracecheck_violations <- m.stats.tracecheck_violations + 1;
+  (* Unwind the call stack to the checkpoint's depth (the longjmp). *)
+  let rec drop stack =
+    if List.length stack > ck.ck_depth then
+      match stack with _ :: tl -> drop tl | [] -> []
+    else stack
+  in
+  th.stack <- drop th.stack;
+  let fr = Thread.top th in
+  fr.regs <- ck.ck_regs;
+  fr.block <- Func.block_exn fr.func ck.ck_block;
+  fr.idx <- ck.ck_idx;
+  th.status <- Thread.Runnable;
+  m.stats.rollbacks <- m.stats.rollbacks + 1
+
+(* Is the checkpoint a sane rollback target for the thread's current
+   stack? ConAir's static placement guarantees it (a checkpoint always
+   executes between any frame-crossing destroying operation and a guarded
+   site), but hand-written recovery pseudo-instructions must degrade to a
+   fail-stop rather than crash the interpreter. *)
+let checkpoint_applicable (th : Thread.t) (ck : Thread.checkpoint) =
+  Thread.depth th >= ck.ck_depth
+  &&
+  match List.nth_opt th.stack (Thread.depth th - ck.ck_depth) with
+  | Some fr -> Func.find_block fr.func ck.ck_block <> None
+  | None -> false
+
+let try_recover m (th : Thread.t) ~site_id ~kind =
+  match th.checkpoint with
+  | Some ck
+    when Thread.retries_of th site_id < m.config.max_retries
+         && checkpoint_applicable th ck ->
+      (match th.recovering with
+      | Some r when r.rec_site = site_id -> ()
+      | Some _ -> close_episode m th
+      | None -> ());
+      if th.recovering = None then
+        th.recovering <-
+          Some
+            {
+              Thread.rec_site = site_id;
+              rec_start = m.step;
+              rec_retries_before = Thread.retries_of th site_id;
+            };
+      Thread.bump_retries th site_id;
+      trace m
+        (Trace.Ev_rollback
+           { step = m.step; tid = th.tid; site_id;
+             retry = Thread.retries_of th site_id });
+      compensate m th;
+      rollback m th ck;
+      if kind = Instr.Deadlock && m.config.deadlock_backoff > 0 then begin
+        let pause = 1 + Random.State.int (Sched.rng m.sched) m.config.deadlock_backoff in
+        th.status <- Thread.Sleeping (m.step + pause)
+      end;
+      true
+  | Some _ | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+let advance (fr : Thread.frame) = fr.idx <- fr.idx + 1
+
+(* Wait-graph deadlock detection: would thread [tid], by waiting on
+   [lock], close a cycle in the wait-for graph? Follows the owner chain
+   (the owner of the lock, the lock *that* owner is blocked on, ...);
+   bounded by the thread count, since each thread waits on at most one
+   lock. *)
+let in_wait_cycle m ~tid ~lock =
+  let rec chase lock_name seen =
+    match Locks.owner m.locks lock_name with
+    | None -> false
+    | Some owner when owner = tid -> true
+    | Some owner ->
+        if List.mem owner seen then false (* a cycle not involving us *)
+        else begin
+          match (thread m owner).status with
+          | Thread.Blocked_lock { name; _ } -> chase name (owner :: seen)
+          | _ -> false
+        end
+  in
+  chase lock []
+
+let do_return m (th : Thread.t) v =
+  match th.stack with
+  | [] -> invalid_arg "return with empty stack"
+  | frame :: rest -> (
+      th.stack <- rest;
+      match rest with
+      | [] ->
+          close_episode m th;
+          trace m (Trace.Ev_thread_done { step = m.step; tid = th.tid });
+          th.status <- Thread.Done
+      | caller :: _ -> (
+          match frame.ret_reg with
+          | None -> ()
+          | Some r -> (
+              match v with
+              | Some value -> caller.regs <- Reg.Map.add r value caller.regs
+              | None ->
+                  raise (Fault "function returned no value but one was expected"))))
+
+let exec_call m (th : Thread.t) ~ret ~callee ~args =
+  let fr = Thread.top th in
+  let argv = List.map (eval fr) args in
+  advance fr;
+  (* resume after the call *)
+  let f =
+    match Program.find_func m.prog callee with
+    | Some f -> f
+    | None -> raise (Fault (Format.asprintf "call to unknown %a" Fname.pp callee))
+  in
+  th.stack <- Thread.make_frame f ~args:argv ~ret_reg:ret :: th.stack
+
+let exec_spawn m (th : Thread.t) ~reg ~callee ~args =
+  let fr = Thread.top th in
+  let argv = List.map (eval fr) args in
+  let f =
+    match Program.find_func m.prog callee with
+    | Some f -> f
+    | None ->
+        raise (Fault (Format.asprintf "spawn of unknown %a" Fname.pp callee))
+  in
+  let tid = m.next_tid in
+  m.next_tid <- tid + 1;
+  let th' = Thread.create ~tid f ~args:argv in
+  if m.config.perturb_timing && m.config.spawn_jitter > 0 then
+    th'.status <-
+      Thread.Sleeping
+        (m.step + Random.State.int (Sched.rng m.sched) m.config.spawn_jitter);
+  Hashtbl.replace m.threads tid th';
+  trace m (Trace.Ev_spawn { step = m.step; parent = th.tid; child = tid });
+  fr.regs <- Reg.Map.add reg (Value.Tid tid) fr.regs;
+  advance fr
+
+(* Execute the instruction the thread is parked on. Blocking instructions
+   leave [idx] unchanged so they re-execute when the thread is next
+   scheduled. *)
+let exec_instr m (th : Thread.t) (i : Instr.t) =
+  let fr = Thread.top th in
+  let set r v = fr.regs <- Reg.Map.add r v fr.regs in
+  if Instr.dynamically_destroying i.op then th.last_destroy_step <- m.step;
+  (* A recovering thread that performs an irreversible state mutation has
+     left the reexecution region for good (no region may contain one): the
+     recovery episode is over, even if the thread never re-took the guard
+     branch — e.g. a deadlock retry that takes the uncontended path this
+     time. Static [Destroying] would be wrong here: inter-procedural
+     retries re-execute the call that leads back to the failure site. *)
+  if th.recovering <> None && Instr.dynamically_destroying i.op then
+    close_episode m th;
+  match i.op with
+  | Instr.Move (r, a) ->
+      set r (eval fr a);
+      advance fr
+  | Instr.Binop (r, op, a, b) ->
+      set r (eval_binop op (eval fr a) (eval fr b));
+      advance fr
+  | Instr.Unop (r, op, a) ->
+      set r (eval_unop op (eval fr a));
+      advance fr
+  | Instr.Load (r, Instr.Global g) -> (
+      match Hashtbl.find_opt m.globals g with
+      | Some v ->
+          set r v;
+          advance fr
+      | None -> raise (Fault ("load of undeclared global " ^ g)))
+  | Instr.Load (r, Instr.Stack s) ->
+      (* Stack slots read as zero before their first write, like zeroed
+         stack memory. *)
+      set r (Option.value ~default:Value.zero (Hashtbl.find_opt fr.stack_vars s));
+      advance fr
+  | Instr.Store (Instr.Global g, a) ->
+      if Hashtbl.mem m.globals g then begin
+        Hashtbl.replace m.globals g (eval fr a);
+        advance fr
+      end
+      else raise (Fault ("store to undeclared global " ^ g))
+  | Instr.Store (Instr.Stack s, a) ->
+      Hashtbl.replace fr.stack_vars s (eval fr a);
+      advance fr
+  | Instr.Load_idx (r, p, ix) -> (
+      match Heap.load m.heap (eval fr p) (as_int (eval fr ix)) with
+      | Ok v ->
+          set r v;
+          advance fr
+      | Error e -> raise (Fault e))
+  | Instr.Store_idx (p, ix, v) -> (
+      match Heap.store m.heap (eval fr p) (as_int (eval fr ix)) (eval fr v) with
+      | Ok () -> advance fr
+      | Error e -> raise (Fault e))
+  | Instr.Alloc (r, n) ->
+      let ptr = Heap.alloc m.heap (as_int (eval fr n)) in
+      Thread.log_acquisition th (Thread.R_block ptr.Value.block);
+      set r (Value.Ptr ptr);
+      advance fr
+  | Instr.Free p -> (
+      match Heap.free m.heap (eval fr p) with
+      | Ok () -> advance fr
+      | Error e -> raise (Fault e))
+  | Instr.Lock mref ->
+      let name = as_mutex (eval fr mref) in
+      if Locks.try_acquire m.locks name ~tid:th.tid then begin
+        Thread.log_acquisition th (Thread.R_lock name);
+        th.status <- Thread.Runnable;
+        advance fr
+      end
+      else begin
+        match th.status with
+        | Thread.Blocked_lock _ -> ()  (* keep the original [since] *)
+        | _ ->
+            trace m (Trace.Ev_block { step = m.step; tid = th.tid; lock = name });
+            th.status <-
+              Thread.Blocked_lock { name; since = m.step; timeout = None }
+      end
+  | Instr.Timed_lock (r, mref, timeout) ->
+      let name = as_mutex (eval fr mref) in
+      if Locks.try_acquire m.locks name ~tid:th.tid then begin
+        Thread.log_acquisition th (Thread.R_lock name);
+        set r Value.truth;
+        th.status <- Thread.Runnable;
+        advance fr
+      end
+      else begin
+        let since =
+          match th.status with
+          | Thread.Blocked_lock { since; _ } -> since
+          | _ -> m.step
+        in
+        let detected_cycle =
+          m.config.deadlock_detection = Wait_graph
+          && in_wait_cycle m ~tid:th.tid ~lock:name
+        in
+        if detected_cycle || m.step - since >= timeout then begin
+          set r (Value.Bool false);
+          th.status <- Thread.Runnable;
+          advance fr
+        end
+        else begin
+          (match th.status with
+          | Thread.Blocked_lock _ -> ()
+          | _ ->
+              trace m
+                (Trace.Ev_block { step = m.step; tid = th.tid; lock = name }));
+          th.status <-
+            Thread.Blocked_lock { name; since; timeout = Some timeout }
+        end
+      end
+  | Instr.Unlock mref -> (
+      let name = as_mutex (eval fr mref) in
+      match Locks.release m.locks name ~tid:th.tid with
+      | Ok () -> advance fr
+      | Error e -> raise (Fault e))
+  | Instr.Assert { cond; msg; oracle } ->
+      if Value.is_true (eval fr cond) then advance fr
+      else
+        let kind = if oracle then Instr.Wrong_output else Instr.Assert_fail in
+        set_failure m ~kind ~site_id:None ~iid:(Some i.iid) ~tid:th.tid ~msg
+  | Instr.Output { fmt; args } ->
+      let text = render_output fmt (List.map (eval fr) args) in
+      m.outputs <- text :: m.outputs;
+      m.stats.outputs <- m.stats.outputs + 1;
+      trace m (Trace.Ev_output { step = m.step; tid = th.tid; text });
+      advance fr
+  | Instr.Call (ret, callee, args) -> exec_call m th ~ret ~callee ~args
+  | Instr.Spawn (r, callee, args) -> exec_spawn m th ~reg:r ~callee ~args
+  | Instr.Join t -> (
+      match eval fr t with
+      | Value.Tid tid -> (
+          match (thread m tid).status with
+          | Thread.Done | Thread.Failed ->
+              th.status <- Thread.Runnable;
+              advance fr
+          | _ -> th.status <- Thread.Blocked_join tid)
+      | v -> raise (Fault ("join of a non-thread value " ^ Value.to_string v)))
+  | Instr.Sleep n ->
+      let n =
+        if m.config.perturb_timing && n > 0 then
+          Random.State.int (Sched.rng m.sched) (n + 1)
+        else n
+      in
+      th.status <- Thread.Sleeping (m.step + n);
+      advance fr
+  | Instr.Nop -> advance fr
+  | Instr.Wait name -> (
+      (* pulse semantics: always park; only a Notify releases us *)
+      match th.status with
+      | Thread.Blocked_event _ -> ()
+      | _ ->
+          trace m
+            (Trace.Ev_block
+               { step = m.step; tid = th.tid; lock = "event:" ^ name });
+          th.status <-
+            Thread.Blocked_event { name; since = m.step; timeout = None })
+  | Instr.Timed_wait (r, name, timeout) ->
+      let since =
+        match th.status with
+        | Thread.Blocked_event { since; _ } -> since
+        | _ -> m.step
+      in
+      if m.step - since >= timeout then begin
+        set r (Value.Bool false);
+        th.status <- Thread.Runnable;
+        advance fr
+      end
+      else begin
+        (match th.status with
+        | Thread.Blocked_event _ -> ()
+        | _ ->
+            trace m
+              (Trace.Ev_block
+                 { step = m.step; tid = th.tid; lock = "event:" ^ name }));
+        th.status <-
+          Thread.Blocked_event { name; since; timeout = Some timeout }
+      end
+  | Instr.Notify name ->
+      (* wake every thread currently parked on this event; a notify with
+         no waiter is lost — the lost-wakeup bug class *)
+      Hashtbl.iter
+        (fun _ (waiter : Thread.t) ->
+          match waiter.status with
+          | Thread.Blocked_event { name = n; _ } when n = name ->
+              let wfr = Thread.top waiter in
+              (* the waiter is parked on its Wait/Timed_wait: complete it *)
+              (match wfr.block.instrs.(wfr.idx).op with
+              | Instr.Timed_wait (r, _, _) ->
+                  wfr.regs <- Reg.Map.add r Value.truth wfr.regs
+              | _ -> ());
+              wfr.idx <- wfr.idx + 1;
+              waiter.status <- Thread.Runnable;
+              trace m (Trace.Ev_wake { step = m.step; tid = waiter.tid })
+          | _ -> ())
+        m.threads;
+      advance fr
+  | Instr.Checkpoint id ->
+      th.region_counter <- th.region_counter + 1;
+      advance fr;
+      th.checkpoint <-
+        Some
+          {
+            Thread.ck_depth = Thread.depth th;
+            ck_block = fr.block.label;
+            ck_idx = fr.idx;
+            ck_regs = fr.regs;
+            ck_counter = th.region_counter;
+            ck_step = m.step;
+          };
+      Stats.hit_checkpoint m.stats id;
+      trace m (Trace.Ev_checkpoint { step = m.step; tid = th.tid; ckpt_id = id })
+  | Instr.Ptr_guard (r, p, ix) ->
+      set r (Value.Bool (Heap.valid m.heap (eval fr p) (as_int (eval fr ix))));
+      advance fr
+  | Instr.Try_recover { site_id; kind } ->
+      trace m
+        (Trace.Ev_failure_detected { step = m.step; tid = th.tid; site_id; kind });
+      if not (try_recover m th ~site_id ~kind) then advance fr
+  | Instr.Fail_stop { site_id; kind; msg } ->
+      close_episode m th;
+      trace m (Trace.Ev_fail_stop { step = m.step; tid = th.tid; site_id });
+      set_failure m ~kind ~site_id:(Some site_id) ~iid:(Some i.iid)
+        ~tid:th.tid ~msg
+
+let exec_terminator m (th : Thread.t) =
+  let fr = Thread.top th in
+  match fr.block.term with
+  | Instr.Jump l ->
+      fr.block <- Func.block_exn fr.func l;
+      fr.idx <- 0
+  | Instr.Branch (c, t, f) ->
+      let taken, other = if Value.is_true (eval fr c) then (t, f) else (f, t) in
+      note_branch_taken m th ~taken ~other;
+      fr.block <- Func.block_exn fr.func taken;
+      fr.idx <- 0
+  | Instr.Return v ->
+      let value = Option.map (eval fr) v in
+      do_return m th value
+  | Instr.Exit ->
+      th.status <- Thread.Done;
+      m.outcome <- Some Outcome.Success
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Eligibility: can this thread make progress right now? *)
+let eligible m (th : Thread.t) =
+  match th.status with
+  | Thread.Runnable -> true
+  | Thread.Sleeping until -> m.step >= until
+  | Thread.Blocked_lock { name; since; timeout } ->
+      Locks.is_free m.locks name
+      || (match timeout with Some t -> m.step - since >= t | None -> false)
+      || (* under wait-graph detection, a timed waiter inside a cycle is
+            woken immediately so the lock site can report the deadlock *)
+      (m.config.deadlock_detection = Wait_graph
+      && timeout <> None
+      && in_wait_cycle m ~tid:th.tid ~lock:name)
+  | Thread.Blocked_event { since; timeout; _ } -> (
+      (* notifies wake the thread eagerly; only timeouts need polling *)
+      match timeout with Some t -> m.step - since >= t | None -> false)
+  | Thread.Blocked_join tid -> (
+      match (thread m tid).status with
+      | Thread.Done | Thread.Failed -> true
+      | _ -> false)
+  | Thread.Done | Thread.Failed -> false
+
+let run_thread_step m tid =
+  let th = thread m tid in
+  (* A sleeper simply wakes; blocked threads re-execute their blocking
+     instruction, which inspects and updates the status itself (notably the
+     [since] timestamp of a timed lock must survive rescheduling). *)
+  (match th.status with
+  | Thread.Sleeping _ ->
+      trace m (Trace.Ev_wake { step = m.step; tid });
+      th.status <- Thread.Runnable
+  | _ -> ());
+  m.stats.instrs <- m.stats.instrs + 1;
+  trace m (Trace.Ev_schedule { step = m.step; tid });
+  (if m.config.profile_sites then
+     let fr = Thread.top th in
+     if fr.idx < Block.length fr.block then
+       Stats.hit_iid m.stats fr.block.instrs.(fr.idx).Instr.iid);
+  (* Remember where the thread stands before executing: on a fault, the
+     crash report carries the faulting instruction — exactly what a user
+     hands to fix mode (§3.1.2). *)
+  let at_iid =
+    match th.stack with
+    | fr :: _ when fr.idx < Block.length fr.block ->
+        Some fr.block.instrs.(fr.idx).Instr.iid
+    | _ -> None
+  in
+  try
+    let fr = Thread.top th in
+    if fr.idx < Block.length fr.block then
+      exec_instr m th fr.block.instrs.(fr.idx)
+    else exec_terminator m th
+  with Fault msg ->
+    (* An unrecovered runtime fault: segmentation fault or an equivalent
+       hardware-level failure of this thread, which takes the program
+       down. *)
+    close_episode m th;
+    set_failure m ~kind:Instr.Seg_fault ~site_id:None ~iid:at_iid ~tid ~msg
+
+(** Run one scheduler step. Returns [false] when the program has finished
+    (successfully or not). *)
+let step m =
+  match m.outcome with
+  | Some _ -> false
+  | None ->
+      let live = live_threads m in
+      if live = [] then begin
+        m.outcome <- Some Outcome.Success;
+        false
+      end
+      else begin
+        let ready = List.filter (fun tid -> eligible m (thread m tid)) live in
+        (match ready with
+        | [] ->
+            (* Threads that will become eligible as virtual time passes:
+               sleepers, and lock waiters with a pending timeout. *)
+            let waiting_on_time =
+              List.exists
+                (fun tid ->
+                  match (thread m tid).status with
+                  | Thread.Sleeping _
+                  | Thread.Blocked_lock { timeout = Some _; _ }
+                  | Thread.Blocked_event { timeout = Some _; _ } ->
+                      true
+                  | _ -> false)
+                live
+            in
+            if waiting_on_time then begin
+              (* Everyone is asleep or waiting: let virtual time pass. *)
+              m.step <- m.step + 1;
+              m.stats.idle <- m.stats.idle + 1;
+              m.stats.steps <- m.stats.steps + 1
+            end
+            else
+              m.outcome <- Some (Outcome.Hang { step = m.step; blocked = live })
+        | _ :: _ ->
+            let tid = Sched.choose m.sched ready in
+            run_thread_step m tid;
+            m.step <- m.step + 1;
+            m.stats.steps <- m.stats.steps + 1);
+        m.outcome = None
+      end
+
+(** Run to completion (or until the fuel runs out). *)
+let run m =
+  let rec go () =
+    if m.step >= m.config.fuel then begin
+      m.outcome <- Some (Outcome.Fuel_exhausted m.step);
+      Outcome.Fuel_exhausted m.step
+    end
+    else if step m then go ()
+    else Option.value ~default:Outcome.Success m.outcome
+  in
+  go ()
+
+(** Convenience: build a machine and run it. *)
+let run_program ?config ?meta prog =
+  let m = create ?config ?meta prog in
+  let outcome = run m in
+  (m, outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-machine snapshots                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* These exist for the *baseline* recovery schemes of Fig 4's right end
+   (traditional whole-program checkpoint/rollback): they copy every thread,
+   the heap, the globals and the locks. ConAir itself never needs them —
+   that is its whole point. *)
+
+type snapshot = {
+  s_globals : (string, Value.t) Hashtbl.t;
+  s_heap : Heap.t;
+  s_locks : Locks.t;
+  s_threads : (int * Thread.t) list;
+  s_next_tid : int;
+  s_step : int;
+  s_outputs : string list;
+}
+
+let copy_frame (fr : Thread.frame) =
+  {
+    fr with
+    Thread.stack_vars = Hashtbl.copy fr.stack_vars;
+    regs = fr.regs (* immutable map *);
+  }
+
+let copy_thread (th : Thread.t) =
+  {
+    th with
+    Thread.stack = List.map copy_frame th.stack;
+    retries = Hashtbl.copy th.retries;
+  }
+
+let snapshot m : snapshot =
+  {
+    s_globals = Hashtbl.copy m.globals;
+    s_heap = Heap.snapshot m.heap;
+    s_locks = Locks.snapshot m.locks;
+    s_threads =
+      Hashtbl.fold (fun tid th acc -> (tid, copy_thread th) :: acc) m.threads [];
+    s_next_tid = m.next_tid;
+    s_step = m.step;
+    s_outputs = m.outputs;
+  }
+
+(** Restore [m] to [s]. The statistics keep accumulating across restores
+    (lost work is real work); the scheduler can be re-seeded by the caller
+    so the retried execution explores a different interleaving. *)
+let restore m (s : snapshot) =
+  Hashtbl.reset m.globals;
+  Hashtbl.iter (Hashtbl.replace m.globals) s.s_globals;
+  Hashtbl.reset (Heap.blocks_table m.heap);
+  let heap_copy = Heap.snapshot s.s_heap in
+  Hashtbl.iter
+    (Hashtbl.replace (Heap.blocks_table m.heap))
+    (Heap.blocks_table heap_copy);
+  Heap.set_next m.heap (Heap.next_id heap_copy);
+  Hashtbl.reset m.locks;
+  let locks_copy = Locks.snapshot s.s_locks in
+  Hashtbl.iter (Hashtbl.replace m.locks) locks_copy;
+  Hashtbl.reset m.threads;
+  List.iter (fun (tid, th) -> Hashtbl.replace m.threads tid (copy_thread th))
+    s.s_threads;
+  m.next_tid <- s.s_next_tid;
+  (* Virtual time is wall-clock: a rollback restores *state*, not time, so
+     sleep deadlines captured in the snapshot keep their absolute meaning
+     and blocked threads eventually make progress across restores. *)
+  m.step <- max m.step s.s_step;
+  m.outputs <- s.s_outputs;
+  m.outcome <- None
+
+(** Swap the scheduling policy and (optionally) enable timing perturbation
+    — used by baselines to explore a different interleaving after a
+    rollback or restart. *)
+let reseed ?(perturb = false) m policy =
+  let fresh = Sched.create policy in
+  fresh.Sched.cursor <- m.sched.Sched.cursor;
+  {
+    m with
+    sched = fresh;
+    config = { m.config with perturb_timing = m.config.perturb_timing || perturb };
+  }

@@ -1,0 +1,111 @@
+(** The Mir interpreter with the ConAir recovery runtime built in.
+
+    One scheduler step executes one instruction (or terminator) of one
+    thread. The recovery pseudo-instructions are interpreted here:
+    [Checkpoint] saves the register image into the thread's single
+    checkpoint slot, [Try_recover] compensates (releases locks / frees
+    blocks acquired in the current region, §4.1) and rolls back within a
+    per-site retry budget, [Timed_lock] blocks with a step timeout.
+    Unhardened programs fail where hardened ones recover: asserts stop
+    the program, invalid dereferences are segmentation faults, and a
+    configuration with every live thread blocked is a hang. *)
+
+open Conair_ir
+module Label = Ident.Label
+
+(** How a deadlock is noticed at a hardened lock site (§3.1.1: "ConAir
+    can work with any deadlock-detection mechanism"): lock timeouts (the
+    paper's prototype) or wait-for-graph cycle detection (recovery starts
+    the moment the cycle closes). *)
+type deadlock_detection = Timeout_based | Wait_graph
+
+type config = {
+  policy : Sched.policy;
+  fuel : int;  (** scheduler-step budget before giving up *)
+  max_retries : int;  (** per-site retry budget (paper default: 10^6) *)
+  deadlock_detection : deadlock_detection;
+  deadlock_backoff : int;
+      (** max random sleep after a deadlock rollback (livelock avoidance) *)
+  verify_rollbacks : bool;
+      (** check at every rollback that no dynamically-destroying
+          instruction executed since the checkpoint — the static
+          analysis' safety invariant *)
+  perturb_timing : bool;
+      (** randomize sleep durations and stagger thread startup — the
+          Rx-style environment change the baselines use on reexecution;
+          never used by ConAir itself *)
+  spawn_jitter : int;
+      (** max random startup delay for spawned threads under
+          [perturb_timing] *)
+  profile_sites : bool;
+      (** record per-instruction execution counts (ConSeq-style
+          well-tested-site profiling, §3.4); off by default *)
+}
+
+val default_config : config
+
+(** Metadata from the hardening pass: fail-arm labels per site, used to
+    close recovery episodes when a site is finally passed. *)
+type meta = { fail_blocks : (Label.t * int) list }
+
+val meta_of_harden : Conair_transform.Harden.t -> meta
+
+type t = {
+  prog : Program.t;
+  config : config;
+  meta : meta option;
+  globals : (string, Value.t) Hashtbl.t;
+  heap : Heap.t;
+  locks : Locks.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable next_tid : int;
+  mutable step : int;  (** virtual time *)
+  mutable outputs : string list;  (** newest first *)
+  stats : Stats.t;
+  sched : Sched.t;
+  mutable outcome : Outcome.t option;
+  mutable trace : Trace.sink option;
+}
+
+val set_trace : t -> Trace.sink -> unit
+(** Install a trace sink; subsequent execution reports typed events
+    (scheduling, blocking, checkpoints, rollbacks, compensation,
+    recovery). Off by default — tracing costs memory. *)
+
+val create : ?config:config -> ?meta:meta -> Program.t -> t
+(** A machine with the main thread ready to run. *)
+
+val outputs : t -> string list
+(** In emission order. *)
+
+val stats : t -> Stats.t
+val thread : t -> int -> Thread.t
+val live_threads : t -> int list
+
+val step : t -> bool
+(** Run one scheduler step; [false] once the program has finished. *)
+
+val run : t -> Outcome.t
+(** Run to completion or until the fuel runs out. *)
+
+val run_program : ?config:config -> ?meta:meta -> Program.t -> t * Outcome.t
+
+(** {1 Whole-machine snapshots}
+
+    For the Fig 4 right-end baselines only — ConAir itself never copies
+    memory state. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Restore state but not time: virtual time is wall-clock and keeps
+    moving forward, so sleep deadlines captured in the snapshot retain
+    their meaning across restores. A snapshot can be restored any number
+    of times. *)
+
+val reseed : ?perturb:bool -> t -> Sched.policy -> t
+(** Swap the scheduling policy (and optionally enable timing
+    perturbation) — how baselines explore a different interleaving after
+    a rollback or restart. *)

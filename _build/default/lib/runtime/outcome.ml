@@ -1,0 +1,47 @@
+(* The result of running a Mir program to completion (or not). *)
+
+open Conair_ir
+
+type failure = {
+  kind : Instr.failure_kind;
+  site_id : int option;  (** known when a hardened site fail-stopped *)
+  iid : int option;
+      (** the instruction at which the failure manifested — what a user
+          reports to fix mode (§3.1.2) *)
+  tid : int;
+  step : int;
+  msg : string;
+}
+
+type t =
+  | Success
+  | Failed of failure
+  | Hang of { step : int; blocked : int list }
+      (** every live thread is blocked forever — the symptom of an
+          unrecovered deadlock *)
+  | Fuel_exhausted of int
+
+let is_success = function
+  | Success -> true
+  | Failed _ | Hang _ | Fuel_exhausted _ -> false
+
+let pp ppf = function
+  | Success -> Format.fprintf ppf "success"
+  | Failed f ->
+      Format.fprintf ppf "failed: %a (tid=%d step=%d%s%s): %s"
+        Instr.pp_failure_kind f.kind f.tid f.step
+        (match f.site_id with
+        | Some s -> Printf.sprintf " site=%d" s
+        | None -> "")
+        (match f.iid with
+        | Some i -> Printf.sprintf " at instruction %d" i
+        | None -> "")
+        f.msg
+  | Hang { step; blocked } ->
+      Format.fprintf ppf "hang at step %d (blocked threads: %a)" step
+        Format.(
+          pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_print_int)
+        blocked
+  | Fuel_exhausted n -> Format.fprintf ppf "fuel exhausted after %d steps" n
+
+let to_string o = Format.asprintf "%a" pp o

@@ -1,0 +1,25 @@
+(** The result of running a Mir program. *)
+
+open Conair_ir
+
+type failure = {
+  kind : Instr.failure_kind;
+  site_id : int option;  (** known when a hardened site fail-stopped *)
+  iid : int option;
+      (** the instruction at which the failure manifested — what a user
+          reports to fix mode (§3.1.2) *)
+  tid : int;
+  step : int;
+  msg : string;
+}
+
+type t =
+  | Success
+  | Failed of failure
+  | Hang of { step : int; blocked : int list }
+      (** every live thread is blocked forever — an unrecovered deadlock *)
+  | Fuel_exhausted of int
+
+val is_success : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

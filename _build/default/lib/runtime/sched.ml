@@ -1,0 +1,39 @@
+(* Scheduling policy: which eligible thread runs the next instruction.
+
+   Determinism matters more than realism here — the paper forces buggy
+   interleavings with injected sleeps, and so do the benchmarks; given the
+   same policy and seed, a run is exactly reproducible. *)
+
+type policy =
+  | Round_robin  (** strict rotation among eligible threads *)
+  | Random of int  (** uniform choice, seeded *)
+
+type t = { policy : policy; rng : Random.State.t; mutable cursor : int }
+
+let create policy =
+  let seed = match policy with Round_robin -> 0 | Random s -> s in
+  { policy; rng = Random.State.make [| seed |]; cursor = 0 }
+
+(** Pick one of [eligible] (a non-empty list of thread ids). *)
+let choose t eligible =
+  match eligible with
+  | [] -> invalid_arg "Sched.choose: no eligible thread"
+  | [ tid ] -> tid
+  | _ -> (
+      match t.policy with
+      | Round_robin ->
+          (* The first eligible tid strictly greater than the last scheduled
+             one, wrapping around: a fair rotation even as threads come and
+             go. *)
+          let next =
+            match List.find_opt (fun tid -> tid > t.cursor) eligible with
+            | Some tid -> tid
+            | None -> List.hd eligible
+          in
+          t.cursor <- next;
+          next
+      | Random _ ->
+          List.nth eligible (Random.State.int t.rng (List.length eligible)))
+
+(** The runtime's randomness source (deadlock-recovery backoff). *)
+let rng t = t.rng

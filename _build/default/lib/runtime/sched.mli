@@ -1,0 +1,19 @@
+(** Scheduling policy: which eligible thread runs the next instruction.
+    Deterministic given the policy and seed, so every run is exactly
+    reproducible. *)
+
+type policy =
+  | Round_robin  (** strict rotation among eligible threads *)
+  | Random of int  (** uniform choice, seeded *)
+
+type t = { policy : policy; rng : Random.State.t; mutable cursor : int }
+
+val create : policy -> t
+
+val choose : t -> int list -> int
+(** Pick one of the eligible thread ids.
+    @raise Invalid_argument on an empty list. *)
+
+val rng : t -> Random.State.t
+(** The runtime's randomness source (deadlock-recovery backoff, timing
+    perturbation). *)

@@ -1,0 +1,74 @@
+(* Execution statistics: the raw material of Tables 3, 5, 6 and 7. *)
+
+type episode = {
+  ep_site_id : int;
+  ep_tid : int;
+  ep_start : int;  (** step of the first rollback for this failure *)
+  ep_end : int;  (** step at which the thread passed the site *)
+  ep_retries : int;
+}
+
+let episode_duration e = e.ep_end - e.ep_start
+
+type t = {
+  mutable steps : int;  (** scheduler steps, including idle ticks *)
+  mutable instrs : int;  (** instructions actually executed *)
+  mutable idle : int;
+  mutable checkpoints : int;  (** dynamic reexecution points (Table 5) *)
+  mutable rollbacks : int;
+  mutable compensated_locks : int;
+  mutable compensated_blocks : int;
+  mutable episodes : episode list;  (** completed recovery episodes, newest first *)
+  mutable tracecheck_violations : int;
+  mutable outputs : int;
+  ckpt_hits : (int, int) Hashtbl.t;
+      (** executions per checkpoint id — the per-family dynamic
+          reexecution-point counts of Table 6 *)
+  iid_hits : (int, int) Hashtbl.t;
+      (** executions per instruction id, populated only under
+          [Machine.config.profile_sites] — the ConSeq-style profile *)
+}
+
+let create () =
+  {
+    steps = 0;
+    instrs = 0;
+    idle = 0;
+    checkpoints = 0;
+    rollbacks = 0;
+    compensated_locks = 0;
+    compensated_blocks = 0;
+    episodes = [];
+    tracecheck_violations = 0;
+    outputs = 0;
+    ckpt_hits = Hashtbl.create 16;
+    iid_hits = Hashtbl.create 64;
+  }
+
+let hit_checkpoint t id =
+  t.checkpoints <- t.checkpoints + 1;
+  Hashtbl.replace t.ckpt_hits id
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.ckpt_hits id))
+
+let ckpt_hits_of t id = Option.value ~default:0 (Hashtbl.find_opt t.ckpt_hits id)
+
+let hit_iid t iid =
+  Hashtbl.replace t.iid_hits iid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.iid_hits iid))
+
+let iid_hits_of t iid = Option.value ~default:0 (Hashtbl.find_opt t.iid_hits iid)
+
+let total_retries t =
+  List.fold_left (fun n e -> n + e.ep_retries) 0 t.episodes
+
+(** Duration of the longest recovery episode — the "Recovery Time" column
+    of Table 7 (in virtual steps). *)
+let max_recovery_time t =
+  List.fold_left (fun n e -> max n (episode_duration e)) 0 t.episodes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "steps=%d instrs=%d idle=%d checkpoints=%d rollbacks=%d episodes=%d \
+     comp-locks=%d comp-blocks=%d tracecheck-violations=%d"
+    t.steps t.instrs t.idle t.checkpoints t.rollbacks (List.length t.episodes)
+    t.compensated_locks t.compensated_blocks t.tracecheck_violations

@@ -1,0 +1,44 @@
+(** Execution statistics: the raw material of Tables 3, 5, 6 and 7. *)
+
+(** One completed recovery: from the first rollback for a failure until
+    the thread made it past the failure site. *)
+type episode = {
+  ep_site_id : int;
+  ep_tid : int;
+  ep_start : int;
+  ep_end : int;
+  ep_retries : int;
+}
+
+val episode_duration : episode -> int
+
+type t = {
+  mutable steps : int;  (** scheduler steps, including idle ticks *)
+  mutable instrs : int;  (** instructions actually executed *)
+  mutable idle : int;
+  mutable checkpoints : int;  (** dynamic reexecution points (Table 5) *)
+  mutable rollbacks : int;
+  mutable compensated_locks : int;
+  mutable compensated_blocks : int;
+  mutable episodes : episode list;  (** newest first *)
+  mutable tracecheck_violations : int;
+  mutable outputs : int;
+  ckpt_hits : (int, int) Hashtbl.t;
+      (** executions per checkpoint id — Table 6's dynamic split *)
+  iid_hits : (int, int) Hashtbl.t;
+      (** executions per instruction id, populated only under
+          [Machine.config.profile_sites] — the ConSeq-style profile *)
+}
+
+val create : unit -> t
+val hit_checkpoint : t -> int -> unit
+val ckpt_hits_of : t -> int -> int
+val hit_iid : t -> int -> unit
+val iid_hits_of : t -> int -> int
+val total_retries : t -> int
+
+val max_recovery_time : t -> int
+(** Duration of the longest recovery episode — Table 7's "Recovery Time"
+    in virtual steps. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+(* Per-thread interpreter state: the call stack, the ConAir checkpoint slot
+   (the thread-local jmp_buf of Fig 6 — only the *most recent* reexecution
+   point is kept), retry counters, and the resource-acquisition log used by
+   the §4.1 compensation. *)
+
+open Conair_ir
+module Reg = Ident.Reg
+module Label = Ident.Label
+
+type frame = {
+  func : Func.t;
+  mutable block : Block.t;
+  mutable idx : int;  (** next instruction index; [= length] means terminator *)
+  mutable regs : Value.t Reg.Map.t;
+  stack_vars : (string, Value.t) Hashtbl.t;
+  ret_reg : Reg.t option;  (** where the caller wants the return value *)
+}
+
+(** The saved register image + program point (setjmp analogue). Resumption
+    happens *after* the [Checkpoint] instruction, like returning from
+    [setjmp] via [longjmp]: the region counter is not incremented again, so
+    resources re-acquired during the retry keep the same region tag. *)
+type checkpoint = {
+  ck_depth : int;  (** call-stack depth at save time *)
+  ck_block : Label.t;
+  ck_idx : int;  (** resume index (just past the checkpoint) *)
+  ck_regs : Value.t Reg.Map.t;
+  ck_counter : int;
+  ck_step : int;  (** when it was taken, for the rollback-safety verifier *)
+}
+
+type status =
+  | Runnable
+  | Sleeping of int  (** until this step *)
+  | Blocked_lock of { name : string; since : int; timeout : int option }
+  | Blocked_event of { name : string; since : int; timeout : int option }
+  | Blocked_join of int
+  | Done
+  | Failed
+
+(** A resource acquired inside the current reexecution region, to be
+    released if the region rolls back (§4.1). *)
+type resource = R_lock of string | R_block of int
+
+type recovering = { rec_site : int; rec_start : int; rec_retries_before : int }
+
+type t = {
+  tid : int;
+  mutable stack : frame list;  (** top of stack first *)
+  mutable status : status;
+  mutable checkpoint : checkpoint option;
+  mutable region_counter : int;
+  retries : (int, int) Hashtbl.t;  (** site_id -> rollbacks so far *)
+  mutable acq_log : (resource * int) list;  (** resource, region tag *)
+  mutable last_destroy_step : int;
+  mutable recovering : recovering option;
+}
+
+let make_frame (func : Func.t) ~args ~ret_reg =
+  if List.length func.params <> List.length args then
+    invalid_arg
+      (Format.asprintf "call to %a: arity mismatch" Ident.Fname.pp func.name);
+  let regs =
+    List.fold_left2
+      (fun m p a -> Reg.Map.add p a m)
+      Reg.Map.empty func.params args
+  in
+  {
+    func;
+    block = Func.block_exn func func.entry;
+    idx = 0;
+    regs;
+    stack_vars = Hashtbl.create 8;
+    ret_reg;
+  }
+
+let create ~tid (func : Func.t) ~args =
+  {
+    tid;
+    stack = [ make_frame func ~args ~ret_reg:None ];
+    status = Runnable;
+    checkpoint = None;
+    region_counter = 0;
+    retries = Hashtbl.create 4;
+    acq_log = [];
+    last_destroy_step = -1;
+    recovering = None;
+  }
+
+let top t =
+  match t.stack with
+  | f :: _ -> f
+  | [] -> invalid_arg "Thread.top: empty stack"
+
+let depth t = List.length t.stack
+
+let retries_of t site =
+  Option.value ~default:0 (Hashtbl.find_opt t.retries site)
+
+let bump_retries t site = Hashtbl.replace t.retries site (retries_of t site + 1)
+
+(** Log an acquisition under the current region tag, lazily dropping
+    entries from older regions (the paper cleans the vector when the
+    counter moves on). *)
+let log_acquisition t r =
+  let keep =
+    List.filter (fun (_, tag) -> tag = t.region_counter) t.acq_log
+  in
+  t.acq_log <- (r, t.region_counter) :: keep
+
+(** Resources acquired in the current region, and the log without them. *)
+let current_region_acquisitions t =
+  List.partition (fun (_, tag) -> tag = t.region_counter) t.acq_log
+
+let is_live t =
+  match t.status with
+  | Done | Failed -> false
+  | Runnable | Sleeping _ | Blocked_lock _ | Blocked_event _ | Blocked_join _
+    ->
+      true

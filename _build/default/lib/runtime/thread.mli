@@ -1,0 +1,79 @@
+(** Per-thread interpreter state: the call stack, the single checkpoint
+    slot (the thread-local jmp_buf of Fig 6 — only the most recent
+    reexecution point is kept), per-site retry counters, and the
+    resource-acquisition log behind the §4.1 compensation. *)
+
+open Conair_ir
+module Reg = Ident.Reg
+module Label = Ident.Label
+
+type frame = {
+  func : Func.t;
+  mutable block : Block.t;
+  mutable idx : int;  (** next instruction; [= length] means terminator *)
+  mutable regs : Value.t Reg.Map.t;
+  stack_vars : (string, Value.t) Hashtbl.t;
+  ret_reg : Reg.t option;  (** where the caller wants the return value *)
+}
+
+(** The saved register image + program point. Resumption happens after
+    the [Checkpoint] instruction (like returning from [setjmp] via
+    [longjmp]); the region counter is not re-incremented, so resources
+    re-acquired during a retry keep their region tag. *)
+type checkpoint = {
+  ck_depth : int;  (** call-stack depth at save time *)
+  ck_block : Label.t;
+  ck_idx : int;
+  ck_regs : Value.t Reg.Map.t;
+  ck_counter : int;
+  ck_step : int;  (** when taken, for the rollback-safety verifier *)
+}
+
+type status =
+  | Runnable
+  | Sleeping of int  (** until this step *)
+  | Blocked_lock of { name : string; since : int; timeout : int option }
+  | Blocked_event of { name : string; since : int; timeout : int option }
+  | Blocked_join of int
+  | Done
+  | Failed
+
+(** A resource acquired inside the current reexecution region, to release
+    if it rolls back (§4.1). *)
+type resource = R_lock of string | R_block of int
+
+type recovering = { rec_site : int; rec_start : int; rec_retries_before : int }
+
+type t = {
+  tid : int;
+  mutable stack : frame list;  (** top first *)
+  mutable status : status;
+  mutable checkpoint : checkpoint option;
+  mutable region_counter : int;
+  retries : (int, int) Hashtbl.t;  (** site_id → rollbacks so far *)
+  mutable acq_log : (resource * int) list;  (** resource, region tag *)
+  mutable last_destroy_step : int;
+  mutable recovering : recovering option;
+}
+
+val make_frame : Func.t -> args:Value.t list -> ret_reg:Reg.t option -> frame
+(** @raise Invalid_argument on an arity mismatch. *)
+
+val create : tid:int -> Func.t -> args:Value.t list -> t
+
+val top : t -> frame
+(** @raise Invalid_argument on an empty stack. *)
+
+val depth : t -> int
+val retries_of : t -> int -> int
+val bump_retries : t -> int -> unit
+
+val log_acquisition : t -> resource -> unit
+(** Log under the current region tag, lazily dropping entries from older
+    regions. *)
+
+val current_region_acquisitions :
+  t -> (resource * int) list * (resource * int) list
+(** Partition the log into (current region, the rest). *)
+
+val is_live : t -> bool

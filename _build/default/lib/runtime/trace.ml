@@ -1,0 +1,91 @@
+(* A structured execution trace: what the scheduler ran and what the
+   recovery engine did, as typed events. Off by default (tracing costs
+   memory); when a sink is installed, the machine reports scheduling,
+   blocking, failures, checkpoints, rollbacks and compensations, giving
+   tests something to assert order on and users an audit trail of a
+   recovery ("which thread rolled back, how often, what was released"). *)
+
+type event =
+  | Ev_schedule of { step : int; tid : int }
+  | Ev_block of { step : int; tid : int; lock : string }
+  | Ev_wake of { step : int; tid : int }
+  | Ev_spawn of { step : int; parent : int; child : int }
+  | Ev_thread_done of { step : int; tid : int }
+  | Ev_output of { step : int; tid : int; text : string }
+  | Ev_checkpoint of { step : int; tid : int; ckpt_id : int }
+  | Ev_failure_detected of {
+      step : int;
+      tid : int;
+      site_id : int;
+      kind : Conair_ir.Instr.failure_kind;
+    }
+  | Ev_rollback of { step : int; tid : int; site_id : int; retry : int }
+  | Ev_compensate_lock of { step : int; tid : int; lock : string }
+  | Ev_compensate_block of { step : int; tid : int; block : int }
+  | Ev_recovered of { step : int; tid : int; site_id : int }
+  | Ev_fail_stop of { step : int; tid : int; site_id : int }
+
+let pp_event ppf = function
+  | Ev_schedule { step; tid } -> Format.fprintf ppf "[%d] run t%d" step tid
+  | Ev_block { step; tid; lock } ->
+      Format.fprintf ppf "[%d] t%d blocks on %s" step tid lock
+  | Ev_wake { step; tid } -> Format.fprintf ppf "[%d] t%d wakes" step tid
+  | Ev_spawn { step; parent; child } ->
+      Format.fprintf ppf "[%d] t%d spawns t%d" step parent child
+  | Ev_thread_done { step; tid } ->
+      Format.fprintf ppf "[%d] t%d done" step tid
+  | Ev_output { step; tid; text } ->
+      Format.fprintf ppf "[%d] t%d outputs %S" step tid text
+  | Ev_checkpoint { step; tid; ckpt_id } ->
+      Format.fprintf ppf "[%d] t%d checkpoint #%d" step tid ckpt_id
+  | Ev_failure_detected { step; tid; site_id; kind } ->
+      Format.fprintf ppf "[%d] t%d detects %a at site %d" step tid
+        Conair_ir.Instr.pp_failure_kind kind site_id
+  | Ev_rollback { step; tid; site_id; retry } ->
+      Format.fprintf ppf "[%d] t%d rolls back for site %d (retry %d)" step
+        tid site_id retry
+  | Ev_compensate_lock { step; tid; lock } ->
+      Format.fprintf ppf "[%d] t%d compensates: releases %s" step tid lock
+  | Ev_compensate_block { step; tid; block } ->
+      Format.fprintf ppf "[%d] t%d compensates: frees block %d" step tid block
+  | Ev_recovered { step; tid; site_id } ->
+      Format.fprintf ppf "[%d] t%d recovered from site %d" step tid site_id
+  | Ev_fail_stop { step; tid; site_id } ->
+      Format.fprintf ppf "[%d] t%d fail-stops at site %d" step tid site_id
+
+(** A trace sink; [record] receives the full event stream. *)
+type sink = { mutable events : event list (* newest first *) }
+
+let create () = { events = [] }
+let record sink ev = sink.events <- ev :: sink.events
+let events sink = List.rev sink.events
+let length sink = List.length sink.events
+
+let pp ppf sink =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list pp_event)
+    (events sink)
+
+(* Scheduling events dominate traces; the recovery summary keeps only the
+   story a user cares about. *)
+let recovery_events sink =
+  List.filter
+    (function
+      | Ev_failure_detected _ | Ev_rollback _ | Ev_compensate_lock _
+      | Ev_compensate_block _ | Ev_recovered _ | Ev_fail_stop _
+      | Ev_checkpoint _ ->
+          true
+      | Ev_schedule _ | Ev_block _ | Ev_wake _ | Ev_spawn _
+      | Ev_thread_done _ | Ev_output _ ->
+          false)
+    (events sink)
+
+let pp_recovery_summary ppf sink =
+  let evs =
+    List.filter
+      (function Ev_checkpoint _ -> false | _ -> true)
+      (recovery_events sink)
+  in
+  if evs = [] then Format.fprintf ppf "no recovery activity"
+  else
+    Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_event) evs

@@ -1,0 +1,44 @@
+(** A structured execution trace: scheduling and recovery activity as
+    typed events. Opt-in (install a sink with {!Machine.set_trace});
+    used by tests to assert event ordering and by the CLI's [--trace] to
+    print a recovery audit trail. *)
+
+type event =
+  | Ev_schedule of { step : int; tid : int }
+  | Ev_block of { step : int; tid : int; lock : string }
+  | Ev_wake of { step : int; tid : int }
+  | Ev_spawn of { step : int; parent : int; child : int }
+  | Ev_thread_done of { step : int; tid : int }
+  | Ev_output of { step : int; tid : int; text : string }
+  | Ev_checkpoint of { step : int; tid : int; ckpt_id : int }
+  | Ev_failure_detected of {
+      step : int;
+      tid : int;
+      site_id : int;
+      kind : Conair_ir.Instr.failure_kind;
+    }
+  | Ev_rollback of { step : int; tid : int; site_id : int; retry : int }
+  | Ev_compensate_lock of { step : int; tid : int; lock : string }
+  | Ev_compensate_block of { step : int; tid : int; block : int }
+  | Ev_recovered of { step : int; tid : int; site_id : int }
+  | Ev_fail_stop of { step : int; tid : int; site_id : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+type sink
+
+val create : unit -> sink
+val record : sink -> event -> unit
+
+val events : sink -> event list
+(** In occurrence order. *)
+
+val length : sink -> int
+val pp : Format.formatter -> sink -> unit
+
+val recovery_events : sink -> event list
+(** Only the recovery story (detections, rollbacks, compensations,
+    recoveries, fail-stops, checkpoints). *)
+
+val pp_recovery_summary : Format.formatter -> sink -> unit
+(** The recovery story without the (noisy) checkpoint events. *)

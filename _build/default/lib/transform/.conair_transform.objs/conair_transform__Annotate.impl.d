@@ -1,0 +1,1 @@
+lib/transform/annotate.ml: Array Conair_ir Func Ident Instr List Printf Program Rewrite

@@ -1,0 +1,1 @@
+lib/transform/annotate.mli: Conair_ir Func Ident Program

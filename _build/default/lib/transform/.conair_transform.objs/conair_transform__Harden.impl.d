@@ -1,0 +1,1 @@
+lib/transform/harden.ml: Conair_analysis Conair_ir Ident Instr List Optimize Plan Program Region Rewrite

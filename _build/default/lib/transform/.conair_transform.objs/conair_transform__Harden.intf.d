@@ -1,0 +1,1 @@
+lib/transform/harden.mli: Conair_analysis Conair_ir Ident Plan Program Region

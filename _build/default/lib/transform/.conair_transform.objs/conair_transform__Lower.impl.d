@@ -1,0 +1,1 @@
+lib/transform/lower.ml: Array Block Conair_ir Func Ident Instr List Option Printf Program

@@ -1,0 +1,1 @@
+lib/transform/lower.mli: Conair_ir Ident Program

@@ -1,0 +1,1 @@
+lib/transform/report.ml: Conair_analysis Conair_ir Find_sites Format Harden Instr List Optimize Plan Region

@@ -1,0 +1,1 @@
+lib/transform/report.mli: Conair_analysis Find_sites Format Harden

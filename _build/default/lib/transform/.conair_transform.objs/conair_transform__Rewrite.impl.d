@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Array Block Conair_ir Func Hashtbl Ident Instr List Option Printf Program

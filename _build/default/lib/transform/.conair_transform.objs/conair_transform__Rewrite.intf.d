@@ -1,0 +1,1 @@
+lib/transform/rewrite.mli: Conair_ir Ident Instr Program

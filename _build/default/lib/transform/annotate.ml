@@ -1,0 +1,107 @@
+(* Automatic null-check annotation (§3.4: "ConAir currently inserts an
+   assertion before every fputs function call to check whether the
+   parameter of fputs is NULL or not" — generalized).
+
+   For every function that *unconditionally and immediately* dereferences
+   one of its pointer parameters (a deref of the untouched parameter in
+   its entry block, before any call or redefinition), every call site
+   passing a register for that parameter gets
+
+     %t1 = is_null arg
+     %t2 = not %t1
+     assert %t2, "auto null check: ..."
+
+   inserted just before the call. The new asserts are ordinary failure
+   sites: survival mode then recovers the null *before* entering the
+   callee — turning inter-procedural cases like MozillaXP's GetState into
+   intra-procedural ones when the caller re-reads a shared pointer. *)
+
+open Conair_ir
+module Reg = Ident.Reg
+module Fname = Ident.Fname
+
+(* Parameters of [f] that the entry block dereferences before any call,
+   spawn or redefinition. *)
+let immediately_dereffed_params (f : Func.t) =
+  let entry = Func.block_exn f f.entry in
+  let alive = ref (Reg.Set.of_list f.params) in
+  let found = ref Reg.Set.empty in
+  (try
+     Array.iter
+       (fun (i : Instr.t) ->
+         (match i.op with
+         | Instr.Load_idx (_, Instr.Reg p, _)
+         | Instr.Store_idx (Instr.Reg p, _, _) ->
+             if Reg.Set.mem p !alive then found := Reg.Set.add p !found
+         | Instr.Call _ | Instr.Spawn _ -> raise Exit
+         | _ -> ());
+         match Instr.def i.op with
+         | Some r -> alive := Reg.Set.remove r !alive
+         | None -> ())
+       entry.instrs
+   with Exit -> ());
+  !found
+
+(** Insert null-check assertions; returns the annotated program and the
+    number of assertions added. Instruction ids are preserved for original
+    instructions; the checks get fresh ids. *)
+let add_null_checks (p : Program.t) : Program.t * int =
+  let deref_params =
+    List.filter_map
+      (fun (f : Func.t) ->
+        let s = immediately_dereffed_params f in
+        if Reg.Set.is_empty s then None else Some (f.name, (f.params, s)))
+      p.funcs
+  in
+  if deref_params = [] then (p, 0)
+  else begin
+    let edits = Rewrite.create () in
+    let added = ref 0 in
+    let sym = ref 0 in
+    Program.iter_funcs p (fun f ->
+        Func.iter_instrs f (fun _ i ->
+            match i.op with
+            | Instr.Call (_, callee, args) -> (
+                match List.assoc_opt callee deref_params with
+                | None -> ()
+                | Some (params, dereffed) ->
+                    let checks =
+                      List.concat
+                        (List.mapi
+                           (fun idx param ->
+                             if Reg.Set.mem param dereffed then
+                               match List.nth_opt args idx with
+                               | Some (Instr.Reg _ as arg) ->
+                                   let n = !sym in
+                                   sym := n + 2;
+                                   let t1 =
+                                     Reg.v (Printf.sprintf "__nn%d" n)
+                                   in
+                                   let t2 =
+                                     Reg.v (Printf.sprintf "__nn%d" (n + 1))
+                                   in
+                                   incr added;
+                                   [
+                                     Instr.Unop (t1, Instr.Is_null, arg);
+                                     Instr.Unop
+                                       (t2, Instr.Not, Instr.Reg t1);
+                                     Instr.Assert
+                                       {
+                                         cond = Instr.Reg t2;
+                                         msg =
+                                           Printf.sprintf
+                                             "auto null check: %s(%s)"
+                                             (Fname.name callee)
+                                             (Reg.name param);
+                                         oracle = false;
+                                       };
+                                   ]
+                               | Some (Instr.Const _) | None -> []
+                             else [])
+                           params)
+                    in
+                    if checks <> [] then Rewrite.insert_before edits i.iid checks)
+            | _ -> ()));
+    let p', _ = Rewrite.apply edits p in
+    (p', !added)
+  end

@@ -1,0 +1,17 @@
+(** Automatic null-check annotation (a §3.4 extension, generalizing the
+    paper's assertion before every [fputs]): callers of functions that
+    unconditionally and immediately dereference a pointer parameter get a
+    null-check assert inserted before the call. The new asserts are
+    ordinary failure sites — survival mode then catches the null *before*
+    entering the callee, often turning inter-procedural recoveries into
+    intra-procedural ones. *)
+
+open Conair_ir
+
+val immediately_dereffed_params : Func.t -> Ident.Reg.Set.t
+(** Parameters the entry block dereferences before any call, spawn or
+    redefinition. *)
+
+val add_null_checks : Program.t -> Program.t * int
+(** The annotated program and the number of assertions added; original
+    instruction ids are preserved. *)

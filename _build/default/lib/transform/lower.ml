@@ -1,0 +1,175 @@
+(* Spill lowering: a simulation of the compiler back end's register
+   allocation, reproducing the §3.2.1 discussion.
+
+   ConAir analyses idempotency at the bitcode level, where every value
+   lives in a virtual register that the checkpointed register image
+   restores. Code generation then places some of those registers in stack
+   slots. The paper compiles with [-no-stack-slot-sharing] so that
+   "different virtual registers, when not allocated in physical
+   registers, are allocated in different stack slots" — because a *shared*
+   slot can be overwritten inside a reexecution region by a variable whose
+   live range is sequentially disjoint from an input value's, which is
+   perfectly legal for normal execution and silently corrupts rollback
+   reexecution.
+
+   [spill] rewrites a (typically already-hardened) program so chosen
+   registers live in stack slots: a [Load] is inserted before each use and
+   a [Store] after each definition. With [`Own_slots] every spilled
+   register gets a private slot — the paper's flag — and recovery still
+   works. With [`Groups] the caller coalesces registers into shared slots
+   (as a live-range allocator would); the tests use it to reproduce the
+   corruption the flag prevents. *)
+
+open Conair_ir
+module Reg = Ident.Reg
+module Fname = Ident.Fname
+
+type sharing =
+  | Own_slots  (** each spilled register gets its own slot *)
+  | Groups of (string * string list) list
+      (** slot name -> register names coalesced into it *)
+
+(* slot name for a spilled register, or None to keep it in a register *)
+let slot_assignment ~sharing ~(spill : Reg.t -> bool) (r : Reg.t) =
+  if not (spill r) then None
+  else
+    match sharing with
+    | Own_slots -> Some ("__spill_" ^ Reg.name r)
+    | Groups groups -> (
+        match
+          List.find_opt (fun (_, regs) -> List.mem (Reg.name r) regs) groups
+        with
+        | Some (slot, _) -> Some slot
+        | None -> Some ("__spill_" ^ Reg.name r))
+
+(* Rewrite one operand, returning (loads to prepend, new operand). *)
+let lower_operand ~slot_of ~fresh_tmp = function
+  | Instr.Const _ as c -> ([], c)
+  | Instr.Reg r as op -> (
+      match slot_of r with
+      | None -> ([], op)
+      | Some slot ->
+          let tmp = fresh_tmp () in
+          ([ Instr.Load (tmp, Instr.Stack slot) ], Instr.Reg tmp))
+
+let lower_op ~slot_of ~fresh_tmp (op : Instr.op) :
+    Instr.op list * Instr.op * Instr.op list =
+  let lower1 = lower_operand ~slot_of ~fresh_tmp in
+  let pre = ref [] in
+  let arg a =
+    let loads, a' = lower1 a in
+    pre := !pre @ loads;
+    a'
+  in
+  let args l = List.map arg l in
+  (* definitions: redirect into a temp, then store to the slot *)
+  let post = ref [] in
+  let def r =
+    match slot_of r with
+    | None -> r
+    | Some slot ->
+        let tmp = fresh_tmp () in
+        post := [ Instr.Store (Instr.Stack slot, Instr.Reg tmp) ];
+        tmp
+  in
+  let lowered =
+    match op with
+    | Instr.Move (r, a) ->
+        let a = arg a in
+        Instr.Move (def r, a)
+    | Instr.Binop (r, b, x, y) ->
+        let x = arg x and y = arg y in
+        Instr.Binop (def r, b, x, y)
+    | Instr.Unop (r, u, a) ->
+        let a = arg a in
+        Instr.Unop (def r, u, a)
+    | Instr.Load (r, m) -> Instr.Load (def r, m)
+    | Instr.Store (m, a) -> Instr.Store (m, arg a)
+    | Instr.Load_idx (r, p, i) ->
+        let p = arg p and i = arg i in
+        Instr.Load_idx (def r, p, i)
+    | Instr.Store_idx (p, i, v) ->
+        let p = arg p and i = arg i and v = arg v in
+        Instr.Store_idx (p, i, v)
+    | Instr.Alloc (r, n) ->
+        let n = arg n in
+        Instr.Alloc (def r, n)
+    | Instr.Free a -> Instr.Free (arg a)
+    | Instr.Lock a -> Instr.Lock (arg a)
+    | Instr.Unlock a -> Instr.Unlock (arg a)
+    | Instr.Assert a -> Instr.Assert { a with cond = arg a.cond }
+    | Instr.Output o -> Instr.Output { o with args = args o.args }
+    | Instr.Call (r, f, a) ->
+        let a = args a in
+        Instr.Call (Option.map def r, f, a)
+    | Instr.Spawn (r, f, a) ->
+        let a = args a in
+        Instr.Spawn (def r, f, a)
+    | Instr.Join a -> Instr.Join (arg a)
+    | Instr.Sleep _ | Instr.Nop | Instr.Wait _ | Instr.Notify _
+    | Instr.Checkpoint _ | Instr.Try_recover _ | Instr.Fail_stop _ ->
+        op
+    | Instr.Ptr_guard (r, p, i) ->
+        let p = arg p and i = arg i in
+        Instr.Ptr_guard (def r, p, i)
+    | Instr.Timed_lock (r, a, t) ->
+        let a = arg a in
+        Instr.Timed_lock (def r, a, t)
+    | Instr.Timed_wait (r, e, t) -> Instr.Timed_wait (def r, e, t)
+  in
+  (!pre, lowered, !post)
+
+let lower_terminator ~slot_of ~fresh_tmp (t : Instr.terminator) =
+  let lower1 = lower_operand ~slot_of ~fresh_tmp in
+  match t with
+  | Instr.Branch (c, a, b) ->
+      let loads, c = lower1 c in
+      (loads, Instr.Branch (c, a, b))
+  | Instr.Return (Some v) ->
+      let loads, v = lower1 v in
+      (loads, Instr.Return (Some v))
+  | Instr.Jump _ | Instr.Return None | Instr.Exit -> ([], t)
+
+(** Lower [p]: registers selected by [spill] (default: every non-parameter
+    register) move to stack slots per [sharing]. Original instruction ids
+    are preserved; the inserted loads/stores get fresh ids. Parameters
+    always stay in registers (the calling convention). *)
+let spill ?(sharing = Own_slots) ?spill:(spill_pred = fun _ -> true)
+    (p : Program.t) : Program.t =
+  let next_iid = ref (Program.max_iid p + 1) in
+  let next_tmp = ref 0 in
+  let fresh_instr op =
+    let iid = !next_iid in
+    incr next_iid;
+    { Instr.iid; op }
+  in
+  let lower_func (f : Func.t) =
+    let is_param r = List.exists (Reg.equal r) f.params in
+    let slot_of r =
+      if is_param r then None
+      else slot_assignment ~sharing ~spill:spill_pred r
+    in
+    let fresh_tmp () =
+      let n = !next_tmp in
+      incr next_tmp;
+      Reg.v (Printf.sprintf "__sp%d" n)
+    in
+    let lower_block (b : Block.t) =
+      let instrs =
+        Array.to_list b.instrs
+        |> List.concat_map (fun (i : Instr.t) ->
+               let pre, op, post = lower_op ~slot_of ~fresh_tmp i.op in
+               List.map fresh_instr pre
+               @ [ { i with op } ]
+               @ List.map fresh_instr post)
+      in
+      let term_loads, term = lower_terminator ~slot_of ~fresh_tmp b.term in
+      {
+        b with
+        Block.instrs = Array.of_list (instrs @ List.map fresh_instr term_loads);
+        term;
+      }
+    in
+    { f with Func.blocks = List.map lower_block f.blocks }
+  in
+  { p with funcs = List.map lower_func p.funcs }

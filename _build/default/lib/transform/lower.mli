@@ -1,0 +1,23 @@
+(** Spill lowering — a simulation of the back end's register allocation,
+    reproducing the §3.2.1 [-no-stack-slot-sharing] story: with private
+    slots per spilled register, hardened programs stay recoverable (slot
+    rewrites inside a region are idempotent); with live-range slot
+    sharing, a region input's slot can be clobbered by a sequentially
+    later variable and rollback reexecution silently corrupts. *)
+
+open Conair_ir
+
+type sharing =
+  | Own_slots  (** each spilled register gets its own slot (the flag) *)
+  | Groups of (string * string list) list
+      (** slot name -> register names coalesced into it, as a live-range
+          allocator would *)
+
+val spill :
+  ?sharing:sharing ->
+  ?spill:(Ident.Reg.t -> bool) ->
+  Program.t ->
+  Program.t
+(** Move registers selected by [spill] (default: all non-parameters) into
+    stack slots; loads/stores are inserted around uses/definitions with
+    fresh instruction ids, original ids are preserved. *)

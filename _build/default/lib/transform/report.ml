@@ -1,0 +1,69 @@
+(* Static-analysis report: everything Tables 4, 5 and 6 need about one
+   hardened program. *)
+
+open Conair_ir
+open Conair_analysis
+
+type t = {
+  census : Find_sites.census;  (** potential failure sites by kind (Table 4) *)
+  static_points : int;  (** checkpoints inserted (Table 5 "Static") *)
+  recoverable_sites : int;
+  unrecoverable_sites : int;
+  interproc_sites : int;
+  static_points_nodeadlock : int;
+      (** checkpoints serving at least one non-deadlock site *)
+  static_points_deadlock : int;
+      (** checkpoints serving at least one deadlock site *)
+}
+
+(* A checkpoint can serve several sites; attribute it to the deadlock and/or
+   non-deadlock families it serves, mirroring how Table 6 splits
+   reexecution points. *)
+let split_points (plan : Plan.t) =
+  let serves kind_pred =
+    List.filter
+      (fun point ->
+        List.exists
+          (fun (sp : Plan.site_plan) ->
+            sp.verdict = Optimize.Recoverable
+            && kind_pred sp.site.kind
+            && List.exists (Region.point_equal point) sp.points)
+          plan.site_plans)
+      plan.all_points
+    |> List.length
+  in
+  ( serves (fun k -> k <> Instr.Deadlock),
+    serves (fun k -> k = Instr.Deadlock) )
+
+let of_harden (h : Harden.t) : t =
+  let plan = h.plan in
+  let sites = List.map (fun (sp : Plan.site_plan) -> sp.site) plan.site_plans in
+  let recoverable, unrecoverable =
+    List.partition
+      (fun (sp : Plan.site_plan) -> sp.verdict = Optimize.Recoverable)
+      plan.site_plans
+  in
+  let nodl, dl = split_points plan in
+  {
+    census = Find_sites.census sites;
+    static_points = Harden.static_reexec_points h;
+    recoverable_sites = List.length recoverable;
+    unrecoverable_sites = List.length unrecoverable;
+    interproc_sites =
+      List.length
+        (List.filter (fun (sp : Plan.site_plan) -> sp.interprocedural)
+           plan.site_plans);
+    static_points_nodeadlock = nodl;
+    static_points_deadlock = dl;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>sites: assert=%d wrong-output=%d segfault=%d deadlock=%d (total \
+     %d)@ recoverable=%d unrecoverable=%d interprocedural=%d@ static \
+     reexecution points=%d (non-deadlock %d, deadlock %d)@]"
+    r.census.assertion r.census.wrong_output r.census.seg_fault
+    r.census.deadlock
+    (Find_sites.total r.census)
+    r.recoverable_sites r.unrecoverable_sites r.interproc_sites r.static_points
+    r.static_points_nodeadlock r.static_points_deadlock

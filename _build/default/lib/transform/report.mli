@@ -1,0 +1,19 @@
+(** The static-analysis report: everything Tables 4, 5 and 6 need about
+    one hardened program. *)
+
+open Conair_analysis
+
+type t = {
+  census : Find_sites.census;  (** sites by kind (Table 4) *)
+  static_points : int;  (** checkpoints inserted (Table 5) *)
+  recoverable_sites : int;
+  unrecoverable_sites : int;
+  interproc_sites : int;
+  static_points_nodeadlock : int;
+      (** checkpoints serving ≥1 non-deadlock site (Table 6) *)
+  static_points_deadlock : int;
+      (** checkpoints serving ≥1 deadlock site (Table 6) *)
+}
+
+val of_harden : Harden.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,233 @@
+(* Generic CFG surgery used by the ConAir hardening pass.
+
+   An edit plan maps instruction ids to actions:
+   - [before]/[after]: operation lists spliced around the instruction;
+   - [guard]: turn the instruction into a branch diamond whose failure arm
+     carries the recovery code (the Fig 5/Fig 6 shapes);
+   and maps function names to operations prepended at their entry block
+   (entry reexecution points).
+
+   Original instructions keep their ids; inserted operations get fresh ids
+   above the program's current maximum, so analysis results stated in terms
+   of ids stay valid in the rewritten program. *)
+
+open Conair_ir
+module Label = Ident.Label
+module Fname = Ident.Fname
+module Reg = Ident.Reg
+
+type guard =
+  | Guard_assert of { site_id : int; kind : Instr.failure_kind; msg : string }
+      (** replaces an [Assert]: branch on its condition; the failing arm
+          tries recovery then fail-stops (Fig 6) *)
+  | Guard_deref of { site_id : int }
+      (** applies to [Load_idx]/[Store_idx]: a [Ptr_guard] sanity check is
+          inserted before the dereference (Fig 5c); the dereference itself
+          is kept, id unchanged *)
+  | Guard_lock of { site_id : int; timeout : int }
+      (** replaces [Lock] with [Timed_lock]; timing out tries recovery
+          (Fig 5d) *)
+  | Guard_wait of { site_id : int; timeout : int }
+      (** replaces [Wait] with [Timed_wait]; timing out tries recovery —
+          the lost-wakeup analogue of the deadlock transformation *)
+
+type actions = {
+  before : Instr.op list;
+  after : Instr.op list;
+  guard : guard option;
+}
+
+let no_actions = { before = []; after = []; guard = None }
+
+type t = {
+  by_iid : (int, actions) Hashtbl.t;
+  entry_ops : (string, Instr.op list) Hashtbl.t;  (** keyed by function name *)
+}
+
+let create () = { by_iid = Hashtbl.create 64; entry_ops = Hashtbl.create 8 }
+
+let actions_of t iid =
+  Option.value ~default:no_actions (Hashtbl.find_opt t.by_iid iid)
+
+let update t iid f = Hashtbl.replace t.by_iid iid (f (actions_of t iid))
+
+let insert_before t iid ops =
+  update t iid (fun a -> { a with before = a.before @ ops })
+
+let insert_after t iid ops =
+  update t iid (fun a -> { a with after = a.after @ ops })
+
+let set_guard t iid g =
+  update t iid (fun a ->
+      match a.guard with
+      | Some _ -> invalid_arg "Rewrite.set_guard: instruction already guarded"
+      | None -> { a with guard = Some g })
+
+let prepend_entry t fname ops =
+  let key = Fname.name fname in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.entry_ops key) in
+  Hashtbl.replace t.entry_ops key (cur @ ops)
+
+(* ------------------------------------------------------------------ *)
+(* Application                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type fresh = {
+  mutable next_iid : int;
+  mutable next_sym : int;
+  mutable fail_blocks : (Label.t * int) list;
+      (** fail-arm labels and their site ids, for the runtime's
+          recovery-episode bookkeeping *)
+}
+
+let fresh_label fr =
+  let n = fr.next_sym in
+  fr.next_sym <- n + 1;
+  Label.v (Printf.sprintf "__ca%d" n)
+
+let fresh_reg fr =
+  let n = fr.next_sym in
+  fr.next_sym <- n + 1;
+  Reg.v (Printf.sprintf "__ca_r%d" n)
+
+let fresh_instr fr op =
+  let iid = fr.next_iid in
+  fr.next_iid <- iid + 1;
+  { Instr.iid; op }
+
+(* The failure arm shared by all guard shapes: try to recover, and if the
+   retry budget is exhausted, stop the program with the failure. *)
+let fail_arm fr ~site_id ~kind ~msg ~cont =
+  let label = fresh_label fr in
+  fr.fail_blocks <- (label, site_id) :: fr.fail_blocks;
+  {
+    Block.label;
+    instrs =
+      [|
+        fresh_instr fr (Instr.Try_recover { site_id; kind });
+        fresh_instr fr (Instr.Fail_stop { site_id; kind; msg });
+      |];
+    term = Instr.Jump cont;
+  }
+
+let apply_block fr (edits : t) (b : Block.t) : Block.t list =
+  (* [cur_*] accumulate the block currently being built; emitting a guard
+     seals it with a branch and opens a continuation block. *)
+  let out = ref [] in
+  let cur_label = ref b.label in
+  let cur_instrs = ref [] in
+  let seal term =
+    out :=
+      { Block.label = !cur_label; instrs = Array.of_list (List.rev !cur_instrs);
+        term }
+      :: !out
+  in
+  let open_cont label =
+    cur_label := label;
+    cur_instrs := []
+  in
+  let push_op op = cur_instrs := fresh_instr fr op :: !cur_instrs in
+  let push_instr i = cur_instrs := i :: !cur_instrs in
+  Array.iter
+    (fun (i : Instr.t) ->
+      let acts = actions_of edits i.iid in
+      List.iter push_op acts.before;
+      (match acts.guard with
+      | None -> push_instr i
+      | Some (Guard_assert { site_id; kind; msg }) ->
+          let cond =
+            match i.op with
+            | Instr.Assert { cond; _ } -> cond
+            | _ -> invalid_arg "Rewrite: Guard_assert on a non-assert"
+          in
+          let cont = fresh_label fr in
+          let fail = fail_arm fr ~site_id ~kind ~msg ~cont in
+          seal (Instr.Branch (cond, cont, fail.label));
+          out := fail :: !out;
+          open_cont cont
+      | Some (Guard_deref { site_id }) ->
+          let ptr, idx =
+            match i.op with
+            | Instr.Load_idx (_, p, ix) | Instr.Store_idx (p, ix, _) -> (p, ix)
+            | _ -> invalid_arg "Rewrite: Guard_deref on a non-dereference"
+          in
+          let ok = fresh_reg fr in
+          push_op (Instr.Ptr_guard (ok, ptr, idx));
+          let cont = fresh_label fr in
+          let fail =
+            fail_arm fr ~site_id ~kind:Instr.Seg_fault
+              ~msg:"invalid pointer dereference" ~cont
+          in
+          seal (Instr.Branch (Instr.Reg ok, cont, fail.label));
+          out := fail :: !out;
+          open_cont cont;
+          push_instr i
+      | Some (Guard_wait { site_id; timeout }) ->
+          let e =
+            match i.op with
+            | Instr.Wait e -> e
+            | _ -> invalid_arg "Rewrite: Guard_wait on a non-wait"
+          in
+          let ok = fresh_reg fr in
+          push_instr { i with op = Instr.Timed_wait (ok, e, timeout) };
+          let cont = fresh_label fr in
+          let fail =
+            fail_arm fr ~site_id ~kind:Instr.Deadlock
+              ~msg:"event wait timed out" ~cont
+          in
+          seal (Instr.Branch (Instr.Reg ok, cont, fail.label));
+          out := fail :: !out;
+          open_cont cont
+      | Some (Guard_lock { site_id; timeout }) ->
+          let m =
+            match i.op with
+            | Instr.Lock m -> m
+            | _ -> invalid_arg "Rewrite: Guard_lock on a non-lock"
+          in
+          let ok = fresh_reg fr in
+          (* The timed lock inherits the original instruction's id: it is
+             the same acquisition, transformed. *)
+          push_instr { i with op = Instr.Timed_lock (ok, m, timeout) };
+          let cont = fresh_label fr in
+          let fail =
+            fail_arm fr ~site_id ~kind:Instr.Deadlock
+              ~msg:"lock acquisition timed out" ~cont
+          in
+          seal (Instr.Branch (Instr.Reg ok, cont, fail.label));
+          out := fail :: !out;
+          open_cont cont);
+      List.iter push_op acts.after)
+    b.instrs;
+  seal b.term;
+  List.rev !out
+
+let apply_func fr (edits : t) (f : Func.t) : Func.t =
+  let blocks = List.concat_map (apply_block fr edits) f.blocks in
+  let blocks =
+    match Hashtbl.find_opt edits.entry_ops (Fname.name f.name) with
+    | None | Some [] -> blocks
+    | Some ops ->
+        List.map
+          (fun (b : Block.t) ->
+            if Label.equal b.label f.entry then
+              {
+                b with
+                Block.instrs =
+                  Array.append
+                    (Array.of_list (List.map (fresh_instr fr) ops))
+                    b.instrs;
+              }
+            else b)
+          blocks
+  in
+  { f with blocks }
+
+(** Apply the edit plan, returning the rewritten program and the fail-arm
+    label/site map the recovery runtime uses to notice when a site has been
+    passed successfully. *)
+let apply (edits : t) (p : Program.t) : Program.t * (Label.t * int) list =
+  let fr =
+    { next_iid = Program.max_iid p + 1; next_sym = 0; fail_blocks = [] }
+  in
+  let funcs = List.map (apply_func fr edits) p.funcs in
+  ({ p with funcs }, fr.fail_blocks)

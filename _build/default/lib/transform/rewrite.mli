@@ -1,0 +1,40 @@
+(** Generic CFG surgery for the hardening pass: an edit plan maps
+    instruction ids to spliced-in operations and recovery guards, and
+    function names to entry-prepended operations. Original instructions
+    keep their ids; inserted operations get fresh ids above the program's
+    maximum, so id-based analysis results stay valid after rewriting. *)
+
+open Conair_ir
+module Label = Ident.Label
+module Fname = Ident.Fname
+
+type guard =
+  | Guard_assert of { site_id : int; kind : Instr.failure_kind; msg : string }
+      (** replaces an [Assert] with the Fig 6 diamond: branch on its
+          condition; the failing arm tries recovery then fail-stops *)
+  | Guard_deref of { site_id : int }
+      (** prepends a [Ptr_guard] sanity check to a dereference (Fig 5c);
+          the dereference itself is kept, id unchanged *)
+  | Guard_lock of { site_id : int; timeout : int }
+      (** replaces a [Lock] with a [Timed_lock] (same id); timing out
+          tries recovery (Fig 5d) *)
+  | Guard_wait of { site_id : int; timeout : int }
+      (** replaces a [Wait] with a [Timed_wait] (same id); the
+          lost-wakeup analogue of the Fig 5d transformation *)
+
+type t
+(** An edit plan under construction. *)
+
+val create : unit -> t
+val insert_before : t -> int -> Instr.op list -> unit
+val insert_after : t -> int -> Instr.op list -> unit
+
+val set_guard : t -> int -> guard -> unit
+(** @raise Invalid_argument if the instruction already has a guard. *)
+
+val prepend_entry : t -> Fname.t -> Instr.op list -> unit
+
+val apply : t -> Program.t -> Program.t * (Label.t * int) list
+(** Apply the plan; also returns the fail-arm labels with their site ids,
+    which the runtime uses to notice that a recovering thread has passed
+    its failure site. *)

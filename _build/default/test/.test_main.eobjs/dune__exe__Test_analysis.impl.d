@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Block Builder Callgraph Cfg Conair Find_sites Func Ident Instr List Optimize Plan Printf Program Region Site Slice Test_util Value

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Conair Conair_baselines Conair_bugbench List Option Test_util

@@ -1,0 +1,1 @@
+test/test_bugbench.ml: Alcotest Conair Conair_bugbench List Test_util

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Conair Conair_bugbench List Test_util

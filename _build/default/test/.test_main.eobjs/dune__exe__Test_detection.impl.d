@@ -1,0 +1,1 @@
+test/test_detection.ml: Alcotest Builder Conair Conair_bugbench Ident Instr List Option Test_util Value

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Builder Cfg Conair Find_sites Ident Instr List Printf Program Region Site Test_util Value

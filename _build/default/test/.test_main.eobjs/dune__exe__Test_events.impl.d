@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Builder Conair Conair_bugbench Emit Func Ident Instr List Optimize Parse Plan Program Test_util Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Builder Conair Conair_bugbench Find_sites Instr List Optimize Plan String Test_util Value

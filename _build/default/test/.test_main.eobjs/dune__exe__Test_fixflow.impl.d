@@ -1,0 +1,1 @@
+test/test_fixflow.ml: Alcotest Conair Conair_bugbench List Option Test_util

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Cfg Conair Conair_bugbench Fun Func Ident Instr List Program Test_util Validate Value

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Builder Conair Conair_bugbench Func Ident Instr List Option Printf Program Test_util Value

@@ -1,0 +1,1 @@
+test/test_mirlib.ml: Alcotest Builder Conair Conair_bugbench Instr List Printf Test_util Value

@@ -1,0 +1,1 @@
+test/test_multibug.ml: Alcotest Builder Conair Conair_bugbench Instr List Test_util Value

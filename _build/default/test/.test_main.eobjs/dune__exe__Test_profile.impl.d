@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Conair Conair_bugbench Hashtbl List Option Test_util

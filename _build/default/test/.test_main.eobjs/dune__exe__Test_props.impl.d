@@ -1,0 +1,1 @@
+test/test_props.ml: Array Block Cfg Conair Find_sites Gen Hashtbl Ident Instr List Printf Program QCheck QCheck_alcotest Region Result Site Value

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Builder Conair Func Instr List Program Test_util Value

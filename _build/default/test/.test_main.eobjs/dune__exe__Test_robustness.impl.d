@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Builder Conair Conair_bugbench Instr Test_util Value

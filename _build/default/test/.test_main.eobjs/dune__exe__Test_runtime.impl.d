@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Builder Conair Format Hashtbl Heap Ident Instr List Locks Machine Outcome Result Sched Stats Test_util Value

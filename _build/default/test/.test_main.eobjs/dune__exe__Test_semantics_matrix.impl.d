@@ -1,0 +1,1 @@
+test/test_semantics_matrix.ml: Alcotest Builder Conair Instr Test_util Value

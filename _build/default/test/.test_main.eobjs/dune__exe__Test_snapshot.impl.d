@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Builder Conair Hashtbl Instr List Test_util Value

@@ -1,0 +1,1 @@
+test/test_text_format.ml: Alcotest Conair Conair_bugbench Emit List Parse Printf Test_util Value

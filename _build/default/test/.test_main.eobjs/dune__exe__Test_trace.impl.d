@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Conair Format List String Test_util

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Block Builder Conair Conair_bugbench Format Func Ident Instr List Program Rewrite Test_util Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Builder Conair Format Instr Validate Value

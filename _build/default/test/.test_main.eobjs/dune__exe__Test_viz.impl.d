@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Builder Conair Conair_bugbench Find_sites Instr List Site String Test_util Viz

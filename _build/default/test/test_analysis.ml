@@ -1,0 +1,695 @@
+(* Unit tests for the static analyses: failure-site identification (§3.1),
+   the idempotent-region walk (§3.2.2), slicing (§4.2/Fig 8), the
+   unnecessary-rollback optimization (§4.2) and inter-procedural recovery
+   (§4.3). *)
+
+open Conair.Ir
+open Conair.Analysis
+open Test_util
+module B = Builder
+
+let fname = Ident.Fname.v
+let label = Ident.Label.v
+
+(* Build a single-function program and return (program, func, cfg). *)
+let single_func body =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] body
+  in
+  let f = Program.func_exn p (fname "main") in
+  (p, f, Cfg.of_func f)
+
+(* Find the first site of a given kind. *)
+let site_of_kind p kind =
+  List.find (fun (s : Site.t) -> s.kind = kind) (Find_sites.survival p)
+
+let points_testable =
+  Alcotest.testable Region.pp_point Region.point_equal
+
+let check_points name expected actual =
+  let sort = List.sort compare in
+  Alcotest.(check (list points_testable)) name (sort expected) (sort actual)
+
+(* --- Find_sites ----------------------------------------------------- *)
+
+let survival_finds_all_kinds () =
+  let p, _, _ =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.move f "c" (B.bool true);
+    B.assert_ f (B.reg "c") ~msg:"plain";
+    B.assert_ f ~oracle:true (B.reg "c") ~msg:"oracle";
+    B.output f "x" [];
+    B.alloc f "p" (B.int 1);
+    B.load_idx f "v" (B.reg "p") (B.int 0);
+    B.store_idx f (B.reg "p") (B.int 0) (B.int 1);
+    B.lock f (B.mutex_ref "m");
+    B.unlock f (B.mutex_ref "m");
+    B.exit_ f
+  in
+  let c = Find_sites.census (Find_sites.survival p) in
+  Alcotest.(check int) "assert sites" 1 c.assertion;
+  (* oracle assert + output *)
+  Alcotest.(check int) "wrong-output sites" 2 c.wrong_output;
+  (* load_idx + store_idx *)
+  Alcotest.(check int) "segfault sites" 2 c.seg_fault;
+  Alcotest.(check int) "deadlock sites" 1 c.deadlock;
+  Alcotest.(check int) "total" 6 (Find_sites.total c)
+
+let survival_site_ids_are_sequential () =
+  let p = straightline_program () in
+  let sites = Find_sites.survival p in
+  List.iteri
+    (fun i (s : Site.t) -> Alcotest.(check int) "sequential id" i s.site_id)
+    sites
+
+let fix_mode_selects_designated () =
+  let p, f, _ =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.move f "c" (B.bool true);
+    B.assert_ f (B.reg "c") ~msg:"a1";
+    B.assert_ f (B.reg "c") ~msg:"a2";
+    B.exit_ f
+  in
+  ignore f;
+  let all = Find_sites.survival p in
+  let second = List.nth all 1 in
+  match Find_sites.fix p ~iids:[ second.iid ] with
+  | Ok [ s ] ->
+      Alcotest.(check int) "right instruction" second.iid s.iid;
+      Alcotest.(check string) "right message" "a2" s.msg
+  | Ok _ -> Alcotest.fail "expected exactly one site"
+  | Error e -> Alcotest.fail e
+
+let fix_mode_rejects_bad_iids () =
+  let p = straightline_program () in
+  (match Find_sites.fix p ~iids:[ 424242 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown iid accepted");
+  (* a Move is not a failure site *)
+  let move_iid =
+    let found = ref (-1) in
+    Program.iter_funcs p (fun f ->
+        Func.iter_instrs f (fun _ i ->
+            match i.op with
+            | Instr.Move _ when !found < 0 -> found := i.iid
+            | _ -> ()));
+    !found
+  in
+  match Find_sites.fix p ~iids:[ move_iid ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-site iid accepted"
+
+(* --- Region: straight-line ----------------------------------------- *)
+
+let region_stops_at_store () =
+  (* store; load; assert  =>  point right after the store *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.store f (Instr.Global "g") (B.int 1);
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  check_points "after the store" [ Region.After 0 ] region.points;
+  Alcotest.(check bool) "not clean to entry" false
+    region.reaches_entry_clean;
+  Alcotest.(check int) "one region instr (the load)" 1
+    (Region.Iid_set.cardinal region.region_iids)
+
+let region_reaches_entry () =
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.load f "v" (Instr.Global "g");
+    B.binop f "ok" Instr.Gt (B.reg "v") (B.int 0);
+    B.assert_ f (B.reg "ok") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  check_points "entry point" [ Region.Entry (fname "main") ] region.points;
+  Alcotest.(check bool) "clean to entry" true region.reaches_entry_clean
+
+let region_continues_through_compensable () =
+  (* lock and alloc are allowed inside regions (§4.1) *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.lock f (B.mutex_ref "m");
+    B.alloc f "p" (B.int 2);
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"site";
+    B.unlock f (B.mutex_ref "m");
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  check_points "entry point through lock+alloc"
+    [ Region.Entry (fname "main") ]
+    region.points;
+  Alcotest.(check bool) "lock acquisition inside region" true
+    (Region.contains_lock_acquisition cfg region)
+
+(* --- Region: branches ----------------------------------------------- *)
+
+let region_diamond_two_points () =
+  (* Two paths to the site; one passes a store, the other is clean to
+     entry: both points must be emitted. *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.load f "c" (Instr.Global "cond");
+    B.branch f (B.reg "c") "dirty" "clean";
+    B.label f "dirty";
+    B.store f (Instr.Global "g") (B.int 1);
+    B.jump f "merge";
+    B.label f "clean";
+    B.nop f;
+    B.jump f "merge";
+    B.label f "merge";
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let store_iid =
+    let found = ref (-1) in
+    Program.iter_funcs p (fun f ->
+        Func.iter_instrs f (fun _ i ->
+            match i.op with Instr.Store _ -> found := i.iid | _ -> ()));
+    !found
+  in
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  check_points "both points"
+    [ Region.After store_iid; Region.Entry (fname "main") ]
+    region.points;
+  Alcotest.(check bool) "dirty path breaks cleanliness" false
+    region.reaches_entry_clean;
+  (* the branch condition is recorded for control-dependence slicing *)
+  Alcotest.(check bool) "branch cond collected" true
+    (List.exists (Ident.Reg.equal (Ident.Reg.v "c")) region.branch_conds)
+
+let region_loop_with_destroying_body () =
+  (* A destroying op inside a loop on the way to the site gets its own
+     point inside the loop; the walk terminates. *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.move f "i" (B.int 0);
+    B.label f "loop";
+    B.store f (Instr.Global "g") (B.reg "i");
+    B.add f "i" (B.reg "i") (B.int 1);
+    B.lt f "c" (B.reg "i") (B.int 10);
+    B.branch f (B.reg "c") "loop" "after";
+    B.label f "after";
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  (* the only point is after the store inside the loop *)
+  (match region.points with
+  | [ Region.After iid ] -> (
+      match Program.find_instr p iid with
+      | Some (_, b, i) -> (
+          match b.Block.instrs.(i).op with
+          | Instr.Store _ -> ()
+          | op ->
+              Alcotest.failf "point after wrong op: %a" Instr.pp_op op)
+      | None -> Alcotest.fail "point refers to missing instr")
+  | pts ->
+      Alcotest.failf "expected one point, got %d" (List.length pts));
+  Alcotest.(check bool) "not clean" false region.reaches_entry_clean
+
+let region_clean_loop_reaches_entry () =
+  (* A read-only loop does not break the region: the entry point is found
+     and the walk terminates. *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.move f "i" (B.int 0);
+    B.label f "loop";
+    B.load f "v" (Instr.Global "g");
+    B.add f "i" (B.reg "i") (B.reg "v");
+    B.lt f "c" (B.reg "i") (B.int 10);
+    B.branch f (B.reg "c") "loop" "after";
+    B.label f "after";
+    B.assert_ f (B.reg "i") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  check_points "entry only" [ Region.Entry (fname "main") ] region.points;
+  Alcotest.(check bool) "clean" true region.reaches_entry_clean
+
+let region_points_not_shortened_by_other_sites () =
+  (* Two sites sharing a prefix: each gets its own walk; the shared
+     reexecution point is identical (After the same store), so it is
+     emitted once by the plan. *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.store f (Instr.Global "g") (B.int 1);
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"site1";
+    B.load f "w" (Instr.Global "g");
+    B.assert_ f (B.reg "w") ~msg:"site2";
+    B.exit_ f
+  in
+  ignore f;
+  let sites =
+    List.filter
+      (fun (s : Site.t) -> s.kind = Instr.Assert_fail)
+      (Find_sites.survival p)
+  in
+  let regions = List.map (Region.of_site cfg) sites in
+  List.iter
+    (fun (r : Region.t) ->
+      check_points "after store" [ Region.After 0 ] r.points)
+    regions;
+  (* The second site's region contains the first assert's chain: asserts
+     are safe, so the region of site2 extends past site1. *)
+  let r2 = List.nth regions 1 in
+  Alcotest.(check bool) "site2 region spans site1" true
+    (Region.Iid_set.cardinal r2.region_iids
+    > Region.Iid_set.cardinal (List.hd regions).region_iids)
+
+(* --- Slice ----------------------------------------------------------- *)
+
+let slice_through_registers () =
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.load f "a" (Instr.Global "g");
+    B.add f "b" (B.reg "a") (B.int 1);
+    B.mul f "c" (B.reg "b") (B.int 2);
+    B.assert_ f (B.reg "c") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  let slice = Slice.of_site cfg region in
+  Alcotest.(check bool) "shared read found" true
+    (Slice.reaches_shared_read slice);
+  Alcotest.(check int) "exactly one shared read" 1
+    (Region.Iid_set.cardinal slice.shared_read_iids)
+
+let slice_stops_at_stack_read () =
+  (* x comes from a stack slot: the chain stops (Fig 8) and no shared read
+     is found even though an unrelated global read sits in the region. *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.load f "unrelated" (Instr.Global "g");
+    B.load f "x" (Instr.Stack "s");
+    B.add f "y" (B.reg "x") (B.int 1);
+    B.assert_ f (B.reg "y") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  let slice = Slice.of_site cfg region in
+  Alcotest.(check bool) "no shared read on the slice" false
+    (Slice.reaches_shared_read slice)
+
+let slice_follows_control_dependence () =
+  (* The assert's operand is a constant path-dependent value; the branch
+     condition comes from a global read, so control dependence finds it. *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.load f "c" (Instr.Global "g");
+    B.branch f (B.reg "c") "yes" "no";
+    B.label f "yes";
+    B.move f "v" (B.int 1);
+    B.jump f "merge";
+    B.label f "no";
+    B.move f "v" (B.int 0);
+    B.jump f "merge";
+    B.label f "merge";
+    B.assert_ f (B.reg "v") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  let slice = Slice.of_site cfg region in
+  Alcotest.(check bool) "control dependence reaches the global read" true
+    (Slice.reaches_shared_read slice)
+
+let slice_critical_params () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "callee" ~params:[ "x"; "y" ] @@ fun f ->
+     B.label f "entry";
+     B.add f "z" (B.reg "x") (B.int 1);
+     B.assert_ f (B.reg "z") ~msg:"site";
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.call f "callee" [ B.int 1; B.int 2 ];
+    B.exit_ f
+  in
+  let f = Program.func_exn p (fname "callee") in
+  let cfg = Cfg.of_func f in
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  let slice = Slice.of_site cfg region in
+  let critical = Slice.critical_params cfg slice in
+  Alcotest.(check (list string)) "x is critical, y is not" [ "x" ]
+    (List.map Ident.Reg.name critical)
+
+(* --- Optimize (the four Fig 7 shapes) -------------------------------- *)
+
+let optimize_deadlock_no_lock_in_region () =
+  (* Fig 7a: a lone lock acquisition — nothing to release, unrecoverable *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.lock f (B.mutex_ref "L");
+    B.unlock f (B.mutex_ref "L");
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Deadlock in
+  let region = Region.of_site cfg site in
+  Alcotest.(check bool) "unrecoverable" true
+    (Optimize.judge cfg region = Optimize.Unrecoverable)
+
+let optimize_deadlock_with_lock_in_region () =
+  (* Fig 7b: lock L0; lock L — releasing L0 can break the cycle *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.lock f (B.mutex_ref "L0");
+    B.lock f (B.mutex_ref "L");
+    B.unlock f (B.mutex_ref "L");
+    B.unlock f (B.mutex_ref "L0");
+    B.exit_ f
+  in
+  ignore f;
+  let sites =
+    List.filter
+      (fun (s : Site.t) -> s.kind = Instr.Deadlock)
+      (Find_sites.survival p)
+  in
+  let second = List.nth sites 1 in
+  let region = Region.of_site cfg second in
+  Alcotest.(check bool) "recoverable" true
+    (Optimize.judge cfg region = Optimize.Recoverable)
+
+let optimize_nondeadlock_no_shared_read () =
+  (* Fig 7c: tmp = tmp+1; assert tmp — reexecution is deterministic *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.move f "tmp" (B.int 0);
+    B.add f "tmp" (B.reg "tmp") (B.int 1);
+    B.assert_ f (B.reg "tmp") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  Alcotest.(check bool) "unrecoverable" true
+    (Optimize.judge cfg region = Optimize.Unrecoverable)
+
+let optimize_nondeadlock_with_shared_read () =
+  (* Fig 7d: tmp = global_x; assert tmp — another thread can fix it *)
+  let p, f, cfg =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.load f "tmp" (Instr.Global "global_x");
+    B.assert_ f (B.reg "tmp") ~msg:"site";
+    B.exit_ f
+  in
+  ignore f;
+  let site = site_of_kind p Instr.Assert_fail in
+  let region = Region.of_site cfg site in
+  Alcotest.(check bool) "recoverable" true
+    (Optimize.judge cfg region = Optimize.Recoverable)
+
+(* --- Callgraph -------------------------------------------------------- *)
+
+let callgraph_edges_and_roots () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "leaf" ~params:[ "x" ] @@ fun f ->
+     B.label f "entry";
+     B.ret f None);
+    (B.func b "mid" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f "leaf" [ B.int 1 ];
+     B.call f "leaf" [ B.int 2 ];
+     B.ret f None);
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f "mid" [];
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t" "worker" [];
+    B.join f (B.reg "t");
+    B.exit_ f
+  in
+  let g = Callgraph.of_program p in
+  Alcotest.(check int) "leaf has two call edges" 2
+    (List.length (Callgraph.callers_of g (fname "leaf")));
+  Alcotest.(check int) "mid has one caller" 1
+    (List.length (Callgraph.callers_of g (fname "mid")));
+  Alcotest.(check bool) "worker is a thread root" true
+    (Callgraph.is_thread_root g (fname "worker"));
+  Alcotest.(check bool) "main is a thread root" true
+    (Callgraph.is_thread_root g (fname "main"));
+  Alcotest.(check bool) "mid is not a thread root" false
+    (Callgraph.is_thread_root g (fname "mid"))
+
+(* --- Interproc -------------------------------------------------------- *)
+
+(* The MozillaXP shape, parameterized by call-chain depth:
+   root -> c1 -> ... -> c_depth -> sink(p) { deref p }. Only the root
+   reads the shared global. *)
+let chain_program ~depth =
+  B.build ~main:"main" @@ fun b ->
+  B.global b "obj" Value.Null;
+  (B.func b "sink" ~params:[ "p" ] @@ fun f ->
+   B.label f "entry";
+   B.load_idx f "v" (B.reg "p") (B.int 0);
+   B.ret f (Some (B.reg "v")));
+  let rec chain k =
+    if k = 0 then ()
+    else begin
+      let callee = if k = depth then "sink" else Printf.sprintf "c%d" (k + 1) in
+      (B.func b (Printf.sprintf "c%d" k) ~params:[ "p" ] @@ fun f ->
+       B.label f "entry";
+       B.call f ~into:"v" callee [ B.reg "p" ];
+       B.ret f (Some (B.reg "v")));
+      chain (k - 1)
+    end
+  in
+  chain depth;
+  (B.func b "root" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.load f "p" (Instr.Global "obj");
+   B.call f ~into:"v" (if depth = 0 then "sink" else "c1") [ B.reg "p" ];
+   B.ret f None);
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  B.spawn f "t" "root" [];
+  B.join f (B.reg "t");
+  B.exit_ f
+
+let interproc_of ?(max_depth = 3) p =
+  let plan =
+    match
+      Plan.analyze
+        ~options:{ Plan.default_options with max_depth }
+        p Plan.Survival
+    with
+    | Ok plan -> plan
+    | Error e -> Alcotest.fail e
+  in
+  List.find
+    (fun (sp : Plan.site_plan) ->
+      Ident.Fname.equal sp.site.func (fname "sink"))
+    plan.site_plans
+
+let interproc_one_level () =
+  let sp = interproc_of (chain_program ~depth:0) in
+  Alcotest.(check bool) "interprocedural" true sp.interprocedural;
+  Alcotest.(check bool) "recoverable" true
+    (sp.verdict = Optimize.Recoverable);
+  check_points "point in root" [ Region.Entry (fname "root") ] sp.points
+
+let interproc_three_levels () =
+  let sp = interproc_of (chain_program ~depth:2) in
+  Alcotest.(check bool) "interprocedural at depth 3" true sp.interprocedural;
+  check_points "point in root" [ Region.Entry (fname "root") ] sp.points
+
+let interproc_depth_limit () =
+  (* depth 3 would need 4 levels; the analysis gives up and the site is
+     pruned. *)
+  let sp = interproc_of (chain_program ~depth:3) in
+  Alcotest.(check bool) "not interprocedural beyond the budget" false
+    sp.interprocedural;
+  Alcotest.(check bool) "pruned" true (sp.verdict = Optimize.Unrecoverable)
+
+let interproc_deeper_budget () =
+  let sp = interproc_of ~max_depth:5 (chain_program ~depth:3) in
+  Alcotest.(check bool) "recovered with a bigger budget" true
+    sp.interprocedural
+
+let interproc_not_selected_when_dirty_path () =
+  (* A destroying op between the callee entry and the site breaks
+     condition (1). *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "obj" Value.Null;
+    (B.func b "sink" ~params:[ "p" ] @@ fun f ->
+     B.label f "entry";
+     B.store f (Instr.Stack "t") (B.int 1);
+     B.load_idx f "v" (B.reg "p") (B.int 0);
+     B.ret f (Some (B.reg "v")));
+    (B.func b "root" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "p" (Instr.Global "obj");
+     B.call f ~into:"v" "sink" [ B.reg "p" ];
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t" "root" [];
+    B.join f (B.reg "t");
+    B.exit_ f
+  in
+  let sp = interproc_of p in
+  Alcotest.(check bool) "not interprocedural" false sp.interprocedural
+
+let interproc_stops_at_thread_root () =
+  (* The callee is spawned directly: no caller to roll back into. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "obj" Value.Null;
+    (B.func b "sink" ~params:[ "p" ] @@ fun f ->
+     B.label f "entry";
+     B.load_idx f "v" (B.reg "p") (B.int 0);
+     B.ret f (Some (B.reg "v")));
+    (B.func b "root" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.move f "p" B.null;
+     B.call f ~into:"v" "sink" [ B.reg "p" ];
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t" "root" [];
+    B.join f (B.reg "t");
+    B.exit_ f
+  in
+  (* root never reads a shared value into p, so no level helps *)
+  let sp = interproc_of p in
+  Alcotest.(check bool) "not recoverable anywhere" false
+    (sp.verdict = Optimize.Recoverable)
+
+(* --- Plan ------------------------------------------------------------- *)
+
+let plan_points_deduplicated () =
+  let p, _, _ =
+    single_func @@ fun f ->
+    B.label f "entry";
+    B.store f (Instr.Global "g") (B.int 1);
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"s1";
+    B.load f "w" (Instr.Global "g");
+    B.assert_ f (B.reg "w") ~msg:"s2";
+    B.exit_ f
+  in
+  match Plan.analyze p Plan.Survival with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      (* both asserts share After(store): one checkpoint *)
+      Alcotest.(check int) "one shared point" 1 (Plan.static_points plan)
+
+let plan_unoptimized_keeps_everything () =
+  let p = Test_util.deadlock_program ~buggy:true () in
+  let opts = { Plan.default_options with optimize = false; interproc = false } in
+  match (Plan.analyze ~options:opts p Plan.Survival, Plan.analyze p Plan.Survival)
+  with
+  | Ok raw, Ok opt ->
+      Alcotest.(check bool) "optimization removes points" true
+        (Plan.static_points raw > Plan.static_points opt);
+      Alcotest.(check bool) "all raw sites recoverable" true
+        (List.for_all
+           (fun (sp : Plan.site_plan) -> sp.verdict = Optimize.Recoverable)
+           raw.site_plans)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let suites =
+  [
+    ( "find-sites",
+      [
+        case "survival finds all kinds" survival_finds_all_kinds;
+        case "site ids sequential" survival_site_ids_are_sequential;
+        case "fix mode selects designated" fix_mode_selects_designated;
+        case "fix mode rejects bad iids" fix_mode_rejects_bad_iids;
+      ] );
+    ( "region",
+      [
+        case "stops at a store" region_stops_at_store;
+        case "reaches entry" region_reaches_entry;
+        case "continues through compensable ops"
+          region_continues_through_compensable;
+        case "diamond yields two points" region_diamond_two_points;
+        case "loop with destroying body" region_loop_with_destroying_body;
+        case "clean loop reaches entry" region_clean_loop_reaches_entry;
+        case "points are not shortened by other sites"
+          region_points_not_shortened_by_other_sites;
+      ] );
+    ( "slice",
+      [
+        case "chases register chains" slice_through_registers;
+        case "stops at stack reads" slice_stops_at_stack_read;
+        case "follows control dependence" slice_follows_control_dependence;
+        case "finds critical parameters" slice_critical_params;
+      ] );
+    ( "optimize",
+      [
+        case "deadlock without lock in region (Fig 7a)"
+          optimize_deadlock_no_lock_in_region;
+        case "deadlock with lock in region (Fig 7b)"
+          optimize_deadlock_with_lock_in_region;
+        case "non-deadlock without shared read (Fig 7c)"
+          optimize_nondeadlock_no_shared_read;
+        case "non-deadlock with shared read (Fig 7d)"
+          optimize_nondeadlock_with_shared_read;
+      ] );
+    ( "interproc",
+      [
+        case "callgraph edges and thread roots" callgraph_edges_and_roots;
+        case "one level" interproc_one_level;
+        case "three levels" interproc_three_levels;
+        case "depth limit respected" interproc_depth_limit;
+        case "deeper budget helps" interproc_deeper_budget;
+        case "dirty callee path not selected"
+          interproc_not_selected_when_dirty_path;
+        case "thread root stops the chain" interproc_stops_at_thread_root;
+      ] );
+    ( "plan",
+      [
+        case "points deduplicated across sites" plan_points_deduplicated;
+        case "optimization removes points" plan_unoptimized_keeps_everything;
+      ] );
+  ]

@@ -1,0 +1,173 @@
+(* Table 3 behaviour, as tests: every benchmark fails (or hangs) under the
+   buggy interleaving without ConAir, and recovers with it — in survival
+   mode and in fix mode; clean schedules are unaffected. *)
+
+open Test_util
+module Spec = Conair_bugbench.Bench_spec
+module Registry = Conair_bugbench.Registry
+module Outcome = Conair.Runtime.Outcome
+
+let fuel = 2_000_000
+
+let run' p = run ~fuel p
+let run_hardened' h = run_hardened ~fuel h
+
+let expect_fails (s : Spec.t) (inst : Spec.instance) (r : Conair.run) =
+  match r.outcome with
+  | Outcome.Failed _ when s.info.failure <> "hang" -> ()
+  | Outcome.Hang _ when s.info.failure = "hang" -> ()
+  | Outcome.Success when s.info.needs_oracle && not (inst.accept r.outputs) ->
+      (* Wrong-output bugs without an oracle run to "completion" with a
+         wrong result — that still counts as the failure manifesting. *)
+      ()
+  | o ->
+      Alcotest.failf "%s: expected the bug to manifest, got %a" s.info.name
+        Outcome.pp o
+
+let buggy_manifests (s : Spec.t) () =
+  let inst = s.make ~variant:Spec.Buggy ~oracle:false in
+  check_valid inst.program;
+  expect_fails s inst (run' inst.program)
+
+let survival_recovers (s : Spec.t) () =
+  let inst = s.make ~variant:Spec.Buggy ~oracle:s.info.needs_oracle in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  check_valid h.hardened.program;
+  let r = run_hardened' h in
+  expect_success r;
+  Alcotest.(check bool)
+    (s.info.name ^ ": outputs acceptable")
+    true (inst.accept r.outputs);
+  Alcotest.(check bool)
+    (s.info.name ^ ": recovery actually happened")
+    true (r.stats.rollbacks > 0);
+  Alcotest.(check int) (s.info.name ^ ": rollback safety") 0
+    r.stats.tracecheck_violations
+
+let fix_mode_recovers (s : Spec.t) () =
+  let inst = s.make ~variant:Spec.Buggy ~oracle:true in
+  Alcotest.(check bool)
+    (s.info.name ^ ": has a fix-mode site")
+    true
+    (inst.fix_site_iids <> []);
+  let h = Conair.harden_exn inst.program (Conair.Fix inst.fix_site_iids) in
+  let r = run_hardened' h in
+  expect_success r;
+  Alcotest.(check bool)
+    (s.info.name ^ ": outputs acceptable")
+    true (inst.accept r.outputs)
+
+let clean_schedule_ok (s : Spec.t) () =
+  let inst = s.make ~variant:Spec.Clean ~oracle:s.info.needs_oracle in
+  let r0 = run' inst.program in
+  expect_success r0;
+  Alcotest.(check bool)
+    (s.info.name ^ ": clean outputs acceptable")
+    true (inst.accept r0.outputs);
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let r1 = run_hardened' h in
+  expect_success r1;
+  Alcotest.(check (list string))
+    (s.info.name ^ ": hardening preserves clean-run outputs")
+    r0.outputs r1.outputs;
+  Alcotest.(check int) (s.info.name ^ ": no rollbacks on a clean run") 0
+    r1.stats.rollbacks
+
+let interproc_used (s : Spec.t) () =
+  let inst = s.make ~variant:Spec.Buggy ~oracle:false in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  Alcotest.(check bool)
+    (s.info.name ^ ": inter-procedural recovery expected")
+    true
+    (h.report.interproc_sites > 0)
+
+let census_shape () =
+  (* Table 4's qualitative shape: segfault sites dominate in every
+     benchmark that uses the heap-heavy library code. *)
+  List.iter
+    (fun (s : Spec.t) ->
+      let inst = s.make ~variant:Spec.Buggy ~oracle:false in
+      let h = Conair.harden_exn inst.program Conair.Survival in
+      let c = h.report.census in
+      Alcotest.(check bool)
+        (s.info.name ^ ": has failure sites")
+        true
+        (Conair.Analysis.Find_sites.total c > 0);
+      Alcotest.(check bool)
+        (s.info.name ^ ": segfault sites dominate")
+        true
+        (c.seg_fault >= c.assertion && c.seg_fault >= c.deadlock))
+    Registry.all
+
+let random_schedule_trials (s : Spec.t) () =
+  (* The paper's many-runs verification (§5), scaled down: several seeded
+     random schedules; every run must end successfully with accepted
+     outputs (whether or not the bug fired under that schedule). *)
+  let inst = s.make ~variant:Spec.Buggy ~oracle:s.info.needs_oracle in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let trial =
+    Conair.recovery_trial
+      ~config:
+        {
+          Conair.Runtime.Machine.default_config with
+          policy = Conair.Runtime.Sched.Random 11;
+          fuel = 8_000_000;
+        }
+      ~runs:6 ~accept:inst.accept h
+  in
+  Alcotest.(check int) (s.info.name ^ ": all seeds recovered") trial.runs
+    trial.recovered
+
+let suite_of_spec (s : Spec.t) =
+  let n = s.info.name in
+  [
+    case (n ^ ": bug manifests unhardened") (buggy_manifests s);
+    case (n ^ ": survival mode recovers") (survival_recovers s);
+    case (n ^ ": fix mode recovers") (fix_mode_recovers s);
+    case (n ^ ": clean schedule unaffected") (clean_schedule_ok s);
+    slow_case (n ^ ": random-schedule trials") (random_schedule_trials s);
+  ]
+  @
+  if s.info.needs_interproc then
+    [ case (n ^ ": uses inter-procedural recovery") (interproc_used s) ]
+  else []
+
+let extended_manifests_and_recovers (s : Spec.t) () =
+  let inst = s.make ~variant:Spec.Buggy ~oracle:false in
+  check_valid inst.program;
+  (match (run' inst.program).outcome with
+  | Outcome.Success -> Alcotest.failf "%s: bug did not manifest" s.info.name
+  | _ -> ());
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let r = run_hardened' h in
+  expect_success r;
+  Alcotest.(check bool)
+    (s.info.name ^ ": outputs acceptable")
+    true (inst.accept r.outputs);
+  Alcotest.(check bool)
+    (s.info.name ^ ": recovered")
+    true (r.stats.rollbacks > 0);
+  Alcotest.(check int) (s.info.name ^ ": rollback safety") 0
+    r.stats.tracecheck_violations;
+  (* the clean (fixed) variant is untouched *)
+  let clean = s.make ~variant:Spec.Clean ~oracle:false in
+  let r0 = run' clean.program in
+  expect_success r0;
+  let hc = Conair.harden_exn clean.program Conair.Survival in
+  let r1 = run_hardened' hc in
+  Alcotest.(check (list string))
+    (s.info.name ^ ": clean outputs preserved")
+    r0.outputs r1.outputs
+
+let suites =
+  [
+    ("bugbench", List.concat_map suite_of_spec Registry.all);
+    ("bugbench-census", [ case "census shape" census_shape ]);
+    ( "bugbench-extended",
+      List.map
+        (fun (s : Spec.t) ->
+          case
+            (s.info.name ^ ": manifests and recovers")
+            (extended_manifests_and_recovers s))
+        Registry.extended );
+  ]

@@ -1,0 +1,59 @@
+(* Tests for the bug-pattern catalog: every entry's behaviour must match
+   its declared recovery class — recoverable patterns recover under
+   ConAir, the documented limitations do not, and the taxonomy matches the
+   paper's §2.2 study shape (idempotent regions dominate). *)
+
+open Test_util
+module Catalog = Conair_bugbench.Catalog
+module Outcome = Conair.Runtime.Outcome
+module Machine = Conair.Runtime.Machine
+
+let config = { Machine.default_config with fuel = 500_000; max_retries = 400 }
+
+let bug_manifests (e : Catalog.entry) () =
+  check_valid e.program;
+  let r = Conair.execute ~config e.program in
+  Alcotest.(check bool)
+    (e.name ^ ": the bug manifests unprotected")
+    false
+    (Outcome.is_success r.outcome)
+
+let verdict_matches (e : Catalog.entry) () =
+  let h = Conair.harden_exn e.program Conair.Survival in
+  check_valid h.hardened.program;
+  let r = Conair.execute_hardened ~config h in
+  let expected = e.recovery = Catalog.Idempotent in
+  Alcotest.(check bool)
+    (e.name ^ ": ConAir recovery matches the taxonomy class")
+    expected
+    (Outcome.is_success r.outcome);
+  Alcotest.(check int)
+    (e.name ^ ": rollback safety")
+    0 r.stats.tracecheck_violations
+
+let taxonomy_shape () =
+  let _, breakdown = Catalog.taxonomy () in
+  let count cls = List.assoc cls breakdown in
+  (* the paper's §2.2: idempotent regions dominate (16 of 20), with small
+     I/O and non-idempotent-write tails (2 + 2) *)
+  Alcotest.(check bool) "idempotent dominates" true
+    (count Catalog.Idempotent
+    > count Catalog.Needs_io
+      + count Catalog.Needs_nonidempotent_writes
+      + count Catalog.Needs_multithread);
+  Alcotest.(check bool) "I/O tail present" true (count Catalog.Needs_io >= 1);
+  Alcotest.(check bool) "non-idempotent-write tail present" true
+    (count Catalog.Needs_nonidempotent_writes >= 1)
+
+let suites =
+  [
+    ( "catalog",
+      List.concat_map
+        (fun (e : Catalog.entry) ->
+          [
+            case (e.name ^ ": manifests") (bug_manifests e);
+            case (e.name ^ ": verdict") (verdict_matches e);
+          ])
+        (Catalog.all ())
+      @ [ case "taxonomy shape (paper 2.2)" taxonomy_shape ] );
+  ]

@@ -1,0 +1,163 @@
+(* Edge cases of the analyses and the transformation: empty blocks,
+   sites at the very first instruction, unreachable sites, self-loops,
+   and parameterized ring deadlocks. *)
+
+open Conair.Ir
+open Conair.Analysis
+open Test_util
+module B = Builder
+
+let fname = Ident.Fname.v
+
+(* --- region-walk shapes -------------------------------------------- *)
+
+let site_as_first_instruction () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "g" (Value.Int 1);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.assert_ f (B.int 1) ~msg:"first";
+    B.exit_ f
+  in
+  let site = List.hd (Find_sites.survival p) in
+  let f = Program.func_exn p (fname "main") in
+  let region = Region.of_site (Cfg.of_func f) site in
+  Alcotest.(check int) "one point" 1 (List.length region.points);
+  Alcotest.(check bool) "entry point" true
+    (List.exists
+       (Region.point_equal (Region.Entry (fname "main")))
+       region.points);
+  Alcotest.(check int) "empty region" 0
+    (Region.Iid_set.cardinal region.region_iids)
+
+let walk_through_empty_blocks () =
+  (* Empty pass-through blocks between a store and the site: the walk must
+     cross them and still find the point after the store. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "g" (Value.Int 1);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.store f (Instr.Global "g") (B.int 1);
+    B.jump f "hop1";
+    B.label f "hop1";
+    B.jump f "hop2";
+    B.label f "hop2";
+    B.jump f "final";
+    B.label f "final";
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"site";
+    B.exit_ f
+  in
+  let site =
+    List.find
+      (fun (s : Site.t) -> s.kind = Instr.Assert_fail)
+      (Find_sites.survival p)
+  in
+  let f = Program.func_exn p (fname "main") in
+  let region = Region.of_site (Cfg.of_func f) site in
+  Alcotest.(check bool) "point after the store" true
+    (List.exists (Region.point_equal (Region.After 0)) region.points)
+
+let self_loop_terminates () =
+  (* A block branching to itself on the way to the site: the visited set
+     must terminate the walk. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "g" (Value.Int 1);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.move f "i" (B.int 0);
+    B.label f "spin";
+    B.add f "i" (B.reg "i") (B.int 1);
+    B.lt f "c" (B.reg "i") (B.int 3);
+    B.branch f (B.reg "c") "spin" "after";
+    B.label f "after";
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"site";
+    B.exit_ f
+  in
+  let site =
+    List.find
+      (fun (s : Site.t) -> s.kind = Instr.Assert_fail)
+      (Find_sites.survival p)
+  in
+  let f = Program.func_exn p (fname "main") in
+  let region = Region.of_site (Cfg.of_func f) site in
+  (* everything is safe: clean to entry despite the loop *)
+  Alcotest.(check bool) "clean" true region.reaches_entry_clean
+
+(* --- recovery with no executed checkpoint --------------------------- *)
+
+let site_before_any_checkpoint_fail_stops () =
+  (* An always-false assert whose only point is the entry of a function
+     that the transformation instruments — but the failure happens on the
+     very first retryable pass; the retry loop must exhaust and fail-stop
+     without crashing. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "g" (Value.Int 0);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"never true";
+    B.exit_ f
+  in
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened ~max_retries:10 h in
+  expect_failure_kind Instr.Assert_fail r;
+  Alcotest.(check int) "ten retries then stop" 10 r.stats.rollbacks
+
+(* --- ring deadlocks of arbitrary width ------------------------------- *)
+
+let ring_deadlock_recovers k () =
+  (* k threads, k locks, thread i takes lock i then lock (i+1) mod k. *)
+  let lock_name i = Printf.sprintf "L%d" (i mod k) in
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    for i = 0 to k - 1 do
+      B.mutex b (lock_name i)
+    done;
+    for i = 0 to k - 1 do
+      B.func b (Printf.sprintf "w%d" i) ~params:[] @@ fun f ->
+      B.label f "entry";
+      B.lock f (B.mutex_ref (lock_name i));
+      B.sleep f 15;
+      B.lock f (B.mutex_ref (lock_name (i + 1)));
+      B.unlock f (B.mutex_ref (lock_name (i + 1)));
+      B.unlock f (B.mutex_ref (lock_name i));
+      B.ret f None
+    done;
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    for i = 0 to k - 1 do
+      B.spawn f (Printf.sprintf "t%d" i) (Printf.sprintf "w%d" i) []
+    done;
+    for i = 0 to k - 1 do
+      B.join f (B.reg (Printf.sprintf "t%d" i))
+    done;
+    B.exit_ f
+  in
+  check_valid p;
+  expect_hang (run p);
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened ~fuel:2_000_000 h in
+  expect_success r;
+  Alcotest.(check int) "rollback safety" 0 r.stats.tracecheck_violations
+
+let suites =
+  [
+    ( "edge-cases",
+      [
+        case "site as the first instruction" site_as_first_instruction;
+        case "walk through empty blocks" walk_through_empty_blocks;
+        case "self loop terminates" self_loop_terminates;
+        case "retry exhaustion at an always-false site"
+          site_before_any_checkpoint_fail_stops;
+        case "ring deadlock k=2" (ring_deadlock_recovers 2);
+        case "ring deadlock k=3" (ring_deadlock_recovers 3);
+        case "ring deadlock k=4" (ring_deadlock_recovers 4);
+        case "ring deadlock k=6" (ring_deadlock_recovers 6);
+      ] );
+  ]

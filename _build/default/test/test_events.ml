@@ -1,0 +1,193 @@
+(* Tests for the condition-variable-style events (the lost-wakeup
+   extension): pulse semantics, broadcast wake, timed waits, text-format
+   round-trip, and the analysis/transform path for wait sites. *)
+
+open Conair.Ir
+open Conair.Analysis
+open Test_util
+module B = Builder
+module Outcome = Conair.Runtime.Outcome
+
+let notify_wakes_all_waiters () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "m";
+    B.global b "woken" (Value.Int 0);
+    (B.func b "waiter" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.wait f "go";
+     B.lock f (B.mutex_ref "m");
+     B.load f "w" (Instr.Global "woken");
+     B.add f "w" (B.reg "w") (B.int 1);
+     B.store f (Instr.Global "woken") (B.reg "w");
+     B.unlock f (B.mutex_ref "m");
+     B.ret f None);
+    (B.func b "waker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 40;
+     B.notify f "go";
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t1" "waiter" [];
+    B.spawn f "t2" "waiter" [];
+    B.spawn f "t3" "waiter" [];
+    B.spawn f "tw" "waker" [];
+    List.iter (fun t -> B.join f (B.reg t)) [ "t1"; "t2"; "t3"; "tw" ];
+    B.load f "w" (Instr.Global "woken");
+    B.output f "%v" [ B.reg "w" ];
+    B.exit_ f
+  in
+  check_valid p;
+  let r = run p in
+  expect_success r;
+  Alcotest.(check (list string)) "broadcast wake" [ "3" ] r.outputs
+
+let lost_notify_hangs () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "waiter" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 20;
+     B.wait f "go";
+     B.ret f None);
+    (B.func b "waker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.notify f "go";
+     (* fires while the waiter is still asleep: lost *)
+     B.ret f None);
+    Conair_bugbench.Mirlib.two_thread_main b ~threads:[ "waker"; "waiter" ]
+  in
+  expect_hang (run p)
+
+let timed_wait_times_out () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.emit f (Instr.Timed_wait (Ident.Reg.v "ok", "never", 30));
+    B.output f "%v" [ B.reg "ok" ];
+    B.exit_ f
+  in
+  let r = run p in
+  expect_success r;
+  Alcotest.(check (list string)) "timeout result" [ "false" ] r.outputs
+
+let timed_wait_notified () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "waiter" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.emit f (Instr.Timed_wait (Ident.Reg.v "ok", "go", 500));
+     B.output f "%v" [ B.reg "ok" ];
+     B.ret f None);
+    (B.func b "waker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 20;
+     B.notify f "go";
+     B.ret f None);
+    Conair_bugbench.Mirlib.two_thread_main b ~threads:[ "waiter"; "waker" ]
+  in
+  let r = run p in
+  expect_success r;
+  Alcotest.(check (list string)) "notified result" [ "true" ] r.outputs
+
+let wait_is_a_hang_site_with_slice_rule () =
+  (* A wait preceded by a shared predicate read is recoverable; a wait
+     with no shared read in its region is pruned. *)
+  let recoverable =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "ready" (Value.Int 0);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.load f "r" (Instr.Global "ready");
+    B.branch f (B.reg "r") "go" "park";
+    B.label f "park";
+    B.wait f "ev";
+    B.jump f "go";
+    B.label f "go";
+    B.exit_ f
+  in
+  let bare =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.move f "x" (B.int 1);
+    B.wait f "ev";
+    B.exit_ f
+  in
+  let verdict p =
+    let plan =
+      match Plan.analyze p Plan.Survival with
+      | Ok plan -> plan
+      | Error e -> Alcotest.fail e
+    in
+    let sp =
+      List.find
+        (fun (sp : Plan.site_plan) -> sp.site.kind = Instr.Deadlock)
+        plan.site_plans
+    in
+    sp.verdict
+  in
+  Alcotest.(check bool) "predicate wait recoverable" true
+    (verdict recoverable = Optimize.Recoverable);
+  Alcotest.(check bool) "bare wait pruned" true
+    (verdict bare = Optimize.Unrecoverable)
+
+let lost_wakeup_recovery_trace () =
+  (* End-to-end on the catalog entry, with the guard shape verified: the
+     hardened program holds a Timed_wait, recovers, and outputs ready=1. *)
+  let entry =
+    List.find
+      (fun (e : Conair_bugbench.Catalog.entry) -> e.name = "lost-wakeup")
+      (Conair_bugbench.Catalog.all ())
+  in
+  let h = Conair.harden_exn entry.program Conair.Survival in
+  let timed_waits = ref 0 in
+  Program.iter_funcs h.hardened.program (fun f ->
+      Func.iter_instrs f (fun _ i ->
+          match i.op with
+          | Instr.Timed_wait _ -> incr timed_waits
+          | Instr.Wait _ -> Alcotest.fail "plain wait left at a recoverable site"
+          | _ -> ()));
+  Alcotest.(check int) "one timed wait" 1 !timed_waits;
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "consumed ready=1" ] r.outputs;
+  Alcotest.(check bool) "recovered via rollback" true (r.stats.rollbacks > 0)
+
+let events_roundtrip_text_format () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "w" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.wait f "ev";
+     B.emit f (Instr.Timed_wait (Ident.Reg.v "ok", "ev", 77));
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.notify f "ev";
+    B.spawn f "t" "w" [];
+    B.join f (B.reg "t");
+    B.exit_ f
+  in
+  let text1 = Emit.program p in
+  match Parse.program text1 with
+  | Error e -> Alcotest.failf "parse error: %a" Parse.pp_error e
+  | Ok p2 ->
+      Alcotest.(check string) "round trip" text1 (Emit.program p2)
+
+let suites =
+  [
+    ( "events",
+      [
+        case "notify wakes all waiters" notify_wakes_all_waiters;
+        case "lost notify hangs" lost_notify_hangs;
+        case "timed wait times out" timed_wait_times_out;
+        case "timed wait sees the notify" timed_wait_notified;
+        case "wait sites use the slice rule"
+          wait_is_a_hang_site_with_slice_rule;
+        case "lost wakeup recovers end to end" lost_wakeup_recovery_trace;
+        case "events round-trip the text format" events_roundtrip_text_format;
+      ] );
+  ]

@@ -1,0 +1,245 @@
+(* Tests for the §3.4 extensions: safe-site pruning and automatic
+   null-check annotation. *)
+
+open Conair.Ir
+open Conair.Analysis
+open Test_util
+module B = Builder
+module Annotate = Conair.Transform.Annotate
+
+(* --- Prune ------------------------------------------------------------- *)
+
+let census p opts =
+  match Plan.analyze ~options:opts p Plan.Survival with
+  | Ok plan ->
+      Find_sites.census
+        (List.map (fun (sp : Plan.site_plan) -> sp.site) plan.site_plans)
+  | Error e -> Alcotest.fail e
+
+let prune_safe_local_deref () =
+  (* A constant-indexed deref of a fresh constant-size allocation can
+     never fault: pruned. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.alloc f "p" (B.int 4);
+    B.store_idx f (B.reg "p") (B.int 0) (B.int 1);
+    B.load_idx f "v" (B.reg "p") (B.int 3);
+    B.exit_ f
+  in
+  let on = { Plan.default_options with prune_safe = true } in
+  Alcotest.(check int) "all derefs pruned" 0 (census p on).seg_fault;
+  Alcotest.(check int) "without pruning they remain" 2
+    (census p Plan.default_options).seg_fault
+
+let prune_keeps_unsafe_derefs () =
+  let site_counts body =
+    let p =
+      B.build ~main:"main" @@ fun b ->
+      B.global b "g" Value.Null;
+      B.func b "main" ~params:[] body
+    in
+    (census p { Plan.default_options with prune_safe = true }).seg_fault
+  in
+  (* out-of-bounds constant index: kept *)
+  Alcotest.(check int) "oob kept" 1
+    (site_counts (fun f ->
+         B.label f "entry";
+         B.alloc f "p" (B.int 2);
+         B.load_idx f "v" (B.reg "p") (B.int 2);
+         B.exit_ f));
+  (* non-constant index: kept *)
+  Alcotest.(check int) "dynamic index kept" 1
+    (site_counts (fun f ->
+         B.label f "entry";
+         B.alloc f "p" (B.int 2);
+         B.move f "i" (B.int 0);
+         B.load_idx f "v" (B.reg "p") (B.reg "i");
+         B.exit_ f));
+  (* pointer from a global: kept *)
+  Alcotest.(check int) "global pointer kept" 1
+    (site_counts (fun f ->
+         B.label f "entry";
+         B.load f "p" (Instr.Global "g");
+         B.load_idx f "v" (B.reg "p") (B.int 0);
+         B.exit_ f));
+  (* escaped pointer: kept (another thread could free it) *)
+  Alcotest.(check int) "escaped pointer kept" 1
+    (site_counts (fun f ->
+         B.label f "entry";
+         B.alloc f "p" (B.int 2);
+         B.store f (Instr.Global "g") (B.reg "p");
+         B.load_idx f "v" (B.reg "p") (B.int 0);
+         B.exit_ f));
+  (* an intervening free: kept *)
+  Alcotest.(check int) "free in between kept" 1
+    (site_counts (fun f ->
+         B.label f "entry";
+         B.alloc f "p" (B.int 2);
+         B.alloc f "q" (B.int 2);
+         B.free f (B.reg "q");
+         B.load_idx f "v" (B.reg "p") (B.int 0);
+         B.exit_ f))
+
+let prune_constant_asserts () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.assert_ f (B.bool true) ~msg:"always fine";
+    B.assert_ f (B.int 0) ~msg:"always fails";
+    B.exit_ f
+  in
+  let c = census p { Plan.default_options with prune_safe = true } in
+  (* assert(true) pruned; assert(0) kept — it can (and will) fail *)
+  Alcotest.(check int) "one assert site left" 1 c.assertion
+
+let prune_reduces_checkpoints_in_benchmarks () =
+  (* On the real benchmarks pruning may or may not find safe sites, but it
+     must never *increase* the footprint, and the programs must still
+     recover. *)
+  List.iter
+    (fun (s : Conair_bugbench.Bench_spec.t) ->
+      let inst =
+        s.make ~variant:Conair_bugbench.Bench_spec.Buggy
+          ~oracle:s.info.needs_oracle
+      in
+      let h0 = Conair.harden_exn inst.program Conair.Survival in
+      let h1 =
+        Conair.harden_exn
+          ~analysis:{ Plan.default_options with prune_safe = true }
+          inst.program Conair.Survival
+      in
+      Alcotest.(check bool)
+        (s.info.name ^ ": pruning never grows the footprint")
+        true
+        (h1.report.static_points <= h0.report.static_points);
+      let r = run_hardened ~fuel:2_000_000 h1 in
+      expect_success r;
+      Alcotest.(check bool)
+        (s.info.name ^ ": still recovers with pruning")
+        true (inst.accept r.outputs))
+    Conair_bugbench.Registry.all
+
+(* --- Annotate ----------------------------------------------------------- *)
+
+(* The MozillaXP shape: callee derefs its parameter immediately. *)
+let deref_callee_program () =
+  B.build ~main:"main" @@ fun b ->
+  B.global b "obj" Value.Null;
+  (B.func b "get_state" ~params:[ "thd" ] @@ fun f ->
+   B.label f "entry";
+   B.load_idx f "v" (B.reg "thd") (B.int 0);
+   B.ret f (Some (B.reg "v")));
+  (B.func b "getter" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.load f "p" (Instr.Global "obj");
+   B.call f ~into:"st" "get_state" [ B.reg "p" ];
+   B.output f "st=%v" [ B.reg "st" ];
+   B.ret f None);
+  (B.func b "initer" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.sleep f 50;
+   B.alloc f "o" (B.int 1);
+   B.store_idx f (B.reg "o") (B.int 0) (B.int 9);
+   B.store f (Instr.Global "obj") (B.reg "o");
+   B.ret f None);
+  Conair_bugbench.Mirlib.two_thread_main b ~threads:[ "getter"; "initer" ]
+
+let annotate_adds_checks () =
+  let p = deref_callee_program () in
+  let p', n = Annotate.add_null_checks p in
+  check_valid p';
+  Alcotest.(check int) "one check added" 1 n;
+  (* the annotated program has one more assert site *)
+  let sites p = (Find_sites.census (Find_sites.survival p)).assertion in
+  Alcotest.(check int) "one more assert site" (sites p + 1) (sites p')
+
+let annotate_turns_interproc_into_intraproc () =
+  let p = deref_callee_program () in
+  let p', _ = Annotate.add_null_checks p in
+  let h = Conair.harden_exn p' Conair.Survival in
+  (* the auto assert sits in the caller right after the shared read, so it
+     is recoverable intra-procedurally *)
+  let auto_site =
+    List.find
+      (fun (sp : Plan.site_plan) ->
+        String.length sp.site.msg >= 4 && String.sub sp.site.msg 0 4 = "auto")
+      h.plan.site_plans
+  in
+  Alcotest.(check bool) "auto site recoverable" true
+    (auto_site.verdict = Optimize.Recoverable);
+  Alcotest.(check bool) "intra-procedural" false auto_site.interprocedural;
+  (* and the program recovers: the null is caught before entering the
+     callee *)
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "st=9" ] r.outputs
+
+let annotate_skips_conditional_derefs () =
+  (* A callee that checks before dereferencing must not be annotated. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "obj" Value.Null;
+    (B.func b "careful" ~params:[ "q" ] @@ fun f ->
+     B.label f "entry";
+     B.unop f "nil" Instr.Is_null (B.reg "q");
+     B.branch f (B.reg "nil") "out" "use";
+     B.label f "use";
+     B.load_idx f "v" (B.reg "q") (B.int 0);
+     B.jump f "out";
+     B.label f "out";
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.load f "p" (Instr.Global "obj");
+    B.call f "careful" [ B.reg "p" ];
+    B.exit_ f
+  in
+  let _, n = Annotate.add_null_checks p in
+  Alcotest.(check int) "no checks added" 0 n
+
+let annotate_skips_constant_args () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "deref" ~params:[ "q" ] @@ fun f ->
+     B.label f "entry";
+     B.load_idx f "v" (B.reg "q") (B.int 0);
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.call f "deref" [ B.null ];
+    B.exit_ f
+  in
+  let _, n = Annotate.add_null_checks p in
+  Alcotest.(check int) "constant args are not annotated" 0 n
+
+let annotate_idempotent_on_clean_programs () =
+  (* Annotation must not change the behaviour of non-failing runs. *)
+  let p = Test_util.straightline_program () in
+  let p', n = Annotate.add_null_checks p in
+  Alcotest.(check int) "nothing to annotate" 0 n;
+  let r0 = run p and r1 = run p' in
+  Alcotest.(check (list string)) "same outputs" r0.outputs r1.outputs
+
+let suites =
+  [
+    ( "prune",
+      [
+        case "safe local deref pruned" prune_safe_local_deref;
+        case "unsafe derefs kept" prune_keeps_unsafe_derefs;
+        case "constant asserts" prune_constant_asserts;
+        slow_case "benchmarks still recover with pruning"
+          prune_reduces_checkpoints_in_benchmarks;
+      ] );
+    ( "annotate",
+      [
+        case "adds null checks" annotate_adds_checks;
+        case "turns interproc into intraproc recovery"
+          annotate_turns_interproc_into_intraproc;
+        case "skips conditional derefs" annotate_skips_conditional_derefs;
+        case "skips constant arguments" annotate_skips_constant_args;
+        case "no effect on clean programs" annotate_idempotent_on_clean_programs;
+      ] );
+  ]

@@ -1,0 +1,92 @@
+(* Tests for the top-level [Conair] facade: hardening error paths, the
+   recovery-trial helper (the §5 "1000 runs" methodology, scaled down),
+   and the configuration knobs exposed to users. *)
+
+open Test_util
+module Spec = Conair_bugbench.Bench_spec
+module Registry = Conair_bugbench.Registry
+module Machine = Conair.Runtime.Machine
+module Sched = Conair.Runtime.Sched
+module Outcome = Conair.Runtime.Outcome
+
+let harden_reports_bad_fix_sites () =
+  let p = straightline_program () in
+  (match Conair.harden p (Conair.Fix [ 987654 ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus fix site accepted");
+  match Conair.harden_exn p (Conair.Fix [ 987654 ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "harden_exn must raise on bogus fix sites"
+
+let recovery_trial_counts_successes () =
+  let s = Option.get (Registry.find "MySQL2") in
+  let inst = s.make ~variant:Spec.Buggy ~oracle:false in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let config = { Machine.default_config with fuel = 2_000_000 } in
+  let trial =
+    Conair.recovery_trial ~config ~runs:10 ~accept:inst.accept h
+  in
+  Alcotest.(check int) "all runs recovered" trial.runs trial.recovered;
+  Alcotest.(check bool) "rollbacks counted" true (trial.total_rollbacks > 0);
+  Alcotest.(check bool) "recovery time measured" true
+    (trial.max_recovery_steps > 0)
+
+let recovery_trial_varies_seeds () =
+  (* With a random base policy, each run uses a distinct seed; the trial
+     still recovers everything. *)
+  let s = Option.get (Registry.find "ZSNES") in
+  let inst = s.make ~variant:Spec.Buggy ~oracle:false in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let config =
+    { Machine.default_config with fuel = 2_000_000; policy = Sched.Random 1 }
+  in
+  let trial = Conair.recovery_trial ~config ~runs:8 ~accept:inst.accept h in
+  Alcotest.(check int) "all seeds recovered" trial.runs trial.recovered
+
+let recovery_trial_detects_wrong_output () =
+  (* Without the oracle, the FFT wrong-output bug "succeeds" with a wrong
+     result: the acceptance check must catch it. *)
+  let s = Option.get (Registry.find "FFT") in
+  let inst = s.make ~variant:Spec.Buggy ~oracle:false in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let config = { Machine.default_config with fuel = 8_000_000 } in
+  let trial = Conair.recovery_trial ~config ~runs:3 ~accept:inst.accept h in
+  Alcotest.(check int) "wrong outputs rejected" 0 trial.recovered
+
+let execute_respects_fuel () =
+  let p = straightline_program () in
+  let r = Conair.execute ~config:{ Machine.default_config with fuel = 2 } p in
+  match r.outcome with
+  | Outcome.Fuel_exhausted 2 -> ()
+  | o -> Alcotest.failf "expected fuel exhaustion, got %a" Outcome.pp o
+
+let modes_share_the_pipeline () =
+  (* Fix mode with all survival sites equals survival mode's footprint. *)
+  let p = order_violation_program ~buggy:true () in
+  let survival = Conair.harden_exn p Conair.Survival in
+  let all_iids =
+    List.map
+      (fun (sp : Conair.Analysis.Plan.site_plan) -> sp.site.iid)
+      survival.plan.site_plans
+  in
+  let fix = Conair.harden_exn p (Conair.Fix all_iids) in
+  Alcotest.(check int) "same number of sites"
+    (List.length survival.plan.site_plans)
+    (List.length fix.plan.site_plans);
+  Alcotest.(check int) "same checkpoints" survival.report.static_points
+    fix.report.static_points
+
+let suites =
+  [
+    ( "facade",
+      [
+        case "harden reports bad fix sites" harden_reports_bad_fix_sites;
+        case "recovery trial counts successes" recovery_trial_counts_successes;
+        case "recovery trial varies seeds" recovery_trial_varies_seeds;
+        case "recovery trial detects wrong output"
+          recovery_trial_detects_wrong_output;
+        case "execute respects fuel" execute_respects_fuel;
+        case "fix mode with all sites equals survival mode"
+          modes_share_the_pipeline;
+      ] );
+  ]

@@ -1,0 +1,60 @@
+(* The end-to-end fix-mode workflow (§3.1.2): the crash report names the
+   failing instruction; feeding it back as a fix-mode site yields a
+   working patch. *)
+
+open Test_util
+module Spec = Conair_bugbench.Bench_spec
+module Registry = Conair_bugbench.Registry
+module Outcome = Conair.Runtime.Outcome
+
+let crash_iid (r : Conair.run) =
+  match r.outcome with
+  | Outcome.Failed { iid = Some iid; _ } -> iid
+  | o ->
+      Alcotest.failf "expected a crash with an instruction id, got %a"
+        Outcome.pp o
+
+let crash_report_feeds_fix_mode () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Registry.find name) in
+      let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
+      let iid = crash_iid (run ~fuel:2_000_000 inst.program) in
+      (* the crash points at the benchmark's designated failing site *)
+      Alcotest.(check bool)
+        (name ^ ": crash report matches the known site")
+        true
+        (List.mem iid inst.fix_site_iids);
+      let patched = Conair.harden_exn inst.program (Conair.Fix [ iid ]) in
+      let r = run_hardened ~fuel:2_000_000 patched in
+      expect_success r;
+      Alcotest.(check bool)
+        (name ^ ": patched outputs accepted")
+        true (inst.accept r.outputs))
+    [ "HTTrack"; "MozillaXP"; "ZSNES"; "Transmission"; "MySQL2" ]
+
+let recovery_trial_many_seeds () =
+  (* The §5 methodology, scaled down: many seeded runs, all recovered. *)
+  let spec = Option.get (Registry.find "MozillaXP") in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:false in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let trial =
+    Conair.recovery_trial
+      ~config:
+        {
+          Conair.Runtime.Machine.default_config with
+          policy = Conair.Runtime.Sched.Random 7;
+          fuel = 8_000_000;
+        }
+      ~runs:40 ~accept:inst.accept h
+  in
+  Alcotest.(check int) "40/40 recovered" 40 trial.recovered
+
+let suites =
+  [
+    ( "fix-workflow",
+      [
+        case "crash reports feed fix mode" crash_report_feeds_fix_mode;
+        slow_case "recovery trial over many seeds" recovery_trial_many_seeds;
+      ] );
+  ]

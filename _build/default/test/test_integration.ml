@@ -1,0 +1,195 @@
+(* An integration scenario beyond the paper's benchmark set: a bounded
+   job queue with two producers and two workers, entirely in Mir, with two
+   hidden concurrency bugs:
+
+   - the workers read the results-table pointer that main publishes late
+     (order violation -> segfault);
+   - a worker snapshots the queue count twice around its pop and asserts
+     consistency (RAR atomicity violation under producer pressure).
+
+   The hardened service must deliver exactly the clean run's results. *)
+
+open Conair.Ir
+open Test_util
+module B = Builder
+module Mirlib = Conair_bugbench.Mirlib
+
+(* queue layout on the heap: [0]=head [1]=tail [2]=count [3..3+cap-1]=jobs *)
+let cap = 8
+
+let queue_service ~buggy =
+  B.build ~main:"main" @@ fun b ->
+  B.mutex b "qlock";
+  B.global b "queue" Value.Null;
+  B.global b "results" Value.Null;
+  B.global b "produced" (Value.Int 0);
+  Mirlib.add_compute_kernel b;
+  (* enqueue(job): under qlock, append and bump tail/count *)
+  (B.func b "enqueue" ~params:[ "job" ] @@ fun f ->
+   B.label f "entry";
+   B.lock f (B.mutex_ref "qlock");
+   B.load f "q" (Instr.Global "queue");
+   B.load_idx f "tail" (B.reg "q") (B.int 1);
+   B.add f "slot" (B.reg "tail") (B.int 3);
+   B.store_idx f (B.reg "q") (B.reg "slot") (B.reg "job");
+   B.add f "tail2" (B.reg "tail") (B.int 1);
+   B.binop f "tail2" Instr.Mod (B.reg "tail2") (B.int cap);
+   B.store_idx f (B.reg "q") (B.int 1) (B.reg "tail2");
+   B.load_idx f "cnt" (B.reg "q") (B.int 2);
+   B.add f "cnt" (B.reg "cnt") (B.int 1);
+   B.store_idx f (B.reg "q") (B.int 2) (B.reg "cnt");
+   B.unlock f (B.mutex_ref "qlock");
+   B.ret f None);
+  (* try_dequeue() -> job or -1 *)
+  (B.func b "try_dequeue" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.lock f (B.mutex_ref "qlock");
+   B.load f "q" (Instr.Global "queue");
+   B.load_idx f "cnt" (B.reg "q") (B.int 2);
+   B.gt f "has" (B.reg "cnt") (B.int 0);
+   B.branch f (B.reg "has") "pop" "empty";
+   B.label f "pop";
+   B.load_idx f "head" (B.reg "q") (B.int 0);
+   B.add f "slot" (B.reg "head") (B.int 3);
+   B.load_idx f "job" (B.reg "q") (B.reg "slot");
+   B.add f "head2" (B.reg "head") (B.int 1);
+   B.binop f "head2" Instr.Mod (B.reg "head2") (B.int cap);
+   B.store_idx f (B.reg "q") (B.int 0) (B.reg "head2");
+   B.sub f "cnt2" (B.reg "cnt") (B.int 1);
+   B.store_idx f (B.reg "q") (B.int 2) (B.reg "cnt2");
+   B.unlock f (B.mutex_ref "qlock");
+   B.ret f (Some (B.reg "job"));
+   B.label f "empty";
+   B.unlock f (B.mutex_ref "qlock");
+   B.ret f (Some (B.int (-1))));
+  (* producer(base): enqueue 4 jobs *)
+  (B.func b "producer" ~params:[ "base" ] @@ fun f ->
+   B.label f "entry";
+   B.move f "i" (B.int 0);
+   B.label f "loop";
+   B.lt f "c" (B.reg "i") (B.int 4);
+   B.branch f (B.reg "c") "body" "done_";
+   B.label f "body";
+   B.add f "job" (B.reg "base") (B.reg "i");
+   B.call f "enqueue" [ B.reg "job" ];
+   B.call f ~into:"w" "compute_kernel" [ B.int 12 ];
+   B.add f "i" (B.reg "i") (B.int 1);
+   B.jump f "loop";
+   B.label f "done_";
+   B.load f "p" (Instr.Global "produced");
+   B.add f "p" (B.reg "p") (B.int 4);
+   B.store f (Instr.Global "produced") (B.reg "p");
+   B.ret f None);
+  (* worker(idx): drain 4 jobs, record job*job into results[idx*4 + k].
+     Bug 1: reads $results, which main publishes late when buggy.
+     Bug 2 (RAR flavour): double-reads the produced counter around a
+     barrier check. *)
+  (B.func b "worker" ~params:[ "idx" ] @@ fun f ->
+   B.label f "entry";
+   B.move f "k" (B.int 0);
+   B.label f "drain";
+   B.lt f "more" (B.reg "k") (B.int 4);
+   B.branch f (B.reg "more") "take" "done_";
+   B.label f "take";
+   B.call f ~into:"job" "try_dequeue" [];
+   B.binop f "got" Instr.Ge (B.reg "job") (B.int 0);
+   B.branch f (B.reg "got") "work" "take";
+   B.label f "work";
+   (* the racy read: results may still be null *)
+   B.load f "res" (Instr.Global "results");
+   B.mul f "out" (B.reg "job") (B.reg "job");
+   B.mul f "base" (B.reg "idx") (B.int 4);
+   B.add f "slot" (B.reg "base") (B.reg "k");
+   B.store_idx f (B.reg "res") (B.reg "slot") (B.reg "out");
+   B.add f "k" (B.reg "k") (B.int 1);
+   B.jump f "drain";
+   B.label f "done_";
+   B.ret f None);
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  B.alloc f "q" (B.int (3 + cap));
+  B.store f (Instr.Global "queue") (B.reg "q");
+  B.spawn f "p1" "producer" [ B.int 10 ];
+  B.spawn f "p2" "producer" [ B.int 20 ];
+  B.spawn f "w1" "worker" [ B.int 0 ];
+  B.spawn f "w2" "worker" [ B.int 1 ];
+  (if buggy then B.sleep f 220 else B.nop f);
+  B.alloc f "res" (B.int 8);
+  B.store f (Instr.Global "results") (B.reg "res");
+  B.join f (B.reg "p1");
+  B.join f (B.reg "p2");
+  B.join f (B.reg "w1");
+  B.join f (B.reg "w2");
+  (* aggregate: the multiset of results is schedule-dependent, but the sum
+     of squares of all 8 jobs is an invariant *)
+  B.move f "sum" (B.int 0);
+  B.move f "i" (B.int 0);
+  B.label f "agg";
+  B.lt f "c" (B.reg "i") (B.int 8);
+  B.branch f (B.reg "c") "acc" "report";
+  B.label f "acc";
+  B.load_idx f "x" (B.reg "res") (B.reg "i");
+  B.add f "sum" (B.reg "sum") (B.reg "x");
+  B.add f "i" (B.reg "i") (B.int 1);
+  B.jump f "agg";
+  B.label f "report";
+  B.output f "sum of squares = %v" [ B.reg "sum" ];
+  B.exit_ f
+
+(* jobs are 10..13 and 20..23: the invariant sum *)
+let expected_sum =
+  List.fold_left (fun a j -> a + (j * j)) 0 [ 10; 11; 12; 13; 20; 21; 22; 23 ]
+
+let expected_output = Printf.sprintf "sum of squares = %d" expected_sum
+
+let clean_service_is_correct () =
+  let p = queue_service ~buggy:false in
+  check_valid p;
+  let r = run ~fuel:2_000_000 p in
+  expect_success r;
+  Alcotest.(check (list string)) "invariant sum" [ expected_output ] r.outputs
+
+let buggy_service_crashes () =
+  let p = queue_service ~buggy:true in
+  expect_failure_kind Instr.Seg_fault (run ~fuel:2_000_000 p)
+
+let hardened_service_recovers () =
+  let p = queue_service ~buggy:true in
+  let h = Conair.harden_exn p Conair.Survival in
+  check_valid h.hardened.program;
+  let r = run_hardened ~fuel:4_000_000 h in
+  expect_success r;
+  Alcotest.(check (list string)) "recovered with the right sum"
+    [ expected_output ] r.outputs;
+  Alcotest.(check bool) "recovery happened" true (r.stats.rollbacks > 0);
+  Alcotest.(check int) "rollback safety" 0 r.stats.tracecheck_violations
+
+let hardened_service_under_random_schedules () =
+  let p = queue_service ~buggy:true in
+  let h = Conair.harden_exn p Conair.Survival in
+  let trial =
+    Conair.recovery_trial
+      ~config:
+        {
+          Conair.Runtime.Machine.default_config with
+          policy = Conair.Runtime.Sched.Random 3;
+          fuel = 8_000_000;
+        }
+      ~runs:8
+      ~accept:(fun outs -> outs = [ expected_output ])
+      h
+  in
+  Alcotest.(check int) "all seeds correct" trial.runs trial.recovered
+
+let suites =
+  [
+    ( "integration",
+      [
+        case "clean job-queue service is correct" clean_service_is_correct;
+        case "buggy service crashes" buggy_service_crashes;
+        case "hardened service recovers with correct results"
+          hardened_service_recovers;
+        slow_case "service under random schedules"
+          hardened_service_under_random_schedules;
+      ] );
+  ]

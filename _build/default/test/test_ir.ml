@@ -1,0 +1,353 @@
+(* Unit tests for the Mir IR: values, instruction classification, the
+   builder, CFG utilities and the validator. *)
+
+open Conair.Ir
+open Test_util
+module B = Builder
+
+(* --- Value --------------------------------------------------------- *)
+
+let value_equality () =
+  let open Value in
+  Alcotest.(check bool) "int eq" true (equal (Int 3) (Int 3));
+  Alcotest.(check bool) "int ne" false (equal (Int 3) (Int 4));
+  Alcotest.(check bool) "bool/int distinct" false (equal (Bool true) (Int 1));
+  Alcotest.(check bool) "ptr eq" true
+    (equal (Ptr { block = 1; offset = 2 }) (Ptr { block = 1; offset = 2 }));
+  Alcotest.(check bool) "ptr ne offset" false
+    (equal (Ptr { block = 1; offset = 2 }) (Ptr { block = 1; offset = 3 }));
+  Alcotest.(check bool) "null eq" true (equal Null Null);
+  Alcotest.(check bool) "mutex eq" true (equal (Mutex "a") (Mutex "a"));
+  Alcotest.(check bool) "tid ne" false (equal (Tid 1) (Tid 2));
+  Alcotest.(check bool) "str eq" true (equal (Str "x") (Str "x"))
+
+let value_truthiness () =
+  let open Value in
+  Alcotest.(check bool) "zero false" false (is_true (Int 0));
+  Alcotest.(check bool) "nonzero true" true (is_true (Int (-7)));
+  Alcotest.(check bool) "null false" false (is_true Null);
+  Alcotest.(check bool) "false false" false (is_true (Bool false));
+  Alcotest.(check bool) "ptr true" true
+    (is_true (Ptr { block = 0; offset = 0 }));
+  Alcotest.(check bool) "str true" true (is_true (Str ""));
+  Alcotest.(check bool) "mutex true" true (is_true (Mutex "m"))
+
+let value_printing () =
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
+  Alcotest.(check string) "null" "null" (Value.to_string Value.Null);
+  Alcotest.(check string) "ptr" "&3+1"
+    (Value.to_string (Value.Ptr { block = 3; offset = 1 }))
+
+(* --- Instruction classification ------------------------------------ *)
+
+let r = Ident.Reg.v
+let op_reg name = Instr.Reg (r name)
+
+let classification () =
+  let open Instr in
+  let check_class op expected name =
+    Alcotest.(check bool) name true (classify op = expected)
+  in
+  check_class (Move (r "a", Const (Value.Int 1))) Safe "move safe";
+  check_class (Load (r "a", Global "g")) Safe "global read safe";
+  check_class (Load (r "a", Stack "s")) Safe "stack read safe";
+  check_class (Load_idx (r "a", op_reg "p", Const (Value.Int 0))) Safe
+    "heap read safe";
+  check_class (Assert { cond = op_reg "c"; msg = ""; oracle = false }) Safe
+    "assert safe";
+  check_class (Sleep 5) Safe "sleep safe";
+  check_class (Alloc (r "a", Const (Value.Int 1))) Compensable "alloc comp";
+  check_class (Lock (Const (Value.Mutex "m"))) Compensable "lock comp";
+  check_class (Timed_lock (r "a", Const (Value.Mutex "m"), 10)) Compensable
+    "timedlock comp";
+  check_class (Store (Global "g", Const Value.zero)) Destroying "store dest";
+  check_class (Store (Stack "s", Const Value.zero)) Destroying
+    "stack write dest";
+  check_class (Store_idx (op_reg "p", Const Value.zero, Const Value.zero))
+    Destroying "heap write dest";
+  check_class (Free (op_reg "p")) Destroying "free dest";
+  check_class (Unlock (Const (Value.Mutex "m"))) Destroying "unlock dest";
+  check_class (Output { fmt = ""; args = [] }) Destroying "output dest";
+  check_class (Call (None, Ident.Fname.v "f", [])) Destroying "call dest";
+  check_class (Spawn (r "t", Ident.Fname.v "f", [])) Destroying "spawn dest";
+  check_class (Join (op_reg "t")) Destroying "join dest";
+  check_class (Checkpoint 0) Safe "checkpoint safe";
+  check_class (Ptr_guard (r "ok", op_reg "p", Const Value.zero)) Safe
+    "ptr_guard safe"
+
+let dynamic_destruction () =
+  let open Instr in
+  Alcotest.(check bool) "store" true
+    (dynamically_destroying (Store (Global "g", Const Value.zero)));
+  Alcotest.(check bool) "output" true
+    (dynamically_destroying (Output { fmt = ""; args = [] }));
+  Alcotest.(check bool) "spawn" true
+    (dynamically_destroying (Spawn (r "t", Ident.Fname.v "f", [])));
+  Alcotest.(check bool) "call is not dynamic" false
+    (dynamically_destroying (Call (None, Ident.Fname.v "f", [])));
+  Alcotest.(check bool) "join is not dynamic" false
+    (dynamically_destroying (Join (op_reg "t")));
+  Alcotest.(check bool) "alloc is not dynamic" false
+    (dynamically_destroying (Alloc (r "a", Const (Value.Int 1))))
+
+let def_use () =
+  let open Instr in
+  let reg_list = Alcotest.(list (testable Ident.Reg.pp Ident.Reg.equal)) in
+  Alcotest.(check (option (testable Ident.Reg.pp Ident.Reg.equal)))
+    "binop def" (Some (r "x"))
+    (def (Binop (r "x", Add, op_reg "a", op_reg "b")));
+  Alcotest.check reg_list "binop uses" [ r "a"; r "b" ]
+    (uses (Binop (r "x", Add, op_reg "a", op_reg "b")));
+  Alcotest.(check (option (testable Ident.Reg.pp Ident.Reg.equal)))
+    "store def" None
+    (def (Store (Global "g", op_reg "v")));
+  Alcotest.check reg_list "store uses" [ r "v" ]
+    (uses (Store (Global "g", op_reg "v")));
+  Alcotest.check reg_list "store_idx uses" [ r "p"; r "i"; r "v" ]
+    (uses (Store_idx (op_reg "p", op_reg "i", op_reg "v")));
+  Alcotest.check reg_list "const operands contribute no uses" []
+    (uses (Move (r "x", Const (Value.Int 1))));
+  Alcotest.(check bool) "global load reads shared" true
+    (reads_shared (Load (r "a", Global "g")));
+  Alcotest.(check bool) "stack load does not read shared" false
+    (reads_shared (Load (r "a", Stack "s")));
+  Alcotest.(check bool) "heap load reads shared" true
+    (reads_shared (Load_idx (r "a", op_reg "p", Const Value.zero)));
+  Alcotest.(check bool) "lock acquires" true
+    (acquires_lock (Lock (Const (Value.Mutex "m"))));
+  Alcotest.(check bool) "unlock does not acquire" false
+    (acquires_lock (Unlock (Const (Value.Mutex "m"))))
+
+(* --- Builder ------------------------------------------------------- *)
+
+let builder_basics () =
+  let p = straightline_program () in
+  check_valid p;
+  Alcotest.(check int) "two functions" 2 (List.length p.funcs);
+  let main = Program.func_exn p (Ident.Fname.v "main") in
+  Alcotest.(check int) "instruction count" 6 (Func.instr_count main);
+  (* iids are unique and dense from 0 *)
+  let ids =
+    List.concat_map (fun f -> List.map (fun i -> i.Instr.iid) (Func.instrs f))
+      p.funcs
+    |> List.sort compare
+  in
+  Alcotest.(check int) "max iid" (List.length ids - 1) (Program.max_iid p);
+  Alcotest.(check (list int)) "dense ids" (List.init (List.length ids) Fun.id)
+    ids
+
+let builder_fallthrough () =
+  (* An unterminated block falls through to the next label. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "a";
+    B.nop f;
+    B.label f "b";
+    (* implicit jump a->b *)
+    B.exit_ f
+  in
+  check_valid p;
+  let main = Program.func_exn p (Ident.Fname.v "main") in
+  let a = Func.block_exn main (Ident.Label.v "a") in
+  match a.term with
+  | Instr.Jump l ->
+      Alcotest.(check string) "fallthrough target" "b" (Ident.Label.name l)
+  | _ -> Alcotest.fail "expected a jump terminator"
+
+let builder_rejects_empty_function () =
+  match
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] (fun _ -> ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty function should be rejected"
+
+let builder_rejects_unterminated () =
+  match
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.nop f
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unterminated function should be rejected"
+
+(* --- Cfg ----------------------------------------------------------- *)
+
+let diamond_func () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.move f "c" (B.bool true);
+    B.branch f (B.reg "c") "left" "right";
+    B.label f "left";
+    B.nop f;
+    B.jump f "merge";
+    B.label f "right";
+    B.nop f;
+    B.jump f "merge";
+    B.label f "merge";
+    B.exit_ f
+  in
+  Program.func_exn p (Ident.Fname.v "main")
+
+let cfg_edges () =
+  let g = Cfg.of_func (diamond_func ()) in
+  let l = Ident.Label.v in
+  let labels = Alcotest.(list string) in
+  let names ls = List.map Ident.Label.name ls |> List.sort compare in
+  Alcotest.check labels "entry succs" [ "left"; "right" ]
+    (names (Cfg.succs g (l "entry")));
+  Alcotest.check labels "merge preds" [ "left"; "right" ]
+    (names (Cfg.preds g (l "merge")));
+  Alcotest.check labels "entry preds" [] (names (Cfg.preds g (l "entry")));
+  Alcotest.(check bool) "entry is entry" true (Cfg.is_entry g (l "entry"));
+  Alcotest.(check int) "all reachable" 4
+    (Ident.Label.Set.cardinal (Cfg.reachable g))
+
+let cfg_self_loop () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.move f "c" (B.bool false);
+    B.branch f (B.reg "c") "entry" "out";
+    B.label f "out";
+    B.exit_ f
+  in
+  let f = Program.func_exn p (Ident.Fname.v "main") in
+  let g = Cfg.of_func f in
+  let l = Ident.Label.v in
+  Alcotest.(check bool) "entry has a back-edge pred" true
+    (List.exists (Ident.Label.equal (l "entry")) (Cfg.preds g (l "entry")))
+
+let block_successors_dedup () =
+  let b =
+    Block.v ~label:(Ident.Label.v "x") ~instrs:[]
+      ~term:(Instr.Branch (B.bool true, Ident.Label.v "y", Ident.Label.v "y"))
+  in
+  Alcotest.(check int) "branch to same label dedups" 1
+    (List.length (Block.successors b))
+
+(* --- Validate ------------------------------------------------------ *)
+
+let validate_catches_problems () =
+  let expect_problem name p =
+    match Validate.check p with
+    | [] -> Alcotest.failf "%s: expected a validation problem" name
+    | _ -> ()
+  in
+  (* missing main *)
+  expect_problem "missing main"
+    (Program.v
+       ~funcs:
+         [
+           Func.v ~name:(Ident.Fname.v "f") ~params:[]
+             ~entry:(Ident.Label.v "e")
+             ~blocks:
+               [ Block.v ~label:(Ident.Label.v "e") ~instrs:[] ~term:Instr.Exit ];
+         ]
+       ~main:(Ident.Fname.v "main") ());
+  (* jump to unknown label *)
+  expect_problem "unknown label"
+    (Program.v
+       ~funcs:
+         [
+           Func.v ~name:(Ident.Fname.v "main") ~params:[]
+             ~entry:(Ident.Label.v "e")
+             ~blocks:
+               [
+                 Block.v ~label:(Ident.Label.v "e") ~instrs:[]
+                   ~term:(Instr.Jump (Ident.Label.v "nowhere"));
+               ];
+         ]
+       ~main:(Ident.Fname.v "main") ());
+  (* call to unknown function *)
+  expect_problem "unknown callee"
+    (B.build ~main:"main" @@ fun b ->
+     B.func b "main" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f "nonexistent" [];
+     B.exit_ f);
+  (* arity mismatch *)
+  expect_problem "arity mismatch"
+    (B.build ~main:"main" @@ fun b ->
+     (B.func b "g" ~params:[ "x" ] @@ fun f ->
+      B.label f "entry";
+      B.ret f None);
+     B.func b "main" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f "g" [];
+     B.exit_ f);
+  (* main with parameters *)
+  expect_problem "main with params"
+    (B.build ~main:"main" @@ fun b ->
+     B.func b "main" ~params:[ "x" ] @@ fun f ->
+     B.label f "entry";
+     B.exit_ f);
+  (* unreachable block *)
+  expect_problem "unreachable block"
+    (B.build ~main:"main" @@ fun b ->
+     B.func b "main" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.exit_ f;
+     B.label f "island";
+     B.exit_ f)
+
+let validate_accepts_benchmarks () =
+  List.iter
+    (fun (s : Conair_bugbench.Bench_spec.t) ->
+      List.iter
+        (fun (variant, oracle) ->
+          let inst = s.make ~variant ~oracle in
+          check_valid inst.program)
+        [
+          (Conair_bugbench.Bench_spec.Buggy, true);
+          (Conair_bugbench.Bench_spec.Buggy, false);
+          (Conair_bugbench.Bench_spec.Clean, true);
+          (Conair_bugbench.Bench_spec.Clean, false);
+        ])
+    Conair_bugbench.Registry.all
+
+(* --- Program utilities ---------------------------------------------- *)
+
+let program_find_instr () =
+  let p = straightline_program () in
+  match Program.find_instr p 0 with
+  | Some (f, _, _) ->
+      Alcotest.(check bool) "found in some function" true
+        (List.exists
+           (fun (g : Func.t) -> Ident.Fname.equal g.name f.Func.name)
+           p.funcs)
+  | None -> Alcotest.fail "iid 0 must exist"
+
+let program_missing_instr () =
+  let p = straightline_program () in
+  Alcotest.(check bool) "missing iid" true (Program.find_instr p 9999 = None)
+
+let suites =
+  [
+    ( "ir",
+      [
+        case "value equality" value_equality;
+        case "value truthiness" value_truthiness;
+        case "value printing" value_printing;
+        case "idempotency classification" classification;
+        case "dynamic destruction" dynamic_destruction;
+        case "def/use sets" def_use;
+        case "builder basics" builder_basics;
+        case "builder fallthrough" builder_fallthrough;
+        case "builder rejects empty function" builder_rejects_empty_function;
+        case "builder rejects unterminated block" builder_rejects_unterminated;
+        case "cfg edges" cfg_edges;
+        case "cfg self loop" cfg_self_loop;
+        case "block successor dedup" block_successors_dedup;
+        case "validate catches problems" validate_catches_problems;
+        case "validate accepts all benchmark variants"
+          validate_accepts_benchmarks;
+        case "program find_instr" program_find_instr;
+        case "program find_instr missing" program_missing_instr;
+      ] );
+  ]

@@ -1,0 +1,194 @@
+(* Unit tests for the Mir standard library — the application code the
+   benchmarks embed their bugs in. Each helper is exercised through the
+   interpreter and checked against an OCaml reference computation. *)
+
+open Conair.Ir
+open Test_util
+module B = Builder
+module Mirlib = Conair_bugbench.Mirlib
+
+(* Build a single-threaded program around the stdlib and run it. *)
+let run_stdlib ?(stages = 3) body =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    Mirlib.add_stdlib ~stages ~reports:3 b;
+    B.func b "main" ~params:[] body
+  in
+  check_valid p;
+  let r = run ~fuel:500_000 p in
+  expect_success r;
+  r
+
+let compute_kernel_matches_reference () =
+  let reference n =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + (i * i mod 9973)
+    done;
+    !acc
+  in
+  List.iter
+    (fun n ->
+      let r =
+        run_stdlib @@ fun f ->
+        B.label f "entry";
+        B.call f ~into:"s" "compute_kernel" [ B.int n ];
+        B.output f "%v" [ B.reg "s" ];
+        B.exit_ f
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "kernel %d" n)
+        [ string_of_int (reference n) ]
+        r.outputs)
+    [ 0; 1; 7; 100 ]
+
+let vectors_push_get_sum () =
+  let r =
+    run_stdlib @@ fun f ->
+    B.label f "entry";
+    B.call f ~into:"v" "vec_new" [ B.int 8 ];
+    B.call f "vec_push" [ B.reg "v"; B.int 5 ];
+    B.call f "vec_push" [ B.reg "v"; B.int 7 ];
+    B.call f "vec_push" [ B.reg "v"; B.int 11 ];
+    B.call f ~into:"len" "vec_len" [ B.reg "v" ];
+    B.call f ~into:"x1" "vec_get" [ B.reg "v"; B.int 1 ];
+    B.call f ~into:"s" "vec_sum" [ B.reg "v" ];
+    B.output f "%v %v %v" [ B.reg "len"; B.reg "x1"; B.reg "s" ];
+    B.exit_ f
+  in
+  Alcotest.(check (list string)) "vector ops" [ "3 7 23" ] r.outputs
+
+let vec_get_bounds_asserts () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    Mirlib.add_stdlib b;
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.call f ~into:"v" "vec_new" [ B.int 4 ];
+    B.call f "vec_push" [ B.reg "v"; B.int 1 ];
+    B.call f ~into:"x" "vec_get" [ B.reg "v"; B.int 3 ];
+    B.exit_ f
+  in
+  expect_failure_kind Instr.Assert_fail (run p)
+
+let table_put_get () =
+  let r =
+    run_stdlib @@ fun f ->
+    B.label f "entry";
+    B.call f ~into:"t" "table_new" [ B.int 8 ];
+    B.call f "table_put" [ B.reg "t"; B.int 8; B.int 3; B.int 42 ];
+    B.call f "table_put" [ B.reg "t"; B.int 8; B.int 11; B.int 9 ];
+    (* key 11 mod 8 = 3: direct-mapped, overwrites *)
+    B.call f ~into:"a" "table_get" [ B.reg "t"; B.int 8; B.int 3 ];
+    B.call f ~into:"b" "table_get" [ B.reg "t"; B.int 8; B.int 5 ];
+    B.output f "%v %v" [ B.reg "a"; B.reg "b" ];
+    B.exit_ f
+  in
+  Alcotest.(check (list string)) "direct-mapped semantics" [ "9 0" ] r.outputs
+
+let checksum_matches_reference () =
+  let reference xs =
+    List.fold_left (fun acc x -> ((acc * 31) + x) mod 1000003) 7 xs
+  in
+  let xs = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  let r =
+    run_stdlib @@ fun f ->
+    B.label f "entry";
+    B.call f ~into:"v" "vec_new" [ B.int 16 ];
+    List.iter (fun x -> B.call f "vec_push" [ B.reg "v"; B.int x ]) xs;
+    B.call f ~into:"c" "checksum" [ B.reg "v" ];
+    B.output f "%v" [ B.reg "c" ];
+    B.exit_ f
+  in
+  Alcotest.(check (list string)) "checksum" [ string_of_int (reference xs) ]
+    r.outputs
+
+let pipeline_matches_reference () =
+  (* stage k multiplies each element by (k+1) mod 65537 and returns the
+     checksum after its pass; run_pipeline returns the last stage's. *)
+  let stages = 3 in
+  let reference xs =
+    let xs = ref xs in
+    let ck = ref 0 in
+    for k = 1 to stages do
+      xs := List.map (fun x -> x * (k + 1) mod 65537) !xs;
+      ck := List.fold_left (fun acc x -> ((acc * 31) + x) mod 1000003) 7 !xs
+    done;
+    !ck
+  in
+  let xs = [ 10; 20; 30 ] in
+  let r =
+    run_stdlib ~stages @@ fun f ->
+    B.label f "entry";
+    B.call f ~into:"v" "vec_new" [ B.int 8 ];
+    List.iter (fun x -> B.call f "vec_push" [ B.reg "v"; B.int x ]) xs;
+    B.call f ~into:"c" "run_pipeline" [ B.reg "v" ];
+    B.output f "%v" [ B.reg "c" ];
+    B.exit_ f
+  in
+  Alcotest.(check (list string)) "pipeline checksum"
+    [ string_of_int (reference xs) ]
+    r.outputs
+
+let reports_emit_and_validate () =
+  let r =
+    run_stdlib @@ fun f ->
+    B.label f "entry";
+    B.move f "x" (B.int 12);
+    B.call f "run_reports" [ B.reg "x" ];
+    B.exit_ f
+  in
+  Alcotest.(check (list string)) "two reports"
+    [ "report 1: 12"; "report 2: 12" ]
+    r.outputs
+
+let checksum_is_checkable_under_recovery () =
+  (* The library code itself runs inside a recovering thread: the pipeline
+     result after a recovery equals the clean-run result. *)
+  let make ~delayed =
+    B.build ~main:"main" @@ fun b ->
+    Mirlib.add_stdlib b;
+    B.global b "go" (Value.Int 0);
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if not delayed then B.sleep f 10;
+     B.load f "g" (Instr.Global "go");
+     B.assert_ f (B.reg "g") ~msg:"go signal";
+     B.call f ~into:"v" "vec_new" [ B.int 8 ];
+     B.call f "vec_push" [ B.reg "v"; B.int 10 ];
+     B.call f "vec_push" [ B.reg "v"; B.int 20 ];
+     B.call f ~into:"c" "run_pipeline" [ B.reg "v" ];
+     B.output f "%v" [ B.reg "c" ];
+     B.ret f None);
+    (B.func b "signaler" ~params:[] @@ fun f ->
+     B.label f "entry";
+     if delayed then B.sleep f 50;
+     B.store f (Instr.Global "go") (B.int 1);
+     B.ret f None);
+    Mirlib.two_thread_main b ~threads:[ "worker"; "signaler" ]
+  in
+  let clean = run (make ~delayed:false) in
+  expect_success clean;
+  let h = Conair.harden_exn (make ~delayed:true) Conair.Survival in
+  let recovered = run_hardened h in
+  expect_success recovered;
+  Alcotest.(check bool) "actually recovered" true
+    (recovered.stats.rollbacks > 0);
+  Alcotest.(check (list string)) "same result as the clean run"
+    clean.outputs recovered.outputs
+
+let suites =
+  [
+    ( "mirlib",
+      [
+        case "compute kernel matches reference" compute_kernel_matches_reference;
+        case "vector push/get/sum" vectors_push_get_sum;
+        case "vec_get bounds assert" vec_get_bounds_asserts;
+        case "table put/get" table_put_get;
+        case "checksum matches reference" checksum_matches_reference;
+        case "pipeline matches reference" pipeline_matches_reference;
+        case "reports emit and validate" reports_emit_and_validate;
+        case "library results stable under recovery"
+          checksum_is_checkable_under_recovery;
+      ] );
+  ]

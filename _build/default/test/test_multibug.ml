@@ -1,0 +1,142 @@
+(* Stress tests: several independent concurrency bugs in one program, all
+   recovered in a single run — the survival-mode deployment story, where
+   ConAir has no idea how many hidden bugs exist. *)
+
+open Conair.Ir
+open Test_util
+module B = Builder
+module Stats = Conair.Runtime.Stats
+
+(* Three simultaneous bugs: an order-violation assert, an order-violation
+   segfault, and a lock-order deadlock — in five threads. *)
+let three_bugs_program () =
+  B.build ~main:"main" @@ fun b ->
+  B.mutex b "la";
+  B.mutex b "lb";
+  B.global b "flag" (Value.Int 0);
+  B.global b "obj" Value.Null;
+  (* bug 1: reads flag too early *)
+  (B.func b "flag_reader" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.load f "v" (Instr.Global "flag");
+   B.assert_ f (B.reg "v") ~msg:"flag set";
+   B.ret f None);
+  (B.func b "flag_writer" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.sleep f 80;
+   B.store f (Instr.Global "flag") (B.int 1);
+   B.ret f None);
+  (* bug 2: dereferences obj too early; the writer publishes late *)
+  (B.func b "obj_reader" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.load f "p" (Instr.Global "obj");
+   B.load_idx f "x" (B.reg "p") (B.int 0);
+   B.output f "x=%v" [ B.reg "x" ];
+   B.ret f None);
+  (B.func b "obj_writer" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.sleep f 120;
+   B.alloc f "p" (B.int 1);
+   B.store_idx f (B.reg "p") (B.int 0) (B.int 5);
+   B.store f (Instr.Global "obj") (B.reg "p");
+   B.ret f None);
+  (* bug 3: lock-order deadlock between the two writers' cleanup phases *)
+  (B.func b "locker_ab" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.lock f (B.mutex_ref "la");
+   B.sleep f 20;
+   B.lock f (B.mutex_ref "lb");
+   B.unlock f (B.mutex_ref "lb");
+   B.unlock f (B.mutex_ref "la");
+   B.ret f None);
+  (B.func b "locker_ba" ~params:[] @@ fun f ->
+   B.label f "entry";
+   B.lock f (B.mutex_ref "lb");
+   B.sleep f 20;
+   B.lock f (B.mutex_ref "la");
+   B.unlock f (B.mutex_ref "la");
+   B.unlock f (B.mutex_ref "lb");
+   B.ret f None);
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  B.spawn f "t1" "flag_reader" [];
+  B.spawn f "t2" "flag_writer" [];
+  B.spawn f "t3" "obj_reader" [];
+  B.spawn f "t4" "obj_writer" [];
+  B.spawn f "t5" "locker_ab" [];
+  B.spawn f "t6" "locker_ba" [];
+  List.iter (fun t -> B.join f (B.reg t)) [ "t1"; "t2"; "t3"; "t4"; "t5"; "t6" ];
+  B.exit_ f
+
+let all_three_bugs_recover () =
+  let p = three_bugs_program () in
+  check_valid p;
+  (* unprotected, at least one bug takes the program down *)
+  (match (run p).outcome with
+  | Conair.Runtime.Outcome.Success -> Alcotest.fail "expected a failure"
+  | _ -> ());
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened ~fuel:2_000_000 h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "x=5" ] r.outputs;
+  (* three distinct recovery episodes: assert, segfault, deadlock *)
+  let sites =
+    List.sort_uniq compare
+      (List.map (fun (e : Stats.episode) -> e.ep_site_id) r.stats.episodes)
+  in
+  Alcotest.(check int) "three distinct sites recovered" 3 (List.length sites);
+  Alcotest.(check int) "rollback safety" 0 r.stats.tracecheck_violations
+
+let repeated_failures_same_site () =
+  (* The same site fails on four consecutive loop iterations (the gate
+     opens one step at a time): each episode recovers. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "gate" (Value.Int 0);
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.move f "i" (B.int 1);
+     B.label f "loop";
+     B.binop f "c" Instr.Le (B.reg "i") (B.int 4);
+     B.branch f (B.reg "c") "body" "done_";
+     B.label f "body";
+     B.load f "gv" (Instr.Global "gate");
+     B.binop f "ok" Instr.Ge (B.reg "gv") (B.reg "i");
+     B.assert_ f (B.reg "ok") ~msg:"gate is open far enough";
+     B.store f (Instr.Stack "seen") (B.reg "gv");
+     B.add f "i" (B.reg "i") (B.int 1);
+     B.jump f "loop";
+     B.label f "done_";
+     B.output f "final=%v" [ B.reg "i" ];
+     B.ret f None);
+    (B.func b "gatekeeper" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.move f "g" (B.int 0);
+     B.label f "open_";
+     B.lt f "c" (B.reg "g") (B.int 4);
+     B.branch f (B.reg "c") "step" "done_";
+     B.label f "step";
+     B.sleep f 30;
+     B.add f "g" (B.reg "g") (B.int 1);
+     B.store f (Instr.Global "gate") (B.reg "g");
+     B.jump f "open_";
+     B.label f "done_";
+     B.ret f None);
+    Conair_bugbench.Mirlib.two_thread_main b
+      ~threads:[ "worker"; "gatekeeper" ]
+  in
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "final=5" ] r.outputs;
+  Alcotest.(check bool) "several episodes at the same site" true
+    (List.length r.stats.episodes >= 3)
+
+let suites =
+  [
+    ( "multi-bug",
+      [
+        case "three simultaneous bugs recover" all_three_bugs_recover;
+        case "repeated failures at one site" repeated_failures_same_site;
+      ] );
+  ]

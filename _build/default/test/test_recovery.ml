@@ -1,0 +1,156 @@
+(* End-to-end recovery tests: the original program fails under the buggy
+   interleaving, the hardened program recovers. These mirror the paper's
+   Figs 9-11 case studies. *)
+
+open Conair.Ir
+open Test_util
+module Outcome = Conair.Runtime.Outcome
+
+let order_violation_fails_unhardened () =
+  let p = order_violation_program ~buggy:true () in
+  check_valid p;
+  expect_failure_kind Instr.Wrong_output (run p)
+
+let order_violation_recovers () =
+  let p = order_violation_program ~buggy:true () in
+  let h = Conair.harden_exn p Conair.Survival in
+  check_valid h.hardened.program;
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "end=99" ] r.outputs;
+  Alcotest.(check bool) "rolled back at least once" true
+    (r.stats.rollbacks > 0)
+
+let order_violation_clean_schedule_untouched () =
+  (* Without the failure-inducing sleep the hardened program behaves
+     identically to the original. *)
+  let p = order_violation_program ~buggy:false () in
+  let h = Conair.harden_exn p Conair.Survival in
+  let r0 = run p and r1 = run_hardened h in
+  expect_success r1;
+  Alcotest.(check (list string)) "same outputs" r0.outputs r1.outputs
+
+let interproc_fails_unhardened () =
+  let p = interproc_segfault_program ~buggy:true () in
+  check_valid p;
+  expect_failure_kind Instr.Seg_fault (run p)
+
+let interproc_recovers () =
+  let p = interproc_segfault_program ~buggy:true () in
+  let h = Conair.harden_exn p Conair.Survival in
+  check_valid h.hardened.program;
+  Alcotest.(check bool) "uses inter-procedural recovery" true
+    (h.report.interproc_sites > 0);
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "state=7" ] r.outputs
+
+let interproc_needs_interproc_analysis () =
+  (* With inter-procedural analysis disabled the site is unrecoverable and
+     the program still segfaults. *)
+  let p = interproc_segfault_program ~buggy:true () in
+  let options = { Conair.Analysis.Plan.default_options with interproc = false } in
+  let h = Conair.harden_exn ~analysis:options p Conair.Survival in
+  expect_failure_kind Instr.Seg_fault (run_hardened h)
+
+let deadlock_hangs_unhardened () =
+  let p = deadlock_program ~buggy:true () in
+  check_valid p;
+  expect_hang (run p)
+
+let deadlock_recovers () =
+  let p = deadlock_program ~buggy:true () in
+  let h = Conair.harden_exn p Conair.Survival in
+  check_valid h.hardened.program;
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check bool) "rolled back" true (r.stats.rollbacks > 0);
+  Alcotest.(check bool) "compensated a lock" true
+    (r.stats.compensated_locks > 0)
+
+let deadlock_clean_schedule_untouched () =
+  let p = deadlock_program ~buggy:false () in
+  let h = Conair.harden_exn p Conair.Survival in
+  expect_success (run p);
+  expect_success (run_hardened h)
+
+let no_rollback_crosses_destroying_op () =
+  (* The Tracecheck invariant: on every rollback, no destroying instruction
+     of the failing thread executed since the checkpoint. *)
+  List.iter
+    (fun p ->
+      let h = Conair.harden_exn p Conair.Survival in
+      let r = run_hardened h in
+      Alcotest.(check int) "tracecheck violations" 0
+        r.stats.tracecheck_violations)
+    [
+      order_violation_program ~buggy:true ();
+      interproc_segfault_program ~buggy:true ();
+      deadlock_program ~buggy:true ();
+    ]
+
+let fix_mode_recovers_designated_site () =
+  (* Fix mode hardens only the failing assert; sites elsewhere stay
+     untouched. *)
+  let p = order_violation_program ~buggy:true () in
+  (* Find the oracle assert's iid. *)
+  let site_iid = ref (-1) in
+  Program.iter_funcs p (fun f ->
+      Func.iter_instrs f (fun _ i ->
+          match i.op with
+          | Instr.Assert { oracle = true; _ } -> site_iid := i.iid
+          | _ -> ()));
+  Alcotest.(check bool) "found oracle assert" true (!site_iid >= 0);
+  let h = Conair.harden_exn p (Conair.Fix [ !site_iid ]) in
+  Alcotest.(check int) "one site" 1 (List.length h.plan.site_plans);
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "end=99" ] r.outputs
+
+let retry_budget_respected () =
+  (* With the timer thread never writing, retries exhaust and the failure
+     surfaces with the site id attached. *)
+  let p =
+    Builder.build ~main:"main" @@ fun b ->
+    Builder.global b "flag" (Value.Int 0);
+    (Builder.func b "reader" ~params:[] @@ fun f ->
+     Builder.label f "entry";
+     Builder.load f "v" (Instr.Global "flag");
+     Builder.assert_ f (Builder.reg "v") ~msg:"flag never set";
+     Builder.ret f None);
+    Builder.func b "main" ~params:[] @@ fun f ->
+    Builder.label f "entry";
+    Builder.spawn f "t" "reader" [];
+    Builder.join f (Builder.reg "t");
+    Builder.exit_ f
+  in
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened ~max_retries:25 h in
+  (match r.outcome with
+  | Outcome.Failed { kind = Instr.Assert_fail; site_id = Some _; _ } -> ()
+  | o -> Alcotest.failf "expected assert fail-stop, got %a" Outcome.pp o);
+  Alcotest.(check int) "exactly max_retries rollbacks" 25 r.stats.rollbacks
+
+let suites =
+  [
+    ( "recovery",
+      [
+        case "order violation fails unhardened" order_violation_fails_unhardened;
+        case "order violation recovers" order_violation_recovers;
+        case "order violation clean schedule untouched"
+          order_violation_clean_schedule_untouched;
+        case "interproc segfault fails unhardened" interproc_fails_unhardened;
+        case "interproc segfault recovers" interproc_recovers;
+        case "interproc analysis is load-bearing"
+          interproc_needs_interproc_analysis;
+        case "deadlock hangs unhardened" deadlock_hangs_unhardened;
+        case "deadlock recovers" deadlock_recovers;
+        case "deadlock clean schedule untouched"
+          deadlock_clean_schedule_untouched;
+        case "no rollback crosses a destroying op"
+          no_rollback_crosses_destroying_op;
+        case "fix mode recovers designated site"
+          fix_mode_recovers_designated_site;
+        case "retry budget respected" retry_budget_respected;
+      ] );
+  ]

@@ -1,0 +1,155 @@
+(* Robustness tests: hand-written (not transformation-produced) recovery
+   pseudo-instructions and other hostile shapes must degrade gracefully,
+   never crash the interpreter. *)
+
+open Conair.Ir
+open Test_util
+module B = Builder
+module Outcome = Conair.Runtime.Outcome
+
+let stale_callee_checkpoint_fails_gracefully () =
+  (* A checkpoint taken inside a callee, then a Try_recover in the caller
+     after the frame is gone: the checkpoint is inapplicable and the site
+     must fail-stop instead of crashing. ConAir's own placement can never
+     produce this shape (a caller-side checkpoint always executes after
+     the call returns); this is the defensive path. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "callee" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.emit f (Instr.Checkpoint 0);
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.call f "callee" [];
+    B.emit f
+      (Instr.Try_recover { site_id = 9; kind = Instr.Assert_fail });
+    B.emit f
+      (Instr.Fail_stop
+         { site_id = 9; kind = Instr.Assert_fail; msg = "stale checkpoint" });
+    B.exit_ f
+  in
+  check_valid p;
+  match (run p).outcome with
+  | Outcome.Failed { site_id = Some 9; _ } -> ()
+  | o ->
+      Alcotest.failf "expected a graceful fail-stop, got %a" Outcome.pp o
+
+let try_recover_without_checkpoint_falls_through () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.emit f (Instr.Try_recover { site_id = 1; kind = Instr.Seg_fault });
+    B.emit f
+      (Instr.Fail_stop
+         { site_id = 1; kind = Instr.Seg_fault; msg = "no checkpoint" });
+    B.exit_ f
+  in
+  match (run p).outcome with
+  | Outcome.Failed { site_id = Some 1; kind = Instr.Seg_fault; _ } -> ()
+  | o -> Alcotest.failf "expected fail-stop, got %a" Outcome.pp o
+
+let checkpoint_into_branchy_callee () =
+  (* A checkpoint whose block label exists in the caller too: depth check
+     alone would pass; block lookup must land in the right frame's
+     function. Here the shapes are legitimate, so recovery works. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "flag" (Value.Int 0);
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "v" (Instr.Global "flag");
+     B.assert_ f (B.reg "v") ~msg:"flag set";
+     B.ret f None);
+    (B.func b "setter" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 30;
+     B.store f (Instr.Global "flag") (B.int 1);
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t1" "worker" [];
+    B.spawn f "t2" "setter" [];
+    B.join f (B.reg "t1");
+    B.join f (B.reg "t2");
+    B.exit_ f
+  in
+  let h = Conair.harden_exn p Conair.Survival in
+  expect_success (run_hardened h)
+
+let deep_recursion_with_recovery () =
+  (* Recovery at the bottom of a deep call stack: the rollback unwinds
+     only to its own frame's depth. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "flag" (Value.Int 0);
+    (B.func b "descend" ~params:[ "n" ] @@ fun f ->
+     B.label f "entry";
+     B.gt f "more" (B.reg "n") (B.int 0);
+     B.branch f (B.reg "more") "rec" "check";
+     B.label f "rec";
+     B.sub f "m" (B.reg "n") (B.int 1);
+     B.call f ~into:"r" "descend" [ B.reg "m" ];
+     B.ret f (Some (B.reg "r"));
+     B.label f "check";
+     B.load f "v" (Instr.Global "flag");
+     B.assert_ f (B.reg "v") ~msg:"flag set at the bottom";
+     B.ret f (Some (B.reg "v")));
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.call f ~into:"r" "descend" [ B.int 30 ];
+     B.output f "r=%v" [ B.reg "r" ];
+     B.ret f None);
+    (B.func b "setter" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.sleep f 200;
+     B.store f (Instr.Global "flag") (B.int 1);
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t1" "worker" [];
+    B.spawn f "t2" "setter" [];
+    B.join f (B.reg "t1");
+    B.join f (B.reg "t2");
+    B.exit_ f
+  in
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "output" [ "r=1" ] r.outputs;
+  Alcotest.(check int) "rollback safety" 0 r.stats.tracecheck_violations
+
+let huge_retry_storm_is_bounded () =
+  (* A never-satisfied site with a tiny region: a million retries would
+     take too long, the budget cuts it off deterministically. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "never" (Value.Int 0);
+    (B.func b "worker" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "v" (Instr.Global "never");
+     B.assert_ f (B.reg "v") ~msg:"never satisfied";
+     B.ret f None);
+    Conair_bugbench.Mirlib.two_thread_main b ~threads:[ "worker" ]
+  in
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened ~max_retries:1000 ~fuel:100_000 h in
+  (match r.outcome with
+  | Outcome.Failed { kind = Instr.Assert_fail; _ } -> ()
+  | o -> Alcotest.failf "expected assert fail-stop, got %a" Outcome.pp o);
+  Alcotest.(check int) "exactly the budget" 1000 r.stats.rollbacks
+
+let suites =
+  [
+    ( "robustness",
+      [
+        case "stale callee checkpoint fails gracefully"
+          stale_callee_checkpoint_fails_gracefully;
+        case "try_recover without a checkpoint falls through"
+          try_recover_without_checkpoint_falls_through;
+        case "checkpoint into branchy callee" checkpoint_into_branchy_callee;
+        case "deep recursion with recovery" deep_recursion_with_recovery;
+        case "retry storms are bounded" huge_retry_storm_is_bounded;
+      ] );
+  ]

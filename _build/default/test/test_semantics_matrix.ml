@@ -1,0 +1,185 @@
+(* Corner-case semantics: value coercions, mixed-type comparisons,
+   mutex/string values flowing through programs, and join/exit edges. *)
+
+open Conair.Ir
+open Test_util
+module B = Builder
+module Outcome = Conair.Runtime.Outcome
+
+let run1 body =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "m";
+    B.global b "g" (Value.Int 0);
+    B.func b "main" ~params:[] body
+  in
+  check_valid p;
+  run p
+
+let expect_out expected r =
+  expect_success r;
+  Alcotest.(check (list string)) "outputs" expected r.outputs
+
+let bools_coerce_in_arithmetic () =
+  (* true counts as 1, false as 0, as in C *)
+  let r =
+    run1 @@ fun f ->
+    B.label f "entry";
+    B.lt f "t" (B.int 1) (B.int 2);
+    B.gt f "z" (B.int 1) (B.int 2);
+    B.add f "a" (B.reg "t") (B.reg "z");
+    B.add f "b" (B.reg "t") (B.int 41);
+    B.output f "%v %v" [ B.reg "a"; B.reg "b" ];
+    B.exit_ f
+  in
+  expect_out [ "1 42" ] r
+
+let equality_across_types_is_false () =
+  let r =
+    run1 @@ fun f ->
+    B.label f "entry";
+    B.eq f "a" (B.int 1) (B.bool true);
+    B.eq f "b" B.null (B.int 0);
+    B.eq f "c" (B.str "x") (B.str "x");
+    B.ne f "d" (B.mutex_ref "m") (B.mutex_ref "m");
+    B.output f "%v %v %v %v" [ B.reg "a"; B.reg "b"; B.reg "c"; B.reg "d" ];
+    B.exit_ f
+  in
+  expect_out [ "false false true false" ] r
+
+let strings_flow_through_calls () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "greet" ~params:[ "who" ] @@ fun f ->
+     B.label f "entry";
+     B.output f "hello %v" [ B.reg "who" ];
+     B.ret f (Some (B.reg "who")));
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.call f ~into:"r" "greet" [ B.str "world" ];
+    B.output f "again %v" [ B.reg "r" ];
+    B.exit_ f
+  in
+  let r = run p in
+  expect_out [ {|hello "world"|}; {|again "world"|} ] r
+
+let ordering_on_non_ints_faults () =
+  let r =
+    run1 @@ fun f ->
+    B.label f "entry";
+    B.lt f "a" (B.str "x") (B.int 1);
+    B.exit_ f
+  in
+  expect_failure_kind Instr.Seg_fault r
+
+let pointers_survive_global_storage () =
+  let r =
+    run1 @@ fun f ->
+    B.label f "entry";
+    B.alloc f "p" (B.int 1);
+    B.store_idx f (B.reg "p") (B.int 0) (B.int 77);
+    B.store f (Instr.Global "g") (B.reg "p");
+    B.load f "q" (Instr.Global "g");
+    B.load_idx f "v" (B.reg "q") (B.int 0);
+    B.output f "%v" [ B.reg "v" ];
+    B.exit_ f
+  in
+  expect_out [ "77" ] r
+
+let join_on_failed_thread_unblocks () =
+  (* A thread failure takes the program down; the outcome is the failure,
+     not a hang of the joining main. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "crasher" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load_idx f "v" B.null (B.int 0);
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t" "crasher" [];
+    B.join f (B.reg "t");
+    B.exit_ f
+  in
+  expect_failure_kind Instr.Seg_fault (run p)
+
+let exit_during_recovery_wins () =
+  (* Another thread's exit ends the program even while a thread is mid
+     retry loop. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "never" (Value.Int 0);
+    (B.func b "retrier" ~params:[] @@ fun f ->
+     B.label f "entry";
+     B.load f "v" (Instr.Global "never");
+     B.assert_ f (B.reg "v") ~msg:"never";
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.spawn f "t" "retrier" [];
+    B.sleep f 100;
+    B.output f "leaving" [];
+    B.exit_ f
+  in
+  let h = Conair.harden_exn p Conair.Survival in
+  let r = run_hardened h in
+  expect_success r;
+  Alcotest.(check (list string)) "main's output" [ "leaving" ] r.outputs;
+  Alcotest.(check bool) "the retrier kept trying until exit" true
+    (r.stats.rollbacks > 10)
+
+let spawn_passes_heap_values () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    (B.func b "reader" ~params:[ "buf" ] @@ fun f ->
+     B.label f "entry";
+     B.load_idx f "v" (B.reg "buf") (B.int 0);
+     B.output f "%v" [ B.reg "v" ];
+     B.ret f None);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.alloc f "p" (B.int 1);
+    B.store_idx f (B.reg "p") (B.int 0) (B.int 9);
+    B.spawn f "t" "reader" [ B.reg "p" ];
+    B.join f (B.reg "t");
+    B.exit_ f
+  in
+  let r = run p in
+  expect_out [ "9" ] r
+
+let negative_indices_fault () =
+  let r =
+    run1 @@ fun f ->
+    B.label f "entry";
+    B.alloc f "p" (B.int 2);
+    B.load_idx f "v" (B.reg "p") (B.int (-1));
+    B.exit_ f
+  in
+  expect_failure_kind Instr.Seg_fault r
+
+let output_consumes_left_to_right () =
+  let r =
+    run1 @@ fun f ->
+    B.label f "entry";
+    B.output f "%v-%v-%v" [ B.int 1; B.int 2; B.int 3 ];
+    B.output f "no placeholders" [ B.int 9 ];
+    B.exit_ f
+  in
+  expect_out [ "1-2-3"; "no placeholders" ] r
+
+let suites =
+  [
+    ( "semantics-matrix",
+      [
+        case "bools coerce in arithmetic" bools_coerce_in_arithmetic;
+        case "equality across types" equality_across_types_is_false;
+        case "strings flow through calls" strings_flow_through_calls;
+        case "ordering on non-ints faults" ordering_on_non_ints_faults;
+        case "pointers survive global storage" pointers_survive_global_storage;
+        case "join on failed thread" join_on_failed_thread_unblocks;
+        case "exit during recovery wins" exit_during_recovery_wins;
+        case "spawn passes heap values" spawn_passes_heap_values;
+        case "negative indices fault" negative_indices_fault;
+        case "output argument order" output_consumes_left_to_right;
+      ] );
+  ]

@@ -1,0 +1,305 @@
+(* Unit tests for the code transformation: CFG surgery primitives, the
+   Fig 5/Fig 6 guard shapes, checkpoint placement and sharing, and
+   structural well-formedness of every hardened program. *)
+
+open Conair.Ir
+open Conair.Transform
+open Test_util
+module B = Builder
+
+let fname = Ident.Fname.v
+
+let find_ops (p : Program.t) pred =
+  let acc = ref [] in
+  Program.iter_funcs p (fun f ->
+      Func.iter_instrs f (fun _ i -> if pred i.Instr.op then acc := i :: !acc));
+  List.rev !acc
+
+let count_ops p pred = List.length (find_ops p pred)
+
+(* --- Rewrite primitives --------------------------------------------- *)
+
+let simple_program () =
+  B.build ~main:"main" @@ fun b ->
+  B.func b "main" ~params:[] @@ fun f ->
+  B.label f "entry";
+  B.move f "a" (B.int 1);
+  B.move f "b" (B.int 2);
+  B.exit_ f
+
+let rewrite_insert_after () =
+  let p = simple_program () in
+  let edits = Rewrite.create () in
+  Rewrite.insert_after edits 0 [ Instr.Checkpoint 7 ];
+  let p', _ = Rewrite.apply edits p in
+  check_valid p';
+  let main = Program.func_exn p' (fname "main") in
+  let entry = Func.block_exn main main.entry in
+  (match entry.instrs.(1).op with
+  | Instr.Checkpoint 7 -> ()
+  | op -> Alcotest.failf "expected checkpoint, got %a" Instr.pp_op op);
+  Alcotest.(check int) "one instruction added" 3 (Block.length entry);
+  (* original iids preserved, fresh id above the old maximum *)
+  Alcotest.(check int) "first keeps iid" 0 entry.instrs.(0).iid;
+  Alcotest.(check bool) "fresh id is new" true
+    (entry.instrs.(1).iid > Program.max_iid p)
+
+let rewrite_insert_before () =
+  let p = simple_program () in
+  let edits = Rewrite.create () in
+  Rewrite.insert_before edits 1 [ Instr.Nop ];
+  let p', _ = Rewrite.apply edits p in
+  let main = Program.func_exn p' (fname "main") in
+  let entry = Func.block_exn main main.entry in
+  match (entry.instrs.(1).op, entry.instrs.(2).iid) with
+  | Instr.Nop, 1 -> ()
+  | _ -> Alcotest.fail "nop must precede the original instruction"
+
+let rewrite_prepend_entry () =
+  let p = simple_program () in
+  let edits = Rewrite.create () in
+  Rewrite.prepend_entry edits (fname "main") [ Instr.Checkpoint 0 ];
+  let p', _ = Rewrite.apply edits p in
+  let main = Program.func_exn p' (fname "main") in
+  let entry = Func.block_exn main main.entry in
+  match entry.instrs.(0).op with
+  | Instr.Checkpoint 0 -> ()
+  | op -> Alcotest.failf "expected entry checkpoint, got %a" Instr.pp_op op
+
+let rewrite_guard_assert_shape () =
+  (* Fig 6: the assert becomes a branch; the failing arm holds
+     Try_recover then Fail_stop. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.move f "c" (B.bool true);
+    B.assert_ f (B.reg "c") ~msg:"m";
+    B.move f "d" (B.int 3);
+    B.exit_ f
+  in
+  let edits = Rewrite.create () in
+  Rewrite.set_guard edits 1
+    (Rewrite.Guard_assert
+       { site_id = 5; kind = Instr.Assert_fail; msg = "m" });
+  let p', fail_blocks = Rewrite.apply edits p in
+  check_valid p';
+  Alcotest.(check int) "one fail block" 1 (List.length fail_blocks);
+  Alcotest.(check int) "fail block site id" 5 (snd (List.hd fail_blocks));
+  Alcotest.(check int) "assert is gone" 0
+    (count_ops p' (function Instr.Assert _ -> true | _ -> false));
+  Alcotest.(check int) "one try_recover" 1
+    (count_ops p' (function Instr.Try_recover _ -> true | _ -> false));
+  Alcotest.(check int) "one fail_stop" 1
+    (count_ops p' (function Instr.Fail_stop _ -> true | _ -> false));
+  (* and the happy path still runs: d is assigned *)
+  let r = run p' in
+  expect_success r
+
+let rewrite_guard_deref_keeps_instruction () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.alloc f "p" (B.int 1);
+    B.load_idx f "v" (B.reg "p") (B.int 0);
+    B.exit_ f
+  in
+  let edits = Rewrite.create () in
+  Rewrite.set_guard edits 1 (Rewrite.Guard_deref { site_id = 0 });
+  let p', _ = Rewrite.apply edits p in
+  check_valid p';
+  Alcotest.(check int) "deref survives with its id" 1
+    (List.length
+       (List.filter
+          (fun (i : Instr.t) -> i.iid = 1)
+          (find_ops p' (function Instr.Load_idx _ -> true | _ -> false))));
+  Alcotest.(check int) "guard inserted" 1
+    (count_ops p' (function Instr.Ptr_guard _ -> true | _ -> false));
+  expect_success (run p')
+
+let rewrite_guard_lock_becomes_timed () =
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "m";
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.lock f (B.mutex_ref "m");
+    B.unlock f (B.mutex_ref "m");
+    B.exit_ f
+  in
+  let edits = Rewrite.create () in
+  Rewrite.set_guard edits 0 (Rewrite.Guard_lock { site_id = 3; timeout = 99 });
+  let p', _ = Rewrite.apply edits p in
+  check_valid p';
+  Alcotest.(check int) "no plain lock left" 0
+    (count_ops p' (function Instr.Lock _ -> true | _ -> false));
+  (match
+     find_ops p' (function Instr.Timed_lock _ -> true | _ -> false)
+   with
+  | [ { iid = 0; op = Instr.Timed_lock (_, _, 99) } ] -> ()
+  | _ -> Alcotest.fail "expected one timed lock with iid 0 and timeout 99");
+  expect_success (run p')
+
+let rewrite_double_guard_rejected () =
+  let edits = Rewrite.create () in
+  Rewrite.set_guard edits 0
+    (Rewrite.Guard_assert { site_id = 0; kind = Instr.Assert_fail; msg = "" });
+  match
+    Rewrite.set_guard edits 0 (Rewrite.Guard_deref { site_id = 1 })
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "second guard on one instruction must be rejected"
+
+(* --- Harden ----------------------------------------------------------- *)
+
+let harden p = Conair.harden_exn p Conair.Survival
+
+let harden_checkpoints_shared () =
+  (* Two sites sharing one reexecution point get a single checkpoint. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "g" (Value.Int 1);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.store f (Instr.Global "g") (B.int 1);
+    B.load f "v" (Instr.Global "g");
+    B.assert_ f (B.reg "v") ~msg:"s1";
+    B.load f "w" (Instr.Global "g");
+    B.assert_ f (B.reg "w") ~msg:"s2";
+    B.exit_ f
+  in
+  let h = harden p in
+  Alcotest.(check int) "one checkpoint instruction" 1
+    (count_ops h.hardened.program (function
+      | Instr.Checkpoint _ -> true
+      | _ -> false));
+  Alcotest.(check int) "two guards" 2
+    (count_ops h.hardened.program (function
+      | Instr.Try_recover _ -> true
+      | _ -> false))
+
+let harden_unrecoverable_lock_reverted () =
+  (* A lock with nothing to release stays a plain lock (§4.2). *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.mutex b "m";
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.lock f (B.mutex_ref "m");
+    B.unlock f (B.mutex_ref "m");
+    B.exit_ f
+  in
+  let h = harden p in
+  Alcotest.(check int) "plain lock kept" 1
+    (count_ops h.hardened.program (function
+      | Instr.Lock _ -> true
+      | _ -> false));
+  Alcotest.(check int) "no timed lock" 0
+    (count_ops h.hardened.program (function
+      | Instr.Timed_lock _ -> true
+      | _ -> false))
+
+let harden_undetectable_output_no_guard () =
+  (* Output sites without an oracle get checkpoints but no guard. *)
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.global b "g" (Value.Int 7);
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.load f "v" (Instr.Global "g");
+    B.output f "v=%v" [ B.reg "v" ];
+    B.exit_ f
+  in
+  let h = harden p in
+  Alcotest.(check int) "no recovery guard" 0
+    (count_ops h.hardened.program (function
+      | Instr.Try_recover _ -> true
+      | _ -> false));
+  Alcotest.(check bool) "but a checkpoint exists" true
+    (count_ops h.hardened.program (function
+       | Instr.Checkpoint _ -> true
+       | _ -> false)
+    > 0)
+
+let harden_all_benchmarks_validate () =
+  List.iter
+    (fun (s : Conair_bugbench.Bench_spec.t) ->
+      let inst =
+        s.make ~variant:Conair_bugbench.Bench_spec.Buggy ~oracle:true
+      in
+      let h = harden inst.program in
+      check_valid h.hardened.program;
+      (* fix mode too *)
+      let hf = Conair.harden_exn inst.program (Conair.Fix inst.fix_site_iids) in
+      check_valid hf.hardened.program)
+    Conair_bugbench.Registry.all
+
+let harden_original_untouched () =
+  (* Hardening builds a new program; the input is not mutated. *)
+  let p = Test_util.order_violation_program ~buggy:true () in
+  let before = Format.asprintf "%a" Program.pp p in
+  let _ = harden p in
+  let after = Format.asprintf "%a" Program.pp p in
+  Alcotest.(check string) "program unchanged" before after
+
+let harden_checkpoint_ids_match_instructions () =
+  let p = Test_util.interproc_segfault_program ~buggy:true () in
+  let h = harden p in
+  let ids_in_program =
+    find_ops h.hardened.program (function
+      | Instr.Checkpoint _ -> true
+      | _ -> false)
+    |> List.map (fun (i : Instr.t) ->
+           match i.op with Instr.Checkpoint k -> k | _ -> assert false)
+    |> List.sort compare
+  in
+  let ids_in_table =
+    List.map snd h.hardened.checkpoints |> List.sort compare
+  in
+  Alcotest.(check (list int)) "checkpoint tables agree" ids_in_table
+    ids_in_program
+
+let report_consistency () =
+  List.iter
+    (fun (s : Conair_bugbench.Bench_spec.t) ->
+      let inst =
+        s.make ~variant:Conair_bugbench.Bench_spec.Buggy ~oracle:true
+      in
+      let h = harden inst.program in
+      let r = h.report in
+      Alcotest.(check int)
+        (s.info.name ^ ": sites partition")
+        (Conair.Analysis.Find_sites.total r.census)
+        (r.recoverable_sites + r.unrecoverable_sites);
+      Alcotest.(check int)
+        (s.info.name ^ ": static points match checkpoints")
+        (List.length h.hardened.checkpoints)
+        r.static_points)
+    Conair_bugbench.Registry.all
+
+let suites =
+  [
+    ( "rewrite",
+      [
+        case "insert after" rewrite_insert_after;
+        case "insert before" rewrite_insert_before;
+        case "prepend at entry" rewrite_prepend_entry;
+        case "assert guard shape (Fig 6)" rewrite_guard_assert_shape;
+        case "deref guard keeps the dereference" rewrite_guard_deref_keeps_instruction;
+        case "lock guard becomes timed lock" rewrite_guard_lock_becomes_timed;
+        case "double guard rejected" rewrite_double_guard_rejected;
+      ] );
+    ( "harden",
+      [
+        case "checkpoints shared between sites" harden_checkpoints_shared;
+        case "unrecoverable lock reverted to plain lock"
+          harden_unrecoverable_lock_reverted;
+        case "undetectable output gets no guard"
+          harden_undetectable_output_no_guard;
+        case "all hardened benchmarks validate" harden_all_benchmarks_validate;
+        case "original program untouched" harden_original_untouched;
+        case "checkpoint ids consistent" harden_checkpoint_ids_match_instructions;
+        case "report numbers consistent" report_consistency;
+      ] );
+  ]

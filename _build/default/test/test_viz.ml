@@ -1,0 +1,81 @@
+(* Tests for the DOT export: well-formedness and that the annotations
+   track the region analysis. *)
+
+open Conair.Ir
+open Conair.Analysis
+open Test_util
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let first_site_of p =
+  List.find
+    (fun (s : Site.t) -> s.kind = Instr.Wrong_output || s.kind = Instr.Assert_fail)
+    (Find_sites.survival p)
+
+let dot_is_well_formed () =
+  let p = order_violation_program ~buggy:true () in
+  let dot = Viz.site_to_dot p (first_site_of p) in
+  Alcotest.(check bool) "digraph header" true
+    (contains ~needle:"digraph" dot);
+  Alcotest.(check bool) "closes" true (String.length dot > 0 && contains ~needle:"}" dot);
+  (* balanced quotes *)
+  let quotes = String.fold_left (fun n c -> if c = '"' then n + 1 else n) 0 dot in
+  Alcotest.(check int) "balanced quotes" 0 (quotes mod 2)
+
+let dot_marks_site_and_region () =
+  let p = order_violation_program ~buggy:true () in
+  let dot = Viz.site_to_dot p (first_site_of p) in
+  Alcotest.(check bool) "site marker present" true (contains ~needle:"(X)" dot);
+  Alcotest.(check bool) "region markers present" true
+    (contains ~needle:"[*]" dot);
+  Alcotest.(check bool) "site block is red" true
+    (contains ~needle:"color=red" dot)
+
+let dot_every_benchmark_renders () =
+  List.iter
+    (fun (s : Conair_bugbench.Bench_spec.t) ->
+      let inst =
+        s.make ~variant:Conair_bugbench.Bench_spec.Buggy ~oracle:true
+      in
+      List.iter
+        (fun (site : Site.t) ->
+          let dot = Viz.site_to_dot inst.program site in
+          Alcotest.(check bool)
+            (s.info.name ^ ": renders")
+            true
+            (contains ~needle:"digraph" dot))
+        (match Find_sites.survival inst.program with
+        | a :: b :: _ -> [ a; b ]
+        | l -> l))
+    Conair_bugbench.Registry.all
+
+let dot_escapes_strings () =
+  let module B = Builder in
+  let p =
+    B.build ~main:"main" @@ fun b ->
+    B.func b "main" ~params:[] @@ fun f ->
+    B.label f "entry";
+    B.move f "c" (B.bool true);
+    B.assert_ f (B.reg "c") ~msg:{|tricky "quoted" message|};
+    B.exit_ f
+  in
+  let dot = Viz.site_to_dot p (first_site_of p) in
+  (* the message is escaped twice — once by the instruction printer,
+     once by the DOT escaper — so a source quote arrives as
+     backslash-backslash-backslash-quote *)
+  Alcotest.(check bool) "escaped quotes" true
+    (contains ~needle:{|\\\"quoted\\\"|} dot)
+
+let suites =
+  [
+    ( "viz",
+      [
+        case "dot is well-formed" dot_is_well_formed;
+        case "dot marks site and region" dot_marks_site_and_region;
+        case "every benchmark renders" dot_every_benchmark_renders;
+        case "strings are escaped" dot_escapes_strings;
+      ] );
+  ]
