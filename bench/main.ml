@@ -686,8 +686,145 @@ let bechamel_section () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* "interp" mode: machine-readable interpreter throughput benchmark    *)
+(* ------------------------------------------------------------------ *)
+
+module Ref_machine = Conair.Runtime.Ref_machine
+module Catalog = Conair_bugbench.Catalog
+
+(* A compute-heavy, single-threaded micro program: 200k iterations of a
+   cross-function mul/add/mod mix. Pure interpreter throughput — no
+   scheduling contention, no recovery — so steps/sec here is the honest
+   "how fast can the step loop go" number. *)
+let interp_micro () =
+  Builder.build ~main:"main" @@ fun b ->
+  (Builder.func b "mix" ~params:[ "x"; "k" ] @@ fun f ->
+   Builder.label f "entry";
+   Builder.mul f "a" (Builder.reg "x") (Builder.int 1103515245);
+   Builder.add f "a" (Builder.reg "a") (Builder.reg "k");
+   Builder.binop f "a" Instr.Mod (Builder.reg "a") (Builder.int 2147483647);
+   Builder.ret f (Some (Builder.reg "a")));
+  Builder.func b "main" ~params:[] @@ fun f ->
+  Builder.label f "entry";
+  Builder.move f "acc" (Builder.int 1);
+  Builder.move f "i" (Builder.int 0);
+  Builder.label f "loop";
+  Builder.call f ~into:"acc" "mix" [ Builder.reg "acc"; Builder.reg "i" ];
+  Builder.add f "i" (Builder.reg "i") (Builder.int 1);
+  Builder.lt f "c" (Builder.reg "i") (Builder.int 200_000);
+  Builder.branch f (Builder.reg "c") "loop" "done";
+  Builder.label f "done";
+  Builder.output f "acc=%v" [ Builder.reg "acc" ];
+  Builder.exit_ f
+
+(* Best-of-n wall clock; returns the last result and the fastest time. *)
+let time_best ?(repeats = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* The sweep corpus: every registry benchmark (buggy and clean), every
+   taxonomy catalog entry, every micro pattern — original and, where the
+   pipeline applies, hardened with recovery metadata installed. *)
+let interp_sweep_corpus () =
+  let originals =
+    List.concat_map
+      (fun (s : Spec.t) ->
+        [
+          (s.make ~variant:Spec.Buggy ~oracle:true).program;
+          (s.make ~variant:Spec.Clean ~oracle:false).program;
+        ])
+      (Registry.all @ Registry.extended)
+    @ List.map
+        (fun (e : Conair_bugbench.Catalog.entry) -> e.program)
+        (Catalog.all ())
+    @ List.map (fun (pt : Micro.pattern) -> pt.program) (Micro.all ())
+  in
+  List.concat_map
+    (fun p ->
+      match Conair.harden p Conair.Survival with
+      | Error _ -> [ (p, None) ]
+      | Ok h ->
+          [
+            (p, None);
+            (h.hardened.program, Some (Machine.meta_of_harden h.hardened));
+          ])
+    originals
+
+let bench_interp () =
+  let micro = interp_micro () in
+  let micro_config = { Machine.default_config with fuel = 10_000_000 } in
+  let (fast_m, fast_out), fast_t =
+    time_best (fun () -> Machine.run_program ~config:micro_config micro)
+  in
+  let (ref_m, ref_out), ref_t =
+    time_best (fun () -> Ref_machine.run_program ~config:micro_config micro)
+  in
+  if fast_out <> ref_out then
+    failwith "interp bench: micro outcomes diverge between engines";
+  let steps = fast_m.Machine.step in
+  if steps <> Ref_machine.steps ref_m then
+    failwith "interp bench: micro step counts diverge between engines";
+  let fast_sps = float steps /. fast_t and ref_sps = float steps /. ref_t in
+  let micro_speedup = fast_sps /. ref_sps in
+  Printf.printf "micro: %d steps\n" steps;
+  Printf.printf "  pre-resolved: %.4fs  %12.0f steps/s\n" fast_t fast_sps;
+  Printf.printf "  reference:    %.4fs  %12.0f steps/s\n" ref_t ref_sps;
+  Printf.printf "  speedup:      %.2fx\n" micro_speedup;
+  let corpus = interp_sweep_corpus () in
+  let sweep_config = { Machine.default_config with fuel = 200_000 } in
+  let sweep runner =
+    time_best ~repeats:2 (fun () ->
+        List.iter (fun (p, meta) -> ignore (runner ?meta p)) corpus)
+  in
+  let (), sweep_fast_t =
+    sweep (fun ?meta p -> Machine.run_program ~config:sweep_config ?meta p)
+  in
+  let (), sweep_ref_t =
+    sweep (fun ?meta p -> Ref_machine.run_program ~config:sweep_config ?meta p)
+  in
+  let sweep_speedup = sweep_ref_t /. sweep_fast_t in
+  Printf.printf "sweep: %d runs over the bugbench catalog\n"
+    (List.length corpus);
+  Printf.printf "  pre-resolved: %.4fs\n" sweep_fast_t;
+  Printf.printf "  reference:    %.4fs\n" sweep_ref_t;
+  Printf.printf "  speedup:      %.2fx\n" sweep_speedup;
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc
+    {|{
+  "micro": {
+    "steps": %d,
+    "fast_seconds": %.6f,
+    "fast_steps_per_sec": %.0f,
+    "ref_seconds": %.6f,
+    "ref_steps_per_sec": %.0f,
+    "speedup": %.2f
+  },
+  "sweep": {
+    "runs": %d,
+    "fast_seconds": %.6f,
+    "ref_seconds": %.6f,
+    "speedup": %.2f
+  }
+}
+|}
+    steps fast_t fast_sps ref_t ref_sps micro_speedup (List.length corpus)
+    sweep_fast_t sweep_ref_t sweep_speedup;
+  close_out oc;
+  Printf.printf "wrote BENCH_interp.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "interp" then bench_interp ()
+  else begin
   table1 ();
   table2 ();
   table3 ();
@@ -710,3 +847,4 @@ let () =
   analysis_time_section ();
   bechamel_section ();
   Printf.printf "\n%s\nAll tables and figures regenerated.\n" line
+  end

@@ -54,10 +54,12 @@ module Runtime = struct
   module Outcome = Conair_runtime.Outcome
   module Heap = Conair_runtime.Heap
   module Locks = Conair_runtime.Locks
+  module Link = Conair_runtime.Link
   module Thread = Conair_runtime.Thread
   module Sched = Conair_runtime.Sched
   module Stats = Conair_runtime.Stats
   module Machine = Conair_runtime.Machine
+  module Ref_machine = Conair_runtime.Ref_machine
   module Trace = Conair_runtime.Trace
 end
 

@@ -37,6 +37,32 @@ let instrs f =
 let instr_count f =
   List.fold_left (fun n b -> n + Block.length b) 0 f.blocks
 
+(** Every register the function can ever touch, in a deterministic order:
+    parameters first (in declaration order), then defs and uses in block /
+    instruction order, each name once. This is the interning universe the
+    runtime's link pass assigns dense indices over — index [i] of a
+    parameter equals its position in [params]. *)
+let reg_universe f =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add r =
+    if not (Hashtbl.mem seen (Reg.name r)) then begin
+      Hashtbl.replace seen (Reg.name r) ();
+      out := r :: !out
+    end
+  in
+  List.iter add f.params;
+  List.iter
+    (fun (b : Block.t) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          Option.iter add (Instr.def i.op);
+          List.iter add (Instr.uses i.op))
+        b.instrs;
+      List.iter add (Instr.term_uses b.term))
+    f.blocks;
+  List.rev !out
+
 (** Locate an instruction by id: returns the block and the index within it. *)
 let find_instr f iid =
   let found = ref None in

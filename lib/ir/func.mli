@@ -31,4 +31,10 @@ val instr_count : t -> int
 val find_instr : t -> int -> (Block.t * int) option
 (** Locate an instruction by id: its block and index within it. *)
 
+val reg_universe : t -> Reg.t list
+(** Every register the function mentions, deduplicated, in a
+    deterministic order: parameters first (in declaration order, so a
+    parameter's position doubles as its interned index), then defs and
+    uses in block/instruction order. *)
+
 val pp : Format.formatter -> t -> unit

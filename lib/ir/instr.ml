@@ -182,6 +182,12 @@ let uses = function
   | Output { args; _ } -> regs_of_operands args
   | Call (_, _, args) | Spawn (_, _, args) -> regs_of_operands args
 
+(** Registers read by a terminator. *)
+let term_uses = function
+  | Branch (c, _, _) -> regs_of_operand c
+  | Return (Some a) -> regs_of_operand a
+  | Jump _ | Return None | Exit -> []
+
 (** Named locations read by an operation ([Load] only — dereferences go
     through pointer values, not names). *)
 let mem_reads = function Load (_, m) -> [ m ] | _ -> []

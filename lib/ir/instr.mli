@@ -115,6 +115,9 @@ val def : op -> Reg.t option
 val uses : op -> Reg.t list
 (** The registers the operation reads. *)
 
+val term_uses : terminator -> Reg.t list
+(** Registers read by a terminator (branch conditions, return values). *)
+
 val mem_reads : op -> mem list
 val mem_writes : op -> mem list
 

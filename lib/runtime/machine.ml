@@ -1,11 +1,22 @@
-(* The Mir interpreter with the ConAir recovery runtime built in.
+(* The Mir interpreter with the ConAir recovery runtime built in — the
+   *pre-resolved* engine.
+
+   [create] runs the [Link] pass once: register names become dense indices
+   into a per-frame [Value.t array], jump labels and call targets become
+   array indices, and the hardening metadata's fail-arm labels are
+   annotations on the blocks themselves. The step loop then never looks a
+   name up: no [Func.find_block], no [Program.find_func], no
+   [Reg.Map.find_opt], and no per-step fold over the thread table — the
+   scheduler keeps a dense array of live threads, maintained at spawn and
+   death.
 
    One scheduler step executes one instruction (or terminator) of one
    thread. The recovery pseudo-instructions inserted by the transformation
    are interpreted here:
 
    - [Checkpoint]: bump the region counter and save the register image +
-     program point into the thread's single checkpoint slot;
+     program point into the thread's single checkpoint slot (an
+     [Array.copy] blit);
    - [Try_recover]: if a checkpoint exists and the per-site retry budget is
      not exhausted, compensate (release locks / free blocks acquired in the
      current region, §4.1), verify the rollback-safety invariant if asked,
@@ -16,7 +27,12 @@
 
    Unhardened programs fail exactly where hardened ones would recover:
    asserts stop the program, invalid dereferences are segmentation faults,
-   and a configuration where every live thread is blocked is a hang. *)
+   and a configuration where every live thread is blocked is a hang.
+
+   Semantics are bit-for-bit those of the original map-based interpreter,
+   which survives as [Ref_machine]: same outcomes, outputs, step counts,
+   traces, statistics and random-stream consumption, enforced by the
+   differential test over the bugbench catalog. *)
 
 open Conair_ir
 module Reg = Ident.Reg
@@ -68,17 +84,23 @@ let default_config =
   }
 
 (** Metadata from the hardening pass: fail-arm labels per site, used to
-    detect that a recovering thread has finally passed its failure site. *)
-type meta = { fail_blocks : (Label.t * int) list }
+    detect that a recovering thread has finally passed its failure site.
+    [fail_index] is the same mapping pre-resolved by [Harden.apply]; the
+    link pass consumes it directly. *)
+type meta = {
+  fail_blocks : (Label.t * int) list;
+  fail_index : (string, int) Hashtbl.t;
+}
 
 let meta_of_harden (h : Conair_transform.Harden.t) =
-  { fail_blocks = h.site_fail_blocks }
+  { fail_blocks = h.site_fail_blocks; fail_index = h.fail_block_index }
 
 exception Fault of string
 (** Internal: an unrecovered runtime fault of the current thread. *)
 
 type t = {
   prog : Program.t;
+  linked : Link.program;  (** [prog], pre-resolved once at [create] *)
   config : config;
   meta : meta option;
   globals : (string, Value.t) Hashtbl.t;
@@ -92,14 +114,64 @@ type t = {
   sched : Sched.t;
   mutable outcome : Outcome.t option;
   mutable trace : Trace.sink option;
+  mutable live : Thread.t array;
+      (** slots [0, live_n): the live threads, ascending tid — maintained
+          at spawn and death instead of folded from [threads] per step *)
+  mutable live_n : int;
+  mutable ready : int array;  (** scratch: eligible indices into [live] *)
 }
 
+(* --- the live-thread array ----------------------------------------- *)
+
+let add_live m th =
+  let n = m.live_n in
+  if n >= Array.length m.live then begin
+    let cap = max 4 (2 * n) in
+    let live = Array.make cap th in
+    Array.blit m.live 0 live 0 n;
+    m.live <- live;
+    let ready = Array.make cap 0 in
+    Array.blit m.ready 0 ready 0 (Array.length m.ready);
+    m.ready <- ready
+  end;
+  m.live.(n) <- th;
+  m.live_n <- n + 1
+
+(* Death is rare (thread exit, program failure); a linear scan + shift
+   keeps the array dense and tid-sorted. *)
+let remove_live m (th : Thread.t) =
+  let n = m.live_n in
+  let i = ref 0 in
+  while !i < n && m.live.(!i) != th do incr i done;
+  if !i < n then begin
+    for j = !i to n - 2 do
+      m.live.(j) <- m.live.(j + 1)
+    done;
+    m.live_n <- n - 1
+  end
+
+let rebuild_live m =
+  m.live_n <- 0;
+  Hashtbl.fold
+    (fun tid th acc -> if Thread.is_live th then (tid, th) :: acc else acc)
+    m.threads []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (_, th) -> add_live m th)
+
+(* ------------------------------------------------------------------- *)
+
 let create ?(config = default_config) ?meta (prog : Program.t) =
+  let linked =
+    match meta with
+    | Some mt -> Link.link ~fail_index:mt.fail_index prog
+    | None -> Link.link prog
+  in
   let globals = Hashtbl.create 32 in
   List.iter (fun (g, v) -> Hashtbl.replace globals g v) prog.globals;
   let m =
     {
       prog;
+      linked;
       config;
       meta;
       globals;
@@ -113,12 +185,17 @@ let create ?(config = default_config) ?meta (prog : Program.t) =
       sched = Sched.create config.policy;
       outcome = None;
       trace = None;
+      live = [||];
+      live_n = 0;
+      ready = [||];
     }
   in
-  let main = Program.func_exn prog prog.main in
+  let main = Link.func_by_id linked linked.Link.lp_main in
   let tid = m.next_tid in
   m.next_tid <- tid + 1;
-  Hashtbl.replace m.threads tid (Thread.create ~tid main ~args:[]);
+  let th = Thread.create ~tid main ~args:[||] in
+  Hashtbl.replace m.threads tid th;
+  add_live m th;
   m
 
 let outputs m = List.rev m.outputs
@@ -131,25 +208,45 @@ let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
 
 let thread m tid = Hashtbl.find m.threads tid
-
-let live_threads m =
-  Hashtbl.fold (fun tid th acc -> if Thread.is_live th then tid :: acc else acc)
-    m.threads []
-  |> List.sort compare
+let live_threads m = List.init m.live_n (fun i -> m.live.(i).Thread.tid)
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation helpers                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let eval_reg (fr : Thread.frame) r =
-  match Reg.Map.find_opt r fr.regs with
-  | Some v -> v
-  | None ->
-      raise (Fault (Format.asprintf "use of undefined register %a" Reg.pp r))
+let eval_reg (fr : Thread.frame) i =
+  let v = fr.regs.(i) in
+  if v == Thread.undef then
+    raise
+      (Fault
+         (Format.asprintf "use of undefined register %a" Reg.pp
+            fr.func.Link.lf_reg_names.(i)))
+  else v
 
 let eval (fr : Thread.frame) = function
-  | Instr.Reg r -> eval_reg fr r
-  | Instr.Const v -> v
+  | Link.L_reg i -> eval_reg fr i
+  | Link.L_const v -> v
+
+(* Left-to-right, like the operand lists of the unlinked interpreter. *)
+let eval_args (fr : Thread.frame) (a : Link.rarg array) =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (eval fr a.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- eval fr a.(i)
+    done;
+    out
+  end
+
+let eval_arg_list (fr : Thread.frame) (a : Link.rarg array) =
+  let rec go i =
+    if i >= Array.length a then []
+    else
+      let v = eval fr a.(i) in
+      v :: go (i + 1)
+  in
+  go 0
 
 let as_int = function
   | Value.Int n -> n
@@ -188,7 +285,6 @@ let eval_unop op a =
   | Instr.Neg -> Value.Int (-as_int a)
   | Instr.Is_null -> Value.Bool (match a with Value.Null -> true | _ -> false)
 
-(* Render an output: each "%v" placeholder consumes one argument. *)
 let render_output fmt args =
   let buf = Buffer.create (String.length fmt + 16) in
   let args = ref args in
@@ -215,56 +311,64 @@ let render_output fmt args =
 (* ------------------------------------------------------------------ *)
 
 let set_failure m ~kind ~site_id ~iid ~tid ~msg =
-  (match (thread m tid).status with
+  let th = thread m tid in
+  (match th.Thread.status with
   | Thread.Done | Thread.Failed -> ()
-  | _ -> (thread m tid).status <- Thread.Failed);
+  | _ ->
+      th.Thread.status <- Thread.Failed;
+      remove_live m th);
   m.outcome <-
     Some (Outcome.Failed { kind; site_id; iid; tid; step = m.step; msg })
 
-(* A recovering thread has just branched around a site guard: if it took the
-   non-failing arm of its own site, the recovery episode is over. *)
-let note_branch_taken m (th : Thread.t) ~taken ~other =
-  match (m.meta, th.recovering) with
-  | Some meta, Some rec_ -> (
-      let site_of l =
-        List.find_opt (fun (lbl, _) -> Label.equal lbl l) meta.fail_blocks
-      in
-      match site_of other with
-      | Some (_, site) when site = rec_.rec_site && not (Label.equal taken other)
-        ->
+(* A recovering thread just branched: if the not-taken arm is the fail
+   block of the site being recovered, the retry finally made it past the
+   failure — the episode closes as recovered. [lb_site] was resolved onto
+   the block at link time; the unlinked interpreter scanned the metadata
+   list here. *)
+let note_branch_taken m (th : Thread.t) (fr : Thread.frame) ~taken_idx
+    ~other_idx =
+  match th.Thread.recovering with
+  | Some rec_ when m.meta <> None -> (
+      match fr.func.Link.lf_blocks.(other_idx).Link.lb_site with
+      | Some site when site = rec_.Thread.rec_site && taken_idx <> other_idx ->
           let ep =
             {
               Stats.ep_site_id = site;
-              ep_tid = th.tid;
-              ep_start = rec_.rec_start;
+              ep_tid = th.Thread.tid;
+              ep_start = rec_.Thread.rec_start;
               ep_end = m.step;
-              ep_retries = Thread.retries_of th site - rec_.rec_retries_before;
+              ep_retries =
+                Thread.retries_of th site - rec_.Thread.rec_retries_before;
             }
           in
           m.stats.episodes <- ep :: m.stats.episodes;
           trace m
-            (Trace.Ev_recovered { step = m.step; tid = th.tid; site_id = site });
-          th.recovering <- None
+            (Trace.Ev_recovered
+               { step = m.step; tid = th.Thread.tid; site_id = site });
+          th.Thread.recovering <- None
       | _ -> ())
   | _ -> ()
 
 let close_episode m (th : Thread.t) =
-  match th.recovering with
+  match th.Thread.recovering with
   | None -> ()
   | Some rec_ ->
       let ep =
         {
-          Stats.ep_site_id = rec_.rec_site;
-          ep_tid = th.tid;
-          ep_start = rec_.rec_start;
+          Stats.ep_site_id = rec_.Thread.rec_site;
+          ep_tid = th.Thread.tid;
+          ep_start = rec_.Thread.rec_start;
           ep_end = m.step;
-          ep_retries = Thread.retries_of th rec_.rec_site - rec_.rec_retries_before;
+          ep_retries =
+            Thread.retries_of th rec_.Thread.rec_site
+            - rec_.Thread.rec_retries_before;
         }
       in
       m.stats.episodes <- ep :: m.stats.episodes;
       trace m
-        (Trace.Ev_recovered { step = m.step; tid = th.tid; site_id = rec_.rec_site });
-      th.recovering <- None
+        (Trace.Ev_recovered
+           { step = m.step; tid = th.Thread.tid; site_id = rec_.Thread.rec_site });
+      th.Thread.recovering <- None
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -276,58 +380,84 @@ let compensate m (th : Thread.t) =
     (fun (r, _) ->
       match r with
       | Thread.R_lock name ->
-          if Locks.force_release m.locks name ~tid:th.tid then begin
+          if Locks.force_release m.locks name ~tid:th.Thread.tid then begin
             m.stats.compensated_locks <- m.stats.compensated_locks + 1;
-            trace m (Trace.Ev_compensate_lock { step = m.step; tid = th.tid; lock = name })
+            trace m
+              (Trace.Ev_compensate_lock
+                 { step = m.step; tid = th.Thread.tid; lock = name })
           end
       | Thread.R_block id ->
           if Heap.release_block m.heap id then begin
             m.stats.compensated_blocks <- m.stats.compensated_blocks + 1;
-            trace m (Trace.Ev_compensate_block { step = m.step; tid = th.tid; block = id })
+            trace m
+              (Trace.Ev_compensate_block
+                 { step = m.step; tid = th.Thread.tid; block = id })
           end)
     current;
-  th.acq_log <- rest
+  th.Thread.acq_log <- rest
 
 let rollback m (th : Thread.t) (ck : Thread.checkpoint) =
-  if m.config.verify_rollbacks && th.last_destroy_step > ck.ck_step then
-    m.stats.tracecheck_violations <- m.stats.tracecheck_violations + 1;
-  (* Unwind the call stack to the checkpoint's depth (the longjmp). *)
-  let rec drop stack =
-    if List.length stack > ck.ck_depth then
-      match stack with _ :: tl -> drop tl | [] -> []
-    else stack
-  in
-  th.stack <- drop th.stack;
+  if m.config.verify_rollbacks && th.Thread.last_destroy_step > ck.Thread.ck_step
+  then m.stats.tracecheck_violations <- m.stats.tracecheck_violations + 1;
+  while th.Thread.stack_depth > ck.Thread.ck_depth do
+    ignore (Thread.pop_frame th)
+  done;
   let fr = Thread.top th in
-  fr.regs <- ck.ck_regs;
-  fr.block <- Func.block_exn fr.func ck.ck_block;
-  fr.idx <- ck.ck_idx;
-  th.status <- Thread.Runnable;
+  (if fr.Thread.func == ck.Thread.ck_func then
+     Array.blit ck.Thread.ck_regs 0 fr.Thread.regs 0 (Array.length fr.Thread.regs)
+   else begin
+     (* Cross-function restore (the checkpointing function is not the one
+        the surviving frame runs): translate registers by name, exactly
+        the replace-the-whole-map semantics of the unlinked interpreter —
+        names the checkpoint never bound come back undefined. *)
+     let src = ck.Thread.ck_func in
+     let dst = fr.Thread.func in
+     for j = 0 to Array.length fr.Thread.regs - 1 do
+       fr.Thread.regs.(j) <-
+         (if j < dst.Link.lf_nregs then
+            match
+              Hashtbl.find_opt src.Link.lf_reg_index
+                (Reg.name dst.Link.lf_reg_names.(j))
+            with
+            | Some i -> ck.Thread.ck_regs.(i)
+            | None -> Thread.undef
+          else Thread.undef)
+     done
+   end);
+  (match Link.find_block_index fr.Thread.func ck.Thread.ck_block with
+  | Some bi -> fr.Thread.block <- fr.Thread.func.Link.lf_blocks.(bi)
+  | None ->
+      (* unreachable when guarded by [checkpoint_applicable] *)
+      invalid_arg
+        (Format.asprintf "Func.block_exn: no block %a in %a" Label.pp
+           ck.Thread.ck_block Fname.pp fr.Thread.func.Link.lf_name));
+  fr.Thread.idx <- ck.Thread.ck_idx;
+  th.Thread.status <- Thread.Runnable;
   m.stats.rollbacks <- m.stats.rollbacks + 1
 
-(* Is the checkpoint a sane rollback target for the thread's current
-   stack? ConAir's static placement guarantees it (a checkpoint always
-   executes between any frame-crossing destroying operation and a guarded
-   site), but hand-written recovery pseudo-instructions must degrade to a
-   fail-stop rather than crash the interpreter. *)
+(* A checkpoint is stale once the frame it was taken in has returned —
+   unless the frame now at that depth happens to have a block of the same
+   label (the paper's setjmp analogue is exactly this loose). *)
 let checkpoint_applicable (th : Thread.t) (ck : Thread.checkpoint) =
-  Thread.depth th >= ck.ck_depth
+  Thread.depth th >= ck.Thread.ck_depth
   &&
-  match List.nth_opt th.stack (Thread.depth th - ck.ck_depth) with
-  | Some fr -> Func.find_block fr.func ck.ck_block <> None
+  match List.nth_opt th.Thread.stack (Thread.depth th - ck.Thread.ck_depth) with
+  | Some fr -> Link.find_block_index fr.Thread.func ck.Thread.ck_block <> None
   | None -> false
 
 let try_recover m (th : Thread.t) ~site_id ~kind =
-  match th.checkpoint with
+  (* the maintained depth counter must agree with the actual stack *)
+  assert (th.Thread.stack_depth = List.length th.Thread.stack);
+  match th.Thread.checkpoint with
   | Some ck
     when Thread.retries_of th site_id < m.config.max_retries
          && checkpoint_applicable th ck ->
-      (match th.recovering with
-      | Some r when r.rec_site = site_id -> ()
+      (match th.Thread.recovering with
+      | Some r when r.Thread.rec_site = site_id -> ()
       | Some _ -> close_episode m th
       | None -> ());
-      if th.recovering = None then
-        th.recovering <-
+      if th.Thread.recovering = None then
+        th.Thread.recovering <-
           Some
             {
               Thread.rec_site = site_id;
@@ -337,13 +467,19 @@ let try_recover m (th : Thread.t) ~site_id ~kind =
       Thread.bump_retries th site_id;
       trace m
         (Trace.Ev_rollback
-           { step = m.step; tid = th.tid; site_id;
-             retry = Thread.retries_of th site_id });
+           {
+             step = m.step;
+             tid = th.Thread.tid;
+             site_id;
+             retry = Thread.retries_of th site_id;
+           });
       compensate m th;
       rollback m th ck;
       if kind = Instr.Deadlock && m.config.deadlock_backoff > 0 then begin
-        let pause = 1 + Random.State.int (Sched.rng m.sched) m.config.deadlock_backoff in
-        th.status <- Thread.Sleeping (m.step + pause)
+        let pause =
+          1 + Random.State.int (Sched.rng m.sched) m.config.deadlock_backoff
+        in
+        th.Thread.status <- Thread.Sleeping (m.step + pause)
       end;
       true
   | Some _ | None -> false
@@ -354,20 +490,15 @@ let try_recover m (th : Thread.t) ~site_id ~kind =
 
 let advance (fr : Thread.frame) = fr.idx <- fr.idx + 1
 
-(* Wait-graph deadlock detection: would thread [tid], by waiting on
-   [lock], close a cycle in the wait-for graph? Follows the owner chain
-   (the owner of the lock, the lock *that* owner is blocked on, ...);
-   bounded by the thread count, since each thread waits on at most one
-   lock. *)
 let in_wait_cycle m ~tid ~lock =
   let rec chase lock_name seen =
     match Locks.owner m.locks lock_name with
     | None -> false
     | Some owner when owner = tid -> true
     | Some owner ->
-        if List.mem owner seen then false (* a cycle not involving us *)
+        if List.mem owner seen then false
         else begin
-          match (thread m owner).status with
+          match (thread m owner).Thread.status with
           | Thread.Blocked_lock { name; _ } -> chase name (owner :: seen)
           | _ -> false
         end
@@ -375,363 +506,350 @@ let in_wait_cycle m ~tid ~lock =
   chase lock []
 
 let do_return m (th : Thread.t) v =
-  match th.stack with
+  match th.Thread.stack with
   | [] -> invalid_arg "return with empty stack"
   | frame :: rest -> (
-      th.stack <- rest;
+      th.Thread.stack <- rest;
+      th.Thread.stack_depth <- th.Thread.stack_depth - 1;
       match rest with
       | [] ->
           close_episode m th;
-          trace m (Trace.Ev_thread_done { step = m.step; tid = th.tid });
-          th.status <- Thread.Done
+          trace m (Trace.Ev_thread_done { step = m.step; tid = th.Thread.tid });
+          th.Thread.status <- Thread.Done;
+          remove_live m th
       | caller :: _ -> (
-          match frame.ret_reg with
+          match frame.Thread.ret_reg with
           | None -> ()
           | Some r -> (
               match v with
-              | Some value -> caller.regs <- Reg.Map.add r value caller.regs
+              | Some value -> caller.Thread.regs.(r) <- value
               | None ->
                   raise (Fault "function returned no value but one was expected"))))
 
-let exec_call m (th : Thread.t) ~ret ~callee ~args =
+let exec_call m (th : Thread.t) ~ret ~fid ~fname ~args =
   let fr = Thread.top th in
-  let argv = List.map (eval fr) args in
+  let argv = eval_args fr args in
   advance fr;
-  (* resume after the call *)
-  let f =
-    match Program.find_func m.prog callee with
-    | Some f -> f
-    | None -> raise (Fault (Format.asprintf "call to unknown %a" Fname.pp callee))
-  in
-  th.stack <- Thread.make_frame f ~args:argv ~ret_reg:ret :: th.stack
+  if fid < 0 then
+    raise (Fault (Format.asprintf "call to unknown %a" Fname.pp fname));
+  let f = m.linked.Link.lp_funcs.(fid) in
+  Thread.push_frame th (Thread.make_frame f ~args:argv ~ret_reg:ret)
 
-let exec_spawn m (th : Thread.t) ~reg ~callee ~args =
+let exec_spawn m (th : Thread.t) ~reg ~fid ~fname ~args =
   let fr = Thread.top th in
-  let argv = List.map (eval fr) args in
-  let f =
-    match Program.find_func m.prog callee with
-    | Some f -> f
-    | None ->
-        raise (Fault (Format.asprintf "spawn of unknown %a" Fname.pp callee))
-  in
+  let argv = eval_args fr args in
+  if fid < 0 then
+    raise (Fault (Format.asprintf "spawn of unknown %a" Fname.pp fname));
+  let f = m.linked.Link.lp_funcs.(fid) in
   let tid = m.next_tid in
   m.next_tid <- tid + 1;
   let th' = Thread.create ~tid f ~args:argv in
   if m.config.perturb_timing && m.config.spawn_jitter > 0 then
-    th'.status <-
+    th'.Thread.status <-
       Thread.Sleeping
         (m.step + Random.State.int (Sched.rng m.sched) m.config.spawn_jitter);
   Hashtbl.replace m.threads tid th';
-  trace m (Trace.Ev_spawn { step = m.step; parent = th.tid; child = tid });
-  fr.regs <- Reg.Map.add reg (Value.Tid tid) fr.regs;
+  add_live m th';
+  trace m (Trace.Ev_spawn { step = m.step; parent = th.Thread.tid; child = tid });
+  fr.Thread.regs.(reg) <- Value.Tid tid;
   advance fr
 
-(* Execute the instruction the thread is parked on. Blocking instructions
-   leave [idx] unchanged so they re-execute when the thread is next
-   scheduled. *)
-let exec_instr m (th : Thread.t) (i : Instr.t) =
+let exec_instr m (th : Thread.t) (i : Link.linstr) =
   let fr = Thread.top th in
-  let set r v = fr.regs <- Reg.Map.add r v fr.regs in
-  if Instr.dynamically_destroying i.op then th.last_destroy_step <- m.step;
-  (* A recovering thread that performs an irreversible state mutation has
-     left the reexecution region for good (no region may contain one): the
-     recovery episode is over, even if the thread never re-took the guard
-     branch — e.g. a deadlock retry that takes the uncontended path this
-     time. Static [Destroying] would be wrong here: inter-procedural
-     retries re-execute the call that leads back to the failure site. *)
-  if th.recovering <> None && Instr.dynamically_destroying i.op then
-    close_episode m th;
-  match i.op with
-  | Instr.Move (r, a) ->
-      set r (eval fr a);
+  let regs = fr.Thread.regs in
+  if i.Link.li_destroying then begin
+    th.Thread.last_destroy_step <- m.step;
+    if th.Thread.recovering <> None then close_episode m th
+  end;
+  match i.Link.li_op with
+  | Link.L_move (r, a) ->
+      regs.(r) <- eval fr a;
       advance fr
-  | Instr.Binop (r, op, a, b) ->
-      set r (eval_binop op (eval fr a) (eval fr b));
+  | Link.L_binop (r, op, a, b) ->
+      regs.(r) <- eval_binop op (eval fr a) (eval fr b);
       advance fr
-  | Instr.Unop (r, op, a) ->
-      set r (eval_unop op (eval fr a));
+  | Link.L_unop (r, op, a) ->
+      regs.(r) <- eval_unop op (eval fr a);
       advance fr
-  | Instr.Load (r, Instr.Global g) -> (
+  | Link.L_load_global (r, g) -> (
       match Hashtbl.find_opt m.globals g with
       | Some v ->
-          set r v;
+          regs.(r) <- v;
           advance fr
       | None -> raise (Fault ("load of undeclared global " ^ g)))
-  | Instr.Load (r, Instr.Stack s) ->
-      (* Stack slots read as zero before their first write, like zeroed
-         stack memory. *)
-      set r (Option.value ~default:Value.zero (Hashtbl.find_opt fr.stack_vars s));
+  | Link.L_load_stack (r, s) ->
+      regs.(r) <-
+        Option.value ~default:Value.zero (Hashtbl.find_opt fr.Thread.stack_vars s);
       advance fr
-  | Instr.Store (Instr.Global g, a) ->
+  | Link.L_store_global (g, a) ->
       if Hashtbl.mem m.globals g then begin
         Hashtbl.replace m.globals g (eval fr a);
         advance fr
       end
       else raise (Fault ("store to undeclared global " ^ g))
-  | Instr.Store (Instr.Stack s, a) ->
-      Hashtbl.replace fr.stack_vars s (eval fr a);
+  | Link.L_store_stack (s, a) ->
+      Hashtbl.replace fr.Thread.stack_vars s (eval fr a);
       advance fr
-  | Instr.Load_idx (r, p, ix) -> (
+  | Link.L_load_idx (r, p, ix) -> (
       match Heap.load m.heap (eval fr p) (as_int (eval fr ix)) with
       | Ok v ->
-          set r v;
+          regs.(r) <- v;
           advance fr
       | Error e -> raise (Fault e))
-  | Instr.Store_idx (p, ix, v) -> (
+  | Link.L_store_idx (p, ix, v) -> (
       match Heap.store m.heap (eval fr p) (as_int (eval fr ix)) (eval fr v) with
       | Ok () -> advance fr
       | Error e -> raise (Fault e))
-  | Instr.Alloc (r, n) ->
+  | Link.L_alloc (r, n) ->
       let ptr = Heap.alloc m.heap (as_int (eval fr n)) in
       Thread.log_acquisition th (Thread.R_block ptr.Value.block);
-      set r (Value.Ptr ptr);
+      regs.(r) <- Value.Ptr ptr;
       advance fr
-  | Instr.Free p -> (
+  | Link.L_free p -> (
       match Heap.free m.heap (eval fr p) with
       | Ok () -> advance fr
       | Error e -> raise (Fault e))
-  | Instr.Lock mref ->
+  | Link.L_lock mref ->
       let name = as_mutex (eval fr mref) in
-      if Locks.try_acquire m.locks name ~tid:th.tid then begin
+      if Locks.try_acquire m.locks name ~tid:th.Thread.tid then begin
         Thread.log_acquisition th (Thread.R_lock name);
-        th.status <- Thread.Runnable;
+        th.Thread.status <- Thread.Runnable;
         advance fr
       end
       else begin
-        match th.status with
-        | Thread.Blocked_lock _ -> ()  (* keep the original [since] *)
+        match th.Thread.status with
+        | Thread.Blocked_lock _ -> ()
         | _ ->
-            trace m (Trace.Ev_block { step = m.step; tid = th.tid; lock = name });
-            th.status <-
+            trace m
+              (Trace.Ev_block { step = m.step; tid = th.Thread.tid; lock = name });
+            th.Thread.status <-
               Thread.Blocked_lock { name; since = m.step; timeout = None }
       end
-  | Instr.Timed_lock (r, mref, timeout) ->
+  | Link.L_timed_lock (r, mref, timeout) ->
       let name = as_mutex (eval fr mref) in
-      if Locks.try_acquire m.locks name ~tid:th.tid then begin
+      if Locks.try_acquire m.locks name ~tid:th.Thread.tid then begin
         Thread.log_acquisition th (Thread.R_lock name);
-        set r Value.truth;
-        th.status <- Thread.Runnable;
+        regs.(r) <- Value.truth;
+        th.Thread.status <- Thread.Runnable;
         advance fr
       end
       else begin
         let since =
-          match th.status with
+          match th.Thread.status with
           | Thread.Blocked_lock { since; _ } -> since
           | _ -> m.step
         in
         let detected_cycle =
           m.config.deadlock_detection = Wait_graph
-          && in_wait_cycle m ~tid:th.tid ~lock:name
+          && in_wait_cycle m ~tid:th.Thread.tid ~lock:name
         in
         if detected_cycle || m.step - since >= timeout then begin
-          set r (Value.Bool false);
-          th.status <- Thread.Runnable;
+          regs.(r) <- Value.Bool false;
+          th.Thread.status <- Thread.Runnable;
           advance fr
         end
         else begin
-          (match th.status with
+          (match th.Thread.status with
           | Thread.Blocked_lock _ -> ()
           | _ ->
               trace m
-                (Trace.Ev_block { step = m.step; tid = th.tid; lock = name }));
-          th.status <-
+                (Trace.Ev_block
+                   { step = m.step; tid = th.Thread.tid; lock = name }));
+          th.Thread.status <-
             Thread.Blocked_lock { name; since; timeout = Some timeout }
         end
       end
-  | Instr.Unlock mref -> (
+  | Link.L_unlock mref -> (
       let name = as_mutex (eval fr mref) in
-      match Locks.release m.locks name ~tid:th.tid with
+      match Locks.release m.locks name ~tid:th.Thread.tid with
       | Ok () -> advance fr
       | Error e -> raise (Fault e))
-  | Instr.Assert { cond; msg; oracle } ->
+  | Link.L_assert { cond; msg; oracle } ->
       if Value.is_true (eval fr cond) then advance fr
       else
         let kind = if oracle then Instr.Wrong_output else Instr.Assert_fail in
-        set_failure m ~kind ~site_id:None ~iid:(Some i.iid) ~tid:th.tid ~msg
-  | Instr.Output { fmt; args } ->
-      let text = render_output fmt (List.map (eval fr) args) in
+        set_failure m ~kind ~site_id:None ~iid:(Some i.Link.li_iid)
+          ~tid:th.Thread.tid ~msg
+  | Link.L_output { fmt; args } ->
+      let text = render_output fmt (eval_arg_list fr args) in
       m.outputs <- text :: m.outputs;
       m.stats.outputs <- m.stats.outputs + 1;
-      trace m (Trace.Ev_output { step = m.step; tid = th.tid; text });
+      trace m (Trace.Ev_output { step = m.step; tid = th.Thread.tid; text });
       advance fr
-  | Instr.Call (ret, callee, args) -> exec_call m th ~ret ~callee ~args
-  | Instr.Spawn (r, callee, args) -> exec_spawn m th ~reg:r ~callee ~args
-  | Instr.Join t -> (
+  | Link.L_call { ret; fid; fname; args } -> exec_call m th ~ret ~fid ~fname ~args
+  | Link.L_spawn { reg; fid; fname; args } ->
+      exec_spawn m th ~reg ~fid ~fname ~args
+  | Link.L_join t -> (
       match eval fr t with
       | Value.Tid tid -> (
-          match (thread m tid).status with
+          match (thread m tid).Thread.status with
           | Thread.Done | Thread.Failed ->
-              th.status <- Thread.Runnable;
+              th.Thread.status <- Thread.Runnable;
               advance fr
-          | _ -> th.status <- Thread.Blocked_join tid)
+          | _ -> th.Thread.status <- Thread.Blocked_join tid)
       | v -> raise (Fault ("join of a non-thread value " ^ Value.to_string v)))
-  | Instr.Sleep n ->
+  | Link.L_sleep n ->
       let n =
         if m.config.perturb_timing && n > 0 then
           Random.State.int (Sched.rng m.sched) (n + 1)
         else n
       in
-      th.status <- Thread.Sleeping (m.step + n);
+      th.Thread.status <- Thread.Sleeping (m.step + n);
       advance fr
-  | Instr.Nop -> advance fr
-  | Instr.Wait name -> (
-      (* pulse semantics: always park; only a Notify releases us *)
-      match th.status with
+  | Link.L_nop -> advance fr
+  | Link.L_wait name -> (
+      match th.Thread.status with
       | Thread.Blocked_event _ -> ()
       | _ ->
           trace m
             (Trace.Ev_block
-               { step = m.step; tid = th.tid; lock = "event:" ^ name });
-          th.status <-
+               { step = m.step; tid = th.Thread.tid; lock = "event:" ^ name });
+          th.Thread.status <-
             Thread.Blocked_event { name; since = m.step; timeout = None })
-  | Instr.Timed_wait (r, name, timeout) ->
+  | Link.L_timed_wait (r, name, timeout) ->
       let since =
-        match th.status with
+        match th.Thread.status with
         | Thread.Blocked_event { since; _ } -> since
         | _ -> m.step
       in
       if m.step - since >= timeout then begin
-        set r (Value.Bool false);
-        th.status <- Thread.Runnable;
+        regs.(r) <- Value.Bool false;
+        th.Thread.status <- Thread.Runnable;
         advance fr
       end
       else begin
-        (match th.status with
+        (match th.Thread.status with
         | Thread.Blocked_event _ -> ()
         | _ ->
             trace m
               (Trace.Ev_block
-                 { step = m.step; tid = th.tid; lock = "event:" ^ name }));
-        th.status <-
+                 { step = m.step; tid = th.Thread.tid; lock = "event:" ^ name }));
+        th.Thread.status <-
           Thread.Blocked_event { name; since; timeout = Some timeout }
       end
-  | Instr.Notify name ->
-      (* wake every thread currently parked on this event; a notify with
-         no waiter is lost — the lost-wakeup bug class *)
+  | Link.L_notify name ->
       Hashtbl.iter
         (fun _ (waiter : Thread.t) ->
-          match waiter.status with
+          match waiter.Thread.status with
           | Thread.Blocked_event { name = n; _ } when n = name ->
               let wfr = Thread.top waiter in
-              (* the waiter is parked on its Wait/Timed_wait: complete it *)
-              (match wfr.block.instrs.(wfr.idx).op with
-              | Instr.Timed_wait (r, _, _) ->
-                  wfr.regs <- Reg.Map.add r Value.truth wfr.regs
+              (match wfr.Thread.block.Link.lb_instrs.(wfr.Thread.idx).Link.li_op
+               with
+              | Link.L_timed_wait (r, _, _) ->
+                  wfr.Thread.regs.(r) <- Value.truth
               | _ -> ());
-              wfr.idx <- wfr.idx + 1;
-              waiter.status <- Thread.Runnable;
-              trace m (Trace.Ev_wake { step = m.step; tid = waiter.tid })
+              wfr.Thread.idx <- wfr.Thread.idx + 1;
+              waiter.Thread.status <- Thread.Runnable;
+              trace m (Trace.Ev_wake { step = m.step; tid = waiter.Thread.tid })
           | _ -> ())
         m.threads;
       advance fr
-  | Instr.Checkpoint id ->
-      th.region_counter <- th.region_counter + 1;
+  | Link.L_checkpoint id ->
+      th.Thread.region_counter <- th.Thread.region_counter + 1;
       advance fr;
-      th.checkpoint <-
+      th.Thread.checkpoint <-
         Some
           {
             Thread.ck_depth = Thread.depth th;
-            ck_block = fr.block.label;
-            ck_idx = fr.idx;
-            ck_regs = fr.regs;
-            ck_counter = th.region_counter;
+            ck_func = fr.Thread.func;
+            ck_block = fr.Thread.block.Link.lb_label;
+            ck_idx = fr.Thread.idx;
+            ck_regs = Array.copy fr.Thread.regs;
+            ck_counter = th.Thread.region_counter;
             ck_step = m.step;
           };
       Stats.hit_checkpoint m.stats id;
-      trace m (Trace.Ev_checkpoint { step = m.step; tid = th.tid; ckpt_id = id })
-  | Instr.Ptr_guard (r, p, ix) ->
-      set r (Value.Bool (Heap.valid m.heap (eval fr p) (as_int (eval fr ix))));
-      advance fr
-  | Instr.Try_recover { site_id; kind } ->
       trace m
-        (Trace.Ev_failure_detected { step = m.step; tid = th.tid; site_id; kind });
+        (Trace.Ev_checkpoint { step = m.step; tid = th.Thread.tid; ckpt_id = id })
+  | Link.L_ptr_guard (r, p, ix) ->
+      regs.(r) <- Value.Bool (Heap.valid m.heap (eval fr p) (as_int (eval fr ix)));
+      advance fr
+  | Link.L_try_recover { site_id; kind } ->
+      trace m
+        (Trace.Ev_failure_detected
+           { step = m.step; tid = th.Thread.tid; site_id; kind });
       if not (try_recover m th ~site_id ~kind) then advance fr
-  | Instr.Fail_stop { site_id; kind; msg } ->
+  | Link.L_fail_stop { site_id; kind; msg } ->
       close_episode m th;
-      trace m (Trace.Ev_fail_stop { step = m.step; tid = th.tid; site_id });
-      set_failure m ~kind ~site_id:(Some site_id) ~iid:(Some i.iid)
-        ~tid:th.tid ~msg
+      trace m (Trace.Ev_fail_stop { step = m.step; tid = th.Thread.tid; site_id });
+      set_failure m ~kind ~site_id:(Some site_id) ~iid:(Some i.Link.li_iid)
+        ~tid:th.Thread.tid ~msg
 
 let exec_terminator m (th : Thread.t) =
   let fr = Thread.top th in
-  match fr.block.term with
-  | Instr.Jump l ->
-      fr.block <- Func.block_exn fr.func l;
-      fr.idx <- 0
-  | Instr.Branch (c, t, f) ->
+  match fr.Thread.block.Link.lb_term with
+  | Link.L_jump i ->
+      fr.Thread.block <- fr.Thread.func.Link.lf_blocks.(i);
+      fr.Thread.idx <- 0
+  | Link.L_branch (c, t, f) ->
       let taken, other = if Value.is_true (eval fr c) then (t, f) else (f, t) in
-      note_branch_taken m th ~taken ~other;
-      fr.block <- Func.block_exn fr.func taken;
-      fr.idx <- 0
-  | Instr.Return v ->
+      if th.Thread.recovering <> None then
+        note_branch_taken m th fr ~taken_idx:taken ~other_idx:other;
+      fr.Thread.block <- fr.Thread.func.Link.lf_blocks.(taken);
+      fr.Thread.idx <- 0
+  | Link.L_return v ->
       let value = Option.map (eval fr) v in
       do_return m th value
-  | Instr.Exit ->
-      th.status <- Thread.Done;
+  | Link.L_exit ->
+      th.Thread.status <- Thread.Done;
+      remove_live m th;
       m.outcome <- Some Outcome.Success
 
 (* ------------------------------------------------------------------ *)
 (* The scheduler loop                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Eligibility: can this thread make progress right now? *)
 let eligible m (th : Thread.t) =
-  match th.status with
+  match th.Thread.status with
   | Thread.Runnable -> true
   | Thread.Sleeping until -> m.step >= until
   | Thread.Blocked_lock { name; since; timeout } ->
       Locks.is_free m.locks name
       || (match timeout with Some t -> m.step - since >= t | None -> false)
-      || (* under wait-graph detection, a timed waiter inside a cycle is
-            woken immediately so the lock site can report the deadlock *)
-      (m.config.deadlock_detection = Wait_graph
-      && timeout <> None
-      && in_wait_cycle m ~tid:th.tid ~lock:name)
+      || (m.config.deadlock_detection = Wait_graph
+         && timeout <> None
+         && in_wait_cycle m ~tid:th.Thread.tid ~lock:name)
   | Thread.Blocked_event { since; timeout; _ } -> (
       (* notifies wake the thread eagerly; only timeouts need polling *)
       match timeout with Some t -> m.step - since >= t | None -> false)
   | Thread.Blocked_join tid -> (
-      match (thread m tid).status with
+      match (thread m tid).Thread.status with
       | Thread.Done | Thread.Failed -> true
       | _ -> false)
   | Thread.Done | Thread.Failed -> false
 
-let run_thread_step m tid =
-  let th = thread m tid in
+let run_thread_step m (th : Thread.t) =
+  let tid = th.Thread.tid in
   (* A sleeper simply wakes; blocked threads re-execute their blocking
      instruction, which inspects and updates the status itself (notably the
      [since] timestamp of a timed lock must survive rescheduling). *)
-  (match th.status with
+  (match th.Thread.status with
   | Thread.Sleeping _ ->
       trace m (Trace.Ev_wake { step = m.step; tid });
-      th.status <- Thread.Runnable
+      th.Thread.status <- Thread.Runnable
   | _ -> ());
   m.stats.instrs <- m.stats.instrs + 1;
-  trace m (Trace.Ev_schedule { step = m.step; tid });
-  (if m.config.profile_sites then
-     let fr = Thread.top th in
-     if fr.idx < Block.length fr.block then
-       Stats.hit_iid m.stats fr.block.instrs.(fr.idx).Instr.iid);
+  if m.trace <> None then trace m (Trace.Ev_schedule { step = m.step; tid });
+  let fr = Thread.top th in
+  let instrs = fr.Thread.block.Link.lb_instrs in
+  let at_instr = fr.Thread.idx < Array.length instrs in
+  if m.config.profile_sites && at_instr then
+    Stats.hit_iid m.stats instrs.(fr.Thread.idx).Link.li_iid;
   (* Remember where the thread stands before executing: on a fault, the
      crash report carries the faulting instruction — exactly what a user
      hands to fix mode (§3.1.2). *)
-  let at_iid =
-    match th.stack with
-    | fr :: _ when fr.idx < Block.length fr.block ->
-        Some fr.block.instrs.(fr.idx).Instr.iid
-    | _ -> None
-  in
+  let at_iid = if at_instr then instrs.(fr.Thread.idx).Link.li_iid else -1 in
   try
-    let fr = Thread.top th in
-    if fr.idx < Block.length fr.block then
-      exec_instr m th fr.block.instrs.(fr.idx)
+    if at_instr then exec_instr m th instrs.(fr.Thread.idx)
     else exec_terminator m th
   with Fault msg ->
     (* An unrecovered runtime fault: segmentation fault or an equivalent
        hardware-level failure of this thread, which takes the program
        down. *)
     close_episode m th;
-    set_failure m ~kind:Instr.Seg_fault ~site_id:None ~iid:at_iid ~tid ~msg
+    set_failure m ~kind:Instr.Seg_fault ~site_id:None
+      ~iid:(if at_iid < 0 then None else Some at_iid)
+      ~tid ~msg
 
 (** Run one scheduler step. Returns [false] when the program has finished
     (successfully or not). *)
@@ -739,41 +857,51 @@ let step m =
   match m.outcome with
   | Some _ -> false
   | None ->
-      let live = live_threads m in
-      if live = [] then begin
+      if m.live_n = 0 then begin
         m.outcome <- Some Outcome.Success;
         false
       end
       else begin
-        let ready = List.filter (fun tid -> eligible m (thread m tid)) live in
-        (match ready with
-        | [] ->
-            (* Threads that will become eligible as virtual time passes:
-               sleepers, and lock waiters with a pending timeout. *)
-            let waiting_on_time =
-              List.exists
-                (fun tid ->
-                  match (thread m tid).status with
-                  | Thread.Sleeping _
-                  | Thread.Blocked_lock { timeout = Some _; _ }
-                  | Thread.Blocked_event { timeout = Some _; _ } ->
-                      true
-                  | _ -> false)
-                live
-            in
-            if waiting_on_time then begin
-              (* Everyone is asleep or waiting: let virtual time pass. *)
-              m.step <- m.step + 1;
-              m.stats.idle <- m.stats.idle + 1;
-              m.stats.steps <- m.stats.steps + 1
-            end
-            else
-              m.outcome <- Some (Outcome.Hang { step = m.step; blocked = live })
-        | _ :: _ ->
-            let tid = Sched.choose m.sched ready in
-            run_thread_step m tid;
-            m.step <- m.step + 1;
-            m.stats.steps <- m.stats.steps + 1);
+        let n = m.live_n in
+        let rn = ref 0 in
+        for i = 0 to n - 1 do
+          if eligible m m.live.(i) then begin
+            m.ready.(!rn) <- i;
+            incr rn
+          end
+        done;
+        (if !rn = 0 then begin
+           (* Threads that will become eligible as virtual time passes:
+              sleepers, and lock waiters with a pending timeout. *)
+           let waiting_on_time = ref false in
+           for i = 0 to n - 1 do
+             match m.live.(i).Thread.status with
+             | Thread.Sleeping _
+             | Thread.Blocked_lock { timeout = Some _; _ }
+             | Thread.Blocked_event { timeout = Some _; _ } ->
+                 waiting_on_time := true
+             | _ -> ()
+           done;
+           if !waiting_on_time then begin
+             (* Everyone is asleep or waiting: let virtual time pass. *)
+             m.step <- m.step + 1;
+             m.stats.idle <- m.stats.idle + 1;
+             m.stats.steps <- m.stats.steps + 1
+           end
+           else
+             m.outcome <-
+               Some (Outcome.Hang { step = m.step; blocked = live_threads m })
+         end
+         else begin
+           let k =
+             Sched.choose_idx m.sched
+               ~tid_of:(fun j -> m.live.(m.ready.(j)).Thread.tid)
+               !rn
+           in
+           run_thread_step m m.live.(m.ready.(k));
+           m.step <- m.step + 1;
+           m.stats.steps <- m.stats.steps + 1
+         end);
         m.outcome = None
       end
 
@@ -817,15 +945,15 @@ type snapshot = {
 let copy_frame (fr : Thread.frame) =
   {
     fr with
-    Thread.stack_vars = Hashtbl.copy fr.stack_vars;
-    regs = fr.regs (* immutable map *);
+    Thread.stack_vars = Hashtbl.copy fr.Thread.stack_vars;
+    regs = Array.copy fr.Thread.regs;
   }
 
 let copy_thread (th : Thread.t) =
   {
     th with
-    Thread.stack = List.map copy_frame th.stack;
-    retries = Hashtbl.copy th.retries;
+    Thread.stack = List.map copy_frame th.Thread.stack;
+    retries = Hashtbl.copy th.Thread.retries;
   }
 
 let snapshot m : snapshot =
@@ -864,7 +992,8 @@ let restore m (s : snapshot) =
      and blocked threads eventually make progress across restores. *)
   m.step <- max m.step s.s_step;
   m.outputs <- s.s_outputs;
-  m.outcome <- None
+  m.outcome <- None;
+  rebuild_live m
 
 (** Swap the scheduling policy and (optionally) enable timing perturbation
     — used by baselines to explore a different interleaving after a

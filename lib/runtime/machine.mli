@@ -1,14 +1,26 @@
 (** The Mir interpreter with the ConAir recovery runtime built in.
 
+    [create] pre-resolves the program once through [Link] — register
+    names interned to dense indices (frames hold a flat [Value.t array]),
+    labels and call targets resolved to array indices, fail-arm labels
+    annotated onto their blocks — and the step loop runs without any name
+    lookups; the scheduler keeps a dense live-thread array instead of
+    folding the thread table every step.
+
     One scheduler step executes one instruction (or terminator) of one
     thread. The recovery pseudo-instructions are interpreted here:
     [Checkpoint] saves the register image into the thread's single
-    checkpoint slot, [Try_recover] compensates (releases locks / frees
-    blocks acquired in the current region, §4.1) and rolls back within a
-    per-site retry budget, [Timed_lock] blocks with a step timeout.
-    Unhardened programs fail where hardened ones recover: asserts stop
-    the program, invalid dereferences are segmentation faults, and a
-    configuration with every live thread blocked is a hang. *)
+    checkpoint slot (an [Array.copy]), [Try_recover] compensates
+    (releases locks / frees blocks acquired in the current region, §4.1)
+    and rolls back within a per-site retry budget, [Timed_lock] blocks
+    with a step timeout. Unhardened programs fail where hardened ones
+    recover: asserts stop the program, invalid dereferences are
+    segmentation faults, and a configuration with every live thread
+    blocked is a hang.
+
+    Semantics are bit-for-bit those of the original map-based
+    interpreter, kept as [Ref_machine]: same outcomes, outputs, step
+    counts, traces, statistics and random-stream consumption. *)
 
 open Conair_ir
 module Label = Ident.Label
@@ -45,13 +57,19 @@ type config = {
 val default_config : config
 
 (** Metadata from the hardening pass: fail-arm labels per site, used to
-    close recovery episodes when a site is finally passed. *)
-type meta = { fail_blocks : (Label.t * int) list }
+    close recovery episodes when a site is finally passed. [fail_index]
+    is the same mapping pre-resolved by [Harden.apply], consumed directly
+    by the link pass. *)
+type meta = {
+  fail_blocks : (Label.t * int) list;
+  fail_index : (string, int) Hashtbl.t;
+}
 
 val meta_of_harden : Conair_transform.Harden.t -> meta
 
 type t = {
   prog : Program.t;
+  linked : Link.program;  (** [prog], pre-resolved once at [create] *)
   config : config;
   meta : meta option;
   globals : (string, Value.t) Hashtbl.t;
@@ -65,6 +83,11 @@ type t = {
   sched : Sched.t;
   mutable outcome : Outcome.t option;
   mutable trace : Trace.sink option;
+  mutable live : Thread.t array;
+      (** slots [0, live_n): the live threads, ascending tid — maintained
+          at spawn and death instead of folded from [threads] per step *)
+  mutable live_n : int;
+  mutable ready : int array;  (** scratch: eligible indices into [live] *)
 }
 
 val set_trace : t -> Trace.sink -> unit
@@ -73,7 +96,8 @@ val set_trace : t -> Trace.sink -> unit
     recovery). Off by default — tracing costs memory. *)
 
 val create : ?config:config -> ?meta:meta -> Program.t -> t
-(** A machine with the main thread ready to run. *)
+(** Link the program and return a machine with the main thread ready to
+    run. *)
 
 val outputs : t -> string list
 (** In emission order. *)

@@ -1,0 +1,35 @@
+(** The reference Mir interpreter: the original map-based implementation,
+    kept as a semantic oracle for the pre-resolved engine in [Machine].
+
+    It interprets the source [Program.t] directly (persistent register
+    maps, label lookups, a thread-table fold per step) and must agree
+    bit-for-bit with [Machine] — same outcomes, outputs, step counts,
+    traces and statistics on every program and every scheduling policy.
+    The differential test enforces this across the bugbench catalog; the
+    bench's interp mode measures the speedup of [Machine] over it.
+
+    Deliberately slow — do not optimize. *)
+
+open Conair_ir
+
+type config = Machine.config
+type meta = Machine.meta
+type t
+
+val create : ?config:config -> ?meta:meta -> Program.t -> t
+val set_trace : t -> Trace.sink -> unit
+
+val outputs : t -> string list
+(** In emission order. *)
+
+val stats : t -> Stats.t
+val outcome : t -> Outcome.t option
+
+val steps : t -> int
+(** Virtual time: scheduler steps taken so far (idle ticks included). *)
+
+val step : t -> bool
+(** Run one scheduler step; [false] once the program has finished. *)
+
+val run : t -> Outcome.t
+val run_program : ?config:config -> ?meta:meta -> Program.t -> t * Outcome.t

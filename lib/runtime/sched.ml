@@ -35,5 +35,24 @@ let choose t eligible =
       | Random _ ->
           List.nth eligible (Random.State.int t.rng (List.length eligible)))
 
+(** Index-based choice for the pre-resolved engine: pick an index into an
+    eligible array of length [n] ([tid_of i] gives the thread id at slot
+    [i], ascending). Consumes the rng and moves the cursor exactly as
+    [choose] does on the equivalent list, so the two engines draw the
+    same random stream. *)
+let choose_idx t ~tid_of n =
+  if n <= 0 then invalid_arg "Sched.choose_idx: no eligible thread"
+  else if n = 1 then 0
+  else
+    match t.policy with
+    | Round_robin ->
+        let rec find i =
+          if i >= n then 0 else if tid_of i > t.cursor then i else find (i + 1)
+        in
+        let i = find 0 in
+        t.cursor <- tid_of i;
+        i
+    | Random _ -> Random.State.int t.rng n
+
 (** The runtime's randomness source (deadlock-recovery backoff). *)
 let rng t = t.rng

@@ -14,6 +14,13 @@ val choose : t -> int list -> int
 (** Pick one of the eligible thread ids.
     @raise Invalid_argument on an empty list. *)
 
+val choose_idx : t -> tid_of:(int -> int) -> int -> int
+(** [choose_idx t ~tid_of n] picks an index in [0, n): the array-based
+    equivalent of [choose] over the [n] eligible threads whose ids
+    [tid_of] reports in ascending order. Identical cursor movement and
+    rng consumption, so both engines see the same random stream.
+    @raise Invalid_argument when [n <= 0]. *)
+
 val rng : t -> Random.State.t
 (** The runtime's randomness source (deadlock-recovery backoff, timing
     perturbation). *)

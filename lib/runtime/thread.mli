@@ -1,30 +1,41 @@
 (** Per-thread interpreter state: the call stack, the single checkpoint
     slot (the thread-local jmp_buf of Fig 6 — only the most recent
     reexecution point is kept), per-site retry counters, and the
-    resource-acquisition log behind the §4.1 compensation. *)
+    resource-acquisition log behind the §4.1 compensation.
+
+    Frames run the pre-resolved ([Link]ed) program: registers live in a
+    flat [Value.t array] indexed by the function's interning, with
+    [undef] marking never-written slots. *)
 
 open Conair_ir
 module Reg = Ident.Reg
 module Label = Ident.Label
 
+val undef : Value.t
+(** The "undefined register" sentinel. Compare with physical equality
+    ([==]): only this exact allocation means "never written". *)
+
 type frame = {
-  func : Func.t;
-  mutable block : Block.t;
+  func : Link.lfunc;
+  mutable block : Link.lblock;
   mutable idx : int;  (** next instruction; [= length] means terminator *)
-  mutable regs : Value.t Reg.Map.t;
+  mutable regs : Value.t array;  (** indexed by the function's interning *)
   stack_vars : (string, Value.t) Hashtbl.t;
-  ret_reg : Reg.t option;  (** where the caller wants the return value *)
+  ret_reg : int option;  (** caller's register index for the return value *)
 }
 
 (** The saved register image + program point. Resumption happens after
     the [Checkpoint] instruction (like returning from [setjmp] via
     [longjmp]); the region counter is not re-incremented, so resources
-    re-acquired during a retry keep their region tag. *)
+    re-acquired during a retry keep their region tag. The resume block is
+    kept by label and re-resolved at rollback against the frame's own
+    function (cross-function checkpoints restore registers by name). *)
 type checkpoint = {
   ck_depth : int;  (** call-stack depth at save time *)
+  ck_func : Link.lfunc;  (** the interning of [ck_regs] *)
   ck_block : Label.t;
   ck_idx : int;
-  ck_regs : Value.t Reg.Map.t;
+  ck_regs : Value.t array;  (** a private copy, never aliased by a frame *)
   ck_counter : int;
   ck_step : int;  (** when taken, for the rollback-safety verifier *)
 }
@@ -47,30 +58,40 @@ type recovering = { rec_site : int; rec_start : int; rec_retries_before : int }
 type t = {
   tid : int;
   mutable stack : frame list;  (** top first *)
+  mutable stack_depth : int;  (** invariant: [= List.length stack] *)
   mutable status : status;
   mutable checkpoint : checkpoint option;
   mutable region_counter : int;
   retries : (int, int) Hashtbl.t;  (** site_id → rollbacks so far *)
   mutable acq_log : (resource * int) list;  (** resource, region tag *)
+  mutable last_pruned_region : int;  (** region tag the log was last pruned to *)
   mutable last_destroy_step : int;
   mutable recovering : recovering option;
 }
 
-val make_frame : Func.t -> args:Value.t list -> ret_reg:Reg.t option -> frame
+val make_frame :
+  Link.lfunc -> args:Value.t array -> ret_reg:int option -> frame
 (** @raise Invalid_argument on an arity mismatch. *)
 
-val create : tid:int -> Func.t -> args:Value.t list -> t
+val create : tid:int -> Link.lfunc -> args:Value.t array -> t
 
 val top : t -> frame
 (** @raise Invalid_argument on an empty stack. *)
 
 val depth : t -> int
+(** O(1): reads the maintained counter. *)
+
+val push_frame : t -> frame -> unit
+val pop_frame : t -> frame
+(** @raise Invalid_argument on an empty stack. *)
+
 val retries_of : t -> int -> int
 val bump_retries : t -> int -> unit
 
 val log_acquisition : t -> resource -> unit
-(** Log under the current region tag, lazily dropping entries from older
-    regions. *)
+(** Log under the current region tag; entries from older regions are
+    dropped the first time the log is touched after the region advances
+    (not on every append). *)
 
 val current_region_acquisitions :
   t -> (resource * int) list * (resource * int) list

@@ -1,0 +1,203 @@
+(* The pre-resolved engine ([Machine]) against the reference interpreter
+   ([Ref_machine]): bit-for-bit semantic identity over the whole bugbench
+   catalog — every Table 2 benchmark (buggy and clean), every taxonomy
+   catalog entry, every Fig 2 micro pattern — under both scheduling
+   policies, original and hardened.
+
+   "Identical" means: outcome, final outputs, step/instruction/idle
+   counts, checkpoint and rollback counts, compensation counts, the full
+   recovery-episode list (per-site retry stats included), the per-id
+   checkpoint-hit table, and the complete trace-event stream. *)
+
+open Conair.Ir
+module Machine = Conair.Runtime.Machine
+module Ref_machine = Conair.Runtime.Ref_machine
+module Sched = Conair.Runtime.Sched
+module Stats = Conair.Runtime.Stats
+module Trace = Conair.Runtime.Trace
+module Outcome = Conair.Runtime.Outcome
+module Registry = Conair_bugbench.Registry
+module Spec = Conair_bugbench.Bench_spec
+module Catalog = Conair_bugbench.Catalog
+module Micro = Conair_bugbench.Micro_patterns
+
+(* Enough fuel for every benchmark to reach its outcome, small enough to
+   bound livelocking configurations. *)
+let config policy = { Machine.default_config with policy; fuel = 200_000 }
+
+let outcome_t = Alcotest.testable Outcome.pp ( = )
+
+let sorted_hits tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let check_traces name (ref_sink : Trace.sink) (fast_sink : Trace.sink) =
+  let ra = Trace.events ref_sink and fa = Trace.events fast_sink in
+  if ra <> fa then begin
+    let rec first_diff i a b =
+      match (a, b) with
+      | [], [] -> None
+      | x :: _, [] -> Some (i, Some x, None)
+      | [], y :: _ -> Some (i, None, Some y)
+      | x :: a', y :: b' ->
+          if x = y then first_diff (i + 1) a' b' else Some (i, Some x, Some y)
+    in
+    match first_diff 0 ra fa with
+    | None -> ()
+    | Some (i, x, y) ->
+        let pp ppf = function
+          | None -> Format.fprintf ppf "<end of trace>"
+          | Some ev -> Trace.pp_event ppf ev
+        in
+        Alcotest.failf "%s: traces diverge at event %d:@ reference: %a@ fast: %a"
+          name i pp x pp y
+  end
+
+let check_stats name (r : Stats.t) (f : Stats.t) =
+  let check what = Alcotest.(check int) (name ^ ": " ^ what) in
+  check "steps" r.steps f.steps;
+  check "instrs" r.instrs f.instrs;
+  check "idle" r.idle f.idle;
+  check "checkpoints" r.checkpoints f.checkpoints;
+  check "rollbacks" r.rollbacks f.rollbacks;
+  check "compensated locks" r.compensated_locks f.compensated_locks;
+  check "compensated blocks" r.compensated_blocks f.compensated_blocks;
+  check "tracecheck violations" r.tracecheck_violations f.tracecheck_violations;
+  check "outputs" r.outputs f.outputs;
+  if r.episodes <> f.episodes then
+    Alcotest.failf "%s: recovery episodes differ (%d vs %d, or per-site stats)"
+      name (List.length r.episodes) (List.length f.episodes);
+  if sorted_hits r.ckpt_hits <> sorted_hits f.ckpt_hits then
+    Alcotest.failf "%s: per-checkpoint hit counts differ" name
+
+(* Run [p] through both engines under identical configuration and insist
+   on identical observable behaviour. *)
+let check_same name ?meta config (p : Program.t) =
+  let ref_sink = Trace.create () in
+  let rm = Ref_machine.create ~config ?meta p in
+  Ref_machine.set_trace rm ref_sink;
+  let ref_outcome = Ref_machine.run rm in
+  let fast_sink = Trace.create () in
+  let fm = Machine.create ~config ?meta p in
+  Machine.set_trace fm fast_sink;
+  let fast_outcome = Machine.run fm in
+  Alcotest.check outcome_t (name ^ ": outcome") ref_outcome fast_outcome;
+  Alcotest.(check (list string))
+    (name ^ ": outputs")
+    (Ref_machine.outputs rm) (Machine.outputs fm);
+  Alcotest.(check int)
+    (name ^ ": virtual time")
+    (Ref_machine.steps rm) fm.Machine.step;
+  check_stats name (Ref_machine.stats rm) (Machine.stats fm);
+  check_traces name ref_sink fast_sink
+
+(* ------------------------------------------------------------------ *)
+(* The program corpus: the full bugbench catalog                       *)
+(* ------------------------------------------------------------------ *)
+
+let corpus () =
+  let of_spec (s : Spec.t) =
+    let buggy = s.make ~variant:Spec.Buggy ~oracle:true in
+    let clean = s.make ~variant:Spec.Clean ~oracle:false in
+    [
+      (s.info.name ^ "/buggy", buggy.program);
+      (s.info.name ^ "/clean", clean.program);
+    ]
+  in
+  List.concat_map of_spec (Registry.all @ Registry.extended)
+  @ List.map
+      (fun (e : Catalog.entry) -> ("catalog/" ^ e.name, e.program))
+      (Catalog.all ())
+  @ List.map
+      (fun (pt : Micro.pattern) -> ("micro/" ^ pt.name, pt.program))
+      (Micro.all ())
+
+let policies =
+  [ ("round-robin", Sched.Round_robin); ("random", Sched.Random 42) ]
+
+let sweep_original (pname, policy) () =
+  List.iter
+    (fun (name, p) -> check_same (name ^ "@" ^ pname) (config policy) p)
+    (corpus ())
+
+let sweep_hardened (pname, policy) () =
+  List.iter
+    (fun (name, p) ->
+      match Conair.harden p Conair.Survival with
+      | Error _ -> ()
+      | Ok h ->
+          let meta = Machine.meta_of_harden h.hardened in
+          check_same
+            (name ^ "/hardened@" ^ pname)
+            ~meta (config policy) h.hardened.program)
+    (corpus ())
+
+(* The baselines' knobs exercise the remaining engine paths: timing
+   perturbation draws on the rng, wait-graph detection changes lock
+   eligibility. Both engines must still agree. *)
+let sweep_perturbed () =
+  let config =
+    {
+      (config (Sched.Random 7)) with
+      perturb_timing = true;
+      deadlock_detection = Machine.Wait_graph;
+    }
+  in
+  List.iter
+    (fun (name, p) ->
+      match Conair.harden p Conair.Survival with
+      | Error _ -> check_same (name ^ "@perturbed") config p
+      | Ok h ->
+          let meta = Machine.meta_of_harden h.hardened in
+          check_same (name ^ "/hardened@perturbed") ~meta config
+            h.hardened.program)
+    (corpus ())
+
+(* [Sched.choose_idx] must mirror [Sched.choose] pick-for-pick: same
+   selections, same cursor movement, same rng consumption. *)
+let choose_idx_agrees () =
+  List.iter
+    (fun policy ->
+      let s_list = Sched.create policy in
+      let s_idx = Sched.create policy in
+      let tid_sets =
+        [
+          [ 0 ]; [ 0; 1 ]; [ 1; 3; 7 ]; [ 2 ]; [ 0; 1; 2; 3; 4 ]; [ 5; 9 ];
+          [ 4; 5; 6 ]; [ 0; 8 ]; [ 3 ]; [ 1; 2; 9; 12 ];
+        ]
+      in
+      List.iter
+        (fun tids ->
+          let arr = Array.of_list tids in
+          let from_list = Sched.choose s_list tids in
+          let k =
+            Sched.choose_idx s_idx ~tid_of:(fun i -> arr.(i)) (Array.length arr)
+          in
+          Alcotest.(check int) "same pick" from_list arr.(k);
+          Alcotest.(check int)
+            "same cursor" s_list.Sched.cursor s_idx.Sched.cursor)
+        tid_sets)
+    [ Sched.Round_robin; Sched.Random 13 ]
+
+let suites =
+  [
+    ( "fast-exec",
+      List.map
+        (fun ((pname, _) as pol) ->
+          Alcotest.test_case
+            ("differential: original programs, " ^ pname)
+            `Quick (sweep_original pol))
+        policies
+      @ List.map
+          (fun ((pname, _) as pol) ->
+            Alcotest.test_case
+              ("differential: hardened programs, " ^ pname)
+              `Quick (sweep_hardened pol))
+          policies
+      @ [
+          Alcotest.test_case "differential: perturbed + wait-graph" `Quick
+            sweep_perturbed;
+          Alcotest.test_case "choose_idx mirrors choose" `Quick
+            choose_idx_agrees;
+        ] );
+  ]
