@@ -796,27 +796,33 @@ let bench_interp () =
   Printf.printf "  pre-resolved: %.4fs\n" sweep_fast_t;
   Printf.printf "  reference:    %.4fs\n" sweep_ref_t;
   Printf.printf "  speedup:      %.2fx\n" sweep_speedup;
+  let json =
+    let open Conair.Obs.Json in
+    Obj
+      [
+        ( "micro",
+          Obj
+            [
+              ("steps", Int steps);
+              ("fast_seconds", Float fast_t);
+              ("fast_steps_per_sec", Float fast_sps);
+              ("ref_seconds", Float ref_t);
+              ("ref_steps_per_sec", Float ref_sps);
+              ("speedup", Float micro_speedup);
+            ] );
+        ( "sweep",
+          Obj
+            [
+              ("runs", Int (List.length corpus));
+              ("fast_seconds", Float sweep_fast_t);
+              ("ref_seconds", Float sweep_ref_t);
+              ("speedup", Float sweep_speedup);
+            ] );
+      ]
+  in
   let oc = open_out "BENCH_interp.json" in
-  Printf.fprintf oc
-    {|{
-  "micro": {
-    "steps": %d,
-    "fast_seconds": %.6f,
-    "fast_steps_per_sec": %.0f,
-    "ref_seconds": %.6f,
-    "ref_steps_per_sec": %.0f,
-    "speedup": %.2f
-  },
-  "sweep": {
-    "runs": %d,
-    "fast_seconds": %.6f,
-    "ref_seconds": %.6f,
-    "speedup": %.2f
-  }
-}
-|}
-    steps fast_t fast_sps ref_t ref_sps micro_speedup (List.length corpus)
-    sweep_fast_t sweep_ref_t sweep_speedup;
+  output_string oc (Conair.Obs.Json.to_string_pretty json);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "wrote BENCH_interp.json\n"
 

@@ -6,12 +6,15 @@
    - [analyze APP]     run the static pipeline, print per-site plans
    - [harden APP]      print the transformed (hardened) program
    - [run APP]         execute (optionally hardened), print the outcome
+   - [report APP]      execute observed, emit the structured run report
    - [restart APP]     the whole-program-restart baseline
    - [fullckpt APP]    the whole-program-checkpoint baseline
 
    Examples:
      conair_cli analyze HawkNL
      conair_cli run MozillaXP --hardened --variant buggy
+     conair_cli run HawkNL --trace-json t.jsonl --metrics m.json --spans s.json
+     conair_cli report HawkNL --prometheus
      conair_cli run FFT --variant clean --no-harden *)
 
 open Cmdliner
@@ -21,7 +24,9 @@ module Machine = Conair.Runtime.Machine
 module Outcome = Conair.Runtime.Outcome
 module Sched = Conair.Runtime.Sched
 module Stats = Conair.Runtime.Stats
+module Trace = Conair.Runtime.Trace
 module Plan = Conair.Analysis.Plan
+module Obs = Conair.Obs
 
 (* --- shared arguments --------------------------------------------- *)
 
@@ -185,6 +190,117 @@ let harden_cmd =
       const run $ app_arg $ variant_arg $ oracle_arg $ no_optimize_arg
       $ no_interproc_arg $ depth_arg $ prune_arg)
 
+(* --- telemetry plumbing shared by run and report ------------------- *)
+
+let variant_name = function Spec.Buggy -> "buggy" | Spec.Clean -> "clean"
+
+let run_meta_of app variant seed =
+  Obs.Jsonl.run_meta ~variant:(variant_name variant) ?seed app
+
+let write_file file contents =
+  Out_channel.with_open_text file (fun oc -> output_string oc contents)
+
+(* Execute [inst] observed — hardened through the facade's
+   [run_observed], unhardened through a hand-installed sink — and write
+   whichever telemetry files were requested. *)
+let observed_run ~config ~meta_info ~mode ~trace_json ~metrics_file
+    ~spans_file (inst : Spec.instance) =
+  let with_trace_writer k =
+    match trace_json with
+    | None -> k None
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            k (Some (Obs.Jsonl.channel_writer oc)))
+  in
+  let rr =
+    with_trace_writer @@ fun trace_writer ->
+    match mode with
+    | None ->
+        (* unhardened: same observation pipeline, no recovery metadata *)
+        let m = Machine.create ~config inst.Spec.program in
+        let live = Obs.Metrics.create () in
+        (match trace_writer with
+        | Some w ->
+            Obs.Jsonl.write_json w (Obs.Jsonl.meta_json ~config meta_info)
+        | None -> ());
+        let emit ev =
+          (match trace_writer with
+          | Some w -> w.Obs.Jsonl.write (Obs.Jsonl.event_line ev)
+          | None -> ());
+          Obs.Report.live_metrics live ev
+        in
+        let sink = Trace.create ~emit () in
+        Machine.set_trace m sink;
+        let outcome = Machine.run m in
+        let run =
+          {
+            Conair.outcome;
+            outputs = Machine.outputs m;
+            stats = Machine.stats m;
+            machine = m;
+          }
+        in
+        let events = Trace.events sink in
+        let spans = Obs.Span.of_events events in
+        let metrics = Obs.Report.standard_metrics ~into:live run.stats in
+        {
+          Conair.run;
+          events;
+          spans;
+          metrics;
+          report =
+            Obs.Report.run_json ~meta:meta_info ~config ~spans ~outcome
+              ~outputs:run.outputs run.stats;
+        }
+    | Some mode ->
+        let h = Conair.harden_exn inst.Spec.program mode in
+        Conair.run_observed ~config ~meta_info ?trace_writer h
+  in
+  (match metrics_file with
+  | Some file ->
+      write_file file (Obs.Json.to_string_pretty (Obs.Metrics.to_json rr.Conair.metrics))
+  | None -> ());
+  (match spans_file with
+  | Some file ->
+      write_file file
+        (Obs.Json.to_string_pretty
+           (Obs.Span.to_chrome ~events:rr.Conair.events rr.Conair.spans))
+  | None -> ());
+  rr
+
+let hardened_arg =
+  Arg.(
+    value & flag
+    & info [ "hardened" ]
+        ~doc:
+          "Harden before running. This is already the default; the flag \
+           exists so scripts can be explicit.")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Stream the full trace-event log to $(docv) as JSON Lines (one \
+           meta record, then one event object per line).")
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the run's metric registry to $(docv) as JSON.")
+
+let spans_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:
+          "Write recovery spans to $(docv) in Chrome trace-event format \
+           (load in Perfetto or chrome://tracing).")
+
 let run_cmd =
   let no_harden_arg =
     Arg.(
@@ -206,49 +322,129 @@ let run_cmd =
           ~doc:"Print the recovery-event summary of the run (detections, \
                 rollbacks, compensations).")
   in
-  let run app variant oracle no_harden fix trace fuel seed max_retries =
+  let run app variant oracle hardened no_harden fix trace trace_json
+      metrics_file spans_file fuel seed max_retries =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+        if hardened && no_harden then begin
+          prerr_endline "--hardened and --no-harden are mutually exclusive";
+          1
+        end
+        else begin
+          let inst = instance spec variant oracle in
+          let config = machine_config fuel seed max_retries in
+          let telemetry =
+            trace || trace_json <> None || metrics_file <> None
+            || spans_file <> None
+          in
+          let mode =
+            if no_harden then None
+            else if fix then Some (Conair.Fix inst.fix_site_iids)
+            else Some Conair.Survival
+          in
+          let r, events =
+            if telemetry then begin
+              let meta_info = run_meta_of app variant seed in
+              let rr =
+                observed_run ~config ~meta_info ~mode ~trace_json
+                  ~metrics_file ~spans_file inst
+              in
+              (rr.Conair.run, rr.Conair.events)
+            end
+            else begin
+              (* telemetry is opt-in: no sink, no event stream, no cost *)
+              let r =
+                match mode with
+                | None -> Conair.execute ~config inst.program
+                | Some mode ->
+                    Conair.execute_hardened ~config
+                      (Conair.harden_exn inst.program mode)
+              in
+              (r, [])
+            end
+          in
+          Format.printf "outcome:  %a@." Outcome.pp r.outcome;
+          List.iter (fun o -> Format.printf "output:   %s@." o) r.outputs;
+          Format.printf "accepted: %b@." (inst.accept r.outputs);
+          Format.printf "stats:    %a@." Stats.pp r.stats;
+          if r.stats.rollbacks > 0 then begin
+            Format.printf "recovery: %d virtual steps (longest episode)@."
+              (Stats.max_recovery_time r.stats);
+            Format.printf "@[<v 2>episodes:@ %a@]@." Stats.pp_episodes r.stats
+          end;
+          if trace then begin
+            let sink = Trace.create () in
+            List.iter (Trace.record sink) events;
+            Format.printf "@[<v 2>recovery trace:@ %a@]@."
+              Trace.pp_recovery_summary sink
+          end;
+          if Outcome.is_success r.outcome then 0 else 2
+        end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a benchmark, hardened by default.")
+    Term.(
+      const run $ app_arg $ variant_arg $ oracle_arg $ hardened_arg
+      $ no_harden_arg $ fix_arg $ trace_arg $ trace_json_arg
+      $ metrics_file_arg $ spans_file_arg $ fuel_arg $ seed_arg
+      $ max_retries_arg)
+
+let report_cmd =
+  let fix_arg =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:"Use fix mode instead of survival mode before running.")
+  in
+  let prometheus_arg =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Print the metric registry in Prometheus text exposition \
+             format instead of the JSON run report.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let run app variant oracle fix prometheus out trace_json metrics_file
+      spans_file fuel seed max_retries =
     match find_spec app with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
         let inst = instance spec variant oracle in
         let config = machine_config fuel seed max_retries in
-        let sink = Conair.Runtime.Trace.create () in
-        let r =
-          if no_harden then Conair.execute ~config inst.program
-          else begin
-            let mode =
-              if fix then Conair.Fix inst.fix_site_iids else Conair.Survival
-            in
-            let h = Conair.harden_exn inst.program mode in
-            let meta = Machine.meta_of_harden h.hardened in
-            let m = Machine.create ~config ~meta h.hardened.program in
-            if trace then Machine.set_trace m sink;
-            let outcome = Machine.run m in
-            {
-              Conair.outcome;
-              outputs = Machine.outputs m;
-              stats = Machine.stats m;
-              machine = m;
-            }
-          end
+        let meta_info = run_meta_of app variant seed in
+        let mode =
+          Some (if fix then Conair.Fix inst.fix_site_iids else Conair.Survival)
         in
-        Format.printf "outcome:  %a@." Outcome.pp r.outcome;
-        List.iter (fun o -> Format.printf "output:   %s@." o) r.outputs;
-        Format.printf "accepted: %b@." (inst.accept r.outputs);
-        Format.printf "stats:    %a@." Stats.pp r.stats;
-        if r.stats.rollbacks > 0 then
-          Format.printf "recovery: %d virtual steps (longest episode)@."
-            (Stats.max_recovery_time r.stats);
-        if trace then
-          Format.printf "@[<v 2>recovery trace:@ %a@]@."
-            Conair.Runtime.Trace.pp_recovery_summary sink;
-        if Outcome.is_success r.outcome then 0 else 2
+        let rr =
+          observed_run ~config ~meta_info ~mode ~trace_json ~metrics_file
+            ~spans_file inst
+        in
+        let contents =
+          if prometheus then Obs.Metrics.to_prometheus rr.Conair.metrics
+          else Obs.Json.to_string_pretty rr.Conair.report
+        in
+        (match out with
+        | None -> print_string contents
+        | Some file -> write_file file contents);
+        if Outcome.is_success rr.Conair.run.outcome then 0 else 2
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute a benchmark, hardened by default.")
+    (Cmd.info "report"
+       ~doc:
+         "Execute a benchmark under full observation and emit the \
+          structured run report (or --prometheus metrics).")
     Term.(
-      const run $ app_arg $ variant_arg $ oracle_arg $ no_harden_arg $ fix_arg
-      $ trace_arg $ fuel_arg $ seed_arg $ max_retries_arg)
+      const run $ app_arg $ variant_arg $ oracle_arg $ fix_arg
+      $ prometheus_arg $ out_arg $ trace_json_arg $ metrics_file_arg
+      $ spans_file_arg $ fuel_arg $ seed_arg $ max_retries_arg)
 
 let restart_cmd =
   let run app variant oracle fuel =
@@ -456,7 +652,7 @@ let main_cmd =
      idempotent execution (ASPLOS 2013), on the Mir IR substrate."
   in
   Cmd.group (Cmd.info "conair" ~version:"1.0.0" ~doc)
-    [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; restart_cmd;
-      fullckpt_cmd; file_cmd; dot_cmd; profile_cmd ]
+    [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; report_cmd;
+      restart_cmd; fullckpt_cmd; file_cmd; dot_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

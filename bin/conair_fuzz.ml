@@ -25,6 +25,18 @@ type failure_report = { case : string; detail : string }
 let failures : failure_report list ref = ref []
 let checked = ref 0
 
+(* summary telemetry: every hardened run reports in here *)
+let runs = ref 0
+let recoveries = ref 0
+let max_episode = ref 0
+
+let note_run (r : Conair.run) =
+  incr runs;
+  if r.stats.rollbacks > 0 then incr recoveries;
+  max_episode :=
+    max !max_episode (Conair.Runtime.Stats.max_recovery_time r.stats);
+  r
+
 let check case ~detail ok =
   incr checked;
   if not ok then failures := { case; detail } :: !failures
@@ -43,7 +55,7 @@ let fuzz_arith seed =
       (Outcome.is_success r0.outcome
       && r0.outputs = [ string_of_int expected ]);
     let h = Conair.harden_exn p Conair.Survival in
-    let r1 = Conair.execute_hardened ~config h in
+    let r1 = note_run (Conair.execute_hardened ~config h) in
     check "arith: transparency" ~detail
       (r1.outputs = r0.outputs && r1.stats.rollbacks = 0);
     check "arith: round-trip" ~detail
@@ -61,7 +73,7 @@ let fuzz_racy seed =
   List.iter
     (fun policy ->
       let config = { config with policy } in
-      let r = Conair.execute_hardened ~config h in
+      let r = note_run (Conair.execute_hardened ~config h) in
       check "racy: recovers" ~detail
         (Outcome.is_success r.outcome
         && r.outputs = [ string_of_int spec.expected ]);
@@ -85,7 +97,7 @@ let fuzz_ring seed =
   check "ring: hangs unhardened" ~detail
     (match r0.outcome with Outcome.Hang _ -> true | _ -> false);
   let h = Conair.harden_exn p Conair.Survival in
-  let r = Conair.execute_hardened ~config:{ config with fuel = 2_000_000 } h in
+  let r = note_run (Conair.execute_hardened ~config:{ config with fuel = 2_000_000 } h) in
   check "ring: recovers" ~detail (Outcome.is_success r.outcome);
   check "ring: rollback safety" ~detail (r.stats.tracecheck_violations = 0)
 
@@ -98,7 +110,7 @@ let fuzz_wakeup seed =
   let r0 = Conair.execute ~config p in
   let hung = match r0.outcome with Outcome.Hang _ -> true | _ -> false in
   let h = Conair.harden_exn p Conair.Survival in
-  let r = Conair.execute_hardened ~config h in
+  let r = note_run (Conair.execute_hardened ~config h) in
   check "wakeup: hardened always succeeds" ~detail
     (Outcome.is_success r.outcome);
   check "wakeup: correct payload" ~detail
@@ -119,6 +131,22 @@ let () =
   done;
   Printf.printf "conair_fuzz: %d checks over %d iterations (base seed %d)\n"
     !checked iterations base;
+  (* machine-readable one-line summary, for harnesses that scrape us *)
+  let summary =
+    Conair.Obs.Json.(
+      Obj
+        [
+          ("type", String "fuzz_summary");
+          ("iterations", Int iterations);
+          ("base_seed", Int base);
+          ("checks", Int !checked);
+          ("hardened_runs", Int !runs);
+          ("failures", Int (List.length !failures));
+          ("recoveries", Int !recoveries);
+          ("max_episode_steps", Int !max_episode);
+        ])
+  in
+  print_endline (Conair.Obs.Json.to_string summary);
   match !failures with
   | [] ->
       print_endline "all checks passed";

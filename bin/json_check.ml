@@ -1,0 +1,62 @@
+(* json_check: validate telemetry files emitted by conair_cli.
+
+   For each FILE argument:
+   - *.jsonl  — every non-empty line must parse as a JSON object;
+   - *.json   — the whole file must parse; if the value carries a
+                "traceEvents" member it must be a list (Chrome trace
+                format sanity, as loaded by Perfetto).
+
+   Exit 0 when every file validates, 1 otherwise. Used by the @smoke
+   alias to assert the emitted telemetry is well-formed JSON. *)
+
+module Json = Conair.Obs.Json
+
+let errors = ref 0
+
+let fail file msg =
+  incr errors;
+  Printf.eprintf "json_check: %s: %s\n" file msg
+
+let read_file file =
+  In_channel.with_open_text file In_channel.input_all
+
+let check_jsonl file =
+  let lines = String.split_on_char '\n' (read_file file) in
+  let n = ref 0 in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then begin
+        incr n;
+        match Json.of_string line with
+        | Ok (Json.Obj _) -> ()
+        | Ok _ -> fail file (Printf.sprintf "line %d: not a JSON object" (i + 1))
+        | Error e -> fail file (Printf.sprintf "line %d: %s" (i + 1) e)
+      end)
+    lines;
+  if !n = 0 then fail file "no JSON lines"
+  else Printf.printf "json_check: %s: %d JSONL records ok\n" file !n
+
+let check_json file =
+  match Json.of_string (read_file file) with
+  | Error e -> fail file e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          Printf.printf "json_check: %s: chrome trace with %d events ok\n" file
+            (List.length evs)
+      | Some _ -> fail file "\"traceEvents\" is not a list"
+      | None -> Printf.printf "json_check: %s: json ok\n" file)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: json_check FILE.jsonl FILE.json ...";
+    exit 2
+  end;
+  List.iter
+    (fun file ->
+      if not (Sys.file_exists file) then fail file "no such file"
+      else if Filename.check_suffix file ".jsonl" then check_jsonl file
+      else check_json file)
+    files;
+  exit (if !errors = 0 then 0 else 1)

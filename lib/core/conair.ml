@@ -63,6 +63,14 @@ module Runtime = struct
   module Trace = Conair_runtime.Trace
 end
 
+module Obs = struct
+  module Json = Conair_obs.Json
+  module Jsonl = Conair_obs.Jsonl
+  module Metrics = Conair_obs.Metrics
+  module Span = Conair_obs.Span
+  module Report = Conair_obs.Report
+end
+
 open Conair_ir
 open Conair_analysis
 open Conair_runtime
@@ -130,6 +138,58 @@ let execute_hardened ?(config = Machine.default_config) (h : hardened) : run =
     stats = Machine.stats machine;
     machine;
   }
+
+(** One observed execution: the run itself plus every telemetry artifact
+    the observability layer derives from it. *)
+type run_report = {
+  run : run;
+  events : Trace.event list;
+      (** the full trace, chronological (also streamed to [trace_writer]
+          as the machine ran, when one was given) *)
+  spans : Conair_obs.Span.t list;  (** recovery spans, in start order *)
+  metrics : Conair_obs.Metrics.t;
+      (** the standard ConAir metric set plus the live event counters *)
+  report : Conair_obs.Json.t;  (** the structured run report *)
+}
+
+(** Run a hardened program with the full observability layer installed:
+    live metrics fed from the event stream, optional JSONL streaming to
+    [trace_writer] (meta record first when [meta_info] is given), and a
+    post-run fold into spans, metrics and a structured JSON report. *)
+let run_observed ?(config = Machine.default_config) ?meta_info ?trace_writer
+    (h : hardened) : run_report =
+  let meta = Machine.meta_of_harden h.hardened in
+  let m = Machine.create ~config ~meta h.hardened.program in
+  let live = Conair_obs.Metrics.create () in
+  (match (trace_writer, meta_info) with
+  | Some w, Some mi ->
+      Conair_obs.Jsonl.write_json w (Conair_obs.Jsonl.meta_json ~config mi)
+  | _ -> ());
+  let emit ev =
+    (match trace_writer with
+    | Some w -> w.Conair_obs.Jsonl.write (Conair_obs.Jsonl.event_line ev)
+    | None -> ());
+    Conair_obs.Report.live_metrics live ev
+  in
+  let sink = Trace.create ~emit () in
+  Machine.set_trace m sink;
+  let outcome = Machine.run m in
+  let run =
+    {
+      outcome;
+      outputs = Machine.outputs m;
+      stats = Machine.stats m;
+      machine = m;
+    }
+  in
+  let events = Trace.events sink in
+  let spans = Conair_obs.Span.of_events events in
+  let metrics = Conair_obs.Report.standard_metrics ~into:live run.stats in
+  let report =
+    Conair_obs.Report.run_json ?meta:meta_info ~config ~spans ~outcome
+      ~outputs:run.outputs run.stats
+  in
+  { run; events; spans; metrics; report }
 
 (** A recovery trial in the style of §5: run the hardened program [runs]
     times (varying the random-scheduler seed) and report how many runs

@@ -63,6 +63,17 @@ module Runtime : sig
   module Trace = Conair_runtime.Trace
 end
 
+(** The observability layer: JSON encoding, streaming JSONL event logs,
+    the metrics registry, recovery spans (with Chrome trace-event
+    export), and structured run reports. See [docs/OBSERVABILITY.md]. *)
+module Obs : sig
+  module Json = Conair_obs.Json
+  module Jsonl = Conair_obs.Jsonl
+  module Metrics = Conair_obs.Metrics
+  module Span = Conair_obs.Span
+  module Report = Conair_obs.Report
+end
+
 (** The two usage modes of §3.1: survival mode hardens every potential
     failure site against hidden bugs; fix mode hardens the instruction ids
     a user observed failing — a safe temporary patch for a bug whose root
@@ -109,6 +120,30 @@ val execute :
 val execute_hardened :
   ?config:Conair_runtime.Machine.config -> hardened -> run
 (** Run a hardened program with the recovery metadata installed. *)
+
+(** One observed execution: the run itself plus every telemetry artifact
+    the observability layer derives from it. *)
+type run_report = {
+  run : run;
+  events : Conair_runtime.Trace.event list;  (** chronological *)
+  spans : Conair_obs.Span.t list;  (** recovery spans, in start order *)
+  metrics : Conair_obs.Metrics.t;
+      (** the standard ConAir metric set plus the live event counters *)
+  report : Conair_obs.Json.t;  (** the structured run report *)
+}
+
+val run_observed :
+  ?config:Conair_runtime.Machine.config ->
+  ?meta_info:Conair_obs.Jsonl.run_meta ->
+  ?trace_writer:Conair_obs.Jsonl.writer ->
+  hardened ->
+  run_report
+(** {!execute_hardened} with the observability layer installed: live
+    metrics are maintained from the event stream as the machine runs,
+    each event is streamed to [trace_writer] as a JSONL line (preceded by
+    a meta record when [meta_info] is given), and after the run the trace
+    is folded into recovery spans, the standard metric set, and a
+    structured JSON report. *)
 
 (** ConSeq-style profile-based site pruning (§3.4): per-site execution
     counts over clean profiling runs of the original program. *)

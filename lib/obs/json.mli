@@ -1,0 +1,38 @@
+(** A minimal, dependency-free JSON representation: enough to emit every
+    telemetry artifact (JSONL event logs, metric dumps, Chrome traces)
+    and to re-parse them for validation. Not a general-purpose JSON
+    library — no streaming parser, no number-precision guarantees beyond
+    OCaml [int]/[float], object keys kept in insertion order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** keys in emission order *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact (single-line) encoding; strings are escaped per RFC 8259
+    (["\""], ["\\"], control characters as [\uXXXX]; all other bytes pass
+    through, so valid UTF-8 input stays valid UTF-8). *)
+
+val to_string : t -> string
+(** Compact single-line encoding — one call, one JSONL-ready line. *)
+
+val to_string_pretty : t -> string
+(** Indented multi-line encoding for files meant to be read by humans. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (surrounding whitespace allowed).
+    Accepts exactly what [to_string] emits plus standard JSON; rejects
+    trailing garbage. Numbers with [.], [e] or [E] parse as [Float],
+    everything else as [Int]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] — [None] on missing key or non-object. *)
+
+val equal : t -> t -> bool
+(** Structural equality with order-insensitive object comparison
+    (duplicate keys compare positionally after sorting). *)

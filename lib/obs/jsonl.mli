@@ -1,0 +1,65 @@
+(** Streaming JSONL (one JSON object per line) serialization of the
+    runtime's trace stream.
+
+    The event encoding is canonical: both engines ([Machine] and
+    [Ref_machine]) feed the same {!Conair_runtime.Trace.event} values
+    through {!event_json}, so the differential guarantee of
+    [test_fast_exec] extends to the serialized telemetry — byte-identical
+    event logs from byte-identical traces.
+
+    A log starts with one [meta] record (["type": "meta"]) describing the
+    run, followed by one ["type": "event"] record per trace event, in
+    occurrence order. *)
+
+open Conair_runtime
+
+(** Identification of the run being logged, written as the first line. *)
+type run_meta = {
+  app : string;  (** benchmark/app name, or a caller-chosen label *)
+  variant : string;  (** e.g. "buggy" / "clean"; "" omits the field *)
+  seed : int option;  (** random-scheduler seed, when one was used *)
+}
+
+val run_meta : ?variant:string -> ?seed:int -> string -> run_meta
+
+val config_json : Machine.config -> Json.t
+(** The execution-affecting knobs (policy, fuel, max_retries, deadlock
+    detection, perturbation) as a JSON object. *)
+
+val meta_json : ?config:Machine.config -> run_meta -> Json.t
+(** The header record: [{"type":"meta","app":...,"variant":...,"seed":...,
+    "config":{...}}]. The config subobject captures the knobs that affect
+    execution (policy, fuel, max_retries, deadlock detection...). *)
+
+val event_json : Trace.event -> Json.t
+(** One trace event as [{"type":"event","ev":<name>,"step":...,...}]. *)
+
+val event_line : Trace.event -> string
+(** [event_json] encoded compactly — one JSONL line, no newline. *)
+
+(** A line-oriented writer: [write] receives complete JSON lines
+    (newline excluded). Writers for channels and buffers are provided. *)
+type writer = { write : string -> unit }
+
+val channel_writer : out_channel -> writer
+val buffer_writer : Buffer.t -> writer
+
+val write_json : writer -> Json.t -> unit
+(** Encode compactly and emit as one line. *)
+
+val sink :
+  ?config:Machine.config ->
+  ?meta:run_meta ->
+  ?store:bool ->
+  writer ->
+  Trace.sink
+(** A trace sink that streams every event to [writer] as it is recorded.
+    When [meta] is given, the header record is written immediately.
+    [store] defaults to [false]: streaming does not retain events in
+    memory unless asked (pass [~store:true] to also keep them for span
+    building after the run). Install with [Machine.set_trace]. *)
+
+val events_to_lines : ?config:Machine.config -> ?meta:run_meta ->
+  Trace.event list -> string list
+(** Batch serialization of an already-collected event list — the same
+    lines [sink] would have streamed. *)

@@ -1,0 +1,247 @@
+(* Counters, gauges and fixed-bucket histograms with JSON and
+   Prometheus-style text exposition. Deliberately minimal: no label
+   cardinality tracking, no timestamps, no global default registry. *)
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  upper_bounds : float array;  (** strictly increasing; +Inf implicit *)
+  bucket_counts : int array;  (** per-bound, non-cumulative; last = +Inf *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type metric = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  instrument : instrument;
+}
+
+type t = { mutable metrics : metric list (* newest first *) }
+
+let create () = { metrics = [] }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+  && not (match name.[0] with '0' .. '9' -> true | _ -> false)
+
+let find t name labels =
+  List.find_opt (fun m -> m.name = name && m.labels = labels) t.metrics
+
+let register t name help labels instrument =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let m = { name; help; labels; instrument } in
+  t.metrics <- m :: t.metrics;
+  m
+
+let counter ?(help = "") ?(labels = []) t name =
+  match find t name labels with
+  | Some { instrument = Counter c; _ } -> c
+  | Some _ -> invalid_arg (name ^ ": registered with another type")
+  | None ->
+      let c = { c_value = 0 } in
+      ignore (register t name help labels (Counter c));
+      c
+
+let inc ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.inc: negative increment";
+  c.c_value <- c.c_value + by
+
+let counter_value c = c.c_value
+
+let gauge ?(help = "") ?(labels = []) t name =
+  match find t name labels with
+  | Some { instrument = Gauge g; _ } -> g
+  | Some _ -> invalid_arg (name ^ ": registered with another type")
+  | None ->
+      let g = { g_value = 0.0 } in
+      ignore (register t name help labels (Gauge g));
+      g
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram ?(help = "") ?(labels = []) ~buckets t name =
+  match find t name labels with
+  | Some { instrument = Histogram h; _ } -> h
+  | Some _ -> invalid_arg (name ^ ": registered with another type")
+  | None ->
+      if buckets = [] then invalid_arg "Metrics.histogram: no buckets";
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      if not (increasing buckets) then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing";
+      let upper_bounds = Array.of_list buckets in
+      let h =
+        {
+          upper_bounds;
+          bucket_counts = Array.make (Array.length upper_bounds + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        }
+      in
+      ignore (register t name help labels (Histogram h));
+      h
+
+let observe h v =
+  let n = Array.length h.upper_bounds in
+  let rec slot i = if i < n && v > h.upper_bounds.(i) then slot (i + 1) else i in
+  let i = slot 0 in
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* Cumulative counts in bound order, +Inf last — the Prometheus shape. *)
+let cumulative h =
+  let acc = ref 0 in
+  Array.map
+    (fun c ->
+      acc := !acc + c;
+      !acc)
+    h.bucket_counts
+
+let ordered t = List.rev t.metrics
+
+let bound_label b =
+  if Float.is_integer b && Float.abs b < 1e15 then
+    Printf.sprintf "%.1f" b
+  else Printf.sprintf "%.12g" b
+
+(* --- JSON exposition ----------------------------------------------- *)
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let metric_json (m : metric) : Json.t =
+  let base =
+    [ ("name", Json.String m.name) ]
+    @ (if m.help = "" then [] else [ ("help", Json.String m.help) ])
+    @ if m.labels = [] then [] else [ ("labels", labels_json m.labels) ]
+  in
+  match m.instrument with
+  | Counter c ->
+      Json.Obj
+        (base
+        @ [ ("type", Json.String "counter"); ("value", Json.Int c.c_value) ])
+  | Gauge g ->
+      Json.Obj
+        (base
+        @ [ ("type", Json.String "gauge"); ("value", Json.Float g.g_value) ])
+  | Histogram h ->
+      let cum = cumulative h in
+      let buckets =
+        Array.to_list
+          (Array.mapi
+             (fun i bound ->
+               Json.Obj
+                 [
+                   ("le", Json.String (bound_label bound));
+                   ("count", Json.Int cum.(i));
+                 ])
+             h.upper_bounds)
+        @ [
+            Json.Obj
+              [
+                ("le", Json.String "+Inf");
+                ("count", Json.Int h.h_count);
+              ];
+          ]
+      in
+      Json.Obj
+        (base
+        @ [
+            ("type", Json.String "histogram");
+            ("buckets", Json.List buckets);
+            ("sum", Json.Float h.h_sum);
+            ("count", Json.Int h.h_count);
+          ])
+
+let to_json t = Json.Obj [ ("metrics", Json.List (List.map metric_json (ordered t))) ]
+
+(* --- Prometheus text exposition ------------------------------------ *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name kind help =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.add seen_header name ();
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun m ->
+      match m.instrument with
+      | Counter c ->
+          header m.name "counter" m.help;
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" m.name (render_labels m.labels)
+               c.c_value)
+      | Gauge g ->
+          header m.name "gauge" m.help;
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+               (bound_label g.g_value))
+      | Histogram h ->
+          header m.name "histogram" m.help;
+          let cum = cumulative h in
+          Array.iteri
+            (fun i bound ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.name
+                   (render_labels (m.labels @ [ ("le", bound_label bound) ]))
+                   cum.(i)))
+            h.upper_bounds;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" m.name
+               (render_labels (m.labels @ [ ("le", "+Inf") ]))
+               h.h_count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" m.name (render_labels m.labels)
+               (bound_label h.h_sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.name (render_labels m.labels)
+               h.h_count))
+    (ordered t);
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** A small process-local metrics registry: named counters, gauges and
+    fixed-bucket histograms, with JSON and Prometheus-style text
+    exposition. No global state — callers create registries and thread
+    them where needed. Registration order is preserved in both outputs.
+
+    Metric identity is [(name, labels)]; registering the same identity
+    twice returns the existing instrument (so per-site counters can be
+    looked up idempotently from a hot loop). *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : ?help:string -> ?labels:(string * string) list -> t -> string
+  -> counter
+(** Monotonically increasing integer. *)
+
+val inc : ?by:int -> counter -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+val counter_value : counter -> int
+
+val gauge : ?help:string -> ?labels:(string * string) list -> t -> string
+  -> gauge
+(** A point-in-time float value. *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?help:string -> ?labels:(string * string) list ->
+  buckets:float list -> t -> string -> histogram
+(** Fixed cumulative buckets given by their inclusive upper bounds
+    (strictly increasing; a [+Inf] bucket is implicit).
+    @raise Invalid_argument on empty or non-increasing bucket lists. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+(** Total observations. *)
+
+val histogram_sum : histogram -> float
+
+val to_json : t -> Json.t
+(** [{"metrics":[{"name":...,"type":...,"labels":{...},"value":...} ...]}];
+    histograms carry ["buckets"] (cumulative counts per upper bound, the
+    [+Inf] bound encoded as the string ["+Inf"]), ["sum"] and ["count"]. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format: [# HELP]/[# TYPE] comments, one
+    sample per line, histogram buckets as [name_bucket{le="..."}] plus
+    [name_sum]/[name_count]. *)

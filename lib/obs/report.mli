@@ -1,0 +1,47 @@
+(** The glue between the runtime's measurements ({!Conair_runtime.Stats},
+    {!Conair_runtime.Outcome}, the trace stream) and the exposition
+    formats: the standard ConAir metric set, JSON views of stats and
+    outcomes, and the full structured run report the facade and the CLI
+    emit. *)
+
+open Conair_runtime
+
+val outcome_json : Outcome.t -> Json.t
+val episode_json : Stats.episode -> Json.t
+
+val stats_json : Stats.t -> Json.t
+(** Counters plus the episode list (chronological) and the
+    per-checkpoint hit table (sorted by checkpoint id). *)
+
+val standard_metrics : ?into:Metrics.t -> Stats.t -> Metrics.t
+(** The standard ConAir metric set from a finished run's statistics:
+
+    - [conair_steps_total], [conair_instrs_total], [conair_idle_total]
+    - [conair_checkpoints_total], [conair_rollbacks_total]
+    - [conair_compensated_locks_total], [conair_compensated_blocks_total]
+    - [conair_outputs_total], [conair_tracecheck_violations_total]
+    - [conair_recovery_episodes_total]
+    - [conair_episode_duration_steps] (histogram)
+    - [conair_episode_retries] (histogram)
+    - [conair_checkpoint_executions_total{ckpt="N"}] per checkpoint id
+    - [conair_instrs_between_checkpoints] (gauge: mean distance)
+
+    Pass [~into] to add them to an existing registry. *)
+
+val live_metrics : Metrics.t -> Trace.event -> unit
+(** A live hook for {!Trace.create}'s [emit]: maintains the
+    [conair_live_*] counter set (schedules, blocks, wakes, spawns,
+    outputs, checkpoints, failures detected, rollbacks, compensations,
+    recoveries, fail-stops) as the machine runs — telemetry that exists
+    even if the process never reaches the post-run report. *)
+
+val run_json :
+  ?meta:Jsonl.run_meta ->
+  ?config:Machine.config ->
+  ?spans:Span.t list ->
+  outcome:Outcome.t ->
+  outputs:string list ->
+  Stats.t ->
+  Json.t
+(** The full structured run report: metadata, outcome, outputs, stats,
+    spans (when supplied) and the standard metric set. *)

@@ -1,0 +1,54 @@
+(** Recovery spans: the trace stream folded into one interval per
+    recovery episode — from the first rollback for a failure until the
+    thread passed the site (or fail-stopped, or the run ended). Spans are
+    the unit of the Chrome trace-event export (viewable in Perfetto or
+    [chrome://tracing], one track per thread).
+
+    For every completed episode in {!Conair_runtime.Stats.t} the builder
+    produces exactly one [Recovered] span whose [start_step]/[end_step]
+    equal the episode's [ep_start]/[ep_end] — asserted by the test
+    suite. *)
+
+open Conair_runtime
+
+type outcome =
+  | Recovered  (** the thread made it past the failure site *)
+  | Fail_stopped  (** retries exhausted or no applicable checkpoint *)
+  | Unresolved  (** the run ended with the episode still open *)
+
+type t = {
+  sp_tid : int;
+  sp_site_id : int;
+  sp_kind : Conair_ir.Instr.failure_kind option;
+      (** from the detection event that opened the episode *)
+  sp_start : int;  (** step of the first rollback *)
+  sp_end : int;
+  sp_rollbacks : int;
+  sp_outcome : outcome;
+}
+
+val duration : t -> int
+
+val of_events : Trace.event list -> t list
+(** Fold a chronological event stream (as returned by
+    {!Trace.events}) into recovery spans, in order of span start. A
+    fail-stop with no preceding rollback (nothing to recover from)
+    yields a zero-length [Fail_stopped] span. *)
+
+val outcome_name : outcome -> string
+
+val to_json : t -> Json.t
+
+(** {2 Chrome trace-event export}
+
+    The produced document is the JSON object format of the Chrome
+    trace-event specification: [{"traceEvents": [...]}], with one
+    complete ("ph":"X") event per span, thread-name metadata so every
+    thread gets its own track, and one instant ("ph":"i") event per
+    rollback when the full event stream is supplied. Virtual scheduler
+    steps are mapped 1:1 to microseconds. *)
+
+val to_chrome : ?events:Trace.event list -> t list -> Json.t
+
+val chrome_of_run : Trace.event list -> Json.t
+(** [to_chrome ~events (of_events events)] — the one-call export. *)

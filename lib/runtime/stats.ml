@@ -58,6 +58,10 @@ let hit_iid t iid =
 
 let iid_hits_of t iid = Option.value ~default:0 (Hashtbl.find_opt t.iid_hits iid)
 
+(* [episodes] is an accumulation list (newest first); anything user-facing
+   — pretty-printing, reports, spans — should read it in execution order. *)
+let episodes_chronological t = List.rev t.episodes
+
 let total_retries t =
   List.fold_left (fun n e -> n + e.ep_retries) 0 t.episodes
 
@@ -72,3 +76,13 @@ let pp ppf t =
      comp-locks=%d comp-blocks=%d tracecheck-violations=%d"
     t.steps t.instrs t.idle t.checkpoints t.rollbacks (List.length t.episodes)
     t.compensated_locks t.compensated_blocks t.tracecheck_violations
+
+let pp_episode ppf e =
+  Format.fprintf ppf "site %d on t%d: steps %d..%d (%d steps, %d retries)"
+    e.ep_site_id e.ep_tid e.ep_start e.ep_end (episode_duration e) e.ep_retries
+
+let pp_episodes ppf t =
+  match episodes_chronological t with
+  | [] -> Format.fprintf ppf "no recovery episodes"
+  | eps ->
+      Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_episode) eps

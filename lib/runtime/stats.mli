@@ -31,6 +31,12 @@ type t = {
 }
 
 val create : unit -> t
+
+val episodes_chronological : t -> episode list
+(** [episodes] in execution order (the field itself is an accumulation
+    list, newest first). Every user-facing consumer — pretty-printing,
+    reports, span building — should read episodes through this. *)
+
 val hit_checkpoint : t -> int -> unit
 val ckpt_hits_of : t -> int -> int
 val hit_iid : t -> int -> unit
@@ -42,3 +48,8 @@ val max_recovery_time : t -> int
     in virtual steps. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_episode : Format.formatter -> episode -> unit
+
+val pp_episodes : Format.formatter -> t -> unit
+(** The completed recovery episodes, one per line, in execution order. *)

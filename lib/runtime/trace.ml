@@ -53,13 +53,27 @@ let pp_event ppf = function
   | Ev_fail_stop { step; tid; site_id } ->
       Format.fprintf ppf "[%d] t%d fail-stops at site %d" step tid site_id
 
-(** A trace sink; [record] receives the full event stream. *)
-type sink = { mutable events : event list (* newest first *) }
+(** A trace sink; [record] receives the full event stream. A sink can
+    retain events in memory ([store], the default), forward each event to
+    a listener as it happens ([emit] — the streaming-telemetry hook), or
+    both. Machines never look inside: installing no sink keeps tracing
+    entirely free. *)
+type sink = {
+  mutable events : event list;  (** newest first; empty when not storing *)
+  emit : (event -> unit) option;
+  store : bool;
+  mutable count : int;
+}
 
-let create () = { events = [] }
-let record sink ev = sink.events <- ev :: sink.events
+let create ?emit ?(store = true) () = { events = []; emit; store; count = 0 }
+
+let record sink ev =
+  sink.count <- sink.count + 1;
+  if sink.store then sink.events <- ev :: sink.events;
+  match sink.emit with None -> () | Some f -> f ev
+
 let events sink = List.rev sink.events
-let length sink = List.length sink.events
+let length sink = sink.count
 
 let pp ppf sink =
   Format.fprintf ppf "@[<v>%a@]"

@@ -27,13 +27,23 @@ val pp_event : Format.formatter -> event -> unit
 
 type sink
 
-val create : unit -> sink
+val create : ?emit:(event -> unit) -> ?store:bool -> unit -> sink
+(** A sink retains events in memory by default. [emit] installs a
+    listener called synchronously on every event as it is recorded — the
+    streaming-telemetry hook (e.g. a JSONL file writer or a live metrics
+    feed; compose several by closing over both). [~store:false] keeps
+    nothing in memory, so an arbitrarily long run can stream its full
+    event log in constant space. *)
+
 val record : sink -> event -> unit
 
 val events : sink -> event list
-(** In occurrence order. *)
+(** In occurrence order. Empty when the sink was created with
+    [~store:false]. *)
 
 val length : sink -> int
+(** Events recorded so far (counted even under [store:false]). *)
+
 val pp : Format.formatter -> sink -> unit
 
 val recovery_events : sink -> event list

@@ -89,7 +89,15 @@ let check_same name ?meta config (p : Program.t) =
     (name ^ ": virtual time")
     (Ref_machine.steps rm) fm.Machine.step;
   check_stats name (Ref_machine.stats rm) (Machine.stats fm);
-  check_traces name ref_sink fast_sink
+  check_traces name ref_sink fast_sink;
+  (* the differential guarantee extends to the serialized telemetry:
+     both engines must produce byte-identical JSONL event logs *)
+  let jsonl sink =
+    String.concat "\n" (Conair.Obs.Jsonl.events_to_lines (Trace.events sink))
+  in
+  Alcotest.(check string)
+    (name ^ ": serialized JSONL event log")
+    (jsonl ref_sink) (jsonl fast_sink)
 
 (* ------------------------------------------------------------------ *)
 (* The program corpus: the full bugbench catalog                       *)
