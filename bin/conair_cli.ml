@@ -617,34 +617,291 @@ let dot_cmd =
 
 let profile_cmd =
   let runs_arg =
-    Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Profiling runs.")
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ] ~doc:"Profiling runs (with --sites only).")
   in
-  let run app variant oracle runs fuel =
+  let sites_arg =
+    Arg.(
+      value & flag
+      & info [ "sites" ]
+          ~doc:
+            "ConSeq-style per-site execution counts over clean runs of the \
+             original program instead of the cost profile.")
+  in
+  let fix_arg =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:"Use fix mode instead of survival mode before profiling.")
+  in
+  let collapsed_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "collapsed" ] ~docv:"FILE"
+          ~doc:
+            "Write the total cost profile as collapsed-stack flamegraph \
+             lines to $(docv) (feed to flamegraph.pl or speedscope).")
+  in
+  let wasted_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wasted" ] ~docv:"FILE"
+          ~doc:
+            "Write only the rolled-back (wasted) cost as collapsed-stack \
+             lines to $(docv) — a flamegraph of recovery waste.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write recovery spans plus the stacked cost counter track to \
+             $(docv) in Chrome trace-event format.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full profile (totals, per-context tables, \
+                per-site costs, samples) to $(docv) as JSON.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~doc:"Context rows to print (0 for all).")
+  in
+  let run app variant oracle sites fix runs collapsed wasted chrome json top
+      fuel seed max_retries =
     match find_spec app with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
         let inst = instance spec variant oracle in
-        let config = machine_config fuel None 1_000_000 in
-        let profiles = Conair.profile_sites ~config ~runs inst.program in
-        Printf.printf "%-8s %-12s %10s  %s
-" "site" "kind" "executions"
-          "message";
-        List.iter
-          (fun (p : Conair.site_profile) ->
-            Printf.printf "%-8d %-12s %10d  %s
-" p.site.site_id
-              (Format.asprintf "%a" Conair.Ir.Instr.pp_failure_kind
-                 p.site.kind)
-              p.executions p.site.msg)
-          profiles;
-        0
+        if sites then begin
+          let config = machine_config fuel None 1_000_000 in
+          let profiles = Conair.profile_sites ~config ~runs inst.program in
+          Printf.printf "%-8s %-12s %10s  %s\n" "site" "kind" "executions"
+            "message";
+          List.iter
+            (fun (p : Conair.site_profile) ->
+              Printf.printf "%-8d %-12s %10d  %s\n" p.site.site_id
+                (Format.asprintf "%a" Conair.Ir.Instr.pp_failure_kind
+                   p.site.kind)
+                p.executions p.site.msg)
+            profiles;
+          0
+        end
+        else begin
+          let config = machine_config fuel seed max_retries in
+          let mode =
+            if fix then Conair.Fix inst.fix_site_iids else Conair.Survival
+          in
+          let h = Conair.harden_exn inst.program mode in
+          let m =
+            Machine.create ~config
+              ~meta:(Machine.meta_of_harden h.hardened)
+              h.hardened.program
+          in
+          let prof = Obs.Prof.create () in
+          Machine.set_profile m (Obs.Prof.probe prof);
+          let sink = Trace.create () in
+          Machine.set_trace m sink;
+          let outcome = Machine.run m in
+          Obs.Prof.finalize prof;
+          Format.printf "outcome:    %a@." Outcome.pp outcome;
+          Printf.printf "useful:     %d steps\n"
+            (Obs.Prof.useful_steps prof);
+          Printf.printf "checkpoint: %d steps\n"
+            (Obs.Prof.checkpoint_steps prof);
+          Printf.printf "wasted:     %d steps (ratio %.4f)\n"
+            (Obs.Prof.wasted_steps prof)
+            (Obs.Prof.wasted_ratio prof);
+          Printf.printf "idle:       %d steps\n" (Obs.Prof.idle_steps prof);
+          (match Obs.Prof.site_costs prof with
+          | [] -> ()
+          | costs ->
+              Printf.printf "%-8s %10s %10s\n" "site" "rollbacks" "wasted";
+              List.iter
+                (fun (c : Obs.Prof.site_cost) ->
+                  Printf.printf "%-8d %10d %10d\n" c.sc_site c.sc_rollbacks
+                    c.sc_wasted)
+                costs);
+          let rows = Obs.Prof.rows prof in
+          let rows =
+            if top <= 0 then rows
+            else List.filteri (fun i _ -> i < top) rows
+          in
+          Printf.printf "%10s %10s %10s  %s\n" "useful" "ckpt" "wasted"
+            "context";
+          List.iter
+            (fun (r : Obs.Prof.row) ->
+              Printf.printf "%10d %10d %10d  %s\n" r.r_useful r.r_ckpt
+                r.r_wasted r.r_ctx)
+            rows;
+          let write_collapsed file kind =
+            write_file file
+              (String.concat "\n" (Obs.Prof.to_collapsed prof kind) ^ "\n")
+          in
+          (match collapsed with
+          | Some file -> write_collapsed file Obs.Prof.Total
+          | None -> ());
+          (match wasted with
+          | Some file -> write_collapsed file Obs.Prof.Wasted
+          | None -> ());
+          (match chrome with
+          | Some file ->
+              let events = Trace.events sink in
+              let spans = Obs.Span.of_events events in
+              write_file file
+                (Obs.Json.to_string_pretty
+                   (Obs.Span.to_chrome ~events
+                      ~counters:(Obs.Prof.counter_events prof)
+                      spans))
+          | None -> ());
+          (match json with
+          | Some file ->
+              write_file file
+                (Obs.Json.to_string_pretty (Obs.Prof.to_json prof))
+          | None -> ());
+          if Outcome.is_success outcome then 0 else 2
+        end
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
-         "Profile per-site execution counts over clean runs (ConSeq-style \
-          well-tested-site analysis).")
-    Term.(const run $ app_arg $ variant_arg $ oracle_arg $ runs_arg $ fuel_arg)
+         "Run the deterministic cost profiler: per-context \
+          useful/checkpoint/wasted attribution, per-site rollback waste, \
+          flamegraph and Chrome-trace exports (--sites for the ConSeq-style \
+          execution-count profile).")
+    Term.(
+      const run $ app_arg $ variant_arg $ oracle_arg $ sites_arg $ fix_arg
+      $ runs_arg $ collapsed_arg $ wasted_arg $ chrome_arg $ json_arg
+      $ top_arg $ fuel_arg $ seed_arg $ max_retries_arg)
+
+let overhead_cmd =
+  let apps_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "app" ] ~docv:"APP"
+          ~doc:
+            "Measure only this application (repeatable; default: the whole \
+             catalog).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_overhead.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON document.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ]
+          ~doc:"Random-schedule runs per recovery verdict (on top of the \
+                deterministic run).")
+  in
+  let case_of_spec (spec : Spec.t) : Obs.Overhead.case =
+    let inst variant oracle =
+      let i = spec.Spec.make ~variant ~oracle in
+      {
+        Obs.Overhead.program = i.Spec.program;
+        fix_iids = i.Spec.fix_site_iids;
+        accept = i.Spec.accept;
+      }
+    in
+    let needs = spec.Spec.info.needs_oracle in
+    {
+      Obs.Overhead.name = spec.Spec.info.name;
+      needs_oracle = needs;
+      buggy_fix = inst Spec.Buggy true;
+      buggy_survival = inst Spec.Buggy needs;
+      clean_fix = inst Spec.Clean true;
+      clean_survival = inst Spec.Clean needs;
+    }
+  in
+  let run apps out runs fuel =
+    let specs =
+      match apps with
+      | [] -> Ok Registry.all
+      | names ->
+          List.fold_right
+            (fun name acc ->
+              match (acc, find_spec name) with
+              | Error e, _ -> Error e
+              | _, Error e -> Error e
+              | Ok specs, Ok s -> Ok (s :: specs))
+            names (Ok [])
+    in
+    match specs with
+    | Error e -> prerr_endline e; 1
+    | Ok specs ->
+        let config = machine_config fuel None 1_000_000 in
+        let rows =
+          Obs.Overhead.measure_all ~config ~random_runs:runs
+            (List.map case_of_spec specs)
+        in
+        write_file out (Obs.Json.to_string_pretty (Obs.Overhead.to_json rows));
+        List.iter print_endline (Obs.Overhead.table_rows rows);
+        let s = Obs.Overhead.summary rows in
+        Printf.printf
+          "recovery: fix %d/%d, survival %d/%d; max overhead: fix %.2f%%, \
+           survival %.2f%%\n"
+          s.s_fix_recovered s.s_cases s.s_surv_recovered s.s_cases
+          s.s_max_fix_overhead_pct s.s_max_surv_overhead_pct;
+        Printf.printf "wrote %s\n" out;
+        if s.s_fix_recovered = s.s_cases && s.s_surv_recovered = s.s_cases
+        then 0
+        else 2
+  in
+  Cmd.v
+    (Cmd.info "overhead"
+       ~doc:
+         "Run the paper-style overhead harness over the benchmark catalog \
+          and regenerate the Table 3 numbers (BENCH_overhead.json).")
+    Term.(const run $ apps_arg $ out_arg $ runs_arg $ fuel_arg)
+
+let aggregate_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"A JSONL run log (e.g. conair_fuzz --jsonl output).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the aggregate as JSON to $(docv).")
+  in
+  let run file json =
+    let lines =
+      In_channel.with_open_text file In_channel.input_lines
+    in
+    match Obs.Aggregate.of_lines lines with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok agg ->
+        List.iter print_endline (Obs.Aggregate.render agg);
+        (match json with
+        | Some out ->
+            write_file out
+              (Obs.Json.to_string_pretty (Obs.Aggregate.to_json agg))
+        | None -> ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:
+         "Fold a JSONL stream of per-run records into percentile summaries \
+          of recovery cost (p50/p95/max steps and retries, per-site waste).")
+    Term.(const run $ file_arg $ json_arg)
 
 let main_cmd =
   let doc =
@@ -653,6 +910,7 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "conair" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; report_cmd;
-      restart_cmd; fullckpt_cmd; file_cmd; dot_cmd; profile_cmd ]
+      restart_cmd; fullckpt_cmd; file_cmd; dot_cmd; profile_cmd;
+      overhead_cmd; aggregate_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -11,12 +11,20 @@
    - determinism: a fixed seed reproduces a run exactly;
    - round-trip: emit/parse reproduces the hardened program.
 
-   Usage:  conair_fuzz [ITERATIONS] [BASE_SEED]          (defaults 500 0) *)
+   Usage:  conair_fuzz [--jsonl FILE] [ITERATIONS] [BASE_SEED]
+                                                         (defaults 500 0)
+
+   With --jsonl, every hardened run appends one {"type":"run",...} record
+   to FILE (the input format of [Conair.Obs.Aggregate] and the aggregate
+   subcommand), preceded by a meta header and followed by the same
+   fuzz_summary object that goes to stdout. *)
 
 module Gen = Conair_genprog.Genprog
 module Machine = Conair.Runtime.Machine
 module Sched = Conair.Runtime.Sched
 module Outcome = Conair.Runtime.Outcome
+module Stats = Conair.Runtime.Stats
+module Json = Conair.Obs.Json
 
 let config = { Machine.default_config with fuel = 300_000 }
 
@@ -30,11 +38,65 @@ let runs = ref 0
 let recoveries = ref 0
 let max_episode = ref 0
 
-let note_run (r : Conair.run) =
+(* --jsonl: one record per hardened run, streamed as the fuzz goes *)
+let jsonl : Conair.Obs.Jsonl.writer option ref = ref None
+
+let outcome_tag (o : Outcome.t) =
+  match o with
+  | Outcome.Success -> "success"
+  | Outcome.Failed _ -> "failed"
+  | Outcome.Hang _ -> "hang"
+  | Outcome.Fuel_exhausted _ -> "fuel-exhausted"
+
+(* per-site episode/retry/steps rollup of one run's recovery episodes *)
+let site_rollup (s : Stats.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Stats.episode) ->
+      let eps, rts, stp =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl e.ep_site_id)
+      in
+      Hashtbl.replace tbl e.ep_site_id
+        (eps + 1, rts + e.ep_retries, stp + Stats.episode_duration e))
+    (Stats.episodes_chronological s);
+  Hashtbl.fold (fun id v acc -> (id, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let run_record ~case ~seed (r : Conair.run) =
+  let episodes = Stats.episodes_chronological r.stats in
+  Json.Obj
+    [
+      ("type", Json.String "run");
+      ("case", Json.String case);
+      ("seed", Json.Int seed);
+      ("outcome", Json.String (outcome_tag r.outcome));
+      ("steps", Json.Int r.stats.steps);
+      ("instrs", Json.Int r.stats.instrs);
+      ("rollbacks", Json.Int r.stats.rollbacks);
+      ("episodes", Json.Int (List.length episodes));
+      ("retries", Json.Int (Stats.total_retries r.stats));
+      ("max_episode_steps", Json.Int (Stats.max_recovery_time r.stats));
+      ( "sites",
+        Json.List
+          (List.map
+             (fun (id, (eps, rts, stp)) ->
+               Json.Obj
+                 [
+                   ("site", Json.Int id);
+                   ("episodes", Json.Int eps);
+                   ("retries", Json.Int rts);
+                   ("steps", Json.Int stp);
+                 ])
+             (site_rollup r.stats)) );
+    ]
+
+let note_run ~case ~seed (r : Conair.run) =
   incr runs;
   if r.stats.rollbacks > 0 then incr recoveries;
-  max_episode :=
-    max !max_episode (Conair.Runtime.Stats.max_recovery_time r.stats);
+  max_episode := max !max_episode (Stats.max_recovery_time r.stats);
+  (match !jsonl with
+  | Some w -> Conair.Obs.Jsonl.write_json w (run_record ~case ~seed r)
+  | None -> ());
   r
 
 let check case ~detail ok =
@@ -55,7 +117,7 @@ let fuzz_arith seed =
       (Outcome.is_success r0.outcome
       && r0.outputs = [ string_of_int expected ]);
     let h = Conair.harden_exn p Conair.Survival in
-    let r1 = note_run (Conair.execute_hardened ~config h) in
+    let r1 = note_run ~case:"arith" ~seed (Conair.execute_hardened ~config h) in
     check "arith: transparency" ~detail
       (r1.outputs = r0.outputs && r1.stats.rollbacks = 0);
     check "arith: round-trip" ~detail
@@ -73,7 +135,7 @@ let fuzz_racy seed =
   List.iter
     (fun policy ->
       let config = { config with policy } in
-      let r = note_run (Conair.execute_hardened ~config h) in
+      let r = note_run ~case:"racy" ~seed (Conair.execute_hardened ~config h) in
       check "racy: recovers" ~detail
         (Outcome.is_success r.outcome
         && r.outputs = [ string_of_int spec.expected ]);
@@ -97,7 +159,10 @@ let fuzz_ring seed =
   check "ring: hangs unhardened" ~detail
     (match r0.outcome with Outcome.Hang _ -> true | _ -> false);
   let h = Conair.harden_exn p Conair.Survival in
-  let r = note_run (Conair.execute_hardened ~config:{ config with fuel = 2_000_000 } h) in
+  let r =
+    note_run ~case:"ring" ~seed
+      (Conair.execute_hardened ~config:{ config with fuel = 2_000_000 } h)
+  in
   check "ring: recovers" ~detail (Outcome.is_success r.outcome);
   check "ring: rollback safety" ~detail (r.stats.tracecheck_violations = 0)
 
@@ -110,7 +175,7 @@ let fuzz_wakeup seed =
   let r0 = Conair.execute ~config p in
   let hung = match r0.outcome with Outcome.Hang _ -> true | _ -> false in
   let h = Conair.harden_exn p Conair.Survival in
-  let r = note_run (Conair.execute_hardened ~config h) in
+  let r = note_run ~case:"wakeup" ~seed (Conair.execute_hardened ~config h) in
   check "wakeup: hardened always succeeds" ~detail
     (Outcome.is_success r.outcome);
   check "wakeup: correct payload" ~detail
@@ -118,11 +183,43 @@ let fuzz_wakeup seed =
   if hung then
     check "wakeup: recovery actually ran" ~detail (r.stats.rollbacks > 0)
 
-let () =
-  let iterations =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 500
+(* positional args plus one option; cmdliner would be overkill here *)
+let parse_argv () =
+  let jsonl_file = ref None in
+  let positional = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | "--jsonl" :: file :: rest ->
+        jsonl_file := Some file;
+        scan rest
+    | "--jsonl" :: [] ->
+        prerr_endline "conair_fuzz: --jsonl needs a FILE argument";
+        exit 2
+    | arg :: rest ->
+        positional := arg :: !positional;
+        scan rest
   in
-  let base = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0 in
+  scan (List.tl (Array.to_list Sys.argv));
+  (!jsonl_file, List.rev !positional)
+
+let () =
+  let jsonl_file, positional = parse_argv () in
+  let iterations =
+    match positional with n :: _ -> int_of_string n | [] -> 500
+  in
+  let base =
+    match positional with _ :: b :: _ -> int_of_string b | _ -> 0
+  in
+  let jsonl_oc = Option.map open_out jsonl_file in
+  (match jsonl_oc with
+  | Some oc ->
+      let w = Conair.Obs.Jsonl.channel_writer oc in
+      jsonl := Some w;
+      Conair.Obs.Jsonl.write_json w
+        (Conair.Obs.Jsonl.meta_json ~config
+           (Conair.Obs.Jsonl.run_meta ~variant:"fuzz" ~seed:base
+              ~hardened:true "conair_fuzz"))
+  | None -> ());
   for i = 0 to iterations - 1 do
     fuzz_arith (base + i);
     fuzz_racy (base + i);
@@ -133,7 +230,7 @@ let () =
     !checked iterations base;
   (* machine-readable one-line summary, for harnesses that scrape us *)
   let summary =
-    Conair.Obs.Json.(
+    Json.(
       Obj
         [
           ("type", String "fuzz_summary");
@@ -146,7 +243,12 @@ let () =
           ("max_episode_steps", Int !max_episode);
         ])
   in
-  print_endline (Conair.Obs.Json.to_string summary);
+  print_endline (Json.to_string summary);
+  (match (!jsonl, jsonl_oc) with
+  | Some w, Some oc ->
+      Conair.Obs.Jsonl.write_json w summary;
+      close_out oc
+  | _ -> ());
   match !failures with
   | [] ->
       print_endline "all checks passed";

@@ -1,13 +1,16 @@
 (* json_check: validate telemetry files emitted by conair_cli.
 
    For each FILE argument:
-   - *.jsonl  — every non-empty line must parse as a JSON object;
-   - *.json   — the whole file must parse; if the value carries a
-                "traceEvents" member it must be a list (Chrome trace
-                format sanity, as loaded by Perfetto).
+   - *.jsonl     — every non-empty line must parse as a JSON object;
+   - *.collapsed — collapsed-stack flamegraph lines: every non-empty
+                   line is "frame;frame;... N" with non-empty frames
+                   and a positive count, and there is at least one;
+   - *.json      — the whole file must parse; if the value carries a
+                   "traceEvents" member it must be a list (Chrome trace
+                   format sanity, as loaded by Perfetto).
 
-   Exit 0 when every file validates, 1 otherwise. Used by the @smoke
-   alias to assert the emitted telemetry is well-formed JSON. *)
+   Exit 0 when every file validates, 1 otherwise. Used by the @smoke and
+   @perf aliases to assert the emitted telemetry is well-formed. *)
 
 module Json = Conair.Obs.Json
 
@@ -36,6 +39,36 @@ let check_jsonl file =
   if !n = 0 then fail file "no JSON lines"
   else Printf.printf "json_check: %s: %d JSONL records ok\n" file !n
 
+let check_collapsed file =
+  let lines = String.split_on_char '\n' (read_file file) in
+  let n = ref 0 in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then begin
+        incr n;
+        let bad msg = fail file (Printf.sprintf "line %d: %s" (i + 1) msg) in
+        match String.rindex_opt line ' ' with
+        | None -> bad "no sample count"
+        | Some sp -> (
+            let frames = String.sub line 0 sp in
+            let count =
+              String.sub line (sp + 1) (String.length line - sp - 1)
+            in
+            match int_of_string_opt count with
+            | None -> bad (Printf.sprintf "count %S is not an integer" count)
+            | Some c when c <= 0 ->
+                bad (Printf.sprintf "count %d is not positive" c)
+            | Some _ ->
+                if
+                  List.exists
+                    (fun f -> f = "")
+                    (String.split_on_char ';' frames)
+                then bad "empty stack frame")
+      end)
+    lines;
+  if !n = 0 then fail file "no collapsed-stack lines"
+  else Printf.printf "json_check: %s: %d collapsed-stack lines ok\n" file !n
+
 let check_json file =
   match Json.of_string (read_file file) with
   | Error e -> fail file e
@@ -57,6 +90,8 @@ let () =
     (fun file ->
       if not (Sys.file_exists file) then fail file "no such file"
       else if Filename.check_suffix file ".jsonl" then check_jsonl file
+      else if Filename.check_suffix file ".collapsed" then
+        check_collapsed file
       else check_json file)
     files;
   exit (if !errors = 0 then 0 else 1)

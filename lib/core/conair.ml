@@ -61,6 +61,7 @@ module Runtime = struct
   module Machine = Conair_runtime.Machine
   module Ref_machine = Conair_runtime.Ref_machine
   module Trace = Conair_runtime.Trace
+  module Profile = Conair_runtime.Profile
 end
 
 module Obs = struct
@@ -69,6 +70,9 @@ module Obs = struct
   module Metrics = Conair_obs.Metrics
   module Span = Conair_obs.Span
   module Report = Conair_obs.Report
+  module Prof = Conair_obs.Prof
+  module Overhead = Conair_obs.Overhead
+  module Aggregate = Conair_obs.Aggregate
 end
 
 open Conair_ir
@@ -190,6 +194,21 @@ let run_observed ?(config = Machine.default_config) ?meta_info ?trace_writer
       ~outputs:run.outputs run.stats
   in
   { run; events; spans; metrics; report }
+
+(** Run a hardened program with the cost profiler installed and return
+    the finalized profile next to the run: per-context useful/checkpoint/
+    wasted attribution, per-site rollback waste, flamegraph and Chrome
+    counter exports (see [Obs.Prof]). *)
+let run_profiled ?(config = Machine.default_config) (h : hardened) :
+    run * Conair_obs.Prof.t =
+  let meta = Machine.meta_of_harden h.hardened in
+  let m = Machine.create ~config ~meta h.hardened.program in
+  let prof = Conair_obs.Prof.create () in
+  Machine.set_profile m (Conair_obs.Prof.probe prof);
+  let outcome = Machine.run m in
+  Conair_obs.Prof.finalize prof;
+  ( { outcome; outputs = Machine.outputs m; stats = Machine.stats m; machine = m },
+    prof )
 
 (** A recovery trial in the style of §5: run the hardened program [runs]
     times (varying the random-scheduler seed) and report how many runs

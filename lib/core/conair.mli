@@ -61,17 +61,23 @@ module Runtime : sig
   module Machine = Conair_runtime.Machine
   module Ref_machine = Conair_runtime.Ref_machine
   module Trace = Conair_runtime.Trace
+  module Profile = Conair_runtime.Profile
 end
 
 (** The observability layer: JSON encoding, streaming JSONL event logs,
     the metrics registry, recovery spans (with Chrome trace-event
-    export), and structured run reports. See [docs/OBSERVABILITY.md]. *)
+    export), structured run reports, the deterministic cost profiler
+    ([Prof]), the paper-style overhead harness ([Overhead]), and the
+    cross-run aggregator ([Aggregate]). See [docs/OBSERVABILITY.md]. *)
 module Obs : sig
   module Json = Conair_obs.Json
   module Jsonl = Conair_obs.Jsonl
   module Metrics = Conair_obs.Metrics
   module Span = Conair_obs.Span
   module Report = Conair_obs.Report
+  module Prof = Conair_obs.Prof
+  module Overhead = Conair_obs.Overhead
+  module Aggregate = Conair_obs.Aggregate
 end
 
 (** The two usage modes of §3.1: survival mode hardens every potential
@@ -144,6 +150,15 @@ val run_observed :
     a meta record when [meta_info] is given), and after the run the trace
     is folded into recovery spans, the standard metric set, and a
     structured JSON report. *)
+
+val run_profiled :
+  ?config:Conair_runtime.Machine.config ->
+  hardened ->
+  run * Conair_obs.Prof.t
+(** {!execute_hardened} with the cost profiler installed: the returned
+    profile is finalized — per-context useful/checkpoint/wasted
+    attribution, per-site rollback waste, and the flamegraph / Chrome
+    counter exports of {!Obs.Prof}. *)
 
 (** ConSeq-style profile-based site pruning (§3.4): per-site execution
     counts over clean profiling runs of the original program. *)

@@ -1,0 +1,43 @@
+(** Cross-run aggregation: fold a JSONL stream of per-run records (the
+    fuzzer's [--jsonl] output) into percentile summaries of recovery
+    cost — p50/p95/max recovery steps and retries over the runs that
+    recovered — and a per-site table of episodes, retries, recovery
+    steps, and the wasted-step ratio (site recovery steps / total steps
+    of all runs).
+
+    Lines whose ["type"] is not ["run"] (the meta header, the trailing
+    summary) are skipped; an unparsable line is an error. *)
+
+type site_agg = {
+  g_site : int;
+  g_episodes : int;
+  g_retries : int;
+  g_steps : int;  (** recovery steps attributed to this site, summed *)
+  g_ratio : float;  (** [g_steps] / total steps of all runs *)
+}
+
+type t = {
+  g_runs : int;
+  g_outcomes : (string * int) list;  (** outcome tag -> count, sorted *)
+  g_recovery_runs : int;  (** runs with at least one recovery episode *)
+  g_total_steps : int;
+  g_p50_recovery_steps : int;
+  g_p95_recovery_steps : int;
+  g_max_recovery_steps : int;
+  g_p50_retries : int;
+  g_p95_retries : int;
+  g_max_retries : int;
+  g_sites : site_agg list;  (** ascending site id *)
+}
+
+val percentile : int list -> float -> int
+(** Nearest-rank percentile (the value at rank ceil(p/100*n), 1-based) of
+    an unsorted list; [0] on the empty list. *)
+
+val of_records : Json.t list -> t
+
+val of_lines : string list -> (t, string) result
+(** Parse JSONL lines and aggregate; [Error] names the first bad line. *)
+
+val to_json : t -> Json.t
+val render : t -> string list

@@ -9,9 +9,16 @@
 open Conair_runtime
 module Instr = Conair_ir.Instr
 
-type run_meta = { app : string; variant : string; seed : int option }
+type run_meta = {
+  app : string;
+  variant : string;
+  seed : int option;
+  engine : string;  (** "fast" ([Machine]) or "ref" ([Ref_machine]) *)
+  hardened : bool;
+}
 
-let run_meta ?(variant = "") ?seed app = { app; variant; seed }
+let run_meta ?(variant = "") ?seed ?(engine = "fast") ?(hardened = false) app =
+  { app; variant; seed; engine; hardened }
 
 let failure_kind_name (k : Instr.failure_kind) =
   Format.asprintf "%a" Instr.pp_failure_kind k
@@ -47,7 +54,13 @@ let meta_json ?config (meta : run_meta) : Json.t =
     @ (match meta.seed with
       | None -> []
       | Some s -> [ ("seed", Json.Int s) ])
+    @ [
+        ("engine", Json.String meta.engine);
+        ("hardened", Json.Bool meta.hardened);
+      ]
     @
+    (* the execution parameters (policy + seed, fuel, retry budget, ...)
+       ride in the config subobject, making the log self-describing *)
     match config with
     | None -> []
     | Some c -> [ ("config", config_json c) ])

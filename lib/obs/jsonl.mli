@@ -18,9 +18,14 @@ type run_meta = {
   app : string;  (** benchmark/app name, or a caller-chosen label *)
   variant : string;  (** e.g. "buggy" / "clean"; "" omits the field *)
   seed : int option;  (** random-scheduler seed, when one was used *)
+  engine : string;  (** "fast" ([Machine]) or "ref" ([Ref_machine]) *)
+  hardened : bool;  (** whether the run executes a hardened program *)
 }
 
-val run_meta : ?variant:string -> ?seed:int -> string -> run_meta
+val run_meta :
+  ?variant:string -> ?seed:int -> ?engine:string -> ?hardened:bool ->
+  string -> run_meta
+(** [engine] defaults to ["fast"], [hardened] to [false]. *)
 
 val config_json : Machine.config -> Json.t
 (** The execution-affecting knobs (policy, fuel, max_retries, deadlock
@@ -28,8 +33,10 @@ val config_json : Machine.config -> Json.t
 
 val meta_json : ?config:Machine.config -> run_meta -> Json.t
 (** The header record: [{"type":"meta","app":...,"variant":...,"seed":...,
-    "config":{...}}]. The config subobject captures the knobs that affect
-    execution (policy, fuel, max_retries, deadlock detection...). *)
+    "engine":...,"hardened":...,"config":{...}}]. The config subobject
+    captures the remaining knobs that affect execution (scheduling policy
+    and its seed, fuel, max_retries, deadlock detection...), making the
+    log self-describing. *)
 
 val event_json : Trace.event -> Json.t
 (** One trace event as [{"type":"event","ev":<name>,"step":...,...}]. *)

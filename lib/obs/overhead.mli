@@ -1,0 +1,88 @@
+(** The paper-style overhead harness: paired unhardened/hardened runs
+    with the cost profiler attached, regenerating the EXPERIMENTS.md
+    Table 3 numbers (recovery verdicts, fix/survival overhead %) plus the
+    recovery-cost columns only the profiler can supply — per-site retry
+    counts, max/mean recovery steps, wasted-step attribution.
+
+    Parameterized over [case] values rather than the bugbench registry
+    (which lives above this library in the dependency order); the CLI's
+    [overhead] subcommand builds the cases from the registry. *)
+
+open Conair_ir
+
+type inst = {
+  program : Program.t;
+  fix_iids : int list;  (** instruction ids of the observed failure *)
+  accept : string list -> bool;  (** output oracle *)
+}
+
+(** The four instances [bench/main.ml]'s table3 pairs per benchmark:
+    buggy with the oracle always on (fix mode), buggy with the paper's
+    oracle setting (survival mode), and the matching clean variants for
+    the overhead measurements. *)
+type case = {
+  name : string;
+  needs_oracle : bool;  (** the paper's "yes*": needs a developer oracle *)
+  buggy_fix : inst;
+  buggy_survival : inst;
+  clean_fix : inst;
+  clean_survival : inst;
+}
+
+type site_retry = {
+  sr_site : int;
+  sr_episodes : int;
+  sr_retries : int;
+  sr_wasted : int;  (** steps rolled back because of this site *)
+}
+
+type row = {
+  o_name : string;
+  o_needs_oracle : bool;
+  o_fix_recovered : bool;
+  o_fix_ok : int;  (** successful runs, out of [o_runs] *)
+  o_surv_recovered : bool;
+  o_surv_ok : int;
+  o_runs : int;
+  o_fix_overhead_pct : float;
+  o_surv_overhead_pct : float;
+  o_rollbacks : int;
+  o_retries : int;
+  o_max_recovery_steps : int;
+  o_mean_recovery_steps : float;
+  o_useful_steps : int;
+  o_checkpoint_steps : int;
+  o_wasted_steps : int;
+  o_sites : site_retry list;  (** ascending site id *)
+}
+
+type summary = {
+  s_cases : int;
+  s_fix_recovered : int;
+  s_surv_recovered : int;
+  s_max_fix_overhead_pct : float;
+  s_max_surv_overhead_pct : float;
+}
+
+val measure :
+  ?config:Conair_runtime.Machine.config -> ?random_runs:int -> case -> row
+(** Recovery verdicts (deterministic schedule + [random_runs] seeded
+    random schedules, default 5 — the bench's "6/6"), instruction-count
+    overhead on the clean pairs, and a profiled deterministic
+    survival-mode buggy run for the recovery-cost columns.
+    @raise Failure if the analysis rejects a program. *)
+
+val measure_all :
+  ?config:Conair_runtime.Machine.config ->
+  ?random_runs:int ->
+  case list ->
+  row list
+
+val summary : row list -> summary
+
+val to_json : row list -> Json.t
+(** The [BENCH_overhead.json] document: per-case rows plus the summary. *)
+
+val table_rows : row list -> string list
+(** Text table in the shape of EXPERIMENTS.md Table 3 (header line
+    first). *)

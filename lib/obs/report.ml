@@ -173,10 +173,13 @@ let run_json ?meta ?config ?spans ~outcome ~outputs (s : Stats.t) : Json.t =
          ]
          @ (if m.Jsonl.variant = "" then []
             else [ ("variant", Json.String m.Jsonl.variant) ])
-         @
-         match m.Jsonl.seed with
-         | None -> []
-         | Some sd -> [ ("seed", Json.Int sd) ])
+         @ (match m.Jsonl.seed with
+           | None -> []
+           | Some sd -> [ ("seed", Json.Int sd) ])
+         @ [
+             ("engine", Json.String m.Jsonl.engine);
+             ("hardened", Json.Bool m.Jsonl.hardened);
+           ])
     @ (match config with
       | None -> []
       | Some c -> [ ("config", Jsonl.config_json c) ])

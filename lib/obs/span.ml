@@ -201,7 +201,7 @@ let instant_event ~name ~step ~tid args : Json.t =
       ("args", Json.Obj args);
     ]
 
-let to_chrome ?(events = []) (spans : t list) : Json.t =
+let to_chrome ?(events = []) ?(counters = []) (spans : t list) : Json.t =
   let tids = Hashtbl.create 8 in
   List.iter (fun s -> Hashtbl.replace tids s.sp_tid ()) spans;
   List.iter
@@ -256,7 +256,7 @@ let to_chrome ?(events = []) (spans : t list) : Json.t =
         Json.List
           ((process_meta :: thread_meta)
           @ List.map complete_event spans
-          @ instants) );
+          @ instants @ counters) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

@@ -48,7 +48,10 @@ val to_json : t -> Json.t
     rollback when the full event stream is supplied. Virtual scheduler
     steps are mapped 1:1 to microseconds. *)
 
-val to_chrome : ?events:Trace.event list -> t list -> Json.t
+val to_chrome :
+  ?events:Trace.event list -> ?counters:Json.t list -> t list -> Json.t
+(** [counters] are extra trace events appended verbatim — e.g. the
+    ["ph":"C"] cost track from {!Prof.counter_events}. *)
 
 val chrome_of_run : Trace.event list -> Json.t
 (** [to_chrome ~events (of_events events)] — the one-call export. *)

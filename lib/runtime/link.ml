@@ -81,6 +81,9 @@ type lterm =
 type lblock = {
   lb_index : int;
   lb_label : Label.t;
+  lb_label_name : string;
+      (** [Label.name lb_label], precomputed — the profiler hook reads it
+          every step and must not format on the hot path *)
   lb_instrs : linstr array;
   lb_term : lterm;
   lb_site : int option;
@@ -92,6 +95,7 @@ type lfunc = {
   lf_id : int;
   lf_src : Func.t;
   lf_name : Fname.t;
+  lf_qname : string;  (** [Fname.name lf_name], precomputed (profiler) *)
   lf_nparams : int;
   lf_param_index : int array;  (** param position -> register index *)
   lf_nregs : int;
@@ -202,6 +206,7 @@ let link_func ~fail_index funcs id (f : Func.t) : lfunc =
         {
           lb_index = i;
           lb_label = b.label;
+          lb_label_name = Label.name b.label;
           lb_instrs =
             Array.map
               (fun (ins : Instr.t) ->
@@ -220,6 +225,7 @@ let link_func ~fail_index funcs id (f : Func.t) : lfunc =
     lf_id = id;
     lf_src = f;
     lf_name = f.name;
+    lf_qname = Fname.name f.name;
     lf_nparams = List.length f.params;
     lf_param_index =
       Array.of_list (List.map (reg_index_exn regs) f.params);

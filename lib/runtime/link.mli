@@ -68,6 +68,7 @@ type lterm =
 type lblock = {
   lb_index : int;
   lb_label : Label.t;
+  lb_label_name : string;  (** [Label.name lb_label], precomputed *)
   lb_instrs : linstr array;
   lb_term : lterm;
   lb_site : int option;
@@ -78,6 +79,7 @@ type lfunc = {
   lf_id : int;
   lf_src : Func.t;
   lf_name : Fname.t;
+  lf_qname : string;  (** [Fname.name lf_name], precomputed *)
   lf_nparams : int;
   lf_param_index : int array;  (** param position -> register index *)
   lf_nregs : int;

@@ -114,6 +114,8 @@ type t = {
   sched : Sched.t;
   mutable outcome : Outcome.t option;
   mutable trace : Trace.sink option;
+  mutable prof : Profile.probe option;
+      (** cost-profiler probe; like [trace], one [match] per step when off *)
   mutable live : Thread.t array;
       (** slots [0, live_n): the live threads, ascending tid — maintained
           at spawn and death instead of folded from [threads] per step *)
@@ -185,6 +187,7 @@ let create ?(config = default_config) ?meta (prog : Program.t) =
       sched = Sched.create config.policy;
       outcome = None;
       trace = None;
+      prof = None;
       live = [||];
       live_n = 0;
       ready = [||];
@@ -203,6 +206,9 @@ let stats m = m.stats
 
 (** Install a trace sink; subsequent execution reports typed events. *)
 let set_trace m sink = m.trace <- Some sink
+
+(** Install a cost-profiler probe; subsequent steps are attributed. *)
+let set_profile m probe = m.prof <- Some probe
 
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
@@ -473,6 +479,10 @@ let try_recover m (th : Thread.t) ~site_id ~kind =
              site_id;
              retry = Thread.retries_of th site_id;
            });
+      (match m.prof with
+      | None -> ()
+      | Some p ->
+          p.Profile.p_rollback ~step:m.step ~tid:th.Thread.tid ~site_id);
       compensate m th;
       rollback m th ck;
       if kind = Instr.Deadlock && m.config.deadlock_backoff > 0 then begin
@@ -835,6 +845,24 @@ let run_thread_step m (th : Thread.t) =
   let at_instr = fr.Thread.idx < Array.length instrs in
   if m.config.profile_sites && at_instr then
     Stats.hit_iid m.stats instrs.(fr.Thread.idx).Link.li_iid;
+  (match m.prof with
+  | None -> ()
+  | Some p ->
+      let stack =
+        List.map
+          (fun (f : Thread.frame) -> f.Thread.func.Link.lf_qname)
+          th.Thread.stack
+      in
+      let at_ckpt =
+        at_instr
+        &&
+        match instrs.(fr.Thread.idx).Link.li_op with
+        | Link.L_checkpoint _ -> true
+        | _ -> false
+      in
+      let cls = if at_ckpt then Profile.Checkpoint else Profile.Normal in
+      p.Profile.p_step ~step:m.step ~tid ~stack
+        ~block:fr.Thread.block.Link.lb_label_name ~cls);
   (* Remember where the thread stands before executing: on a fault, the
      crash report carries the faulting instruction — exactly what a user
      hands to fix mode (§3.1.2). *)
@@ -884,6 +912,9 @@ let step m =
            done;
            if !waiting_on_time then begin
              (* Everyone is asleep or waiting: let virtual time pass. *)
+             (match m.prof with
+             | None -> ()
+             | Some p -> p.Profile.p_idle ~step:m.step);
              m.step <- m.step + 1;
              m.stats.idle <- m.stats.idle + 1;
              m.stats.steps <- m.stats.steps + 1

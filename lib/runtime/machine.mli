@@ -83,6 +83,8 @@ type t = {
   sched : Sched.t;
   mutable outcome : Outcome.t option;
   mutable trace : Trace.sink option;
+  mutable prof : Profile.probe option;
+      (** cost-profiler probe; like [trace], one [match] per step when off *)
   mutable live : Thread.t array;
       (** slots [0, live_n): the live threads, ascending tid — maintained
           at spawn and death instead of folded from [threads] per step *)
@@ -94,6 +96,11 @@ val set_trace : t -> Trace.sink -> unit
 (** Install a trace sink; subsequent execution reports typed events
     (scheduling, blocking, checkpoints, rollbacks, compensation,
     recovery). Off by default — tracing costs memory. *)
+
+val set_profile : t -> Profile.probe -> unit
+(** Install a cost-profiler probe (see [Conair_obs.Prof]); subsequent
+    steps are attributed. Off by default — with no probe the engine pays
+    one [match] per step, same as tracing. *)
 
 val create : ?config:config -> ?meta:meta -> Program.t -> t
 (** Link the program and return a machine with the main thread ready to

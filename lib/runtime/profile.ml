@@ -1,0 +1,47 @@
+(* The engine-side half of the deterministic cost profiler.
+
+   This module is deliberately tiny: it only defines the *probe* record a
+   machine calls into, mirroring the [Trace.sink] opt-in design — the
+   machine holds a [probe option] and pays one [match] per scheduler step
+   when no profiler is installed. The accumulator that gives the callbacks
+   meaning (useful/checkpoint/wasted attribution, flamegraph export) lives
+   upstack in [Conair_obs.Prof]; keeping the probe here breaks what would
+   otherwise be a runtime->obs dependency cycle.
+
+   All quantities are in *virtual time* (scheduler steps), so a profile is
+   exactly as deterministic as the execution itself: same program, same
+   config, same seed => byte-identical profile, from either engine.
+
+   Context is passed as *names* (function qualified names, block labels),
+   not dense link-time indices: the reference interpreter has no [Link]
+   pass, and the cross-engine differential test demands both engines feed
+   byte-identical keys. The fast engine precomputes these strings at link
+   time ([Link.lf_qname], [Link.lb_label_name]) so the hook does no
+   formatting on the hot path. *)
+
+(** What kind of step the engine is about to execute: an ordinary
+    instruction/terminator, or a [Checkpoint] pseudo-instruction. The
+    distinction matters to attribution — steps retired before a fresh
+    checkpoint can never be rolled back, and checkpointing itself is
+    ConAir's proactive cost (§5 "checkpointing overhead"). *)
+type step_class = Normal | Checkpoint
+
+type probe = {
+  p_step :
+    step:int ->
+    tid:int ->
+    stack:string list ->
+    block:string ->
+    cls:step_class ->
+    unit;
+      (** About to execute one step of thread [tid] at virtual time
+          [step]. [stack] is the call stack as function names,
+          innermost frame first; [block] is the current block's label. *)
+  p_rollback : step:int -> tid:int -> site_id:int -> unit;
+      (** Thread [tid] is rolling back to its checkpoint; every step it
+          retired since that checkpoint is now wasted work chargeable to
+          failure site [site_id]. *)
+  p_idle : step:int -> unit;
+      (** A scheduler step in which no thread was eligible and virtual
+          time simply passed. *)
+}

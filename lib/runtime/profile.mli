@@ -1,0 +1,33 @@
+(** The engine-side probe of the deterministic cost profiler.
+
+    A machine holds a [probe option] (see [Machine.set_profile] /
+    [Ref_machine.set_profile]) and invokes the callbacks as it executes —
+    one [match] per scheduler step when off, mirroring [Trace.sink]. The
+    accumulator lives in [Conair_obs.Prof]; this module only defines the
+    callback record so the runtime need not depend on the obs layer.
+
+    All quantities are virtual time (scheduler steps); the profile is as
+    deterministic as the execution itself and byte-identical across the
+    fast and reference engines. *)
+
+type step_class =
+  | Normal  (** an ordinary instruction or terminator *)
+  | Checkpoint  (** a [Checkpoint] pseudo-instruction *)
+
+type probe = {
+  p_step :
+    step:int ->
+    tid:int ->
+    stack:string list ->
+    block:string ->
+    cls:step_class ->
+    unit;
+      (** One step of thread [tid] at virtual time [step] is about to
+          execute. [stack]: call stack as function names, innermost frame
+          first. [block]: the current block's label. *)
+  p_rollback : step:int -> tid:int -> site_id:int -> unit;
+      (** Thread [tid] rolls back; steps retired since its checkpoint are
+          wasted work charged to failure site [site_id]. *)
+  p_idle : step:int -> unit;
+      (** Virtual time passed with no thread eligible. *)
+}

@@ -146,6 +146,7 @@ type t = {
   sched : Sched.t;
   mutable outcome : Outcome.t option;
   mutable trace : Trace.sink option;
+  mutable prof : Profile.probe option;
 }
 
 let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
@@ -167,6 +168,7 @@ let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
       sched = Sched.create config.policy;
       outcome = None;
       trace = None;
+      prof = None;
     }
   in
   let main = Program.func_exn prog prog.main in
@@ -178,6 +180,7 @@ let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
 let outputs m = List.rev m.outputs
 let stats m = m.stats
 let set_trace m sink = m.trace <- Some sink
+let set_profile m probe = m.prof <- Some probe
 
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
@@ -384,6 +387,9 @@ let try_recover m (th : T.t) ~site_id ~kind =
         (Trace.Ev_rollback
            { step = m.step; tid = th.tid; site_id;
              retry = T.retries_of th site_id });
+      (match m.prof with
+      | None -> ()
+      | Some p -> p.Profile.p_rollback ~step:m.step ~tid:th.tid ~site_id);
       compensate m th;
       rollback m th ck;
       if kind = Instr.Deadlock && m.config.deadlock_backoff > 0 then begin
@@ -729,6 +735,23 @@ let run_thread_step m tid =
      let fr = T.top th in
      if fr.idx < Block.length fr.block then
        Stats.hit_iid m.stats fr.block.instrs.(fr.idx).Instr.iid);
+  (match m.prof with
+  | None -> ()
+  | Some p ->
+      let fr = T.top th in
+      let stack =
+        List.map (fun (f : T.frame) -> Fname.name f.func.Func.name) th.stack
+      in
+      let at_ckpt =
+        fr.idx < Block.length fr.block
+        &&
+        match fr.block.instrs.(fr.idx).Instr.op with
+        | Instr.Checkpoint _ -> true
+        | _ -> false
+      in
+      let cls = if at_ckpt then Profile.Checkpoint else Profile.Normal in
+      p.Profile.p_step ~step:m.step ~tid ~stack
+        ~block:(Label.name fr.block.label) ~cls);
   let at_iid =
     match th.stack with
     | fr :: _ when fr.idx < Block.length fr.block ->
@@ -769,6 +792,9 @@ let step m =
                 live
             in
             if waiting_on_time then begin
+              (match m.prof with
+              | None -> ()
+              | Some p -> p.Profile.p_idle ~step:m.step);
               m.step <- m.step + 1;
               m.stats.idle <- m.stats.idle + 1;
               m.stats.steps <- m.stats.steps + 1

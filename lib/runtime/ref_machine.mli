@@ -19,6 +19,11 @@ type t
 val create : ?config:config -> ?meta:meta -> Program.t -> t
 val set_trace : t -> Trace.sink -> unit
 
+val set_profile : t -> Profile.probe -> unit
+(** Install a cost-profiler probe. The probe sees the same step/rollback/
+    idle sequence, with the same context names, as the fast engine's —
+    profiles are part of the bit-for-bit differential guarantee. *)
+
 val outputs : t -> string list
 (** In emission order. *)
 

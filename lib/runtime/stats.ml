@@ -70,6 +70,15 @@ let total_retries t =
 let max_recovery_time t =
   List.fold_left (fun n e -> max n (episode_duration e)) 0 t.episodes
 
+(** Mean recovery-episode duration in virtual steps; [0.] with no
+    episodes. The overhead harness reports max and mean side by side. *)
+let mean_recovery_time t =
+  match t.episodes with
+  | [] -> 0.
+  | eps ->
+      let total = List.fold_left (fun n e -> n + episode_duration e) 0 eps in
+      float_of_int total /. float_of_int (List.length eps)
+
 let pp ppf t =
   Format.fprintf ppf
     "steps=%d instrs=%d idle=%d checkpoints=%d rollbacks=%d episodes=%d \

@@ -47,6 +47,10 @@ val max_recovery_time : t -> int
 (** Duration of the longest recovery episode — Table 7's "Recovery Time"
     in virtual steps. *)
 
+val mean_recovery_time : t -> float
+(** Mean recovery-episode duration in virtual steps; [0.] with no
+    episodes. *)
+
 val pp : Format.formatter -> t -> unit
 
 val pp_episode : Format.formatter -> episode -> unit

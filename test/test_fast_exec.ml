@@ -7,7 +7,9 @@
    "Identical" means: outcome, final outputs, step/instruction/idle
    counts, checkpoint and rollback counts, compensation counts, the full
    recovery-episode list (per-site retry stats included), the per-id
-   checkpoint-hit table, and the complete trace-event stream. *)
+   checkpoint-hit table, the complete trace-event stream, and the cost
+   profiler's full attribution (per-context flamegraph lines, per-site
+   wasted-step charges). *)
 
 open Conair.Ir
 module Machine = Conair.Runtime.Machine
@@ -70,17 +72,45 @@ let check_stats name (r : Stats.t) (f : Stats.t) =
   if sorted_hits r.ckpt_hits <> sorted_hits f.ckpt_hits then
     Alcotest.failf "%s: per-checkpoint hit counts differ" name
 
+module Prof = Conair.Obs.Prof
+
+(* The profile comparison covers the whole attribution model: totals per
+   class, per-site rollback waste, and every collapsed-stack line of
+   every class. *)
+let check_profiles name (rp : Prof.t) (fp : Prof.t) =
+  let check what = Alcotest.(check int) (name ^ ": profile " ^ what) in
+  check "useful steps" (Prof.useful_steps rp) (Prof.useful_steps fp);
+  check "checkpoint steps" (Prof.checkpoint_steps rp)
+    (Prof.checkpoint_steps fp);
+  check "wasted steps" (Prof.wasted_steps rp) (Prof.wasted_steps fp);
+  check "idle steps" (Prof.idle_steps rp) (Prof.idle_steps fp);
+  if Prof.site_costs rp <> Prof.site_costs fp then
+    Alcotest.failf "%s: per-site wasted-step attribution differs" name;
+  List.iter
+    (fun kind ->
+      Alcotest.(check (list string))
+        (name ^ ": collapsed " ^ Prof.kind_name kind)
+        (Prof.to_collapsed rp kind)
+        (Prof.to_collapsed fp kind))
+    [ Prof.Useful; Prof.Checkpoint; Prof.Wasted; Prof.Total ]
+
 (* Run [p] through both engines under identical configuration and insist
    on identical observable behaviour. *)
 let check_same name ?meta config (p : Program.t) =
   let ref_sink = Trace.create () in
   let rm = Ref_machine.create ~config ?meta p in
   Ref_machine.set_trace rm ref_sink;
+  let ref_prof = Prof.create () in
+  Ref_machine.set_profile rm (Prof.probe ref_prof);
   let ref_outcome = Ref_machine.run rm in
+  Prof.finalize ref_prof;
   let fast_sink = Trace.create () in
   let fm = Machine.create ~config ?meta p in
   Machine.set_trace fm fast_sink;
+  let fast_prof = Prof.create () in
+  Machine.set_profile fm (Prof.probe fast_prof);
   let fast_outcome = Machine.run fm in
+  Prof.finalize fast_prof;
   Alcotest.check outcome_t (name ^ ": outcome") ref_outcome fast_outcome;
   Alcotest.(check (list string))
     (name ^ ": outputs")
@@ -97,7 +127,10 @@ let check_same name ?meta config (p : Program.t) =
   in
   Alcotest.(check string)
     (name ^ ": serialized JSONL event log")
-    (jsonl ref_sink) (jsonl fast_sink)
+    (jsonl ref_sink) (jsonl fast_sink);
+  (* ... and to the cost profiler: identical per-context and per-site
+     attribution, down to every flamegraph line *)
+  check_profiles name ref_prof fast_prof
 
 (* ------------------------------------------------------------------ *)
 (* The program corpus: the full bugbench catalog                       *)

@@ -13,6 +13,9 @@ module Jsonl = Conair.Obs.Jsonl
 module Metrics = Conair.Obs.Metrics
 module Span = Conair.Obs.Span
 module Report = Conair.Obs.Report
+module Prof = Conair.Obs.Prof
+module Overhead = Conair.Obs.Overhead
+module Aggregate = Conair.Obs.Aggregate
 module Machine = Conair.Runtime.Machine
 module Trace = Conair.Runtime.Trace
 module Stats = Conair.Runtime.Stats
@@ -128,7 +131,7 @@ let jsonl_golden () =
   let expected =
     String.concat "\n"
       [
-        {|{"type":"meta","app":"tiny","variant":"clean"}|};
+        {|{"type":"meta","app":"tiny","variant":"clean","engine":"fast","hardened":false}|};
         {|{"type":"event","ev":"schedule","step":0,"tid":0}|};
         {|{"type":"event","ev":"output","step":0,"tid":0,"text":"hi"}|};
         {|{"type":"event","ev":"schedule","step":1,"tid":0}|};
@@ -416,6 +419,246 @@ let standard_metrics_track_stats () =
   Alcotest.(check bool) "live rollbacks agree" true
     (v "conair_live_rollbacks_total" = Some (Json.Int stats.rollbacks))
 
+(* --- Prof: the deterministic cost profiler ------------------------- *)
+
+let prof_tiny_exact () =
+  (* the two-instruction program pins the attribution exactly: two useful
+     steps, both in main/entry, nothing else *)
+  let m = Machine.create (tiny_program ()) in
+  let prof = Prof.create () in
+  Machine.set_profile m (Prof.probe prof);
+  ignore (Machine.run m);
+  Prof.finalize prof;
+  Alcotest.(check int) "useful" 2 (Prof.useful_steps prof);
+  Alcotest.(check int) "checkpoint" 0 (Prof.checkpoint_steps prof);
+  Alcotest.(check int) "wasted" 0 (Prof.wasted_steps prof);
+  Alcotest.(check int) "idle" 0 (Prof.idle_steps prof);
+  Alcotest.(check (list string)) "collapsed total" [ "main;entry 2" ]
+    (Prof.to_collapsed prof Prof.Total);
+  Alcotest.(check (list string)) "collapsed wasted is empty" []
+    (Prof.to_collapsed prof Prof.Wasted)
+
+let run_profiled_app name =
+  let spec =
+    List.find
+      (fun (s : Spec.t) -> s.info.name = name)
+      (Registry.all @ Registry.extended)
+  in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  Conair.run_profiled h
+
+let prof_accounts_for_every_step () =
+  List.iter
+    (fun app ->
+      let r, prof = run_profiled_app app in
+      let stats = r.Conair.stats in
+      (* conservation: every scheduler step lands in exactly one class *)
+      Alcotest.(check int)
+        (app ^ ": attributed + idle = total steps")
+        stats.steps
+        (Prof.attributed_steps prof + Prof.idle_steps prof);
+      Alcotest.(check int)
+        (app ^ ": attributed = useful + checkpoint + wasted")
+        (Prof.useful_steps prof + Prof.checkpoint_steps prof
+        + Prof.wasted_steps prof)
+        (Prof.attributed_steps prof);
+      Alcotest.(check int)
+        (app ^ ": one checkpoint step per dynamic checkpoint")
+        stats.checkpoints (Prof.checkpoint_steps prof);
+      (* per-site charges cover the run's rollbacks and wasted steps *)
+      let costs = Prof.site_costs prof in
+      Alcotest.(check int)
+        (app ^ ": site rollbacks sum to stats.rollbacks")
+        stats.rollbacks
+        (List.fold_left (fun acc c -> acc + c.Prof.sc_rollbacks) 0 costs);
+      Alcotest.(check int)
+        (app ^ ": site wasted steps sum to the wasted total")
+        (Prof.wasted_steps prof)
+        (List.fold_left (fun acc c -> acc + c.Prof.sc_wasted) 0 costs);
+      if stats.rollbacks > 0 then begin
+        Alcotest.(check bool) (app ^ ": rollbacks wasted steps") true
+          (Prof.wasted_steps prof > 0);
+        Alcotest.(check bool) (app ^ ": wasted ratio positive") true
+          (Prof.wasted_ratio prof > 0.)
+      end)
+    [ "HawkNL"; "MozillaXP"; "Transmission" ]
+
+let prof_collapsed_and_json () =
+  let _, prof = run_profiled_app "HawkNL" in
+  (* every collapsed line is "frame;frame;... N" with positive count *)
+  let parse_line line =
+    match String.rindex_opt line ' ' with
+    | None -> Alcotest.failf "collapsed line without count: %s" line
+    | Some i ->
+        let frames = String.sub line 0 i in
+        let count = int_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+        Alcotest.(check bool) "positive count" true (count > 0);
+        List.iter
+          (fun f ->
+            Alcotest.(check bool) "non-empty frame" true (f <> ""))
+          (String.split_on_char ';' frames);
+        count
+  in
+  let total kind =
+    List.fold_left (fun acc l -> acc + parse_line l) 0
+      (Prof.to_collapsed prof kind)
+  in
+  Alcotest.(check int) "total lines sum to attributed steps"
+    (Prof.attributed_steps prof) (total Prof.Total);
+  Alcotest.(check int) "useful lines sum" (Prof.useful_steps prof)
+    (total Prof.Useful);
+  Alcotest.(check int) "wasted lines sum" (Prof.wasted_steps prof)
+    (total Prof.Wasted);
+  (* the JSON document and the counter events survive a round-trip *)
+  (match Json.of_string (Json.to_string (Prof.to_json prof)) with
+  | Error e -> Alcotest.failf "profile json reparse: %s" e
+  | Ok j ->
+      Alcotest.(check bool) "profile type tag" true
+        (Json.member "type" j = Some (Json.String "profile")));
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "counter event phase" true
+        (Json.member "ph" ev = Some (Json.String "C")))
+    (Prof.counter_events prof);
+  Alcotest.(check bool) "samples exist" true (Prof.samples prof <> [])
+
+let prof_is_deterministic () =
+  let profile_once () =
+    let _, prof = run_profiled_app "MozillaXP" in
+    Json.to_string (Prof.to_json prof)
+  in
+  Alcotest.(check string) "same program, same profile bytes"
+    (profile_once ()) (profile_once ())
+
+(* --- Aggregate: cross-run percentile summaries --------------------- *)
+
+let aggregate_percentiles () =
+  Alcotest.(check int) "empty" 0 (Aggregate.percentile [] 50.);
+  let hundred = List.init 100 (fun i -> 100 - i) in
+  Alcotest.(check int) "p50 of 1..100" 50 (Aggregate.percentile hundred 50.);
+  Alcotest.(check int) "p95 of 1..100" 95 (Aggregate.percentile hundred 95.);
+  Alcotest.(check int) "p100 of 1..100" 100
+    (Aggregate.percentile hundred 100.);
+  Alcotest.(check int) "p50 of singleton" 7 (Aggregate.percentile [ 7 ] 50.)
+
+let aggregate_synthetic () =
+  let record i =
+    Printf.sprintf
+      {|{"type":"run","case":"racy","seed":%d,"outcome":"success","steps":100,"episodes":%d,"retries":%d,"max_episode_steps":%d,"sites":[{"site":3,"episodes":%d,"retries":%d,"steps":%d}]}|}
+      i
+      (if i mod 2 = 0 then 1 else 0)
+      (if i mod 2 = 0 then i else 0)
+      (if i mod 2 = 0 then 10 * i else 0)
+      (if i mod 2 = 0 then 1 else 0)
+      (if i mod 2 = 0 then i else 0)
+      (if i mod 2 = 0 then 10 * i else 0)
+  in
+  let lines =
+    {|{"type":"meta","app":"conair_fuzz"}|}
+    :: List.init 10 (fun i -> record (i + 1))
+    @ [ {|{"type":"fuzz_summary","checks":1}|}; "" ]
+  in
+  match Aggregate.of_lines lines with
+  | Error e -> Alcotest.failf "aggregate: %s" e
+  | Ok agg ->
+      (* runs 1..10; even seeds (2,4,6,8,10) have one episode each *)
+      Alcotest.(check int) "runs counted, meta/summary skipped" 10
+        agg.Aggregate.g_runs;
+      Alcotest.(check int) "recovery runs" 5 agg.Aggregate.g_recovery_runs;
+      Alcotest.(check int) "total steps" 1000 agg.Aggregate.g_total_steps;
+      (* recovery steps are 20,40,60,80,100 *)
+      Alcotest.(check int) "p50 recovery steps" 60
+        agg.Aggregate.g_p50_recovery_steps;
+      Alcotest.(check int) "max recovery steps" 100
+        agg.Aggregate.g_max_recovery_steps;
+      Alcotest.(check int) "max retries" 10 agg.Aggregate.g_max_retries;
+      (match agg.Aggregate.g_sites with
+      | [ s ] ->
+          Alcotest.(check int) "site id" 3 s.Aggregate.g_site;
+          Alcotest.(check int) "site episodes" 5 s.Aggregate.g_episodes;
+          Alcotest.(check int) "site retries" 30 s.Aggregate.g_retries;
+          Alcotest.(check int) "site steps" 300 s.Aggregate.g_steps;
+          Alcotest.(check (float 1e-9)) "site ratio" 0.3 s.Aggregate.g_ratio
+      | sites -> Alcotest.failf "expected 1 site, got %d" (List.length sites));
+      (match Json.of_string (Json.to_string (Aggregate.to_json agg)) with
+      | Error e -> Alcotest.failf "aggregate json reparse: %s" e
+      | Ok _ -> ());
+      Alcotest.(check bool) "render is non-empty" true
+        (Aggregate.render agg <> [])
+
+let aggregate_rejects_corrupt_lines () =
+  match Aggregate.of_lines [ {|{"type":"run","steps":1}|}; "{oops" ] with
+  | Ok _ -> Alcotest.fail "corrupt line accepted"
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length e >= 7 && String.sub e 0 7 = "line 2:")
+
+(* --- Overhead: the paper-style harness ----------------------------- *)
+
+let overhead_case name =
+  let spec =
+    List.find (fun (s : Spec.t) -> s.info.name = name) Registry.all
+  in
+  let inst variant oracle =
+    let i = spec.Spec.make ~variant ~oracle in
+    {
+      Overhead.program = i.Spec.program;
+      fix_iids = i.Spec.fix_site_iids;
+      accept = i.Spec.accept;
+    }
+  in
+  let needs = spec.Spec.info.needs_oracle in
+  {
+    Overhead.name;
+    needs_oracle = needs;
+    buggy_fix = inst Spec.Buggy true;
+    buggy_survival = inst Spec.Buggy needs;
+    clean_fix = inst Spec.Clean true;
+    clean_survival = inst Spec.Clean needs;
+  }
+
+let overhead_harness () =
+  let rows =
+    Overhead.measure_all [ overhead_case "HawkNL"; overhead_case "MySQL2" ]
+  in
+  Alcotest.(check int) "one row per case" 2 (List.length rows);
+  List.iter
+    (fun (r : Overhead.row) ->
+      Alcotest.(check bool) (r.o_name ^ ": fix recovers") true
+        r.o_fix_recovered;
+      Alcotest.(check bool) (r.o_name ^ ": survival recovers") true
+        r.o_surv_recovered;
+      Alcotest.(check int)
+        (r.o_name ^ ": all random runs succeed")
+        r.o_runs r.o_fix_ok;
+      Alcotest.(check bool)
+        (r.o_name ^ ": fix overhead below the paper bound")
+        true
+        (r.o_fix_overhead_pct >= 0. && r.o_fix_overhead_pct < 1.);
+      Alcotest.(check bool)
+        (r.o_name ^ ": survival overhead small")
+        true
+        (r.o_surv_overhead_pct >= 0. && r.o_surv_overhead_pct < 5.);
+      Alcotest.(check bool) (r.o_name ^ ": recovery did work") true
+        (r.o_rollbacks > 0 && r.o_wasted_steps > 0);
+      Alcotest.(check int)
+        (r.o_name ^ ": site retries sum to the total")
+        r.o_retries
+        (List.fold_left (fun acc s -> acc + s.Overhead.sr_retries) 0 r.o_sites))
+    rows;
+  let s = Overhead.summary rows in
+  Alcotest.(check int) "summary counts cases" 2 s.Overhead.s_cases;
+  Alcotest.(check int) "summary fix recoveries" 2 s.Overhead.s_fix_recovered;
+  (match Json.of_string (Json.to_string (Overhead.to_json rows)) with
+  | Error e -> Alcotest.failf "overhead json reparse: %s" e
+  | Ok j ->
+      Alcotest.(check bool) "overhead type tag" true
+        (Json.member "type" j = Some (Json.String "overhead")));
+  (* header plus one line per case *)
+  Alcotest.(check int) "table rows" 3
+    (List.length (Overhead.table_rows rows))
+
 let suites =
   [
     ( "obs",
@@ -432,5 +675,16 @@ let suites =
         case "metrics basics" metrics_basics;
         case "metrics exposition" metrics_exposition;
         case "standard metrics track stats" standard_metrics_track_stats;
+        case "profiler: exact attribution on the tiny program"
+          prof_tiny_exact;
+        case "profiler: every step accounted for" prof_accounts_for_every_step;
+        case "profiler: collapsed stacks and json exports"
+          prof_collapsed_and_json;
+        case "profiler: byte-identical across runs" prof_is_deterministic;
+        case "aggregate: nearest-rank percentiles" aggregate_percentiles;
+        case "aggregate: synthetic run records" aggregate_synthetic;
+        case "aggregate: corrupt lines rejected"
+          aggregate_rejects_corrupt_lines;
+        case "overhead: harness on two benchmarks" overhead_harness;
       ] );
   ]
