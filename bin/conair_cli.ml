@@ -840,8 +840,28 @@ let overhead_cmd =
     | Error e -> prerr_endline e; 1
     | Ok specs ->
         let config = machine_config fuel None 1_000_000 in
+        (* which detector lenses flag the buggy program — closed over
+           here because Overhead sits below the detector in the library
+           order *)
+        let detect (c : Obs.Overhead.case) =
+          let h =
+            Conair.harden_exn c.Obs.Overhead.buggy_survival.Obs.Overhead.program
+              Conair.Survival
+          in
+          let _, rep = Conair.detect_hardened ~config h in
+          (if rep.Conair.Race.Report.races <> [] then [ "hb" ] else [])
+          @ (if rep.Conair.Race.Report.warnings <> [] then [ "lockset" ]
+             else [])
+          @
+          if
+            List.exists
+              (fun cy -> cy.Conair.Race.Report.cy_actual)
+              rep.Conair.Race.Report.cycles
+          then [ "deadlock" ]
+          else []
+        in
         let rows =
-          Obs.Overhead.measure_all ~config ~random_runs:runs
+          Obs.Overhead.measure_all ~config ~random_runs:runs ~detect
             (List.map case_of_spec specs)
         in
         write_file out (Obs.Json.to_string_pretty (Obs.Overhead.to_json rows));
@@ -863,6 +883,117 @@ let overhead_cmd =
          "Run the paper-style overhead harness over the benchmark catalog \
           and regenerate the Table 3 numbers (BENCH_overhead.json).")
     Term.(const run $ apps_arg $ out_arg $ runs_arg $ fuel_arg)
+
+let races_cmd =
+  let app_opt_arg =
+    let doc = "Benchmark application name (or use --file)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Detect on a Mir source file instead of a benchmark.")
+  in
+  let hb_arg =
+    Arg.(
+      value & flag
+      & info [ "hb" ]
+          ~doc:
+            "Enable only the happens-before lens (combine with --lockset \
+             and --deadlock; default when no lens flag is given: all \
+             three).")
+  in
+  let lockset_arg =
+    Arg.(
+      value & flag
+      & info [ "lockset" ] ~doc:"Enable only the Eraser lockset lens.")
+  in
+  let deadlock_arg =
+    Arg.(
+      value & flag
+      & info [ "deadlock" ]
+          ~doc:"Enable only the lock-order deadlock lens.")
+  in
+  let original_arg =
+    Arg.(
+      value & flag
+      & info [ "original" ]
+          ~doc:
+            "Detect on the original program instead of the hardened one. \
+             Fail-stop bugs kill the run before the conflicting access \
+             executes, so hardened (the default) usually sees more.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full race report to $(docv) as JSON.")
+  in
+  let run app file variant oracle original hb lockset deadlock json fuel
+      seed max_retries =
+    let program =
+      match (app, file) with
+      | Some name, None -> (
+          match find_spec name with
+          | Error e -> Error e
+          | Ok spec -> Ok (instance spec variant oracle).Spec.program)
+      | None, Some f -> (
+          let src = In_channel.with_open_text f In_channel.input_all in
+          match Conair.Ir.Parse.program src with
+          | Error e -> Error (Format.asprintf "%s: %a" f Conair.Ir.Parse.pp_error e)
+          | Ok p -> Ok p)
+      | _ -> Error "give exactly one of APP or --file"
+    in
+    match program with
+    | Error e -> prerr_endline e; 1
+    | Ok p ->
+        let options =
+          if hb || lockset || deadlock then
+            { Conair.Race.Detect.hb; lockset; deadlock }
+          else Conair.Race.Detect.all
+        in
+        let config = machine_config fuel seed max_retries in
+        let r, report =
+          if original then Conair.run_detected ~config ~options p
+          else
+            Conair.detect_hardened ~config ~options
+              (Conair.harden_exn p Conair.Survival)
+        in
+        Format.printf "outcome: %a@." Outcome.pp r.outcome;
+        Format.printf "%a" Conair.Race.Report.pp report;
+        let actual, potential =
+          List.partition
+            (fun c -> c.Conair.Race.Report.cy_actual)
+            report.Conair.Race.Report.cycles
+        in
+        Printf.printf
+          "races: %d, lockset warnings: %d, deadlock cycles: %d actual, %d \
+           potential\n"
+          (List.length report.Conair.Race.Report.races)
+          (List.length report.Conair.Race.Report.warnings)
+          (List.length actual) (List.length potential);
+        (match json with
+        | Some out ->
+            write_file out
+              (Obs.Json.to_string_pretty (Conair.Race.Report.to_json report))
+        | None -> ());
+        if report.Conair.Race.Report.races <> [] || actual <> [] then 3
+        else 0
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Run the dynamic race/deadlock detector (happens-before + \
+          lockset + lock-order lenses) over a benchmark or Mir file and \
+          report every finding. Exits 3 when races or actual deadlocks \
+          were found.")
+    Term.(
+      const run $ app_opt_arg $ file_arg $ variant_arg $ oracle_arg
+      $ original_arg $ hb_arg $ lockset_arg $ deadlock_arg $ json_arg
+      $ fuel_arg $ seed_arg $ max_retries_arg)
 
 let aggregate_cmd =
   let file_arg =
@@ -911,6 +1042,6 @@ let main_cmd =
   Cmd.group (Cmd.info "conair" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; report_cmd;
       restart_cmd; fullckpt_cmd; file_cmd; dot_cmd; profile_cmd;
-      overhead_cmd; aggregate_cmd ]
+      overhead_cmd; races_cmd; aggregate_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -11,13 +11,19 @@
    - determinism: a fixed seed reproduces a run exactly;
    - round-trip: emit/parse reproduces the hardened program.
 
-   Usage:  conair_fuzz [--jsonl FILE] [ITERATIONS] [BASE_SEED]
+   Usage:  conair_fuzz [--jsonl FILE] [--detect] [ITERATIONS] [BASE_SEED]
                                                          (defaults 500 0)
 
    With --jsonl, every hardened run appends one {"type":"run",...} record
    to FILE (the input format of [Conair.Obs.Aggregate] and the aggregate
    subcommand), preceded by a meta header and followed by the same
-   fuzz_summary object that goes to stdout. *)
+   fuzz_summary object that goes to stdout.
+
+   With --detect, the racy cases additionally run the race detector on
+   every schedule tried, tallying per address how many schedules observed
+   a race on it — a detected_races table in the summary. A race observed
+   on some schedules but not others is the detector's view of how narrow
+   the buggy window is (cf. the schedule counts of §5). *)
 
 module Gen = Conair_genprog.Genprog
 module Machine = Conair.Runtime.Machine
@@ -40,6 +46,11 @@ let max_episode = ref 0
 
 (* --jsonl: one record per hardened run, streamed as the fuzz goes *)
 let jsonl : Conair.Obs.Jsonl.writer option ref = ref None
+
+(* --detect: addr -> (schedules that raced it, schedules tried) *)
+let detect = ref false
+let detected : (string, int) Hashtbl.t = Hashtbl.create 16
+let detect_schedules = ref 0
 
 let outcome_tag (o : Outcome.t) =
   match o with
@@ -140,7 +151,21 @@ let fuzz_racy seed =
         (Outcome.is_success r.outcome
         && r.outputs = [ string_of_int spec.expected ]);
       check "racy: rollback safety" ~detail
-        (r.stats.tracecheck_violations = 0))
+        (r.stats.tracecheck_violations = 0);
+      if !detect then begin
+        (* same schedule again, this time with the detector installed *)
+        incr detect_schedules;
+        let _, rep = Conair.detect_hardened ~config h in
+        List.iter
+          (fun rc ->
+            let a = Conair.Race.Report.addr_string rc.Conair.Race.Report.rc_addr in
+            Hashtbl.replace detected a
+              (1 + Option.value ~default:0 (Hashtbl.find_opt detected a)))
+          (List.sort_uniq
+             (fun a b ->
+               compare a.Conair.Race.Report.rc_addr b.Conair.Race.Report.rc_addr)
+             rep.Conair.Race.Report.races)
+      end)
     [ Sched.Round_robin; Sched.Random seed; Sched.Random (seed + 7919) ];
   (* determinism *)
   let once () =
@@ -183,7 +208,7 @@ let fuzz_wakeup seed =
   if hung then
     check "wakeup: recovery actually ran" ~detail (r.stats.rollbacks > 0)
 
-(* positional args plus one option; cmdliner would be overkill here *)
+(* positional args plus two options; cmdliner would be overkill here *)
 let parse_argv () =
   let jsonl_file = ref None in
   let positional = ref [] in
@@ -195,6 +220,9 @@ let parse_argv () =
     | "--jsonl" :: [] ->
         prerr_endline "conair_fuzz: --jsonl needs a FILE argument";
         exit 2
+    | "--detect" :: rest ->
+        detect := true;
+        scan rest
     | arg :: rest ->
         positional := arg :: !positional;
         scan rest
@@ -229,19 +257,30 @@ let () =
   Printf.printf "conair_fuzz: %d checks over %d iterations (base seed %d)\n"
     !checked iterations base;
   (* machine-readable one-line summary, for harnesses that scrape us *)
+  let detect_fields =
+    if not !detect then []
+    else
+      [
+        ("detect_schedules", Json.Int !detect_schedules);
+        ( "detected_races",
+          Json.Obj
+            (Hashtbl.fold (fun a n acc -> (a, Json.Int n) :: acc) detected []
+            |> List.sort compare) );
+      ]
+  in
   let summary =
-    Json.(
-      Obj
-        [
-          ("type", String "fuzz_summary");
-          ("iterations", Int iterations);
-          ("base_seed", Int base);
-          ("checks", Int !checked);
-          ("hardened_runs", Int !runs);
-          ("failures", Int (List.length !failures));
-          ("recoveries", Int !recoveries);
-          ("max_episode_steps", Int !max_episode);
-        ])
+    Json.Obj
+      ([
+         ("type", Json.String "fuzz_summary");
+         ("iterations", Json.Int iterations);
+         ("base_seed", Json.Int base);
+         ("checks", Json.Int !checked);
+         ("hardened_runs", Json.Int !runs);
+         ("failures", Json.Int (List.length !failures));
+         ("recoveries", Json.Int !recoveries);
+         ("max_episode_steps", Json.Int !max_episode);
+       ]
+      @ detect_fields)
   in
   print_endline (Json.to_string summary);
   (match (!jsonl, jsonl_oc) with

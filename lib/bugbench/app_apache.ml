@@ -19,6 +19,15 @@ let info =
     cause = "A violation (TOCTOA)";
     needs_oracle = false;
     needs_interproc = false;
+    (* the clean variant is timing-ordered, not lock-ordered: the log
+         buffer race stays schedulable on both *)
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:loglen" ];
+        races_clean = [ "global:loglen" ];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

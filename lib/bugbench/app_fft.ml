@@ -22,6 +22,13 @@ let info =
     cause = "A/O violation";
     needs_oracle = true;
     needs_interproc = false;
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:end_time" ];
+        races_clean = [];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle : Bench_spec.instance =

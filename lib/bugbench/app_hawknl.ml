@@ -18,6 +18,15 @@ let info =
     cause = "deadlock";
     needs_oracle = false;
     needs_interproc = false;
+    (* the deadlock closes for real on the buggy schedule; clean runs
+         only ever witness the inconsistent order (a potential cycle) *)
+    detect =
+      {
+        Bench_spec.races_buggy = [];
+        races_clean = [];
+        deadlock_buggy = true;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

@@ -18,6 +18,13 @@ let info =
     cause = "O violation";
     needs_oracle = false;
     needs_interproc = false;
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:global_opt" ];
+        races_clean = [];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

@@ -18,6 +18,13 @@ let info =
     cause = "deadlock";
     needs_oracle = false;
     needs_interproc = false;
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:gc_bytes" ];
+        races_clean = [];
+        deadlock_buggy = true;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

@@ -23,6 +23,13 @@ let info =
     cause = "A violation (WAW)";
     needs_oracle = true;
     needs_interproc = false;
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:log_state" ];
+        races_clean = [];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle : Bench_spec.instance =

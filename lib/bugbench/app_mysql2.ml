@@ -19,6 +19,16 @@ let info =
     cause = "A violation (RAR)";
     needs_oracle = false;
     needs_interproc = false;
+    (* the clean variant only delays the flusher — the epoch write stays
+         unsynchronized, so the race is still schedulable and SHB
+         (rightly) reports it *)
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:epoch" ];
+        races_clean = [ "global:epoch" ];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

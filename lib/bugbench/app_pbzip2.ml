@@ -20,6 +20,16 @@ let info =
     cause = "O violation (UAF)";
     needs_oracle = false;
     needs_interproc = false;
+    (* both variants leave [closed] unsynchronized (the clean one only
+         reorders by timing); the buggy schedule additionally races the
+         freed queue cell *)
+    detect =
+      {
+        Bench_spec.races_buggy = [ "cell:0:0"; "global:closed" ];
+        races_clean = [ "global:closed" ];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

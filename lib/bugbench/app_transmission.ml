@@ -20,6 +20,13 @@ let info =
     cause = "O violation";
     needs_oracle = false;
     needs_interproc = true;
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:session_bandwidth" ];
+        races_clean = [];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

@@ -17,6 +17,13 @@ let info =
     cause = "O violation";
     needs_oracle = false;
     needs_interproc = false;
+    detect =
+      {
+        Bench_spec.races_buggy = [ "global:video_depth" ];
+        races_clean = [];
+        deadlock_buggy = false;
+        deadlock_clean = false;
+      };
   }
 
 let make ~variant ~oracle:_ : Bench_spec.instance =

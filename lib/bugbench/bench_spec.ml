@@ -10,6 +10,33 @@ open Conair.Ir
 
 type variant = Buggy | Clean
 
+(* What the dynamic detector must find on each variant, measured under
+   the standard detection configuration — hardened (survival mode, with
+   the oracle iff [needs_oracle]), round-robin scheduling — and verified
+   by the ground-truth test. Race addresses are [Report.addr_string]
+   forms ("global:x", "cell:block:off"), deduplicated and sorted;
+   deadlock means an *actual* lock-order cycle (closed among
+   simultaneously blocked requests), not a merely potential one.
+
+   A non-empty [races_clean] is honest, not a false positive: some
+   benchmarks' clean variants differ from the buggy ones only by timing
+   (a sleep moved, not a lock added), so the race remains schedulable
+   and SHB still sees it — MySQL2 is the canonical case. *)
+type ground_truth = {
+  races_buggy : string list;
+  races_clean : string list;
+  deadlock_buggy : bool;
+  deadlock_clean : bool;
+}
+
+let quiet =
+  {
+    races_buggy = [];
+    races_clean = [];
+    deadlock_buggy = false;
+    deadlock_clean = false;
+  }
+
 type info = {
   name : string;
   app_type : string;  (** Table 2 "App. Type" *)
@@ -20,6 +47,8 @@ type info = {
       (** wrong-output bugs recover only when the developer supplies an
           output-correctness assert (Table 3's "conditionally recovered") *)
   needs_interproc : bool;  (** MozillaXP and Transmission in the paper *)
+  detect : ground_truth;
+      (** what the race/deadlock detector finds on each variant *)
 }
 
 type instance = {

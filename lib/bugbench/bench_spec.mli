@@ -8,6 +8,22 @@ open Conair.Ir
 
 type variant = Buggy | Clean
 
+(** Expected detector findings per variant, under the standard detection
+    configuration: hardened survival mode (oracle iff [needs_oracle]),
+    round-robin scheduling. Races are deduplicated sorted
+    [Report.addr_string] forms; deadlock means an {e actual} lock-order
+    cycle. A non-empty [races_clean] marks a clean variant whose fix is
+    timing-only, leaving the race schedulable (e.g. MySQL2). *)
+type ground_truth = {
+  races_buggy : string list;
+  races_clean : string list;
+  deadlock_buggy : bool;
+  deadlock_clean : bool;
+}
+
+val quiet : ground_truth
+(** Nothing on either variant. *)
+
 type info = {
   name : string;
   app_type : string;  (** Table 2 "App. Type" *)
@@ -18,6 +34,8 @@ type info = {
       (** wrong-output bugs recover only given a developer
           output-correctness assert (Table 3's "conditionally recovered") *)
   needs_interproc : bool;  (** MozillaXP and Transmission in the paper *)
+  detect : ground_truth;
+      (** what the race/deadlock detector finds on each variant *)
 }
 
 type instance = {

@@ -62,6 +62,16 @@ module Runtime = struct
   module Ref_machine = Conair_runtime.Ref_machine
   module Trace = Conair_runtime.Trace
   module Profile = Conair_runtime.Profile
+  module Race_probe = Conair_runtime.Race_probe
+end
+
+module Race = struct
+  module Vclock = Conair_race.Vclock
+  module Report = Conair_race.Report
+  module Hb = Conair_race.Hb
+  module Lockset = Conair_race.Lockset
+  module Lockorder = Conair_race.Lockorder
+  module Detect = Conair_race.Detect
 end
 
 module Obs = struct
@@ -209,6 +219,26 @@ let run_profiled ?(config = Machine.default_config) (h : hardened) :
   Conair_obs.Prof.finalize prof;
   ( { outcome; outputs = Machine.outputs m; stats = Machine.stats m; machine = m },
     prof )
+
+(** Run a program with the race/deadlock detector installed and return
+    the finalized report next to the run. Pass [meta] (from
+    [Machine.meta_of_harden]) to detect on a hardened program — the mode
+    that matters for fail-stop bugs, where recovery keeps the run alive
+    long enough for the conflicting access to execute. *)
+let run_detected ?(config = Machine.default_config) ?options ?meta
+    (p : Program.t) : run * Conair_race.Report.t =
+  let m = Machine.create ~config ?meta p in
+  let d = Conair_race.Detect.create ?options () in
+  Machine.set_race m (Conair_race.Detect.probe d);
+  let outcome = Machine.run m in
+  ( { outcome; outputs = Machine.outputs m; stats = Machine.stats m; machine = m },
+    Conair_race.Detect.report d )
+
+(** [run_detected] on a hardened program with its recovery metadata. *)
+let detect_hardened ?config ?options (h : hardened) =
+  run_detected ?config ?options
+    ~meta:(Machine.meta_of_harden h.hardened)
+    h.hardened.program
 
 (** A recovery trial in the style of §5: run the hardened program [runs]
     times (varying the random-scheduler seed) and report how many runs

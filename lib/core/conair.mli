@@ -62,6 +62,21 @@ module Runtime : sig
   module Ref_machine = Conair_runtime.Ref_machine
   module Trace = Conair_runtime.Trace
   module Profile = Conair_runtime.Profile
+  module Race_probe = Conair_runtime.Race_probe
+end
+
+(** The dynamic race and deadlock detector: an online probe on either
+    engine feeding three lenses — FastTrack-style happens-before race
+    detection ([Hb]), Eraser-style lockset discipline checking
+    ([Lockset]) and a lock-order graph with cycle detection
+    ([Lockorder]). See [docs/DETECTION.md]. *)
+module Race : sig
+  module Vclock = Conair_race.Vclock
+  module Report = Conair_race.Report
+  module Hb = Conair_race.Hb
+  module Lockset = Conair_race.Lockset
+  module Lockorder = Conair_race.Lockorder
+  module Detect = Conair_race.Detect
 end
 
 (** The observability layer: JSON encoding, streaming JSONL event logs,
@@ -177,6 +192,27 @@ val well_tested : ?threshold:int -> site_profile list -> int list
 (** Site iids executed at least [threshold] times — candidates for
     {!Conair_analysis.Plan.options.exclude_iids}. Beware the trade-off:
     a hidden bug at a well-tested site loses its recovery. *)
+
+val run_detected :
+  ?config:Conair_runtime.Machine.config ->
+  ?options:Conair_race.Detect.options ->
+  ?meta:Conair_runtime.Machine.meta ->
+  Conair_ir.Program.t ->
+  run * Conair_race.Report.t
+(** Run a program with the race/deadlock detector installed and return
+    the finalized report next to the run. Reports are deterministic in
+    (program, config, policy, seed) and identical across the two
+    engines. *)
+
+val detect_hardened :
+  ?config:Conair_runtime.Machine.config ->
+  ?options:Conair_race.Detect.options ->
+  hardened ->
+  run * Conair_race.Report.t
+(** {!run_detected} on a hardened program with its recovery metadata —
+    the mode that matters for fail-stop bugs, where recovery keeps the
+    run alive long enough for the conflicting access to execute (§6:
+    recovery masks the symptom; detection un-masks the root cause). *)
 
 (** A recovery trial in the style of §5: run the hardened program many
     times (varying the random seed) and count successful, accepted runs. *)

@@ -70,6 +70,9 @@ type row = {
   o_checkpoint_steps : int;
   o_wasted_steps : int;
   o_sites : site_retry list;
+  o_detected_by : string list;
+      (** which detector lenses flagged the buggy program ("hb",
+          "lockset", "deadlock"); empty when no detector was supplied *)
 }
 
 type summary = {
@@ -148,9 +151,13 @@ let site_retries (stats : Stats.t) (prof : Prof.t) : site_retry list =
 (** Measure one case: recovery verdicts in both modes, overhead in both
     modes, and a profiled deterministic survival-mode buggy run for the
     recovery-cost columns. [random_runs] extra seeded schedules per
-    verdict (default 5, the bench's "6/6"). *)
-let measure ?(config = Machine.default_config) ?(random_runs = 5) (c : case) :
-    row =
+    verdict (default 5, the bench's "6/6"). [detect] names the detector
+    lenses that flag the case's buggy program — a callback because the
+    detector library sits above this one in the dependency order, so the
+    CLI closes over it and hands it down (same pattern as [case]
+    itself). *)
+let measure ?(config = Machine.default_config) ?(random_runs = 5) ?detect
+    (c : case) : row =
   let h_fix = harden_exn c.name (Plan.Fix c.buggy_fix.fix_iids) c.buggy_fix in
   let h_surv = harden_exn c.name Plan.Survival c.buggy_survival in
   let fix_recovered, fix_ok = verdict ~config ~random_runs c.buggy_fix h_fix in
@@ -191,10 +198,11 @@ let measure ?(config = Machine.default_config) ?(random_runs = 5) (c : case) :
     o_checkpoint_steps = Prof.checkpoint_steps prof;
     o_wasted_steps = Prof.wasted_steps prof;
     o_sites = site_retries stats prof;
+    o_detected_by = (match detect with None -> [] | Some f -> f c);
   }
 
-let measure_all ?config ?random_runs cases =
-  List.map (measure ?config ?random_runs) cases
+let measure_all ?config ?random_runs ?detect cases =
+  List.map (measure ?config ?random_runs ?detect) cases
 
 let summary rows =
   {
@@ -255,6 +263,8 @@ let row_json (r : row) : Json.t =
                        ])
                    r.o_sites) );
           ] );
+      ( "detected_by",
+        Json.List (List.map (fun s -> Json.String s) r.o_detected_by) );
     ]
 
 let to_json rows : Json.t =
@@ -282,16 +292,19 @@ let table_rows rows : string list =
       Printf.sprintf "%s (%d/%d)" (if needs_oracle then "yes*" else "yes") ok runs
     else Printf.sprintf "NO (%d/%d)" ok runs
   in
-  Printf.sprintf "%-13s %-12s %-16s %9s %9s %8s %8s %10s %11s" "App."
+  Printf.sprintf "%-13s %-12s %-16s %9s %9s %8s %8s %10s %11s  %s" "App."
     "fix recov." "survival recov." "fix ovh." "surv ovh." "retries"
-    "rollbacks" "max rec." "wasted"
+    "rollbacks" "max rec." "wasted" "detected by"
   :: List.map
        (fun r ->
-         Printf.sprintf "%-13s %-12s %-16s %8.1f%% %8.1f%% %8d %8d %10d %11d"
-           r.o_name
+         Printf.sprintf
+           "%-13s %-12s %-16s %8.1f%% %8.1f%% %8d %8d %10d %11d  %s" r.o_name
            (verdict_cell r.o_fix_recovered r.o_fix_ok r.o_runs r.o_needs_oracle)
            (verdict_cell r.o_surv_recovered r.o_surv_ok r.o_runs
               r.o_needs_oracle)
            r.o_fix_overhead_pct r.o_surv_overhead_pct r.o_retries r.o_rollbacks
-           r.o_max_recovery_steps r.o_wasted_steps)
+           r.o_max_recovery_steps r.o_wasted_steps
+           (match r.o_detected_by with
+           | [] -> "-"
+           | l -> String.concat "," l))
        rows

@@ -54,6 +54,9 @@ type row = {
   o_checkpoint_steps : int;
   o_wasted_steps : int;
   o_sites : site_retry list;  (** ascending site id *)
+  o_detected_by : string list;
+      (** detector lenses that flag the buggy program ("hb", "lockset",
+          "deadlock"); empty when no [detect] callback was supplied *)
 }
 
 type summary = {
@@ -65,16 +68,24 @@ type summary = {
 }
 
 val measure :
-  ?config:Conair_runtime.Machine.config -> ?random_runs:int -> case -> row
+  ?config:Conair_runtime.Machine.config ->
+  ?random_runs:int ->
+  ?detect:(case -> string list) ->
+  case -> row
 (** Recovery verdicts (deterministic schedule + [random_runs] seeded
     random schedules, default 5 — the bench's "6/6"), instruction-count
     overhead on the clean pairs, and a profiled deterministic
-    survival-mode buggy run for the recovery-cost columns.
+    survival-mode buggy run for the recovery-cost columns. [detect]
+    names the detector lenses flagging the case's buggy program — a
+    callback because the detector library sits above this one in the
+    dependency order; the CLI closes over [Conair.Race] and hands it
+    down.
     @raise Failure if the analysis rejects a program. *)
 
 val measure_all :
   ?config:Conair_runtime.Machine.config ->
   ?random_runs:int ->
+  ?detect:(case -> string list) ->
   case list ->
   row list
 

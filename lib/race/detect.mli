@@ -1,0 +1,24 @@
+(** The online race/deadlock detector: one probe, three lenses.
+
+    Install [probe t] on a machine with [Machine.set_race] (or
+    [Ref_machine.set_race]), run, then [report t]. Reports are
+    deterministic in the schedule, so they are byte-identical across
+    runs with the same policy and seed and across the two engines. *)
+
+open Conair_runtime
+
+type options = {
+  hb : bool;  (** happens-before races ([Hb]) *)
+  lockset : bool;  (** Eraser lockset warnings ([Lockset]) *)
+  deadlock : bool;  (** lock-order cycles ([Lockorder]) *)
+}
+
+val all : options
+
+type t
+
+val create : ?options:options -> unit -> t
+(** Default: every lens on. *)
+
+val probe : t -> Race_probe.probe
+val report : t -> Report.t

@@ -1,0 +1,26 @@
+(** FastTrack-style race detection over schedulable happens-before.
+
+    Tracks program order, release→acquire, spawn/join, notify→wake, and
+    reads-from edges; checks for conflicts only at writes (against the
+    last write and the readers since). Every reported race is
+    schedulable; runs where every write is read-observed before the next
+    conflicting write stay quiet. *)
+
+type t
+
+val create : unit -> t
+
+val on_access : t -> Report.access -> unit
+(** Reads order (join the last writer's clock) and record; writes check
+    and then become the last write. A whole-block address (a free)
+    additionally checks every recorded cell of the block. *)
+
+val on_acquire : t -> tid:int -> lock:string -> unit
+val on_release : t -> tid:int -> lock:string -> unit
+val on_spawn : t -> parent:int -> child:int -> unit
+val on_join : t -> tid:int -> joined:int -> unit
+val on_wake : t -> waker:int -> woken:int -> unit
+
+val races : t -> Report.race list
+(** In detection order; duplicates (same address and instruction pair)
+    reported once. *)

@@ -1,0 +1,27 @@
+(** Lock-order graph with cycle detection.
+
+    Edges are witnessed held-lock → acquired-or-requested-lock pairs.
+    "Actual" cycles close among simultaneously pending (blocked)
+    requests — checked online at each request, so deadlocks that a
+    hardened run's timed locks later dissolve are still caught.
+    "Potential" cycles exist only in the accumulated graph: inconsistent
+    lock ordering some other schedule could deadlock. *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> int -> unit
+(** The thread did something else: its pending request (if any) is over. *)
+
+val on_acquire :
+  t -> tid:int -> iid:int -> step:int -> lock:string -> locks:string list -> unit
+(** [locks] is the held set {e including} [lock]. *)
+
+val on_request :
+  t -> tid:int -> iid:int -> step:int -> lock:string -> locks:string list -> unit
+(** A blocked request; [locks] is the held set (without [lock]). *)
+
+val finalize : t -> Report.cycle list
+(** Actual cycles in discovery order, then potential ones sorted by
+    their canonical lock list; no cycle appears in both. *)

@@ -1,0 +1,15 @@
+(** Eraser-style lockset discipline checking.
+
+    Per-location state machine (Virgin → Exclusive → Shared /
+    Shared_modified) with a candidate lockset refined by intersection;
+    warns — once per location — when a written-shared location's
+    candidate set empties. Heuristic: warnings are locking-discipline
+    hints, not confirmed races (that is [Hb]'s job). *)
+
+type t
+
+val create : unit -> t
+val on_access : t -> Report.access -> unit
+
+val warnings : t -> Report.warning list
+(** In detection order, at most one per location. *)

@@ -1,0 +1,58 @@
+(* Vector clocks and FastTrack epochs.
+
+   A clock is a growable array indexed by thread id; entries default to
+   0. Thread ids in this runtime are small and dense (allocated from 0
+   by the machine), so a flat array beats a map — and the growth policy
+   (double, at least to the demanded index) keeps amortized cost O(1).
+
+   An epoch is the FastTrack scalar compression of "the last event of
+   thread [t] at clock [c]": checking one epoch against a full clock is
+   O(1) where a clock-clock comparison is O(threads). *)
+
+type t = { mutable v : int array }
+
+let create () = { v = Array.make 4 0 }
+
+let ensure t i =
+  let n = Array.length t.v in
+  if i >= n then begin
+    let n' = max (i + 1) (2 * n) in
+    let v' = Array.make n' 0 in
+    Array.blit t.v 0 v' 0 n;
+    t.v <- v'
+  end
+
+let get t i = if i < Array.length t.v then t.v.(i) else 0
+
+let set t i x =
+  ensure t i;
+  t.v.(i) <- x
+
+let incr t i = set t i (get t i + 1)
+
+let copy t = { v = Array.copy t.v }
+
+(* dst := dst ⊔ src, pointwise max. *)
+let join ~into src =
+  ensure into (Array.length src.v - 1);
+  Array.iteri (fun i x -> if x > into.v.(i) then into.v.(i) <- x) src.v
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > get b i then ok := false) a.v;
+  !ok
+
+(* The highest thread id with a non-zero entry, for bounded iteration. *)
+let max_tid t =
+  let m = ref (-1) in
+  Array.iteri (fun i x -> if x > 0 then m := i) t.v;
+  !m
+
+type epoch = { e_tid : int; e_clock : int }
+
+let bottom = { e_tid = 0; e_clock = 0 }
+let epoch_of t i = { e_tid = i; e_clock = get t i }
+
+(* e ⪯ c: the event the epoch names happens-before everything the clock
+   has seen of its thread. *)
+let epoch_leq e c = e.e_clock <= get c e.e_tid

@@ -1,0 +1,42 @@
+(** Vector clocks and FastTrack epochs for the happens-before detector.
+
+    Clocks are growable flat arrays indexed by thread id (ids are dense
+    in this runtime); absent entries read as 0. Epochs are the FastTrack
+    scalar "last event of thread [t] at clock [c]" — comparing an epoch
+    against a clock is O(1). *)
+
+type t
+
+val create : unit -> t
+(** The zero clock. *)
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val incr : t -> int -> unit
+(** Bump one component — done after every event whose clock is copied
+    somewhere (writes, releases, spawns, notifies), so later events of
+    the same thread are not falsely ordered by the copy. *)
+
+val copy : t -> t
+
+val join : into:t -> t -> unit
+(** Pointwise max, in place. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: the happens-before order on clocks. *)
+
+val max_tid : t -> int
+(** Highest thread id with a non-zero entry; [-1] on the zero clock. *)
+
+type epoch = { e_tid : int; e_clock : int }
+
+val bottom : epoch
+(** [0@0] — reads as ordered before everything. *)
+
+val epoch_of : t -> int -> epoch
+(** [epoch_of c t] is [c(t)@t]: the current event of thread [t]. *)
+
+val epoch_leq : epoch -> t -> bool
+(** [epoch_leq e c] — the event named by [e] happens-before the point
+    named by [c]; [e.e_clock <= c(e.e_tid)]. *)

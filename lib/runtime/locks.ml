@@ -52,6 +52,16 @@ let force_release t name ~tid =
       true
   | Some _ | None -> false
 
+(** The locks currently held by [tid], sorted by name — the lockset the
+    race-detection probe attaches to events. Sorting makes the result
+    independent of hash-table iteration order, so both engines report
+    byte-identical locksets. *)
+let held_by (t : t) ~tid =
+  Hashtbl.fold
+    (fun name s acc -> if s.owner = Some tid then name :: acc else acc)
+    t []
+  |> List.sort compare
+
 let snapshot (t : t) : t =
   let c = Hashtbl.create (Hashtbl.length t) in
   Hashtbl.iter

@@ -21,4 +21,9 @@ val force_release : t -> string -> tid:int -> bool
 (** Unconditional release for the recovery compensation; true iff [tid]
     held the lock. *)
 
+val held_by : t -> tid:int -> string list
+(** The locks currently held by [tid], sorted by name (independent of
+    hash-table iteration order) — the lockset attached to race-probe
+    events. *)
+
 val snapshot : t -> t

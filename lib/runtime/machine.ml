@@ -116,6 +116,8 @@ type t = {
   mutable trace : Trace.sink option;
   mutable prof : Profile.probe option;
       (** cost-profiler probe; like [trace], one [match] per step when off *)
+  mutable race : Race_probe.probe option;
+      (** race-detector probe; one [match] per memory/sync op when off *)
   mutable live : Thread.t array;
       (** slots [0, live_n): the live threads, ascending tid — maintained
           at spawn and death instead of folded from [threads] per step *)
@@ -188,6 +190,7 @@ let create ?(config = default_config) ?meta (prog : Program.t) =
       outcome = None;
       trace = None;
       prof = None;
+      race = None;
       live = [||];
       live_n = 0;
       ready = [||];
@@ -210,11 +213,86 @@ let set_trace m sink = m.trace <- Some sink
 (** Install a cost-profiler probe; subsequent steps are attributed. *)
 let set_profile m probe = m.prof <- Some probe
 
+(** Install a race-detector probe; subsequent memory accesses and
+    synchronization operations are reported. *)
+let set_race m probe = m.race <- Some probe
+
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
 
 let thread m tid = Hashtbl.find m.threads tid
 let live_threads m = List.init m.live_n (fun i -> m.live.(i).Thread.tid)
+
+(* --- race-probe emission ------------------------------------------- *)
+(* Each helper is one [match] when no probe is installed; the event
+   payloads (stacks, locksets, address values) are only built inside the
+   [Some] branch, so the uninstrumented hot path allocates nothing. *)
+
+let race_stack (th : Thread.t) =
+  List.map
+    (fun (f : Thread.frame) -> f.Thread.func.Link.lf_qname)
+    th.Thread.stack
+
+let race_access m (th : Thread.t) (i : Link.linstr) kind addr =
+  match m.race with
+  | None -> ()
+  | Some p ->
+      let fr = Thread.top th in
+      p.Race_probe.rp_access ~step:m.step ~tid:th.Thread.tid ~iid:i.Link.li_iid
+        ~stack:(race_stack th) ~block:fr.Thread.block.Link.lb_label_name ~kind
+        ~addr
+        ~locks:(Locks.held_by m.locks ~tid:th.Thread.tid)
+
+let race_global m th i kind g =
+  match m.race with
+  | None -> ()
+  | Some _ -> race_access m th i kind (Race_probe.A_global g)
+
+let race_slot m (th : Thread.t) i kind s =
+  match m.race with
+  | None -> ()
+  | Some _ -> race_access m th i kind (Race_probe.A_slot (th.Thread.tid, s))
+
+(* Heap accesses are classified by the *attempted* cell; non-pointer
+   operands fault without designating an address and emit nothing. *)
+let race_cell m th i kind pv idx =
+  match m.race with
+  | None -> ()
+  | Some _ -> (
+      match pv with
+      | Value.Ptr { Value.block; offset } ->
+          race_access m th i kind (Race_probe.A_cell (block, offset + idx))
+      | _ -> ())
+
+let race_free m th i pv =
+  match m.race with
+  | None -> ()
+  | Some _ -> (
+      match pv with
+      | Value.Ptr { Value.block; _ } ->
+          race_access m th i Race_probe.Write (Race_probe.A_block block)
+      | _ -> ())
+
+let race_acquire m (th : Thread.t) (i : Link.linstr) name =
+  match m.race with
+  | None -> ()
+  | Some p ->
+      p.Race_probe.rp_acquire ~step:m.step ~tid:th.Thread.tid
+        ~iid:i.Link.li_iid ~lock:name
+        ~locks:(Locks.held_by m.locks ~tid:th.Thread.tid)
+
+let race_request m (th : Thread.t) (i : Link.linstr) name =
+  match m.race with
+  | None -> ()
+  | Some p ->
+      p.Race_probe.rp_request ~step:m.step ~tid:th.Thread.tid
+        ~iid:i.Link.li_iid ~lock:name
+        ~locks:(Locks.held_by m.locks ~tid:th.Thread.tid)
+
+let race_release m (th : Thread.t) name =
+  match m.race with
+  | None -> ()
+  | Some p -> p.Race_probe.rp_release ~step:m.step ~tid:th.Thread.tid ~lock:name
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation helpers                                                  *)
@@ -390,7 +468,8 @@ let compensate m (th : Thread.t) =
             m.stats.compensated_locks <- m.stats.compensated_locks + 1;
             trace m
               (Trace.Ev_compensate_lock
-                 { step = m.step; tid = th.Thread.tid; lock = name })
+                 { step = m.step; tid = th.Thread.tid; lock = name });
+            race_release m th name
           end
       | Thread.R_block id ->
           if Heap.release_block m.heap id then begin
@@ -561,6 +640,9 @@ let exec_spawn m (th : Thread.t) ~reg ~fid ~fname ~args =
   Hashtbl.replace m.threads tid th';
   add_live m th';
   trace m (Trace.Ev_spawn { step = m.step; parent = th.Thread.tid; child = tid });
+  (match m.race with
+  | None -> ()
+  | Some p -> p.Race_probe.rp_spawn ~step:m.step ~parent:th.Thread.tid ~child:tid);
   fr.Thread.regs.(reg) <- Value.Tid tid;
   advance fr
 
@@ -582,32 +664,46 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       regs.(r) <- eval_unop op (eval fr a);
       advance fr
   | Link.L_load_global (r, g) -> (
+      race_global m th i Race_probe.Read g;
       match Hashtbl.find_opt m.globals g with
       | Some v ->
           regs.(r) <- v;
           advance fr
       | None -> raise (Fault ("load of undeclared global " ^ g)))
   | Link.L_load_stack (r, s) ->
+      race_slot m th i Race_probe.Read s;
       regs.(r) <-
         Option.value ~default:Value.zero (Hashtbl.find_opt fr.Thread.stack_vars s);
       advance fr
   | Link.L_store_global (g, a) ->
+      race_global m th i Race_probe.Write g;
       if Hashtbl.mem m.globals g then begin
         Hashtbl.replace m.globals g (eval fr a);
         advance fr
       end
       else raise (Fault ("store to undeclared global " ^ g))
   | Link.L_store_stack (s, a) ->
+      race_slot m th i Race_probe.Write s;
       Hashtbl.replace fr.Thread.stack_vars s (eval fr a);
       advance fr
   | Link.L_load_idx (r, p, ix) -> (
-      match Heap.load m.heap (eval fr p) (as_int (eval fr ix)) with
+      (* operands bound right-to-left, preserving the original argument
+         evaluation order; the access is reported before the heap op so
+         faulting dereferences are still seen by the detector *)
+      let iv = as_int (eval fr ix) in
+      let pv = eval fr p in
+      race_cell m th i Race_probe.Read pv iv;
+      match Heap.load m.heap pv iv with
       | Ok v ->
           regs.(r) <- v;
           advance fr
       | Error e -> raise (Fault e))
   | Link.L_store_idx (p, ix, v) -> (
-      match Heap.store m.heap (eval fr p) (as_int (eval fr ix)) (eval fr v) with
+      let vv = eval fr v in
+      let iv = as_int (eval fr ix) in
+      let pv = eval fr p in
+      race_cell m th i Race_probe.Write pv iv;
+      match Heap.store m.heap pv iv vv with
       | Ok () -> advance fr
       | Error e -> raise (Fault e))
   | Link.L_alloc (r, n) ->
@@ -616,13 +712,16 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       regs.(r) <- Value.Ptr ptr;
       advance fr
   | Link.L_free p -> (
-      match Heap.free m.heap (eval fr p) with
+      let pv = eval fr p in
+      race_free m th i pv;
+      match Heap.free m.heap pv with
       | Ok () -> advance fr
       | Error e -> raise (Fault e))
   | Link.L_lock mref ->
       let name = as_mutex (eval fr mref) in
       if Locks.try_acquire m.locks name ~tid:th.Thread.tid then begin
         Thread.log_acquisition th (Thread.R_lock name);
+        race_acquire m th i name;
         th.Thread.status <- Thread.Runnable;
         advance fr
       end
@@ -632,6 +731,7 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
         | _ ->
             trace m
               (Trace.Ev_block { step = m.step; tid = th.Thread.tid; lock = name });
+            race_request m th i name;
             th.Thread.status <-
               Thread.Blocked_lock { name; since = m.step; timeout = None }
       end
@@ -639,6 +739,7 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       let name = as_mutex (eval fr mref) in
       if Locks.try_acquire m.locks name ~tid:th.Thread.tid then begin
         Thread.log_acquisition th (Thread.R_lock name);
+        race_acquire m th i name;
         regs.(r) <- Value.truth;
         th.Thread.status <- Thread.Runnable;
         advance fr
@@ -664,7 +765,8 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
           | _ ->
               trace m
                 (Trace.Ev_block
-                   { step = m.step; tid = th.Thread.tid; lock = name }));
+                   { step = m.step; tid = th.Thread.tid; lock = name });
+              race_request m th i name);
           th.Thread.status <-
             Thread.Blocked_lock { name; since; timeout = Some timeout }
         end
@@ -672,7 +774,9 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
   | Link.L_unlock mref -> (
       let name = as_mutex (eval fr mref) in
       match Locks.release m.locks name ~tid:th.Thread.tid with
-      | Ok () -> advance fr
+      | Ok () ->
+          race_release m th name;
+          advance fr
       | Error e -> raise (Fault e))
   | Link.L_assert { cond; msg; oracle } ->
       if Value.is_true (eval fr cond) then advance fr
@@ -694,6 +798,11 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       | Value.Tid tid -> (
           match (thread m tid).Thread.status with
           | Thread.Done | Thread.Failed ->
+              (match m.race with
+              | None -> ()
+              | Some p ->
+                  p.Race_probe.rp_join ~step:m.step ~tid:th.Thread.tid
+                    ~joined:tid);
               th.Thread.status <- Thread.Runnable;
               advance fr
           | _ -> th.Thread.status <- Thread.Blocked_join tid)
@@ -750,7 +859,12 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
               | _ -> ());
               wfr.Thread.idx <- wfr.Thread.idx + 1;
               waiter.Thread.status <- Thread.Runnable;
-              trace m (Trace.Ev_wake { step = m.step; tid = waiter.Thread.tid })
+              trace m (Trace.Ev_wake { step = m.step; tid = waiter.Thread.tid });
+              (match m.race with
+              | None -> ()
+              | Some p ->
+                  p.Race_probe.rp_wake ~step:m.step ~waker:th.Thread.tid
+                    ~woken:waiter.Thread.tid)
           | _ -> ())
         m.threads;
       advance fr

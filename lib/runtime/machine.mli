@@ -85,6 +85,8 @@ type t = {
   mutable trace : Trace.sink option;
   mutable prof : Profile.probe option;
       (** cost-profiler probe; like [trace], one [match] per step when off *)
+  mutable race : Race_probe.probe option;
+      (** race-detector probe; one [match] per memory/sync op when off *)
   mutable live : Thread.t array;
       (** slots [0, live_n): the live threads, ascending tid — maintained
           at spawn and death instead of folded from [threads] per step *)
@@ -101,6 +103,12 @@ val set_profile : t -> Profile.probe -> unit
 (** Install a cost-profiler probe (see [Conair_obs.Prof]); subsequent
     steps are attributed. Off by default — with no probe the engine pays
     one [match] per step, same as tracing. *)
+
+val set_race : t -> Race_probe.probe -> unit
+(** Install a race-detector probe (see [Conair_race.Detect]); subsequent
+    memory accesses and synchronization operations are reported. Off by
+    default — with no probe the engine pays one [match] per
+    memory/synchronization operation. *)
 
 val create : ?config:config -> ?meta:meta -> Program.t -> t
 (** Link the program and return a machine with the main thread ready to

@@ -147,6 +147,7 @@ type t = {
   mutable outcome : Outcome.t option;
   mutable trace : Trace.sink option;
   mutable prof : Profile.probe option;
+  mutable race : Race_probe.probe option;
 }
 
 let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
@@ -169,6 +170,7 @@ let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
       outcome = None;
       trace = None;
       prof = None;
+      race = None;
     }
   in
   let main = Program.func_exn prog prog.main in
@@ -181,11 +183,77 @@ let outputs m = List.rev m.outputs
 let stats m = m.stats
 let set_trace m sink = m.trace <- Some sink
 let set_profile m probe = m.prof <- Some probe
+let set_race m probe = m.race <- Some probe
 
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
 
 let thread m tid = Hashtbl.find m.threads tid
+
+(* --- race-probe emission (mirrors [Machine]'s, on [T] threads) ------ *)
+
+let race_stack (th : T.t) =
+  List.map (fun (f : T.frame) -> Fname.name f.T.func.Func.name) th.T.stack
+
+let race_access m (th : T.t) (i : Instr.t) kind addr =
+  match m.race with
+  | None -> ()
+  | Some p ->
+      let fr = T.top th in
+      p.Race_probe.rp_access ~step:m.step ~tid:th.T.tid ~iid:i.Instr.iid
+        ~stack:(race_stack th)
+        ~block:(Label.name fr.T.block.Block.label)
+        ~kind ~addr
+        ~locks:(Locks.held_by m.locks ~tid:th.T.tid)
+
+let race_global m th i kind g =
+  match m.race with
+  | None -> ()
+  | Some _ -> race_access m th i kind (Race_probe.A_global g)
+
+let race_slot m (th : T.t) i kind s =
+  match m.race with
+  | None -> ()
+  | Some _ -> race_access m th i kind (Race_probe.A_slot (th.T.tid, s))
+
+let race_cell m th i kind pv idx =
+  match m.race with
+  | None -> ()
+  | Some _ -> (
+      match pv with
+      | Value.Ptr { Value.block; offset } ->
+          race_access m th i kind (Race_probe.A_cell (block, offset + idx))
+      | _ -> ())
+
+let race_free m th i pv =
+  match m.race with
+  | None -> ()
+  | Some _ -> (
+      match pv with
+      | Value.Ptr { Value.block; _ } ->
+          race_access m th i Race_probe.Write (Race_probe.A_block block)
+      | _ -> ())
+
+let race_acquire m (th : T.t) (i : Instr.t) name =
+  match m.race with
+  | None -> ()
+  | Some p ->
+      p.Race_probe.rp_acquire ~step:m.step ~tid:th.T.tid ~iid:i.Instr.iid
+        ~lock:name
+        ~locks:(Locks.held_by m.locks ~tid:th.T.tid)
+
+let race_request m (th : T.t) (i : Instr.t) name =
+  match m.race with
+  | None -> ()
+  | Some p ->
+      p.Race_probe.rp_request ~step:m.step ~tid:th.T.tid ~iid:i.Instr.iid
+        ~lock:name
+        ~locks:(Locks.held_by m.locks ~tid:th.T.tid)
+
+let race_release m (th : T.t) name =
+  match m.race with
+  | None -> ()
+  | Some p -> p.Race_probe.rp_release ~step:m.step ~tid:th.T.tid ~lock:name
 
 let live_threads m =
   Hashtbl.fold (fun tid th acc -> if T.is_live th then tid :: acc else acc)
@@ -332,7 +400,8 @@ let compensate m (th : T.t) =
       | T.R_lock name ->
           if Locks.force_release m.locks name ~tid:th.tid then begin
             m.stats.compensated_locks <- m.stats.compensated_locks + 1;
-            trace m (Trace.Ev_compensate_lock { step = m.step; tid = th.tid; lock = name })
+            trace m (Trace.Ev_compensate_lock { step = m.step; tid = th.tid; lock = name });
+            race_release m th name
           end
       | T.R_block id ->
           if Heap.release_block m.heap id then begin
@@ -468,6 +537,9 @@ let exec_spawn m (th : T.t) ~reg ~callee ~args =
         (m.step + Random.State.int (Sched.rng m.sched) m.config.spawn_jitter);
   Hashtbl.replace m.threads tid th';
   trace m (Trace.Ev_spawn { step = m.step; parent = th.tid; child = tid });
+  (match m.race with
+  | None -> ()
+  | Some p -> p.Race_probe.rp_spawn ~step:m.step ~parent:th.tid ~child:tid);
   fr.regs <- Reg.Map.add reg (Value.Tid tid) fr.regs;
   advance fr
 
@@ -488,31 +560,45 @@ let exec_instr m (th : T.t) (i : Instr.t) =
       set r (eval_unop op (eval fr a));
       advance fr
   | Instr.Load (r, Instr.Global g) -> (
+      race_global m th i Race_probe.Read g;
       match Hashtbl.find_opt m.globals g with
       | Some v ->
           set r v;
           advance fr
       | None -> raise (Fault ("load of undeclared global " ^ g)))
   | Instr.Load (r, Instr.Stack s) ->
+      race_slot m th i Race_probe.Read s;
       set r (Option.value ~default:Value.zero (Hashtbl.find_opt fr.stack_vars s));
       advance fr
   | Instr.Store (Instr.Global g, a) ->
+      race_global m th i Race_probe.Write g;
       if Hashtbl.mem m.globals g then begin
         Hashtbl.replace m.globals g (eval fr a);
         advance fr
       end
       else raise (Fault ("store to undeclared global " ^ g))
   | Instr.Store (Instr.Stack s, a) ->
+      race_slot m th i Race_probe.Write s;
       Hashtbl.replace fr.stack_vars s (eval fr a);
       advance fr
   | Instr.Load_idx (r, p, ix) -> (
-      match Heap.load m.heap (eval fr p) (as_int (eval fr ix)) with
+      (* operands bound right-to-left, preserving the original argument
+         evaluation order; the access is reported before the heap op so
+         faulting dereferences are still seen by the detector *)
+      let iv = as_int (eval fr ix) in
+      let pv = eval fr p in
+      race_cell m th i Race_probe.Read pv iv;
+      match Heap.load m.heap pv iv with
       | Ok v ->
           set r v;
           advance fr
       | Error e -> raise (Fault e))
   | Instr.Store_idx (p, ix, v) -> (
-      match Heap.store m.heap (eval fr p) (as_int (eval fr ix)) (eval fr v) with
+      let vv = eval fr v in
+      let iv = as_int (eval fr ix) in
+      let pv = eval fr p in
+      race_cell m th i Race_probe.Write pv iv;
+      match Heap.store m.heap pv iv vv with
       | Ok () -> advance fr
       | Error e -> raise (Fault e))
   | Instr.Alloc (r, n) ->
@@ -521,13 +607,16 @@ let exec_instr m (th : T.t) (i : Instr.t) =
       set r (Value.Ptr ptr);
       advance fr
   | Instr.Free p -> (
-      match Heap.free m.heap (eval fr p) with
+      let pv = eval fr p in
+      race_free m th i pv;
+      match Heap.free m.heap pv with
       | Ok () -> advance fr
       | Error e -> raise (Fault e))
   | Instr.Lock mref ->
       let name = as_mutex (eval fr mref) in
       if Locks.try_acquire m.locks name ~tid:th.tid then begin
         T.log_acquisition th (T.R_lock name);
+        race_acquire m th i name;
         th.status <- T.Runnable;
         advance fr
       end
@@ -536,6 +625,7 @@ let exec_instr m (th : T.t) (i : Instr.t) =
         | T.Blocked_lock _ -> ()
         | _ ->
             trace m (Trace.Ev_block { step = m.step; tid = th.tid; lock = name });
+            race_request m th i name;
             th.status <-
               T.Blocked_lock { name; since = m.step; timeout = None }
       end
@@ -543,6 +633,7 @@ let exec_instr m (th : T.t) (i : Instr.t) =
       let name = as_mutex (eval fr mref) in
       if Locks.try_acquire m.locks name ~tid:th.tid then begin
         T.log_acquisition th (T.R_lock name);
+        race_acquire m th i name;
         set r Value.truth;
         th.status <- T.Runnable;
         advance fr
@@ -567,7 +658,8 @@ let exec_instr m (th : T.t) (i : Instr.t) =
           | T.Blocked_lock _ -> ()
           | _ ->
               trace m
-                (Trace.Ev_block { step = m.step; tid = th.tid; lock = name }));
+                (Trace.Ev_block { step = m.step; tid = th.tid; lock = name });
+              race_request m th i name);
           th.status <-
             T.Blocked_lock { name; since; timeout = Some timeout }
         end
@@ -575,7 +667,9 @@ let exec_instr m (th : T.t) (i : Instr.t) =
   | Instr.Unlock mref -> (
       let name = as_mutex (eval fr mref) in
       match Locks.release m.locks name ~tid:th.tid with
-      | Ok () -> advance fr
+      | Ok () ->
+          race_release m th name;
+          advance fr
       | Error e -> raise (Fault e))
   | Instr.Assert { cond; msg; oracle } ->
       if Value.is_true (eval fr cond) then advance fr
@@ -595,6 +689,10 @@ let exec_instr m (th : T.t) (i : Instr.t) =
       | Value.Tid tid -> (
           match (thread m tid).T.status with
           | T.Done | T.Failed ->
+              (match m.race with
+              | None -> ()
+              | Some p ->
+                  p.Race_probe.rp_join ~step:m.step ~tid:th.tid ~joined:tid);
               th.status <- T.Runnable;
               advance fr
           | _ -> th.status <- T.Blocked_join tid)
@@ -650,7 +748,12 @@ let exec_instr m (th : T.t) (i : Instr.t) =
               | _ -> ());
               wfr.idx <- wfr.idx + 1;
               waiter.status <- T.Runnable;
-              trace m (Trace.Ev_wake { step = m.step; tid = waiter.tid })
+              trace m (Trace.Ev_wake { step = m.step; tid = waiter.tid });
+              (match m.race with
+              | None -> ()
+              | Some p ->
+                  p.Race_probe.rp_wake ~step:m.step ~waker:th.tid
+                    ~woken:waiter.tid)
           | _ -> ())
         m.threads;
       advance fr

@@ -24,6 +24,12 @@ val set_profile : t -> Profile.probe -> unit
     idle sequence, with the same context names, as the fast engine's —
     profiles are part of the bit-for-bit differential guarantee. *)
 
+val set_race : t -> Race_probe.probe -> unit
+(** Install a race-detector probe. The probe sees the same access and
+    synchronization event stream, with the same names and locksets, as
+    the fast engine's — race reports are part of the bit-for-bit
+    differential guarantee. *)
+
 val outputs : t -> string list
 (** In emission order. *)
 

@@ -2,11 +2,28 @@
 
    Determinism matters more than realism here — the paper forces buggy
    interleavings with injected sleeps, and so do the benchmarks; given the
-   same policy and seed, a run is exactly reproducible. *)
+   same policy and seed, a run is exactly reproducible.
+
+   The PRNG, precisely: [Random.State.make [| seed |]] from the OCaml
+   standard library, which on this toolchain (OCaml >= 5.0) is the LXM
+   generator (L64X128 variant). [Round_robin] never touches the rng (it
+   is created with seed 0 but only the cursor is used); [Random seed]
+   draws one [Random.State.int] per scheduling decision with more than
+   one eligible thread, and the recovery runtime draws from the *same*
+   state for deadlock backoff and timing perturbation — the random
+   stream is part of the machine semantics, consumed identically by both
+   engines (see [choose_idx]).
+
+   Consequence: everything downstream of the schedule is deterministic in
+   (program, config, policy, seed) — outcomes, traces, profiles, and the
+   race detector's event stream and reports. Same seed, byte-identical
+   race reports; a different seed is a genuinely different schedule, which
+   is exactly what [conair_fuzz --detect] exploits to count the schedules
+   on which a race is observed. *)
 
 type policy =
-  | Round_robin  (** strict rotation among eligible threads *)
-  | Random of int  (** uniform choice, seeded *)
+  | Round_robin  (** strict rotation among eligible threads; rng unused *)
+  | Random of int  (** uniform choice, seeded LXM ([Random.State]) *)
 
 type t = { policy : policy; rng : Random.State.t; mutable cursor : int }
 

@@ -1,10 +1,18 @@
 (** Scheduling policy: which eligible thread runs the next instruction.
+
     Deterministic given the policy and seed, so every run is exactly
-    reproducible. *)
+    reproducible. The seeded generator is the standard library's
+    [Random.State] — the LXM generator (L64X128) on OCaml >= 5.0 —
+    initialized with [Random.State.make [| seed |]]; the same state also
+    feeds deadlock backoff and timing perturbation, so the random stream
+    is part of the machine semantics. Everything derived from a run is
+    schedule-deterministic in (program, config, policy, seed): outcomes,
+    traces, cost profiles, and race-detection reports are byte-identical
+    across repeated runs with the same seed, on either engine. *)
 
 type policy =
-  | Round_robin  (** strict rotation among eligible threads *)
-  | Random of int  (** uniform choice, seeded *)
+  | Round_robin  (** strict rotation among eligible threads; rng unused *)
+  | Random of int  (** uniform choice, seeded LXM ([Random.State]) *)
 
 type t = { policy : policy; rng : Random.State.t; mutable cursor : int }
 
