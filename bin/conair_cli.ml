@@ -9,13 +9,18 @@
    - [report APP]      execute observed, emit the structured run report
    - [restart APP]     the whole-program-restart baseline
    - [fullckpt APP]    the whole-program-checkpoint baseline
+   - [replay --log F]  re-execute a recorded schedule, inspect any step
+   - [minimize --log F] shrink a failing schedule to its essential switches
 
    Examples:
      conair_cli analyze HawkNL
      conair_cli run MozillaXP --hardened --variant buggy
      conair_cli run HawkNL --trace-json t.jsonl --metrics m.json --spans s.json
      conair_cli report HawkNL --prometheus
-     conair_cli run FFT --variant clean --no-harden *)
+     conair_cli run FFT --variant clean --no-harden
+     conair_cli run HawkNL --no-harden --record hawknl.sched.jsonl
+     conair_cli replay --log hawknl.sched.jsonl --at 40
+     conair_cli minimize --log hawknl.sched.jsonl --out minimal.sched.jsonl *)
 
 open Cmdliner
 module Spec = Conair_bugbench.Bench_spec
@@ -27,6 +32,7 @@ module Stats = Conair.Runtime.Stats
 module Trace = Conair.Runtime.Trace
 module Plan = Conair.Analysis.Plan
 module Obs = Conair.Obs
+module Replay = Conair.Replay
 
 (* --- shared arguments --------------------------------------------- *)
 
@@ -301,6 +307,41 @@ let spans_file_arg =
           "Write recovery spans to $(docv) in Chrome trace-event format \
            (load in Perfetto or chrome://tracing).")
 
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Record the scheduler-decision stream of the run into $(docv) \
+           as a self-contained schedule log (replayable with the replay \
+           subcommand, shrinkable with minimize).")
+
+let mode_name = function
+  | None -> "none"
+  | Some Conair.Survival -> "survival"
+  | Some (Conair.Fix _) -> "fix"
+
+(* Record the run (deterministic, so identical to the displayed one) and
+   save the schedule log. *)
+let record_schedule ~config ~app ~variant ~oracle ~mode file
+    (inst : Spec.instance) =
+  let ident =
+    Replay.Log.ident
+      ~variant:(variant_name variant)
+      ~oracle ~mode:(mode_name mode) app
+  in
+  let _, log =
+    match mode with
+    | None -> Conair.record_run ~config ~ident inst.Spec.program
+    | Some m ->
+        Conair.run_recorded ~config ~ident (Conair.harden_exn inst.program m)
+  in
+  Replay.Log.save log file;
+  Format.printf "recorded: %s (%d decisions, %d preemptions)@." file
+    (Array.length log.Replay.Log.decisions)
+    (Array.length log.Replay.Log.preemptions)
+
 let run_cmd =
   let no_harden_arg =
     Arg.(
@@ -323,7 +364,7 @@ let run_cmd =
                 rollbacks, compensations).")
   in
   let run app variant oracle hardened no_harden fix trace trace_json
-      metrics_file spans_file fuel seed max_retries =
+      metrics_file spans_file record fuel seed max_retries =
     match find_spec app with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
@@ -364,6 +405,12 @@ let run_cmd =
               (r, [])
             end
           in
+          (match record with
+          | Some file ->
+              record_schedule ~config ~app ~variant
+                ~oracle:(oracle || spec.Spec.info.needs_oracle)
+                ~mode file inst
+          | None -> ());
           Format.printf "outcome:  %a@." Outcome.pp r.outcome;
           List.iter (fun o -> Format.printf "output:   %s@." o) r.outputs;
           Format.printf "accepted: %b@." (inst.accept r.outputs);
@@ -387,8 +434,8 @@ let run_cmd =
     Term.(
       const run $ app_arg $ variant_arg $ oracle_arg $ hardened_arg
       $ no_harden_arg $ fix_arg $ trace_arg $ trace_json_arg
-      $ metrics_file_arg $ spans_file_arg $ fuel_arg $ seed_arg
-      $ max_retries_arg)
+      $ metrics_file_arg $ spans_file_arg $ record_arg $ fuel_arg
+      $ seed_arg $ max_retries_arg)
 
 let report_cmd =
   let fix_arg =
@@ -516,7 +563,7 @@ let file_cmd =
       & info [ "emit" ]
           ~doc:"Print the (possibly hardened) program instead of running it.")
   in
-  let run file no_harden emit fuel seed max_retries =
+  let run file no_harden emit record fuel seed max_retries =
     let src = In_channel.with_open_text file In_channel.input_all in
     match Conair.Ir.Parse.program src with
     | Error e ->
@@ -532,6 +579,21 @@ let file_cmd =
             1
         | [] ->
             let config = machine_config fuel seed max_retries in
+            let save_record mode run_recorded =
+              match record with
+              | None -> ()
+              | Some out ->
+                  let ident =
+                    Replay.Log.ident ~mode:(mode_name mode)
+                      (Filename.remove_extension (Filename.basename file))
+                  in
+                  let _, log = run_recorded ident in
+                  Replay.Log.save log out;
+                  Format.printf "recorded: %s (%d decisions, %d preemptions)@."
+                    out
+                    (Array.length log.Replay.Log.decisions)
+                    (Array.length log.Replay.Log.preemptions)
+            in
             if no_harden then begin
               if emit then begin
                 print_string (Conair.Ir.Emit.program p);
@@ -539,6 +601,8 @@ let file_cmd =
               end
               else begin
                 let r = Conair.execute ~config p in
+                save_record None (fun ident ->
+                    Conair.record_run ~config ~ident p);
                 Format.printf "outcome: %a@." Outcome.pp r.outcome;
                 List.iter (Format.printf "output:  %s@.") r.outputs;
                 if Outcome.is_success r.outcome then 0 else 2
@@ -552,6 +616,8 @@ let file_cmd =
               end
               else begin
                 let r = Conair.execute_hardened ~config h in
+                save_record (Some Conair.Survival) (fun ident ->
+                    Conair.run_recorded ~config ~ident h);
                 Format.printf "outcome: %a@." Outcome.pp r.outcome;
                 List.iter (Format.printf "output:  %s@.") r.outputs;
                 Format.printf "stats:   %a@." Stats.pp r.stats;
@@ -564,8 +630,8 @@ let file_cmd =
          "Parse a Mir source file, harden it (survival mode) and run it; \
           --emit prints the program instead.")
     Term.(
-      const run $ file_arg $ no_harden_arg $ emit_arg $ fuel_arg $ seed_arg
-      $ max_retries_arg)
+      const run $ file_arg $ no_harden_arg $ emit_arg $ record_arg
+      $ fuel_arg $ seed_arg $ max_retries_arg)
 
 let dot_cmd =
   let func_arg =
@@ -995,6 +1061,299 @@ let races_cmd =
       $ original_arg $ hb_arg $ lockset_arg $ deadlock_arg $ json_arg
       $ fuel_arg $ seed_arg $ max_retries_arg)
 
+(* --- schedule record-and-replay ----------------------------------- *)
+
+let log_file_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:"A recorded schedule log (.sched.jsonl, from run --record, \
+              fuzz --record or minimize --out).")
+
+(* Rebuild the program from the registry when an APP name is given; the
+   log's recorded variant/oracle pick the instance, and the replay layer
+   verifies the rebuilt program against the recorded MD5. *)
+let program_for_log (log : Replay.Log.t) = function
+  | None -> Ok None
+  | Some name -> (
+      match find_spec name with
+      | Error e -> Error e
+      | Ok spec ->
+          let variant =
+            match log.Replay.Log.ident.Replay.Log.id_variant with
+            | "clean" -> Spec.Clean
+            | _ -> Spec.Buggy
+          in
+          let inst =
+            spec.Spec.make ~variant
+              ~oracle:log.Replay.Log.ident.Replay.Log.id_oracle
+          in
+          Ok (Some inst.Spec.program))
+
+let pp_divergence (d : Replay.Driver.divergence) =
+  Printf.eprintf
+    "diverged at decision %d (step %d): %s\n  recorded: %s\n  eligible: [%s]\n"
+    d.Replay.Driver.dv_decision d.Replay.Driver.dv_step
+    d.Replay.Driver.dv_reason
+    (match d.Replay.Driver.dv_expected with
+    | Some tid -> "tid " ^ string_of_int tid
+    | None -> "end of log")
+    (String.concat "; " (List.map string_of_int d.Replay.Driver.dv_actual))
+
+let parse_range s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad range %S (expected A:B)" s)
+  | Some i -> (
+      let a = String.sub s 0 i
+      and b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when a <= b -> Ok (a, b)
+      | _ -> Error (Printf.sprintf "bad range %S (expected A:B)" s))
+
+let show_state t ~json step =
+  match Replay.Inspect.state_at t step with
+  | Error e ->
+      Printf.printf "step %d: %s\n" step e;
+      false
+  | Ok s ->
+      if json then print_endline (Obs.Json.to_string s)
+      else print_string (Replay.Inspect.render s);
+      true
+
+let interactive_loop t ~json =
+  let final = Replay.Inspect.final_step t in
+  let cur = ref 0 in
+  print_endline
+    "time-travel inspector — commands: N (go to step N), n(ext), p(rev), \
+     end, q(uit)";
+  ignore (show_state t ~json !cur);
+  try
+    while true do
+      Printf.printf "step %d/%d> %!" !cur final;
+      (match String.trim (input_line stdin) with
+      | "q" | "quit" | "exit" -> raise Exit
+      | "" | "n" | "next" -> cur := min final (!cur + 1)
+      | "p" | "prev" -> cur := max 0 (!cur - 1)
+      | "end" -> cur := final
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 0 && n <= final -> cur := n
+          | _ ->
+              Printf.printf
+                "commands: N (0..%d), n(ext), p(rev), end, q(uit)\n" final));
+      ignore (show_state t ~json !cur)
+    done;
+    0
+  with Exit | End_of_file -> 0
+
+let replay_cmd =
+  let app_opt_arg =
+    let doc =
+      "Rebuild the program from the registry (verified against the log's \
+       recorded MD5) instead of parsing the log's embedded text."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let engine_arg =
+    let e =
+      Arg.enum [ ("fast", Replay.Driver.Fast); ("ref", Replay.Driver.Ref) ]
+    in
+    Arg.(
+      value
+      & opt e Replay.Driver.Fast
+      & info [ "engine" ]
+          ~doc:
+            "Replaying engine: the pre-resolved interpreter (fast) or the \
+             reference interpreter (ref). Logs are engine-independent.")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"N"
+          ~doc:"Print the machine state before virtual-time step N.")
+  in
+  let range_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "range" ] ~docv:"A:B"
+          ~doc:"Print the machine state at every step from A to B.")
+  in
+  let interactive_arg =
+    Arg.(
+      value & flag
+      & info [ "interactive"; "i" ]
+          ~doc:"Step through the run interactively (reads commands from \
+                stdin).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print inspected states as JSON instead of rendered text.")
+  in
+  let run logfile app engine at range interactive json =
+    match Replay.Log.load logfile with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" logfile e;
+        1
+    | Ok log -> (
+        match program_for_log log app with
+        | Error e -> prerr_endline e; 1
+        | Ok program -> (
+            let inspecting =
+              at <> None || range <> None || interactive
+            in
+            (* validate the replay first, so divergence is reported the
+               same way whether or not we go on to inspect *)
+            match Conair.replay ~engine ?program log with
+            | Error (Replay.Driver.Diverged d) -> pp_divergence d; 4
+            | Error e ->
+                prerr_endline (Replay.Driver.error_to_string e);
+                1
+            | Ok b -> (
+                match Replay.Driver.check log b with
+                | Error e ->
+                    Printf.eprintf "replay mismatch: %s\n" e;
+                    4
+                | Ok () ->
+                    if not inspecting then begin
+                      Format.printf "outcome:  %a@." Outcome.pp
+                        b.Replay.Driver.rb_outcome;
+                      List.iter
+                        (fun o -> Format.printf "output:   %s@." o)
+                        b.Replay.Driver.rb_outputs;
+                      Format.printf
+                        "faithful replay: %d decisions, %d steps, %d \
+                         rollbacks (%s engine)@."
+                        (Array.length log.Replay.Log.decisions)
+                        b.Replay.Driver.rb_steps
+                        b.Replay.Driver.rb_stats.Stats.rollbacks
+                        (Replay.Driver.engine_name engine);
+                      0
+                    end
+                    else
+                      (* the inspector replays on the fast engine; the
+                         validation above already proved fidelity *)
+                      match Replay.Inspect.create ?program log with
+                      | Error e -> prerr_endline e; 1
+                      | Ok t ->
+                          if interactive then interactive_loop t ~json
+                          else
+                            let steps =
+                              match (at, range) with
+                              | Some n, None -> Ok [ n ]
+                              | None, Some r -> (
+                                  match parse_range r with
+                                  | Error e -> Error e
+                                  | Ok (a, b) ->
+                                      Ok (List.init (b - a + 1) (fun i -> a + i)))
+                              | Some n, Some _ ->
+                                  prerr_endline
+                                    "--at and --range are mutually \
+                                     exclusive; using --at";
+                                  Ok [ n ]
+                              | None, None -> Ok []
+                            in
+                            (match steps with
+                            | Error e -> prerr_endline e; 1
+                            | Ok steps ->
+                                if
+                                  List.for_all
+                                    (fun n -> show_state t ~json n)
+                                    steps
+                                then 0
+                                else 1))))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded schedule log bit-for-bit, with time-travel \
+          inspection of any step (--at, --range, --interactive). Exits 4 \
+          when the execution diverges from the recording, 0 on a faithful \
+          replay — even of a failing run.")
+    Term.(
+      const run $ log_file_arg $ app_opt_arg $ engine_arg $ at_arg
+      $ range_arg $ interactive_arg $ json_arg)
+
+let minimize_cmd =
+  let app_opt_arg =
+    let doc =
+      "Rebuild the program from the registry (verified against the log's \
+       recorded MD5) instead of parsing the log's embedded text."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the minimized schedule as a replayable log to $(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the interleaving explanation (switch-by-switch, with \
+                detector findings) to $(docv) as JSON.")
+  in
+  let max_tests_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-tests" ]
+          ~doc:"Budget of candidate executions for the ddmin search.")
+  in
+  let no_detect_arg =
+    Arg.(
+      value & flag
+      & info [ "no-detect" ]
+          ~doc:"Skip the race/deadlock detector pass over the minimized \
+                schedule.")
+  in
+  let run logfile app out json max_tests no_detect =
+    match Replay.Log.load logfile with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" logfile e;
+        1
+    | Ok log -> (
+        match program_for_log log app with
+        | Error e -> prerr_endline e; 1
+        | Ok program -> (
+            match
+              Conair.minimize ~max_tests ~detect:(not no_detect) ?program log
+            with
+            | Error e -> prerr_endline e; 1
+            | Ok m ->
+                print_string (Replay.Minimize.render m);
+                (match out with
+                | Some file ->
+                    Replay.Log.save m.Replay.Minimize.mn_log file;
+                    Printf.printf "minimized log: %s\n" file
+                | None -> ());
+                (match json with
+                | Some file ->
+                    write_file file
+                      (Obs.Json.to_string_pretty
+                         (Replay.Minimize.to_json m));
+                    Printf.printf "explanation: %s\n" file
+                | None -> ());
+                0))
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:
+         "Shrink a failing recorded schedule to a locally minimal set of \
+          preemptive context switches that still reproduces the failure \
+          (delta debugging over preemption points), and explain each \
+          surviving switch.")
+    Term.(
+      const run $ log_file_arg $ app_opt_arg $ out_arg $ json_arg
+      $ max_tests_arg $ no_detect_arg)
+
 let aggregate_cmd =
   let file_arg =
     Arg.(
@@ -1042,6 +1401,6 @@ let main_cmd =
   Cmd.group (Cmd.info "conair" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; report_cmd;
       restart_cmd; fullckpt_cmd; file_cmd; dot_cmd; profile_cmd;
-      overhead_cmd; races_cmd; aggregate_cmd ]
+      overhead_cmd; races_cmd; replay_cmd; minimize_cmd; aggregate_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

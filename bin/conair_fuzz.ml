@@ -11,8 +11,8 @@
    - determinism: a fixed seed reproduces a run exactly;
    - round-trip: emit/parse reproduces the hardened program.
 
-   Usage:  conair_fuzz [--jsonl FILE] [--detect] [ITERATIONS] [BASE_SEED]
-                                                         (defaults 500 0)
+   Usage:  conair_fuzz [--jsonl FILE] [--detect] [--record DIR]
+                       [ITERATIONS] [BASE_SEED]          (defaults 500 0)
 
    With --jsonl, every hardened run appends one {"type":"run",...} record
    to FILE (the input format of [Conair.Obs.Aggregate] and the aggregate
@@ -23,7 +23,15 @@
    every schedule tried, tallying per address how many schedules observed
    a race on it — a detected_races table in the summary. A race observed
    on some schedules but not others is the detector's view of how narrow
-   the buggy window is (cf. the schedule counts of §5). *)
+   the buggy window is (cf. the schedule counts of §5).
+
+   With --record DIR, every hardened run executes with the schedule
+   recorder installed, and the runs that matter — the failing ones and
+   the ones that recovered (rollbacks > 0) — are saved to DIR as
+   self-contained schedule logs (<case>-<seed>[-pN].sched.jsonl),
+   replayable with `conair_cli replay` and shrinkable with `conair_cli
+   minimize`. The saved paths appear in the summary as recorded_failing
+   and recorded_recovered. *)
 
 module Gen = Conair_genprog.Genprog
 module Machine = Conair.Runtime.Machine
@@ -51,6 +59,36 @@ let jsonl : Conair.Obs.Jsonl.writer option ref = ref None
 let detect = ref false
 let detected : (string, int) Hashtbl.t = Hashtbl.create 16
 let detect_schedules = ref 0
+
+(* --record: save failing and recovered schedules here *)
+let record_dir = ref None
+let recorded_failing = ref [] (* newest first; reversed in the summary *)
+let recorded_recovered = ref []
+
+(* [execute_hardened], with the schedule recorder installed when
+   --record is on. Recording only taps the scheduler's decisions, so the
+   run itself is unchanged. [tag] disambiguates multiple schedules of
+   the same (case, seed). *)
+let execute_recorded ~case ~seed ?(tag = "") ~config (h : Conair.hardened) =
+  match !record_dir with
+  | None -> Conair.execute_hardened ~config h
+  | Some dir ->
+      let ident =
+        Conair.Replay.Log.ident ~variant:case ~mode:"survival" "conair_fuzz"
+      in
+      let r, log = Conair.run_recorded ~config ~ident h in
+      let failing = not (Outcome.is_success r.outcome) in
+      let recovered = r.Conair.stats.rollbacks > 0 in
+      if failing || recovered then begin
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "%s-%d%s.sched.jsonl" case seed tag)
+        in
+        Conair.Replay.Log.save log path;
+        if failing then recorded_failing := path :: !recorded_failing
+        else recorded_recovered := path :: !recorded_recovered
+      end;
+      r
 
 let outcome_tag (o : Outcome.t) =
   match o with
@@ -128,7 +166,10 @@ let fuzz_arith seed =
       (Outcome.is_success r0.outcome
       && r0.outputs = [ string_of_int expected ]);
     let h = Conair.harden_exn p Conair.Survival in
-    let r1 = note_run ~case:"arith" ~seed (Conair.execute_hardened ~config h) in
+    let r1 =
+      note_run ~case:"arith" ~seed
+        (execute_recorded ~case:"arith" ~seed ~config h)
+    in
     check "arith: transparency" ~detail
       (r1.outputs = r0.outputs && r1.stats.rollbacks = 0);
     check "arith: round-trip" ~detail
@@ -143,10 +184,15 @@ let fuzz_racy seed =
   let detail = Gen.racy_spec_print spec in
   let p = Gen.racy_program spec in
   let h = Conair.harden_exn p Conair.Survival in
-  List.iter
-    (fun policy ->
+  List.iteri
+    (fun pi policy ->
       let config = { config with policy } in
-      let r = note_run ~case:"racy" ~seed (Conair.execute_hardened ~config h) in
+      let r =
+        note_run ~case:"racy" ~seed
+          (execute_recorded ~case:"racy" ~seed
+             ~tag:(Printf.sprintf "-p%d" pi)
+             ~config h)
+      in
       check "racy: recovers" ~detail
         (Outcome.is_success r.outcome
         && r.outputs = [ string_of_int spec.expected ]);
@@ -186,7 +232,9 @@ let fuzz_ring seed =
   let h = Conair.harden_exn p Conair.Survival in
   let r =
     note_run ~case:"ring" ~seed
-      (Conair.execute_hardened ~config:{ config with fuel = 2_000_000 } h)
+      (execute_recorded ~case:"ring" ~seed
+         ~config:{ config with fuel = 2_000_000 }
+         h)
   in
   check "ring: recovers" ~detail (Outcome.is_success r.outcome);
   check "ring: rollback safety" ~detail (r.stats.tracecheck_violations = 0)
@@ -200,7 +248,10 @@ let fuzz_wakeup seed =
   let r0 = Conair.execute ~config p in
   let hung = match r0.outcome with Outcome.Hang _ -> true | _ -> false in
   let h = Conair.harden_exn p Conair.Survival in
-  let r = note_run ~case:"wakeup" ~seed (Conair.execute_hardened ~config h) in
+  let r =
+    note_run ~case:"wakeup" ~seed
+      (execute_recorded ~case:"wakeup" ~seed ~config h)
+  in
   check "wakeup: hardened always succeeds" ~detail
     (Outcome.is_success r.outcome);
   check "wakeup: correct payload" ~detail
@@ -223,6 +274,13 @@ let parse_argv () =
     | "--detect" :: rest ->
         detect := true;
         scan rest
+    | "--record" :: dir :: rest ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        record_dir := Some dir;
+        scan rest
+    | "--record" :: [] ->
+        prerr_endline "conair_fuzz: --record needs a DIR argument";
+        exit 2
     | arg :: rest ->
         positional := arg :: !positional;
         scan rest
@@ -280,7 +338,18 @@ let () =
          ("recoveries", Json.Int !recoveries);
          ("max_episode_steps", Json.Int !max_episode);
        ]
-      @ detect_fields)
+      @ detect_fields
+      @
+      match !record_dir with
+      | None -> []
+      | Some _ ->
+          let paths l =
+            Json.List (List.rev_map (fun p -> Json.String p) l)
+          in
+          [
+            ("recorded_failing", paths !recorded_failing);
+            ("recorded_recovered", paths !recorded_recovered);
+          ])
   in
   print_endline (Json.to_string summary);
   (match (!jsonl, jsonl_oc) with

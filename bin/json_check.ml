@@ -1,6 +1,10 @@
 (* json_check: validate telemetry files emitted by conair_cli.
 
    For each FILE argument:
+   - *.sched.jsonl — a schedule log: a sched_meta header first, then
+                   sched_chunk lines whose "d" members are integer
+                   lists, then exactly one sched_end trailer whose
+                   "decisions" count matches the chunk total;
    - *.jsonl     — every non-empty line must parse as a JSON object;
    - *.collapsed — collapsed-stack flamegraph lines: every non-empty
                    line is "frame;frame;... N" with non-empty frames
@@ -69,6 +73,60 @@ let check_collapsed file =
   if !n = 0 then fail file "no collapsed-stack lines"
   else Printf.printf "json_check: %s: %d collapsed-stack lines ok\n" file !n
 
+let check_sched file =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file file))
+  in
+  let before = !errors in
+  let bad i msg = fail file (Printf.sprintf "record %d: %s" (i + 1) msg) in
+  let decisions = ref 0 and ends = ref 0 and trailer_count = ref None in
+  List.iteri
+    (fun i line ->
+      match Json.of_string line with
+      | Error e -> bad i e
+      | Ok j -> (
+          let ty =
+            match Json.member "type" j with
+            | Some (Json.String s) -> s
+            | _ -> ""
+          in
+          match ty with
+          | "sched_meta" ->
+              if i <> 0 then bad i "sched_meta is not the first record"
+          | "sched_chunk" -> (
+              if i = 0 then bad i "schedule log does not start with sched_meta";
+              match Json.member "d" j with
+              | Some (Json.List ds)
+                when List.for_all
+                       (function Json.Int _ -> true | _ -> false)
+                       ds ->
+                  decisions := !decisions + List.length ds
+              | _ -> bad i "sched_chunk without an integer \"d\" list")
+          | "sched_end" -> (
+              incr ends;
+              match Json.member "decisions" j with
+              | Some (Json.Int n) -> trailer_count := Some n
+              | _ -> bad i "sched_end without a \"decisions\" count")
+          | other ->
+              bad i (Printf.sprintf "unexpected record type %S" other)))
+    lines;
+  if lines = [] then fail file "empty schedule log"
+  else if !ends <> 1 then
+    fail file (Printf.sprintf "%d sched_end trailers (expected 1)" !ends)
+  else begin
+    (match !trailer_count with
+    | Some n when n <> !decisions ->
+        fail file
+          (Printf.sprintf "trailer says %d decisions, chunks carry %d" n
+             !decisions)
+    | _ -> ());
+    if !errors = before then
+      Printf.printf "json_check: %s: schedule log with %d decisions ok\n"
+        file !decisions
+  end
+
 let check_json file =
   match Json.of_string (read_file file) with
   | Error e -> fail file e
@@ -89,6 +147,8 @@ let () =
   List.iter
     (fun file ->
       if not (Sys.file_exists file) then fail file "no such file"
+      else if Filename.check_suffix file ".sched.jsonl" then
+        check_sched file
       else if Filename.check_suffix file ".jsonl" then check_jsonl file
       else if Filename.check_suffix file ".collapsed" then
         check_collapsed file

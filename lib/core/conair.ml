@@ -240,6 +240,83 @@ let detect_hardened ?config ?options (h : hardened) =
     ~meta:(Machine.meta_of_harden h.hardened)
     h.hardened.program
 
+(** Schedule record-and-replay: the scheduler-decision recorder, the
+    strict/directed replay feeds, the time-travel inspector and the
+    failing-interleaving minimizer (see [docs/REPLAY.md]). *)
+module Replay = struct
+  module Log = Conair_replay.Schedule_log
+  module Recorder = Conair_replay.Recorder
+  module Feed = Conair_replay.Feed
+  module Driver = Conair_replay.Driver
+  module Inspect = Conair_replay.Inspect
+  module Minimize = Conair_replay.Minimize
+end
+
+let mode_name : mode -> string = function
+  | Survival -> "survival"
+  | Fix _ -> "fix"
+
+(* Record on the fast engine while keeping the machine, so the result is a
+   full facade [run] next to the schedule log. *)
+let record_into ?(config = Machine.default_config) ?meta ~ident program :
+    run * Replay.Log.t =
+  let m = Machine.create ~config ?meta program in
+  let r = Conair_replay.Recorder.attach m.Machine.sched in
+  let outcome = Machine.run m in
+  Conair_replay.Recorder.detach m.Machine.sched;
+  let run =
+    {
+      outcome;
+      outputs = Machine.outputs m;
+      stats = Machine.stats m;
+      machine = m;
+    }
+  in
+  let bundle =
+    {
+      Conair_replay.Driver.rb_outcome = outcome;
+      rb_outputs = run.outputs;
+      rb_stats = run.stats;
+      rb_steps = m.Machine.step;
+    }
+  in
+  ( run,
+    Conair_replay.Driver.log_of_run ~config ?meta ~ident ~program r bundle )
+
+(** [execute] with the schedule recorder installed: the run plus a
+    self-contained schedule log that replays it bit-for-bit. *)
+let record_run ?config ?ident (p : Program.t) : run * Replay.Log.t =
+  let ident =
+    match ident with
+    | Some i -> i
+    | None -> Conair_replay.Schedule_log.ident "program"
+  in
+  record_into ?config ~ident p
+
+(** [execute_hardened] with the schedule recorder installed. The default
+    ident carries the plan's mode ("survival" or "fix"). *)
+let run_recorded ?config ?ident (h : hardened) : run * Replay.Log.t =
+  let ident =
+    match ident with
+    | Some i -> i
+    | None ->
+        Conair_replay.Schedule_log.ident ~mode:(mode_name h.plan.Plan.mode)
+          "program"
+  in
+  record_into ?config
+    ~meta:(Machine.meta_of_harden h.hardened)
+    ~ident h.hardened.program
+
+(** Re-execute a recorded schedule on either engine, detecting any
+    divergence from the recording as a structured error. *)
+let replay ?engine ?program ?meta (log : Replay.Log.t) =
+  Conair_replay.Driver.replay ?engine ?program ?meta log
+
+(** Shrink a failing recorded schedule to a locally minimal set of
+    preemptions that still reproduces the failure. *)
+let minimize ?max_tests ?detect ?program ?meta (log : Replay.Log.t) =
+  Conair_replay.Minimize.minimize ?max_tests ?detect ?program ?meta log
+
 (** A recovery trial in the style of §5: run the hardened program [runs]
     times (varying the random-scheduler seed) and report how many runs
     finished successfully with acceptable outputs. *)

@@ -214,6 +214,62 @@ val detect_hardened :
     run alive long enough for the conflicting access to execute (§6:
     recovery masks the symptom; detection un-masks the root cause). *)
 
+(** Schedule record-and-replay: the scheduler-decision recorder, the
+    strict/directed replay feeds, the time-travel inspector and the
+    failing-interleaving minimizer. Runs are deterministic in (program,
+    config, policy, seed), so the chosen-thread stream is a complete
+    witness of an execution: recording it makes any run — in particular a
+    one-in-a-thousand failing interleaving from the fuzzer —
+    reproducible, inspectable at any step, and minimizable to the few
+    context switches that actually cause the failure. See
+    [docs/REPLAY.md]. *)
+module Replay : sig
+  module Log = Conair_replay.Schedule_log
+  module Recorder = Conair_replay.Recorder
+  module Feed = Conair_replay.Feed
+  module Driver = Conair_replay.Driver
+  module Inspect = Conair_replay.Inspect
+  module Minimize = Conair_replay.Minimize
+end
+
+val record_run :
+  ?config:Conair_runtime.Machine.config ->
+  ?ident:Replay.Log.ident ->
+  Conair_ir.Program.t ->
+  run * Replay.Log.t
+(** {!execute} with the schedule recorder installed: the run plus a
+    self-contained schedule log (embedded program, config, decision
+    stream, result trailer) that replays it bit-for-bit on either
+    engine. *)
+
+val run_recorded :
+  ?config:Conair_runtime.Machine.config ->
+  ?ident:Replay.Log.ident ->
+  hardened ->
+  run * Replay.Log.t
+(** {!execute_hardened} with the schedule recorder installed. The
+    default ident carries the plan's mode ("survival" or "fix"). *)
+
+val replay :
+  ?engine:Replay.Driver.engine ->
+  ?program:Conair_ir.Program.t ->
+  ?meta:Conair_runtime.Machine.meta ->
+  Replay.Log.t ->
+  (Replay.Driver.result_bundle, Replay.Driver.error) result
+(** Re-execute a recorded schedule with divergence detection; see
+    {!Replay.Driver.replay}. *)
+
+val minimize :
+  ?max_tests:int ->
+  ?detect:bool ->
+  ?program:Conair_ir.Program.t ->
+  ?meta:Conair_runtime.Machine.meta ->
+  Replay.Log.t ->
+  (Replay.Minimize.t, string) result
+(** Shrink a failing recorded schedule to a locally minimal set of
+    preemptions that still reproduces the failure; see
+    {!Replay.Minimize.minimize}. *)
+
 (** A recovery trial in the style of §5: run the hardened program many
     times (varying the random seed) and count successful, accepted runs. *)
 type trial = {

@@ -42,8 +42,69 @@ let config_json (c : Machine.config) : Json.t =
       ("deadlock_backoff", Json.Int c.deadlock_backoff);
       ("verify_rollbacks", Json.Bool c.verify_rollbacks);
       ("perturb_timing", Json.Bool c.perturb_timing);
+      ("spawn_jitter", Json.Int c.spawn_jitter);
       ("profile_sites", Json.Bool c.profile_sites);
     ]
+
+let policy_of_json : Json.t -> (Sched.policy, string) result = function
+  | Json.String "round-robin" -> Ok Sched.Round_robin
+  | Json.Obj _ as j -> (
+      match Json.member "random" j with
+      | Some (Json.Int seed) -> Ok (Sched.Random seed)
+      | _ -> Error "config: malformed policy object")
+  | _ -> Error "config: malformed policy"
+
+(* Decode a [config_json] object. Fields absent from the object (logs
+   written before a knob existed) keep their [Machine.default_config]
+   value; present fields must be well-typed. *)
+let config_of_json (j : Json.t) : (Machine.config, string) result =
+  let ( let* ) = Result.bind in
+  let field name decode default =
+    match Json.member name j with
+    | None -> Ok default
+    | Some v -> (
+        match decode v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "config: malformed %S field" name))
+  in
+  let int = function Json.Int n -> Some n | _ -> None in
+  let bool = function Json.Bool b -> Some b | _ -> None in
+  match j with
+  | Json.Obj _ ->
+      let d = Machine.default_config in
+      let* policy =
+        match Json.member "policy" j with
+        | None -> Ok d.policy
+        | Some p -> policy_of_json p
+      in
+      let* fuel = field "fuel" int d.fuel in
+      let* max_retries = field "max_retries" int d.max_retries in
+      let* deadlock_detection =
+        field "deadlock_detection"
+          (function
+            | Json.String "timeout" -> Some Machine.Timeout_based
+            | Json.String "wait-graph" -> Some Machine.Wait_graph
+            | _ -> None)
+          d.deadlock_detection
+      in
+      let* deadlock_backoff = field "deadlock_backoff" int d.deadlock_backoff in
+      let* verify_rollbacks = field "verify_rollbacks" bool d.verify_rollbacks in
+      let* perturb_timing = field "perturb_timing" bool d.perturb_timing in
+      let* spawn_jitter = field "spawn_jitter" int d.spawn_jitter in
+      let* profile_sites = field "profile_sites" bool d.profile_sites in
+      Ok
+        {
+          Machine.policy;
+          fuel;
+          max_retries;
+          deadlock_detection;
+          deadlock_backoff;
+          verify_rollbacks;
+          perturb_timing;
+          spawn_jitter;
+          profile_sites;
+        }
+  | _ -> Error "config: expected an object"
 
 let meta_json ?config (meta : run_meta) : Json.t =
   Json.Obj

@@ -31,6 +31,14 @@ val config_json : Machine.config -> Json.t
 (** The execution-affecting knobs (policy, fuel, max_retries, deadlock
     detection, perturbation) as a JSON object. *)
 
+val policy_of_json : Json.t -> (Sched.policy, string) result
+
+val config_of_json : Json.t -> (Machine.config, string) result
+(** Decode a {!config_json} object; fields absent from the object keep
+    their [Machine.default_config] value, so older logs stay loadable.
+    The inverse of {!config_json} — the foundation of the self-contained
+    schedule logs of [Conair_replay]. *)
+
 val meta_json : ?config:Machine.config -> run_meta -> Json.t
 (** The header record: [{"type":"meta","app":...,"variant":...,"seed":...,
     "engine":...,"hardened":...,"config":{...}}]. The config subobject

@@ -35,6 +35,55 @@ let outcome_json : Outcome.t -> Json.t = function
       Json.Obj
         [ ("result", Json.String "fuel-exhausted"); ("step", Json.Int step) ]
 
+let failure_kind_of_name = function
+  | "assert" -> Some Instr.Assert_fail
+  | "wrong-output" -> Some Instr.Wrong_output
+  | "segfault" -> Some Instr.Seg_fault
+  | "deadlock" -> Some Instr.Deadlock
+  | _ -> None
+
+(* Decode an [outcome_json] object — the inverse used when loading a
+   schedule log's recorded outcome back for replay verification. *)
+let outcome_of_json (j : Json.t) : (Outcome.t, string) result =
+  let int name =
+    match Json.member name j with Some (Json.Int n) -> Some n | _ -> None
+  in
+  let str name =
+    match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+  in
+  match Json.member "result" j with
+  | Some (Json.String "success") -> Ok Outcome.Success
+  | Some (Json.String "failed") -> (
+      let kind = Option.bind (str "kind") failure_kind_of_name in
+      match (kind, int "tid", int "step", str "msg") with
+      | Some kind, Some tid, Some step, Some msg ->
+          Ok
+            (Outcome.Failed
+               {
+                 kind;
+                 site_id = int "site_id";
+                 iid = int "iid";
+                 tid;
+                 step;
+                 msg;
+               })
+      | _ -> Error "outcome: malformed failed record")
+  | Some (Json.String "hang") -> (
+      match (int "step", Json.member "blocked" j) with
+      | Some step, Some (Json.List l) ->
+          let blocked =
+            List.filter_map (function Json.Int t -> Some t | _ -> None) l
+          in
+          if List.length blocked = List.length l then
+            Ok (Outcome.Hang { step; blocked })
+          else Error "outcome: malformed blocked list"
+      | _ -> Error "outcome: malformed hang record")
+  | Some (Json.String "fuel-exhausted") -> (
+      match int "step" with
+      | Some step -> Ok (Outcome.Fuel_exhausted step)
+      | None -> Error "outcome: malformed fuel-exhausted record")
+  | _ -> Error "outcome: missing or unknown result field"
+
 let episode_json (e : Stats.episode) : Json.t =
   Json.Obj
     [

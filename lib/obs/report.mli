@@ -7,6 +7,11 @@
 open Conair_runtime
 
 val outcome_json : Outcome.t -> Json.t
+
+val outcome_of_json : Json.t -> (Outcome.t, string) result
+(** The inverse of {!outcome_json} — used when loading a recorded
+    schedule log's outcome back for replay verification. *)
+
 val episode_json : Stats.episode -> Json.t
 
 val stats_json : Stats.t -> Json.t

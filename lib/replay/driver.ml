@@ -1,0 +1,220 @@
+(* Record a run into a schedule log; replay a log on either engine with
+   divergence detection; verify a replay against the recorded trailer. *)
+
+open Conair_ir
+open Conair_runtime
+module Log = Schedule_log
+
+type engine = Fast | Ref
+
+let engine_name = function Fast -> "fast" | Ref -> "ref"
+
+let engine_of_name = function
+  | "fast" -> Ok Fast
+  | "ref" -> Ok Ref
+  | s -> Error (Printf.sprintf "unknown engine %S (expected fast or ref)" s)
+
+(** What both engines report about a finished execution. *)
+type result_bundle = {
+  rb_outcome : Outcome.t;
+  rb_outputs : string list;
+  rb_stats : Stats.t;
+  rb_steps : int;
+}
+
+type divergence = {
+  dv_decision : int;  (** ordinal of the disagreeing decision *)
+  dv_step : int;  (** machine virtual time when it was detected *)
+  dv_expected : int option;  (** recorded tid; [None] = log exhausted *)
+  dv_actual : int list;  (** the eligible set the replay offered *)
+  dv_reason : string;
+}
+
+type error =
+  | Program_mismatch of { expected_md5 : string; got_md5 : string }
+  | No_program of string
+  | Diverged of divergence
+
+let error_to_string = function
+  | Program_mismatch { expected_md5; got_md5 } ->
+      Printf.sprintf
+        "program mismatch: log records MD5 %s, supplied program has %s"
+        expected_md5 got_md5
+  | No_program e -> e
+  | Diverged d ->
+      Printf.sprintf
+        "diverged at decision %d (step %d): %s — recorded %s, eligible [%s]"
+        d.dv_decision d.dv_step d.dv_reason
+        (match d.dv_expected with
+        | Some tid -> "tid " ^ string_of_int tid
+        | None -> "end of log")
+        (String.concat "; " (List.map string_of_int d.dv_actual))
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Package a finished recorded run as a schedule log. Exposed so callers
+   that need to keep the machine itself (the facade's [run] type) can
+   drive the recording and still get an identical log. *)
+let log_of_run ?(engine = Fast) ~config ?meta ?(embed_program = true) ~ident
+    ~program recorder (bundle : result_bundle) =
+  let text = Emit.program program in
+  {
+    Log.ident;
+    engine = engine_name engine;
+    config;
+    program_md5 = Log.digest text;
+    program_text = (if embed_program then Some text else None);
+    fail_blocks = Log.fail_blocks_of_meta meta;
+    decisions = Recorder.decisions recorder;
+    preemptions = Recorder.preemptions recorder;
+    steps = bundle.rb_steps;
+    instrs = bundle.rb_stats.Stats.instrs;
+    rollbacks = bundle.rb_stats.Stats.rollbacks;
+    outcome = bundle.rb_outcome;
+    outputs = bundle.rb_outputs;
+  }
+
+let record ?(engine = Fast) ?config ?meta ?embed_program ~ident program =
+  let config = Option.value ~default:Machine.default_config config in
+  let bundle, recorder =
+    match engine with
+    | Fast ->
+        let m = Machine.create ~config ?meta program in
+        let r = Recorder.attach m.Machine.sched in
+        let outcome = Machine.run m in
+        Recorder.detach m.Machine.sched;
+        ( {
+            rb_outcome = outcome;
+            rb_outputs = Machine.outputs m;
+            rb_stats = Machine.stats m;
+            rb_steps = m.Machine.step;
+          },
+          r )
+    | Ref ->
+        let m = Ref_machine.create ~config ?meta program in
+        let r = Recorder.attach (Ref_machine.sched m) in
+        let outcome = Ref_machine.run m in
+        Recorder.detach (Ref_machine.sched m);
+        ( {
+            rb_outcome = outcome;
+            rb_outputs = Ref_machine.outputs m;
+            rb_stats = Ref_machine.stats m;
+            rb_steps = Ref_machine.steps m;
+          },
+          r )
+  in
+  ( bundle,
+    log_of_run ~engine ~config ?meta ?embed_program ~ident ~program recorder
+      bundle )
+
+(* ------------------------------------------------------------------ *)
+(* Replaying                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve the program to execute: the supplied one (verified against the
+   recorded MD5) or the log's embedded text. *)
+let resolve_program ?program (log : Log.t) =
+  match program with
+  | Some p ->
+      let got = Log.digest_program p in
+      if got <> log.Log.program_md5 then
+        Error (Program_mismatch { expected_md5 = log.Log.program_md5; got_md5 = got })
+      else Ok p
+  | None -> (
+      match Log.program log with
+      | Ok p -> Ok p
+      | Error e -> Error (No_program e))
+
+let resolve_meta ?meta (log : Log.t) =
+  match meta with Some _ -> meta | None -> Log.machine_meta log
+
+let exhausted_reason = function
+  | None -> "the execution needs more decisions than were recorded"
+  | Some _ -> "the recorded thread is not eligible"
+
+let replay ?(engine = Fast) ?program ?meta (log : Log.t) =
+  match resolve_program ?program log with
+  | Error e -> Error e
+  | Ok program -> (
+      let meta = resolve_meta ?meta log in
+      let config = log.Log.config in
+      let finish sched steps bundle h =
+        Feed.detach sched;
+        if h.Feed.pos < Array.length log.Log.decisions then
+          Error
+            (Diverged
+               {
+                 dv_decision = h.Feed.pos;
+                 dv_step = steps;
+                 dv_expected = Some log.Log.decisions.(h.Feed.pos);
+                 dv_actual = [];
+                 dv_reason =
+                   "the execution finished before consuming the recorded \
+                    schedule";
+               })
+        else Ok bundle
+      in
+      let diverged sched steps (d : Feed.divergence_info) =
+        Feed.detach sched;
+        Error
+          (Diverged
+             {
+               dv_decision = d.Feed.at;
+               dv_step = steps;
+               dv_expected = d.Feed.expected;
+               dv_actual = d.Feed.eligible;
+               dv_reason = exhausted_reason d.Feed.expected;
+             })
+      in
+      match engine with
+      | Fast -> (
+          let m = Machine.create ~config ?meta program in
+          let sched = m.Machine.sched in
+          let h = Feed.attach_strict sched log.Log.decisions in
+          match Machine.run m with
+          | outcome ->
+              finish sched m.Machine.step
+                {
+                  rb_outcome = outcome;
+                  rb_outputs = Machine.outputs m;
+                  rb_stats = Machine.stats m;
+                  rb_steps = m.Machine.step;
+                }
+                h
+          | exception Feed.Diverged d -> diverged sched m.Machine.step d)
+      | Ref -> (
+          let m = Ref_machine.create ~config ?meta program in
+          let sched = Ref_machine.sched m in
+          let h = Feed.attach_strict sched log.Log.decisions in
+          match Ref_machine.run m with
+          | outcome ->
+              finish sched (Ref_machine.steps m)
+                {
+                  rb_outcome = outcome;
+                  rb_outputs = Ref_machine.outputs m;
+                  rb_stats = Ref_machine.stats m;
+                  rb_steps = Ref_machine.steps m;
+                }
+                h
+          | exception Feed.Diverged d -> diverged sched (Ref_machine.steps m) d
+          ))
+
+let check (log : Log.t) (b : result_bundle) =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if b.rb_outcome <> log.Log.outcome then
+    err "outcome mismatch: recorded %s, replayed %s"
+      (Outcome.to_string log.Log.outcome)
+      (Outcome.to_string b.rb_outcome)
+  else if b.rb_outputs <> log.Log.outputs then err "output mismatch"
+  else if b.rb_steps <> log.Log.steps then
+    err "step-count mismatch: recorded %d, replayed %d" log.Log.steps
+      b.rb_steps
+  else if b.rb_stats.Stats.instrs <> log.Log.instrs then
+    err "instruction-count mismatch: recorded %d, replayed %d" log.Log.instrs
+      b.rb_stats.Stats.instrs
+  else if b.rb_stats.Stats.rollbacks <> log.Log.rollbacks then
+    err "rollback-count mismatch: recorded %d, replayed %d" log.Log.rollbacks
+      b.rb_stats.Stats.rollbacks
+  else Ok ()

@@ -1,0 +1,88 @@
+(** Record a run into a {!Schedule_log}, replay a log on either engine
+    with divergence detection, and verify a replay against the recorded
+    trailer. *)
+
+open Conair_ir
+open Conair_runtime
+
+type engine = Fast  (** [Machine] *) | Ref  (** [Ref_machine] *)
+
+val engine_name : engine -> string
+val engine_of_name : string -> (engine, string) result
+
+(** What both engines report about a finished execution. *)
+type result_bundle = {
+  rb_outcome : Outcome.t;
+  rb_outputs : string list;
+  rb_stats : Stats.t;
+  rb_steps : int;
+}
+
+(** A structured divergence: exactly where the replayed execution
+    disagreed with the recording. *)
+type divergence = {
+  dv_decision : int;  (** ordinal of the disagreeing decision *)
+  dv_step : int;  (** machine virtual time when it was detected *)
+  dv_expected : int option;  (** recorded tid; [None] = log exhausted *)
+  dv_actual : int list;  (** the eligible set the replay offered *)
+  dv_reason : string;
+}
+
+type error =
+  | Program_mismatch of { expected_md5 : string; got_md5 : string }
+      (** the supplied program is not the recorded one *)
+  | No_program of string  (** no embedded program, or it fails to parse *)
+  | Diverged of divergence
+
+val error_to_string : error -> string
+
+val log_of_run :
+  ?engine:engine ->
+  config:Machine.config ->
+  ?meta:Machine.meta ->
+  ?embed_program:bool ->
+  ident:Schedule_log.ident ->
+  program:Program.t ->
+  Recorder.t ->
+  result_bundle ->
+  Schedule_log.t
+(** Package a finished recorded run as a schedule log — for callers that
+    drove the recording themselves (and e.g. kept the machine). *)
+
+val record :
+  ?engine:engine ->
+  ?config:Machine.config ->
+  ?meta:Machine.meta ->
+  ?embed_program:bool ->
+  ident:Schedule_log.ident ->
+  Program.t ->
+  result_bundle * Schedule_log.t
+(** Run [program] with the recorder tap installed and package the
+    decision stream as a self-contained schedule log. [embed_program]
+    (default [true]) controls whether the program text rides in the log;
+    [meta] is the recovery metadata for hardened programs and is
+    serialized into the log's fail-block table. *)
+
+val replay :
+  ?engine:engine ->
+  ?program:Program.t ->
+  ?meta:Machine.meta ->
+  Schedule_log.t ->
+  (result_bundle, error) result
+(** Re-execute a recorded schedule. The program defaults to the log's
+    embedded text; a supplied program is verified against the recorded
+    MD5 first. The replaying engine is independent of the recording one —
+    cross-engine replay is part of the differential guarantee. *)
+
+val check : Schedule_log.t -> result_bundle -> (unit, string) result
+(** Compare a replay's results against the log's recorded trailer
+    (outcome, outputs, steps, instruction and rollback counts). *)
+
+(** {1 Shared resolution helpers} (used by the inspector and minimizer) *)
+
+val resolve_program :
+  ?program:Program.t -> Schedule_log.t -> (Program.t, error) result
+(** The supplied program verified against the recorded MD5, or the log's
+    embedded text parsed. *)
+
+val resolve_meta : ?meta:Machine.meta -> Schedule_log.t -> Machine.meta option

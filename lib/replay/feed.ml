@@ -1,0 +1,87 @@
+(* Scheduler feeds: the replay half of the record/replay seam.
+
+   [strict] forces the exact recorded decision stream and raises
+   [Diverged] the moment the replayed execution disagrees with the
+   recording — the recorded thread is not eligible, or the execution
+   asks for more decisions than were recorded. [Sched] mirrors the
+   policy's rng/cursor side effects for every fed decision, so a strict
+   replay of a log against the same program and config reproduces the
+   original run bit for bit, downstream random draws included.
+
+   [directed] executes a *sparse* schedule: an ordered list of context
+   switch directives ("once thread FROM has run COUNT decisions, switch
+   to TO"), continuing the current thread between directives and falling
+   back to round-robin order (first eligible tid after the current one,
+   wrapping) when the current thread cannot run. Feeding every switch of
+   a recorded run reproduces it exactly; feeding a subset is how the
+   minimizer probes which preemptions a failure actually needs. *)
+
+open Conair_runtime
+
+type divergence_info = { at : int; expected : int option; eligible : int list }
+
+exception Diverged of divergence_info
+
+type strict = { decisions : int array; mutable pos : int }
+
+let strict ?(start = 0) decisions = { decisions; pos = start }
+
+let strict_decide h ~eligible =
+  let k = h.pos in
+  if k >= Array.length h.decisions then
+    raise (Diverged { at = k; expected = None; eligible });
+  let tid = h.decisions.(k) in
+  if not (List.mem tid eligible) then
+    raise (Diverged { at = k; expected = Some tid; eligible });
+  h.pos <- k + 1;
+  tid
+
+let attach_strict ?start sched decisions =
+  let h = strict ?start decisions in
+  Sched.set_feed sched (Some (fun ~eligible -> strict_decide h ~eligible));
+  h
+
+(* ------------------------------------------------------------------ *)
+
+type directive = { dr_from : int; dr_count : int; dr_to : int }
+
+type directed = {
+  mutable queue : directive list;
+  mutable cur : int;
+  counts : (int, int) Hashtbl.t;  (** tid -> decisions it has run *)
+  mutable fired : int;
+}
+
+let directed_decide d ~eligible =
+  let local tid = Option.value ~default:0 (Hashtbl.find_opt d.counts tid) in
+  let tid =
+    match d.queue with
+    | dr :: rest
+      when dr.dr_from = d.cur
+           && local dr.dr_from >= dr.dr_count
+           && List.mem dr.dr_to eligible ->
+        d.queue <- rest;
+        d.fired <- d.fired + 1;
+        dr.dr_to
+    | _ ->
+        if d.cur >= 0 && List.mem d.cur eligible then d.cur
+        else (
+          (* round-robin order: first eligible tid after the current one,
+             wrapping — exactly the forced-switch choice the recording
+             policy would make *)
+          match List.find_opt (fun t -> t > d.cur) eligible with
+          | Some t -> t
+          | None -> List.hd eligible)
+  in
+  d.cur <- tid;
+  Hashtbl.replace d.counts tid (local tid + 1);
+  tid
+
+let attach_directed sched directives =
+  let d =
+    { queue = directives; cur = -1; counts = Hashtbl.create 16; fired = 0 }
+  in
+  Sched.set_feed sched (Some (fun ~eligible -> directed_decide d ~eligible));
+  d
+
+let detach sched = Sched.set_feed sched None

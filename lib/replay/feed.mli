@@ -1,0 +1,52 @@
+(** Scheduler feeds ({!Conair_runtime.Sched.set_feed}): force a machine
+    through a recorded or synthesized schedule. *)
+
+open Conair_runtime
+
+type divergence_info = {
+  at : int;  (** decision ordinal where replay and recording disagree *)
+  expected : int option;
+      (** the recorded tid, or [None] when the log is exhausted *)
+  eligible : int list;  (** what the replayed execution offered instead *)
+}
+
+exception Diverged of divergence_info
+
+(** {1 Strict replay} *)
+
+type strict = { decisions : int array; mutable pos : int }
+
+val strict : ?start:int -> int array -> strict
+
+val strict_decide : strict -> eligible:int list -> int
+(** The feed function: returns the next recorded decision.
+    @raise Diverged when it is not eligible or the log is exhausted. *)
+
+val attach_strict : ?start:int -> Sched.t -> int array -> strict
+
+(** {1 Directed execution}
+
+    A sparse schedule: ordered context-switch directives over an
+    otherwise serial execution. Between directives the current thread
+    keeps running; when it cannot, control falls to the next eligible
+    tid in round-robin order. Feeding every switch of a recorded
+    round-robin run reproduces it exactly; subsets are the minimizer's
+    search space. *)
+
+type directive = {
+  dr_from : int;  (** the thread being preempted *)
+  dr_count : int;  (** fire once [dr_from] has run this many decisions *)
+  dr_to : int;  (** the thread taking over *)
+}
+
+type directed = {
+  mutable queue : directive list;
+  mutable cur : int;
+  counts : (int, int) Hashtbl.t;
+  mutable fired : int;  (** directives consumed so far *)
+}
+
+val directed_decide : directed -> eligible:int list -> int
+val attach_directed : Sched.t -> directive list -> directed
+
+val detach : Sched.t -> unit

@@ -1,0 +1,26 @@
+(** The recorder: a scheduler tap ({!Conair_runtime.Sched.set_tap}) that
+    captures every scheduling decision — the chosen-thread stream — and
+    classifies each as preemptive (the previous thread was still eligible
+    when another was chosen) or forced. *)
+
+open Conair_runtime
+
+type t
+
+val create : unit -> t
+
+val tap : t -> chosen:int -> eligible:int list -> unit
+(** The tap itself — exposed so callers can compose it with their own
+    observation in a single scheduler tap. *)
+
+val attach : Sched.t -> t
+(** [create] + [Sched.set_tap]. *)
+
+val detach : Sched.t -> unit
+
+val count : t -> int
+(** Decisions recorded so far. *)
+
+val decisions : t -> int array
+val preemptions : t -> int array
+(** Ordinals into {!decisions} of the preemptive switches, ascending. *)

@@ -1,0 +1,343 @@
+(* The schedule log: a recorded run's scheduling decisions plus enough
+   metadata to re-execute it from the file alone.
+
+   Serialized as JSONL so the existing line-oriented tooling (json_check,
+   plain grep/jq) works on it unchanged:
+
+     {"type":"sched_meta", ...}     identification, config, program text
+     {"type":"sched_chunk","d":[...]}   decision stream, <= 4096 per line
+     {"type":"sched_end", ...}      counts, preemption ordinals, outcome
+
+   The meta line embeds the *executed* program (hardened text when the
+   run was hardened) and its MD5, so a log replays without access to the
+   original registry entry — and a replay against a supplied program can
+   detect a mismatch before running a single step. The fail-block table
+   (label name -> site id) reconstructs the [Machine.meta] recovery
+   metadata for hardened programs. *)
+
+open Conair_ir
+open Conair_runtime
+module Json = Conair_obs.Json
+module Jsonl = Conair_obs.Jsonl
+module Report = Conair_obs.Report
+
+type ident = {
+  id_app : string;
+  id_variant : string;
+  id_oracle : bool;
+  id_mode : string;  (** "none" (unhardened), "survival" or "fix" *)
+}
+
+let ident ?(variant = "buggy") ?(oracle = false) ?(mode = "none") app =
+  { id_app = app; id_variant = variant; id_oracle = oracle; id_mode = mode }
+
+type t = {
+  ident : ident;
+  engine : string;  (** which engine recorded it ("fast" / "ref") *)
+  config : Machine.config;
+  program_md5 : string;
+  program_text : string option;
+  fail_blocks : (string * int) list;  (** fail-arm label name -> site id *)
+  decisions : int array;
+  preemptions : int array;  (** ordinals into [decisions], ascending *)
+  steps : int;
+  instrs : int;
+  rollbacks : int;
+  outcome : Outcome.t;
+  outputs : string list;
+}
+
+let version = 1
+let chunk_size = 4096
+let digest text = Digest.to_hex (Digest.string text)
+let digest_program p = digest (Emit.program p)
+
+let fail_blocks_of_meta : Machine.meta option -> (string * int) list = function
+  | None -> []
+  | Some mm ->
+      List.map
+        (fun (l, site) -> (Ident.Label.name l, site))
+        mm.Machine.fail_blocks
+
+let machine_meta t : Machine.meta option =
+  match t.fail_blocks with
+  | [] -> None
+  | fbs ->
+      let fail_index = Hashtbl.create (List.length fbs) in
+      List.iter (fun (name, site) -> Hashtbl.replace fail_index name site) fbs;
+      Some
+        {
+          Machine.fail_blocks =
+            List.map (fun (name, site) -> (Ident.Label.v name, site)) fbs;
+          fail_index;
+        }
+
+let program t =
+  match t.program_text with
+  | None -> Error "schedule log: no embedded program"
+  | Some text -> (
+      match Parse.program text with
+      | Ok p -> Ok p
+      | Error e ->
+          Error
+            (Format.asprintf "schedule log: embedded program: %a"
+               Parse.pp_error e))
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ints a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let meta_json t =
+  Json.Obj
+    ([
+       ("type", Json.String "sched_meta");
+       ("version", Json.Int version);
+       ("app", Json.String t.ident.id_app);
+       ("variant", Json.String t.ident.id_variant);
+       ("oracle", Json.Bool t.ident.id_oracle);
+       ("mode", Json.String t.ident.id_mode);
+       ("engine", Json.String t.engine);
+       ("config", Jsonl.config_json t.config);
+       ("program_md5", Json.String t.program_md5);
+     ]
+    @ (match t.program_text with
+      | None -> []
+      | Some text -> [ ("program", Json.String text) ])
+    @
+    match t.fail_blocks with
+    | [] -> []
+    | fbs ->
+        [
+          ( "fail_blocks",
+            Json.List
+              (List.map
+                 (fun (name, site) ->
+                   Json.List [ Json.String name; Json.Int site ])
+                 fbs) );
+        ])
+
+let end_json t =
+  Json.Obj
+    [
+      ("type", Json.String "sched_end");
+      ("decisions", Json.Int (Array.length t.decisions));
+      ("preemptions", ints t.preemptions);
+      ("steps", Json.Int t.steps);
+      ("instrs", Json.Int t.instrs);
+      ("rollbacks", Json.Int t.rollbacks);
+      ("outcome", Report.outcome_json t.outcome);
+      ("outputs", Json.List (List.map (fun s -> Json.String s) t.outputs));
+    ]
+
+let to_lines t =
+  let n = Array.length t.decisions in
+  let chunks = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk_size (n - !pos) in
+    chunks :=
+      Json.Obj
+        [
+          ("type", Json.String "sched_chunk");
+          ("d", ints (Array.sub t.decisions !pos len));
+        ]
+      :: !chunks;
+    pos := !pos + len
+  done;
+  List.map Json.to_string
+    ((meta_json t :: List.rev !chunks) @ [ end_json t ])
+
+let save t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines t))
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "schedule log: missing %S field" name)
+
+let str name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "schedule log: malformed %S field" name)
+
+let int name j =
+  match Json.member name j with
+  | Some (Json.Int n) -> Ok n
+  | _ -> Error (Printf.sprintf "schedule log: malformed %S field" name)
+
+let bool name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok b
+  | _ -> Error (Printf.sprintf "schedule log: malformed %S field" name)
+
+let int_list name j =
+  match Json.member name j with
+  | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Int n :: rest -> go (n :: acc) rest
+        | _ -> Error (Printf.sprintf "schedule log: malformed %S field" name)
+      in
+      go [] l
+  | _ -> Error (Printf.sprintf "schedule log: malformed %S field" name)
+
+let line_type j =
+  match Json.member "type" j with Some (Json.String s) -> s | _ -> ""
+
+let parse_meta j =
+  let* v = int "version" j in
+  if v > version then
+    Error (Printf.sprintf "schedule log: unsupported version %d" v)
+  else
+    let* app = str "app" j in
+    let* variant = str "variant" j in
+    let* oracle = bool "oracle" j in
+    let* mode = str "mode" j in
+    let* engine = str "engine" j in
+    let* config_j = field "config" j in
+    let* config = Jsonl.config_of_json config_j in
+    let* program_md5 = str "program_md5" j in
+    let program_text =
+      match Json.member "program" j with
+      | Some (Json.String text) -> Some text
+      | _ -> None
+    in
+    let* fail_blocks =
+      match Json.member "fail_blocks" j with
+      | None -> Ok []
+      | Some (Json.List l) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | Json.List [ Json.String name; Json.Int site ] :: rest ->
+                go ((name, site) :: acc) rest
+            | _ -> Error "schedule log: malformed \"fail_blocks\" field"
+          in
+          go [] l
+      | Some _ -> Error "schedule log: malformed \"fail_blocks\" field"
+    in
+    Ok
+      ( { id_app = app; id_variant = variant; id_oracle = oracle; id_mode = mode },
+        engine,
+        config,
+        program_md5,
+        program_text,
+        fail_blocks )
+
+let of_lines lines =
+  match lines with
+  | [] -> Error "schedule log: empty"
+  | meta_line :: rest ->
+      let* meta_j = Json.of_string meta_line in
+      if line_type meta_j <> "sched_meta" then
+        Error "schedule log: first line is not a sched_meta record"
+      else
+        let* ident, engine, config, program_md5, program_text, fail_blocks =
+          parse_meta meta_j
+        in
+        (* decision chunks, then exactly one trailing end record *)
+        let buf = ref (Array.make 1024 0) in
+        let n = ref 0 in
+        let push tid =
+          if !n = Array.length !buf then begin
+            let bigger = Array.make (2 * !n) 0 in
+            Array.blit !buf 0 bigger 0 !n;
+            buf := bigger
+          end;
+          !buf.(!n) <- tid;
+          incr n
+        in
+        let rec walk = function
+          | [] -> Error "schedule log: missing sched_end record"
+          | line :: rest -> (
+              let* j = Json.of_string line in
+              match line_type j with
+              | "sched_chunk" ->
+                  let* d = int_list "d" j in
+                  List.iter push d;
+                  walk rest
+              | "sched_end" ->
+                  if rest <> [] then
+                    Error "schedule log: lines after the sched_end record"
+                  else
+                    let* count = int "decisions" j in
+                    if count <> !n then
+                      Error
+                        (Printf.sprintf
+                           "schedule log: sched_end declares %d decisions, \
+                            chunks carry %d"
+                           count !n)
+                    else
+                      let* preempts = int_list "preemptions" j in
+                      let* steps = int "steps" j in
+                      let* instrs = int "instrs" j in
+                      let* rollbacks = int "rollbacks" j in
+                      let* outcome_j = field "outcome" j in
+                      let* outcome = Report.outcome_of_json outcome_j in
+                      let* outputs =
+                        match Json.member "outputs" j with
+                        | Some (Json.List l) ->
+                            let rec go acc = function
+                              | [] -> Ok (List.rev acc)
+                              | Json.String s :: rest -> go (s :: acc) rest
+                              | _ ->
+                                  Error
+                                    "schedule log: malformed \"outputs\" field"
+                            in
+                            go [] l
+                        | _ -> Error "schedule log: malformed \"outputs\" field"
+                      in
+                      Ok
+                        {
+                          ident;
+                          engine;
+                          config;
+                          program_md5;
+                          program_text;
+                          fail_blocks;
+                          decisions = Array.sub !buf 0 !n;
+                          preemptions = Array.of_list preempts;
+                          steps;
+                          instrs;
+                          rollbacks;
+                          outcome;
+                          outputs;
+                        }
+              | other ->
+                  Error
+                    (Printf.sprintf "schedule log: unexpected %S record" other))
+        in
+        walk rest
+
+let load file =
+  match
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then lines := line :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  with
+  | lines -> of_lines lines
+  | exception Sys_error e -> Error ("schedule log: " ^ e)

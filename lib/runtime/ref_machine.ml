@@ -181,6 +181,7 @@ let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
 
 let outputs m = List.rev m.outputs
 let stats m = m.stats
+let sched m = m.sched
 let set_trace m sink = m.trace <- Some sink
 let set_profile m probe = m.prof <- Some probe
 let set_race m probe = m.race <- Some probe

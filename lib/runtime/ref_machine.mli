@@ -33,6 +33,10 @@ val set_race : t -> Race_probe.probe -> unit
 val outputs : t -> string list
 (** In emission order. *)
 
+val sched : t -> Sched.t
+(** The machine's scheduler — the attach point for the record/replay
+    hooks ({!Sched.set_tap}, {!Sched.set_feed}). *)
+
 val stats : t -> Stats.t
 val outcome : t -> Outcome.t option
 

@@ -19,22 +19,54 @@
    race detector's event stream and reports. Same seed, byte-identical
    race reports; a different seed is a genuinely different schedule, which
    is exactly what [conair_fuzz --detect] exploits to count the schedules
-   on which a race is observed. *)
+   on which a race is observed.
+
+   The scheduler is also the record/replay seam ([Conair_replay]): an
+   optional [tap] observes every decision (eligible set + chosen tid) and
+   an optional [feed] overrides the policy's choice. Both default to
+   [None] and cost one match per decision when absent, the same
+   zero-cost-when-off discipline as the trace/profile/race probes. A fed
+   decision still consumes the rng and moves the cursor exactly as the
+   policy would have for the same choice, so a strict replay reproduces
+   the original random stream — deadlock backoff and timing perturbation
+   draws included. *)
 
 type policy =
   | Round_robin  (** strict rotation among eligible threads; rng unused *)
   | Random of int  (** uniform choice, seeded LXM ([Random.State]) *)
 
-type t = { policy : policy; rng : Random.State.t; mutable cursor : int }
+type t = {
+  policy : policy;
+  mutable rng : Random.State.t;
+  mutable cursor : int;
+  mutable tap : (chosen:int -> eligible:int list -> unit) option;
+  mutable feed : (eligible:int list -> int) option;
+}
 
 let create policy =
   let seed = match policy with Round_robin -> 0 | Random s -> s in
-  { policy; rng = Random.State.make [| seed |]; cursor = 0 }
+  {
+    policy;
+    rng = Random.State.make [| seed |];
+    cursor = 0;
+    tap = None;
+    feed = None;
+  }
 
-(** Pick one of [eligible] (a non-empty list of thread ids). *)
-let choose t eligible =
+let set_tap t tap = t.tap <- tap
+let set_feed t feed = t.feed <- feed
+
+type saved = { sv_rng : Random.State.t; sv_cursor : int }
+
+let save t = { sv_rng = Random.State.copy t.rng; sv_cursor = t.cursor }
+
+let restore t s =
+  t.rng <- Random.State.copy s.sv_rng;
+  t.cursor <- s.sv_cursor
+
+(* What the policy itself would pick (never sees an empty list). *)
+let decide t eligible =
   match eligible with
-  | [] -> invalid_arg "Sched.choose: no eligible thread"
   | [ tid ] -> tid
   | _ -> (
       match t.policy with
@@ -52,24 +84,82 @@ let choose t eligible =
       | Random _ ->
           List.nth eligible (Random.State.int t.rng (List.length eligible)))
 
+(* Replicate the policy's side effects for a decision made by a feed:
+   consume the same rng draw and move the cursor to the chosen thread, so
+   replayed and directed runs keep the downstream random stream (deadlock
+   backoff, perturbed timing) aligned with policy-driven runs. *)
+let mirror t ~eligible chosen =
+  match eligible with
+  | [ _ ] -> ()
+  | _ -> (
+      match t.policy with
+      | Round_robin -> t.cursor <- chosen
+      | Random _ ->
+          ignore (Random.State.int t.rng (List.length eligible)))
+
+let notify t ~chosen ~eligible =
+  match t.tap with None -> () | Some f -> f ~chosen ~eligible
+
+(** Pick one of [eligible] (a non-empty list of thread ids). *)
+let hooked t = match (t.tap, t.feed) with None, None -> false | _ -> true
+
+let choose t eligible =
+  match eligible with
+  | [] -> invalid_arg "Sched.choose: no eligible thread"
+  | [ tid ] when not (hooked t) -> tid
+  | _ ->
+      let chosen =
+        match t.feed with
+        | None -> decide t eligible
+        | Some f ->
+            let chosen = f ~eligible in
+            mirror t ~eligible chosen;
+            chosen
+      in
+      notify t ~chosen ~eligible;
+      chosen
+
 (** Index-based choice for the pre-resolved engine: pick an index into an
     eligible array of length [n] ([tid_of i] gives the thread id at slot
     [i], ascending). Consumes the rng and moves the cursor exactly as
     [choose] does on the equivalent list, so the two engines draw the
-    same random stream. *)
+    same random stream. With a tap or feed installed the eligible list is
+    materialized and the decision routed through the list path, keeping
+    the hooks' view identical across engines. *)
 let choose_idx t ~tid_of n =
   if n <= 0 then invalid_arg "Sched.choose_idx: no eligible thread"
-  else if n = 1 then 0
-  else
-    match t.policy with
-    | Round_robin ->
-        let rec find i =
-          if i >= n then 0 else if tid_of i > t.cursor then i else find (i + 1)
-        in
-        let i = find 0 in
-        t.cursor <- tid_of i;
-        i
-    | Random _ -> Random.State.int t.rng n
+  else if not (hooked t) then
+    if n = 1 then 0
+    else
+      match t.policy with
+      | Round_robin ->
+          let rec find i =
+            if i >= n then 0
+            else if tid_of i > t.cursor then i
+            else find (i + 1)
+          in
+          let i = find 0 in
+          t.cursor <- tid_of i;
+          i
+      | Random _ -> Random.State.int t.rng n
+  else begin
+    let eligible = List.init n tid_of in
+    let chosen =
+      match t.feed with
+      | None -> decide t eligible
+      | Some f ->
+          let chosen = f ~eligible in
+          mirror t ~eligible chosen;
+          chosen
+    in
+    notify t ~chosen ~eligible;
+    let rec index i =
+      if i >= n then invalid_arg "Sched.choose_idx: fed an ineligible thread"
+      else if tid_of i = chosen then i
+      else index (i + 1)
+    in
+    index 0
+  end
 
 (** The runtime's randomness source (deadlock-recovery backoff). *)
 let rng t = t.rng

@@ -8,13 +8,27 @@
     is part of the machine semantics. Everything derived from a run is
     schedule-deterministic in (program, config, policy, seed): outcomes,
     traces, cost profiles, and race-detection reports are byte-identical
-    across repeated runs with the same seed, on either engine. *)
+    across repeated runs with the same seed, on either engine.
+
+    The scheduler doubles as the record/replay seam: {!set_tap} installs
+    an observer of every decision and {!set_feed} an override of the
+    policy's choice (see [Conair_replay]). Both are [None] by default and
+    cost one match per decision when off — the same zero-cost-when-off
+    discipline as the trace/profile/race probes. *)
 
 type policy =
   | Round_robin  (** strict rotation among eligible threads; rng unused *)
   | Random of int  (** uniform choice, seeded LXM ([Random.State]) *)
 
-type t = { policy : policy; rng : Random.State.t; mutable cursor : int }
+type t = {
+  policy : policy;
+  mutable rng : Random.State.t;
+  mutable cursor : int;
+  mutable tap : (chosen:int -> eligible:int list -> unit) option;
+      (** observes every decision; install via {!set_tap} *)
+  mutable feed : (eligible:int list -> int) option;
+      (** overrides every decision; install via {!set_feed} *)
+}
 
 val create : policy -> t
 
@@ -26,9 +40,40 @@ val choose_idx : t -> tid_of:(int -> int) -> int -> int
 (** [choose_idx t ~tid_of n] picks an index in [0, n): the array-based
     equivalent of [choose] over the [n] eligible threads whose ids
     [tid_of] reports in ascending order. Identical cursor movement and
-    rng consumption, so both engines see the same random stream.
+    rng consumption, so both engines see the same random stream. With a
+    tap or feed installed the eligible list is materialized and the hooks
+    see exactly what the list-based engine's hooks would see.
     @raise Invalid_argument when [n <= 0]. *)
 
 val rng : t -> Random.State.t
 (** The runtime's randomness source (deadlock-recovery backoff, timing
     perturbation). *)
+
+(** {1 Record/replay hooks}
+
+    A [tap] observes every scheduling decision — including the
+    single-eligible fast path — with the eligible tids in ascending
+    order. A [feed] replaces the policy's decision; it must return a
+    member of [eligible] (or raise to abort the run). A fed decision
+    still consumes the policy's rng draw and cursor movement for the
+    chosen thread, so the downstream random stream (deadlock backoff,
+    perturbed timing) stays aligned with the original run during
+    replay. *)
+
+val set_tap : t -> (chosen:int -> eligible:int list -> unit) option -> unit
+val set_feed : t -> (eligible:int list -> int) option -> unit
+
+(** {1 Saved scheduler state}
+
+    The rng state and rotation cursor at a point in time — the scheduler
+    half of a machine snapshot, used by the time-travel inspector to seek
+    within a recorded run. *)
+
+type saved
+
+val save : t -> saved
+(** Copy the current rng state and cursor. *)
+
+val restore : t -> saved -> unit
+(** Reinstate a {!save}d state (the saved copy stays intact and can be
+    restored again). Hooks are untouched. *)

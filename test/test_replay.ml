@@ -1,0 +1,496 @@
+(* Schedule record-and-replay: a recorded decision stream must replay
+   bit-for-bit — same outcome, outputs, step/instruction/rollback counts
+   and serialized JSONL telemetry — on both engines, over the whole
+   bugbench catalog (both variants), original and hardened, under both
+   scheduling policies. Divergence must surface as a structured error,
+   and the minimizer must shrink failing schedules to strictly fewer
+   preemptions that still reproduce the same failure, deterministically. *)
+
+open Conair.Ir
+module Machine = Conair.Runtime.Machine
+module Ref_machine = Conair.Runtime.Ref_machine
+module Sched = Conair.Runtime.Sched
+module Trace = Conair.Runtime.Trace
+module Outcome = Conair.Runtime.Outcome
+module Json = Conair.Obs.Json
+module Jsonl = Conair.Obs.Jsonl
+module Registry = Conair_bugbench.Registry
+module Spec = Conair_bugbench.Bench_spec
+module Replay = Conair.Replay
+module Log = Replay.Log
+module Recorder = Replay.Recorder
+module Feed = Replay.Feed
+module Driver = Replay.Driver
+module Inspect = Replay.Inspect
+module Minimize = Replay.Minimize
+
+let case name f = Alcotest.test_case name `Quick f
+let config policy = { Machine.default_config with policy; fuel = 200_000 }
+
+let corpus () =
+  List.concat_map
+    (fun (s : Spec.t) ->
+      let buggy = s.make ~variant:Spec.Buggy ~oracle:true in
+      let clean = s.make ~variant:Spec.Clean ~oracle:false in
+      [
+        (s.info.name ^ "/buggy", buggy.program);
+        (s.info.name ^ "/clean", clean.program);
+      ])
+    (Registry.all @ Registry.extended)
+
+let policies =
+  [ ("round-robin", Sched.Round_robin); ("random", Sched.Random 42) ]
+
+(* ------------------------------------------------------------------ *)
+(* Recording and replaying with the trace sink attached, so the        *)
+(* byte-identity check extends to the serialized telemetry             *)
+(* ------------------------------------------------------------------ *)
+
+let jsonl sink = String.concat "\n" (Jsonl.events_to_lines (Trace.events sink))
+
+let record_traced config ?meta p =
+  let m = Machine.create ~config ?meta p in
+  let sink = Trace.create () in
+  Machine.set_trace m sink;
+  let r = Recorder.attach m.Machine.sched in
+  let outcome = Machine.run m in
+  Recorder.detach m.Machine.sched;
+  let bundle =
+    {
+      Driver.rb_outcome = outcome;
+      rb_outputs = Machine.outputs m;
+      rb_stats = Machine.stats m;
+      rb_steps = m.Machine.step;
+    }
+  in
+  let log =
+    Driver.log_of_run ~config ?meta ~ident:(Log.ident "test") ~program:p r
+      bundle
+  in
+  (log, jsonl sink)
+
+let replay_traced engine ?meta p (log : Log.t) =
+  let config = log.Log.config in
+  match engine with
+  | Driver.Fast ->
+      let m = Machine.create ~config ?meta p in
+      let sink = Trace.create () in
+      Machine.set_trace m sink;
+      let _ = Feed.attach_strict m.Machine.sched log.Log.decisions in
+      let outcome = Machine.run m in
+      Feed.detach m.Machine.sched;
+      ( {
+          Driver.rb_outcome = outcome;
+          rb_outputs = Machine.outputs m;
+          rb_stats = Machine.stats m;
+          rb_steps = m.Machine.step;
+        },
+        jsonl sink )
+  | Driver.Ref ->
+      let m = Ref_machine.create ~config ?meta p in
+      let sink = Trace.create () in
+      Ref_machine.set_trace m sink;
+      let _ = Feed.attach_strict (Ref_machine.sched m) log.Log.decisions in
+      let outcome = Ref_machine.run m in
+      Feed.detach (Ref_machine.sched m);
+      ( {
+          Driver.rb_outcome = outcome;
+          rb_outputs = Ref_machine.outputs m;
+          rb_stats = Ref_machine.stats m;
+          rb_steps = Ref_machine.steps m;
+        },
+        jsonl sink )
+
+(* Record [p] once, then insist both engines replay it byte-for-byte:
+   trailer check plus identical serialized JSONL event logs. *)
+let check_roundtrip name config ?meta p =
+  let log, recorded_jsonl = record_traced config ?meta p in
+  List.iter
+    (fun engine ->
+      let ename = Driver.engine_name engine in
+      let bundle, replayed_jsonl = replay_traced engine ?meta p log in
+      (match Driver.check log bundle with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s (%s replay): %s" name ename e);
+      Alcotest.(check string)
+        (name ^ " (" ^ ename ^ " replay): JSONL telemetry")
+        recorded_jsonl replayed_jsonl)
+    [ Driver.Fast; Driver.Ref ]
+
+let sweep_original (pname, policy) () =
+  List.iter
+    (fun (name, p) -> check_roundtrip (name ^ "@" ^ pname) (config policy) p)
+    (corpus ())
+
+let sweep_hardened (pname, policy) () =
+  List.iter
+    (fun (name, p) ->
+      match Conair.harden p Conair.Survival with
+      | Error _ -> ()
+      | Ok h ->
+          let meta = Machine.meta_of_harden h.Conair.hardened in
+          check_roundtrip
+            (name ^ "/hardened@" ^ pname)
+            ~meta (config policy) h.Conair.hardened.program)
+    (corpus ())
+
+(* Recording on the reference engine and replaying on the fast one (and
+   vice versa) must also agree: the log is engine-independent. *)
+let cross_engine () =
+  let spec = Option.get (Registry.find "HawkNL") in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
+  List.iter
+    (fun (rec_engine, replay_engine) ->
+      let _, log =
+        Driver.record ~engine:rec_engine
+          ~config:(config Sched.Round_robin)
+          ~ident:(Log.ident "hawknl") inst.program
+      in
+      match Driver.replay ~engine:replay_engine ~program:inst.program log with
+      | Error e ->
+          Alcotest.failf "cross-engine replay: %s" (Driver.error_to_string e)
+      | Ok b -> (
+          match Driver.check log b with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "cross-engine: %s" e))
+    [ (Driver.Ref, Driver.Fast); (Driver.Fast, Driver.Ref) ]
+
+(* ------------------------------------------------------------------ *)
+(* The facade: run_recorded on a hardened program, replay resolving    *)
+(* program and recovery metadata from the log alone                    *)
+(* ------------------------------------------------------------------ *)
+
+let facade_self_contained () =
+  let spec = Option.get (Registry.find "MySQL1") in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
+  let h = Conair.harden_exn inst.program Conair.Survival in
+  let run, log =
+    Conair.run_recorded ~config:(config (Sched.Random 7)) h
+  in
+  Alcotest.(check string) "mode rides in the ident" "survival"
+    log.Log.ident.Log.id_mode;
+  Alcotest.(check bool) "recovery fired while recording" true
+    (run.Conair.stats.rollbacks > 0);
+  (* no program, no meta: both come back out of the log *)
+  match Conair.replay log with
+  | Error e -> Alcotest.failf "facade replay: %s" (Driver.error_to_string e)
+  | Ok b ->
+      (match Driver.check log b with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "facade replay: %s" e);
+      Alcotest.(check int) "rollbacks reproduced"
+        run.Conair.stats.rollbacks b.Driver.rb_stats.rollbacks
+
+let save_load_roundtrip () =
+  let spec = Option.get (Registry.find "SQLite") in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
+  let _, log =
+    Conair.record_run
+      ~config:(config Sched.Round_robin)
+      ~ident:(Log.ident ~oracle:true "sqlite") inst.program
+  in
+  let path = Filename.temp_file "conair-sched" ".sched.jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Log.save log path;
+      match Log.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok log' ->
+          Alcotest.(check string) "app" log.Log.ident.Log.id_app
+            log'.Log.ident.Log.id_app;
+          Alcotest.(check bool) "decisions survive" true
+            (log.Log.decisions = log'.Log.decisions);
+          Alcotest.(check bool) "preemptions survive" true
+            (log.Log.preemptions = log'.Log.preemptions);
+          Alcotest.(check bool) "trailer survives" true
+            ( log.Log.steps = log'.Log.steps
+            && log.Log.instrs = log'.Log.instrs
+            && log.Log.outcome = log'.Log.outcome
+            && log.Log.outputs = log'.Log.outputs );
+          (* and the loaded log is self-contained: replayable as-is *)
+          (match Conair.replay log' with
+          | Error e ->
+              Alcotest.failf "loaded replay: %s" (Driver.error_to_string e)
+          | Ok b -> (
+              match Driver.check log' b with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "loaded replay: %s" e)))
+
+(* ------------------------------------------------------------------ *)
+(* Divergence detection                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* cwd is test/ under [dune runtest] but the project root under
+   [dune exec test/test_main.exe] *)
+let tutorial_program () =
+  let path =
+    if Sys.file_exists "../examples/tutorial.mir" then
+      "../examples/tutorial.mir"
+    else "examples/tutorial.mir"
+  in
+  let src = In_channel.with_open_text path In_channel.input_all in
+  match Parse.program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "tutorial.mir: %a" Parse.pp_error e
+
+let recorded_tutorial () =
+  let p = tutorial_program () in
+  let _, log =
+    Conair.record_run
+      ~config:(config Sched.Round_robin)
+      ~ident:(Log.ident "tutorial") p
+  in
+  (p, log)
+
+let divergence_tampered () =
+  let p, log = recorded_tutorial () in
+  let k = Array.length log.Log.decisions / 2 in
+  let decisions = Array.copy log.Log.decisions in
+  decisions.(k) <- 999 (* never an eligible tid *);
+  match Conair.replay ~program:p { log with Log.decisions } with
+  | Ok _ -> Alcotest.fail "tampered log replayed cleanly"
+  | Error (Driver.Diverged d) ->
+      Alcotest.(check int) "divergence names the decision" k d.Driver.dv_decision;
+      Alcotest.(check (option int)) "and the recorded tid" (Some 999)
+        d.Driver.dv_expected;
+      Alcotest.(check bool) "and the eligible set" true
+        (d.Driver.dv_actual <> [])
+  | Error e -> Alcotest.failf "wrong error: %s" (Driver.error_to_string e)
+
+let divergence_truncated () =
+  let p, log = recorded_tutorial () in
+  let k = Array.length log.Log.decisions / 2 in
+  let decisions = Array.sub log.Log.decisions 0 k in
+  match Conair.replay ~program:p { log with Log.decisions } with
+  | Ok _ -> Alcotest.fail "truncated log replayed cleanly"
+  | Error (Driver.Diverged d) ->
+      Alcotest.(check int) "exhausted exactly at the cut" k
+        d.Driver.dv_decision;
+      Alcotest.(check (option int)) "log-exhausted is expected=None" None
+        d.Driver.dv_expected
+  | Error e -> Alcotest.failf "wrong error: %s" (Driver.error_to_string e)
+
+let divergence_leftover () =
+  let p, log = recorded_tutorial () in
+  let decisions = Array.append log.Log.decisions [| 0; 0; 0 |] in
+  match Conair.replay ~program:p { log with Log.decisions } with
+  | Ok _ -> Alcotest.fail "padded log replayed cleanly"
+  | Error (Driver.Diverged d) ->
+      Alcotest.(check int) "leftover decisions detected"
+        (Array.length log.Log.decisions)
+        d.Driver.dv_decision
+  | Error e -> Alcotest.failf "wrong error: %s" (Driver.error_to_string e)
+
+let wrong_program () =
+  let _, log = recorded_tutorial () in
+  let spec = Option.get (Registry.find "FFT") in
+  let other = (spec.make ~variant:Spec.Clean ~oracle:false).program in
+  match Conair.replay ~program:other log with
+  | Error (Driver.Program_mismatch _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Driver.error_to_string e)
+  | Ok _ -> Alcotest.fail "mismatched program replayed"
+
+(* ------------------------------------------------------------------ *)
+(* Time-travel inspection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let inspector_states () =
+  let _, log = recorded_tutorial () in
+  let make stride =
+    match Inspect.create ~stride log with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "inspect: %s" e
+  in
+  let coarse = make Inspect.default_stride and fine = make 16 in
+  let final = Inspect.final_step coarse in
+  Alcotest.(check int) "final step matches the trailer" log.Log.steps final;
+  let state t target =
+    match Inspect.state_at t target with
+    | Ok j -> Json.to_string j
+    | Error e -> Alcotest.failf "state at %d: %s" target e
+  in
+  (* waypoint-restored reconstruction must be independent of the
+     waypoint stride: every step's state is a pure function of the log *)
+  List.iter
+    (fun target ->
+      Alcotest.(check string)
+        (Printf.sprintf "state at step %d" target)
+        (state coarse target) (state fine target))
+    [ 0; 1; final / 3; final / 2; final - 1; final ];
+  (* seeking backwards after seeking forwards lands on the same bytes *)
+  let late = state coarse final in
+  let early = state coarse 1 in
+  Alcotest.(check string) "re-seek forward" late (state coarse final);
+  Alcotest.(check string) "re-seek backward" early (state coarse 1)
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let minimize_ok log =
+  match Conair.minimize log with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "minimize: %s" e
+
+(* The failing schedule must shrink to strictly fewer preemptions (the
+   round-robin recording switches on every decision, almost all of them
+   irrelevant), still fail the same way, replay strictly, and be
+   deterministic: two minimizations of the same log, same bytes. *)
+let check_minimized name (log : Log.t) =
+  let m = minimize_ok log in
+  Alcotest.(check bool)
+    (name ^ ": strictly fewer preemptions "
+    ^ Printf.sprintf "(%d -> %d)" m.Minimize.mn_original
+        m.Minimize.mn_minimized)
+    true
+    (m.Minimize.mn_minimized < m.Minimize.mn_original
+    || m.Minimize.mn_original = 0);
+  Alcotest.(check bool)
+    (name ^ ": minimized run still fails the same way")
+    true
+    (Minimize.same_failure log.Log.outcome m.Minimize.mn_log.Log.outcome);
+  (match Conair.replay m.Minimize.mn_log with
+  | Error e ->
+      Alcotest.failf "%s: minimized log replay: %s" name
+        (Driver.error_to_string e)
+  | Ok b -> (
+      match Driver.check m.Minimize.mn_log b with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: minimized log replay: %s" name e));
+  let m' = minimize_ok log in
+  Alcotest.(check string)
+    (name ^ ": minimization is deterministic")
+    (Json.to_string (Minimize.to_json m))
+    (Json.to_string (Minimize.to_json m'));
+  m
+
+let minimize_tutorial () =
+  let _, log = recorded_tutorial () in
+  Alcotest.(check bool) "tutorial fails unhardened" false
+    (Outcome.is_success log.Log.outcome);
+  let m = check_minimized "tutorial" log in
+  (* golden: the tutorial bug needs NO preemption at all — the buggy
+     variant's injected sleep already forces the audit thread to read
+     between the two halves of the unprotected update, so every one of
+     the recording's preemptive switches is scheduling noise *)
+  Alcotest.(check int) "recorded preemptions" 4 m.Minimize.mn_original;
+  Alcotest.(check int) "tutorial minimal schedule" 0 m.Minimize.mn_minimized;
+  (* the explanation still walks the (forced) context switches *)
+  Alcotest.(check int) "switches rendered" 3
+    (List.length m.Minimize.mn_switches);
+  Alcotest.(check bool) "all of them forced" true
+    (List.for_all
+       (fun s -> not s.Minimize.sw_preemptive)
+       m.Minimize.mn_switches);
+  (* and the detector, replaying the minimized schedule, names the race *)
+  match m.Minimize.mn_races with
+  | None -> Alcotest.fail "no detector report on the minimized schedule"
+  | Some r ->
+      Alcotest.(check int) "detector fires on the minimized schedule" 1
+        (List.length r.Conair.Race.Report.races)
+
+(* HawkNL's deadlock hang: the lock-order inversion is likewise forced
+   by the injected sleeps, so the minimal preemption set is empty — and
+   the minimized schedule still ends blocked. *)
+let minimize_hawknl () =
+  let spec = Option.get (Registry.find "HawkNL") in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
+  let _, log =
+    Conair.record_run
+      ~config:(config Sched.Round_robin)
+      ~ident:(Log.ident "hawknl") inst.program
+  in
+  (match log.Log.outcome with
+  | Outcome.Hang _ -> ()
+  | o -> Alcotest.failf "expected a hang, got %s" (Outcome.to_string o));
+  let m = check_minimized "hawknl" log in
+  Alcotest.(check int) "recorded preemptions" 4 m.Minimize.mn_original;
+  Alcotest.(check int) "hawknl minimal schedule" 0 m.Minimize.mn_minimized;
+  match m.Minimize.mn_log.Log.outcome with
+  | Outcome.Hang _ -> ()
+  | o -> Alcotest.failf "minimized outcome: %s" (Outcome.to_string o)
+
+(* MySQL1 is the counterpoint: its wrong-output bug genuinely needs two
+   preemptions beyond the forced switches — ddmin keeps exactly those. *)
+let minimize_mysql1 () =
+  let spec = Option.get (Registry.find "MySQL1") in
+  let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
+  let _, log =
+    Conair.record_run
+      ~config:(config Sched.Round_robin)
+      ~ident:(Log.ident "mysql1") inst.program
+  in
+  let m = check_minimized "mysql1" log in
+  Alcotest.(check int) "recorded preemptions" 6 m.Minimize.mn_original;
+  Alcotest.(check int) "mysql1 minimal schedule" 2 m.Minimize.mn_minimized;
+  let pre =
+    List.filter (fun s -> s.Minimize.sw_preemptive) m.Minimize.mn_switches
+  in
+  Alcotest.(check bool) "the preemptive switches are explained" true
+    (pre <> []
+    && List.for_all
+         (fun s ->
+           s.Minimize.sw_from_at <> "" && s.Minimize.sw_to_at <> "")
+         pre)
+
+let minimize_failing_catalog () =
+  List.iter
+    (fun (s : Spec.t) ->
+      let inst = s.make ~variant:Spec.Buggy ~oracle:true in
+      let _, log =
+        Conair.record_run
+          ~config:(config Sched.Round_robin)
+          ~ident:(Log.ident s.info.name) inst.program
+      in
+      if not (Outcome.is_success log.Log.outcome) then
+        ignore (check_minimized s.info.name log))
+    (Registry.all @ Registry.extended)
+
+let minimize_rejects_success () =
+  let spec = Option.get (Registry.find "FFT") in
+  let inst = spec.make ~variant:Spec.Clean ~oracle:false in
+  let _, log =
+    Conair.record_run ~config:(config Sched.Round_robin)
+      ~ident:(Log.ident "fft") inst.program
+  in
+  match Conair.minimize log with
+  | Ok _ -> Alcotest.fail "minimized a successful run"
+  | Error _ -> ()
+
+let suites =
+  [
+    ( "replay.identity",
+      List.map
+        (fun ((pname, _) as pol) ->
+          case ("record/replay: original programs, " ^ pname)
+            (sweep_original pol))
+        policies
+      @ List.map
+          (fun ((pname, _) as pol) ->
+            case ("record/replay: hardened programs, " ^ pname)
+              (sweep_hardened pol))
+          policies
+      @ [
+          case "cross-engine logs" cross_engine;
+          case "facade: hardened record, self-contained replay"
+            facade_self_contained;
+          case "save/load round trip" save_load_roundtrip;
+        ] );
+    ( "replay.divergence",
+      [
+        case "tampered decision" divergence_tampered;
+        case "truncated log" divergence_truncated;
+        case "leftover decisions" divergence_leftover;
+        case "wrong program" wrong_program;
+      ] );
+    ("replay.inspect", [ case "stride-independent states" inspector_states ]);
+    ( "replay.minimize",
+      [
+        case "tutorial golden" minimize_tutorial;
+        case "hawknl golden" minimize_hawknl;
+        case "mysql1 golden" minimize_mysql1;
+        case "every failing catalog app shrinks" minimize_failing_catalog;
+        case "successful runs are rejected" minimize_rejects_success;
+      ] );
+  ]
