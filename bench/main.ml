@@ -690,6 +690,7 @@ let bechamel_section () =
 (* ------------------------------------------------------------------ *)
 
 module Ref_machine = Conair.Runtime.Ref_machine
+module Engine = Conair.Runtime.Engine
 module Catalog = Conair_bugbench.Catalog
 
 (* A compute-heavy, single-threaded micro program: 200k iterations of a
@@ -761,41 +762,53 @@ let interp_sweep_corpus () =
 let bench_interp () =
   let micro = interp_micro () in
   let micro_config = { Machine.default_config with fuel = 10_000_000 } in
-  let (fast_m, fast_out), fast_t =
-    time_best (fun () -> Machine.run_program ~config:micro_config micro)
+  (* Best-of-12: the micro run is short enough (tens of ms) that a single
+     sample is dominated by scheduling jitter; the minimum over a dozen
+     runs is the stable throughput figure. All engines get the same
+     treatment, so the ratios are jitter-free too. *)
+  let time_engine engine =
+    time_best ~repeats:12 (fun () ->
+        Engine.run_program ~config:micro_config engine micro)
   in
-  let (ref_m, ref_out), ref_t =
-    time_best (fun () -> Ref_machine.run_program ~config:micro_config micro)
-  in
-  if fast_out <> ref_out then
+  let (ref_m, ref_out), ref_t = time_engine Engine.Ref in
+  let (fast_m, fast_out), fast_t = time_engine Engine.Fast in
+  let (block_m, block_out), block_t = time_engine Engine.Block in
+  if fast_out <> ref_out || block_out <> ref_out then
     failwith "interp bench: micro outcomes diverge between engines";
-  let steps = fast_m.Machine.step in
-  if steps <> Ref_machine.steps ref_m then
+  let steps = Engine.steps fast_m in
+  if steps <> Engine.steps ref_m || steps <> Engine.steps block_m then
     failwith "interp bench: micro step counts diverge between engines";
-  let fast_sps = float steps /. fast_t and ref_sps = float steps /. ref_t in
-  let micro_speedup = fast_sps /. ref_sps in
+  let ref_sps = float steps /. ref_t
+  and fast_sps = float steps /. fast_t
+  and block_sps = float steps /. block_t in
   Printf.printf "micro: %d steps\n" steps;
-  Printf.printf "  pre-resolved: %.4fs  %12.0f steps/s\n" fast_t fast_sps;
-  Printf.printf "  reference:    %.4fs  %12.0f steps/s\n" ref_t ref_sps;
-  Printf.printf "  speedup:      %.2fx\n" micro_speedup;
+  Printf.printf "  reference:      %.4fs  %12.0f steps/s\n" ref_t ref_sps;
+  Printf.printf "  pre-resolved:   %.4fs  %12.0f steps/s\n" fast_t fast_sps;
+  Printf.printf "  block-compiled: %.4fs  %12.0f steps/s\n" block_t block_sps;
+  Printf.printf "  fast/ref: %.2fx   block/ref: %.2fx   block/fast: %.2fx\n"
+    (fast_sps /. ref_sps) (block_sps /. ref_sps) (block_sps /. fast_sps);
   let corpus = interp_sweep_corpus () in
   let sweep_config = { Machine.default_config with fuel = 200_000 } in
-  let sweep runner =
-    time_best ~repeats:2 (fun () ->
-        List.iter (fun (p, meta) -> ignore (runner ?meta p)) corpus)
+  let sweep engine =
+    snd
+      (time_best ~repeats:2 (fun () ->
+           List.iter
+             (fun (p, meta) ->
+               ignore (Engine.run_program ~config:sweep_config ?meta engine p))
+             corpus))
   in
-  let (), sweep_fast_t =
-    sweep (fun ?meta p -> Machine.run_program ~config:sweep_config ?meta p)
-  in
-  let (), sweep_ref_t =
-    sweep (fun ?meta p -> Ref_machine.run_program ~config:sweep_config ?meta p)
-  in
-  let sweep_speedup = sweep_ref_t /. sweep_fast_t in
+  let sweep_ref_t = sweep Engine.Ref in
+  let sweep_fast_t = sweep Engine.Fast in
+  let sweep_block_t = sweep Engine.Block in
   Printf.printf "sweep: %d runs over the bugbench catalog\n"
     (List.length corpus);
-  Printf.printf "  pre-resolved: %.4fs\n" sweep_fast_t;
-  Printf.printf "  reference:    %.4fs\n" sweep_ref_t;
-  Printf.printf "  speedup:      %.2fx\n" sweep_speedup;
+  Printf.printf "  reference:      %.4fs\n" sweep_ref_t;
+  Printf.printf "  pre-resolved:   %.4fs\n" sweep_fast_t;
+  Printf.printf "  block-compiled: %.4fs\n" sweep_block_t;
+  Printf.printf "  fast/ref: %.2fx   block/ref: %.2fx   block/fast: %.2fx\n"
+    (sweep_ref_t /. sweep_fast_t)
+    (sweep_ref_t /. sweep_block_t)
+    (sweep_fast_t /. sweep_block_t);
   let json =
     let open Conair.Obs.Json in
     Obj
@@ -804,19 +817,29 @@ let bench_interp () =
           Obj
             [
               ("steps", Int steps);
-              ("fast_seconds", Float fast_t);
-              ("fast_steps_per_sec", Float fast_sps);
               ("ref_seconds", Float ref_t);
               ("ref_steps_per_sec", Float ref_sps);
-              ("speedup", Float micro_speedup);
+              ("fast_seconds", Float fast_t);
+              ("fast_steps_per_sec", Float fast_sps);
+              ("block_seconds", Float block_t);
+              ("block_steps_per_sec", Float block_sps);
+              (* fast over ref; kept under its historical name *)
+              ("speedup", Float (fast_sps /. ref_sps));
+              ("fast_vs_ref", Float (fast_sps /. ref_sps));
+              ("block_vs_ref", Float (block_sps /. ref_sps));
+              ("block_vs_fast", Float (block_sps /. fast_sps));
             ] );
         ( "sweep",
           Obj
             [
               ("runs", Int (List.length corpus));
-              ("fast_seconds", Float sweep_fast_t);
               ("ref_seconds", Float sweep_ref_t);
-              ("speedup", Float sweep_speedup);
+              ("fast_seconds", Float sweep_fast_t);
+              ("block_seconds", Float sweep_block_t);
+              ("speedup", Float (sweep_ref_t /. sweep_fast_t));
+              ("fast_vs_ref", Float (sweep_ref_t /. sweep_fast_t));
+              ("block_vs_ref", Float (sweep_ref_t /. sweep_block_t));
+              ("block_vs_fast", Float (sweep_fast_t /. sweep_block_t));
             ] );
       ]
   in

@@ -26,6 +26,8 @@ open Cmdliner
 module Spec = Conair_bugbench.Bench_spec
 module Registry = Conair_bugbench.Registry
 module Machine = Conair.Runtime.Machine
+module Engine = Conair.Runtime.Engine
+module Hooks = Conair.Runtime.Hooks
 module Outcome = Conair.Runtime.Outcome
 module Sched = Conair.Runtime.Sched
 module Stats = Conair.Runtime.Stats
@@ -96,6 +98,26 @@ let depth_arg =
     value & opt int 3
     & info [ "depth" ]
         ~doc:"Inter-procedural recovery caller-chain depth budget.")
+
+let engine_arg =
+  let doc =
+    "Execution engine: the reference interpreter (ref), the pre-resolved \
+     interpreter (fast) or the block-compiled interpreter (block). All \
+     three agree bit-for-bit on every observable; pick by speed."
+  in
+  let e = Arg.enum (List.map (fun e -> (Engine.name e, e)) Engine.all) in
+  Arg.(value & opt e Engine.Fast & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+(* The one engine-dispatch point every subcommand shares: create the
+   selected machine, run it with the requested hooks scoped to the run,
+   and hand back both. *)
+let run_with_engine ~config ?meta ?trace ?profile engine program =
+  let m = Engine.create ~config ?meta engine program in
+  let outcome =
+    Hooks.with_installed (Engine.hooks m) ?trace ?profile (fun () ->
+        Engine.run m)
+  in
+  (m, outcome)
 
 let find_spec name =
   match Registry.find name with
@@ -209,7 +231,7 @@ let write_file file contents =
 (* Execute [inst] observed — hardened through the facade's
    [run_observed], unhardened through a hand-installed sink — and write
    whichever telemetry files were requested. *)
-let observed_run ~config ~meta_info ~mode ~trace_json ~metrics_file
+let observed_run ~config ~engine ~meta_info ~mode ~trace_json ~metrics_file
     ~spans_file (inst : Spec.instance) =
   let with_trace_writer k =
     match trace_json with
@@ -223,7 +245,6 @@ let observed_run ~config ~meta_info ~mode ~trace_json ~metrics_file
     match mode with
     | None ->
         (* unhardened: same observation pipeline, no recovery metadata *)
-        let m = Machine.create ~config inst.Spec.program in
         let live = Obs.Metrics.create () in
         (match trace_writer with
         | Some w ->
@@ -236,13 +257,14 @@ let observed_run ~config ~meta_info ~mode ~trace_json ~metrics_file
           Obs.Report.live_metrics live ev
         in
         let sink = Trace.create ~emit () in
-        Machine.set_trace m sink;
-        let outcome = Machine.run m in
+        let m, outcome =
+          run_with_engine ~config ~trace:sink engine inst.Spec.program
+        in
         let run =
           {
             Conair.outcome;
-            outputs = Machine.outputs m;
-            stats = Machine.stats m;
+            outputs = Engine.outputs m;
+            stats = Engine.stats m;
             machine = m;
           }
         in
@@ -260,7 +282,7 @@ let observed_run ~config ~meta_info ~mode ~trace_json ~metrics_file
         }
     | Some mode ->
         let h = Conair.harden_exn inst.Spec.program mode in
-        Conair.run_observed ~config ~meta_info ?trace_writer h
+        Conair.run_observed ~config ~engine ~meta_info ?trace_writer h
   in
   (match metrics_file with
   | Some file ->
@@ -324,7 +346,7 @@ let mode_name = function
 
 (* Record the run (deterministic, so identical to the displayed one) and
    save the schedule log. *)
-let record_schedule ~config ~app ~variant ~oracle ~mode file
+let record_schedule ~config ~engine ~app ~variant ~oracle ~mode file
     (inst : Spec.instance) =
   let ident =
     Replay.Log.ident
@@ -333,9 +355,10 @@ let record_schedule ~config ~app ~variant ~oracle ~mode file
   in
   let _, log =
     match mode with
-    | None -> Conair.record_run ~config ~ident inst.Spec.program
+    | None -> Conair.record_run ~config ~engine ~ident inst.Spec.program
     | Some m ->
-        Conair.run_recorded ~config ~ident (Conair.harden_exn inst.program m)
+        Conair.run_recorded ~config ~engine ~ident
+          (Conair.harden_exn inst.program m)
   in
   Replay.Log.save log file;
   Format.printf "recorded: %s (%d decisions, %d preemptions)@." file
@@ -363,7 +386,7 @@ let run_cmd =
           ~doc:"Print the recovery-event summary of the run (detections, \
                 rollbacks, compensations).")
   in
-  let run app variant oracle hardened no_harden fix trace trace_json
+  let run app variant oracle engine hardened no_harden fix trace trace_json
       metrics_file spans_file record fuel seed max_retries =
     match find_spec app with
     | Error e -> prerr_endline e; 1
@@ -388,7 +411,7 @@ let run_cmd =
             if telemetry then begin
               let meta_info = run_meta_of app variant seed in
               let rr =
-                observed_run ~config ~meta_info ~mode ~trace_json
+                observed_run ~config ~engine ~meta_info ~mode ~trace_json
                   ~metrics_file ~spans_file inst
               in
               (rr.Conair.run, rr.Conair.events)
@@ -397,9 +420,9 @@ let run_cmd =
               (* telemetry is opt-in: no sink, no event stream, no cost *)
               let r =
                 match mode with
-                | None -> Conair.execute ~config inst.program
+                | None -> Conair.execute ~config ~engine inst.program
                 | Some mode ->
-                    Conair.execute_hardened ~config
+                    Conair.execute_hardened ~config ~engine
                       (Conair.harden_exn inst.program mode)
               in
               (r, [])
@@ -407,7 +430,7 @@ let run_cmd =
           in
           (match record with
           | Some file ->
-              record_schedule ~config ~app ~variant
+              record_schedule ~config ~engine ~app ~variant
                 ~oracle:(oracle || spec.Spec.info.needs_oracle)
                 ~mode file inst
           | None -> ());
@@ -432,8 +455,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a benchmark, hardened by default.")
     Term.(
-      const run $ app_arg $ variant_arg $ oracle_arg $ hardened_arg
-      $ no_harden_arg $ fix_arg $ trace_arg $ trace_json_arg
+      const run $ app_arg $ variant_arg $ oracle_arg $ engine_arg
+      $ hardened_arg $ no_harden_arg $ fix_arg $ trace_arg $ trace_json_arg
       $ metrics_file_arg $ spans_file_arg $ record_arg $ fuel_arg
       $ seed_arg $ max_retries_arg)
 
@@ -459,8 +482,8 @@ let report_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the report to $(docv) instead of stdout.")
   in
-  let run app variant oracle fix prometheus out trace_json metrics_file
-      spans_file fuel seed max_retries =
+  let run app variant oracle engine fix prometheus out trace_json
+      metrics_file spans_file fuel seed max_retries =
     match find_spec app with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
@@ -471,8 +494,8 @@ let report_cmd =
           Some (if fix then Conair.Fix inst.fix_site_iids else Conair.Survival)
         in
         let rr =
-          observed_run ~config ~meta_info ~mode ~trace_json ~metrics_file
-            ~spans_file inst
+          observed_run ~config ~engine ~meta_info ~mode ~trace_json
+            ~metrics_file ~spans_file inst
         in
         let contents =
           if prometheus then Obs.Metrics.to_prometheus rr.Conair.metrics
@@ -489,7 +512,7 @@ let report_cmd =
          "Execute a benchmark under full observation and emit the \
           structured run report (or --prometheus metrics).")
     Term.(
-      const run $ app_arg $ variant_arg $ oracle_arg $ fix_arg
+      const run $ app_arg $ variant_arg $ oracle_arg $ engine_arg $ fix_arg
       $ prometheus_arg $ out_arg $ trace_json_arg $ metrics_file_arg
       $ spans_file_arg $ fuel_arg $ seed_arg $ max_retries_arg)
 
@@ -563,7 +586,7 @@ let file_cmd =
       & info [ "emit" ]
           ~doc:"Print the (possibly hardened) program instead of running it.")
   in
-  let run file no_harden emit record fuel seed max_retries =
+  let run file no_harden emit engine record fuel seed max_retries =
     let src = In_channel.with_open_text file In_channel.input_all in
     match Conair.Ir.Parse.program src with
     | Error e ->
@@ -600,9 +623,9 @@ let file_cmd =
                 0
               end
               else begin
-                let r = Conair.execute ~config p in
+                let r = Conair.execute ~config ~engine p in
                 save_record None (fun ident ->
-                    Conair.record_run ~config ~ident p);
+                    Conair.record_run ~config ~engine ~ident p);
                 Format.printf "outcome: %a@." Outcome.pp r.outcome;
                 List.iter (Format.printf "output:  %s@.") r.outputs;
                 if Outcome.is_success r.outcome then 0 else 2
@@ -615,9 +638,9 @@ let file_cmd =
                 0
               end
               else begin
-                let r = Conair.execute_hardened ~config h in
+                let r = Conair.execute_hardened ~config ~engine h in
                 save_record (Some Conair.Survival) (fun ident ->
-                    Conair.run_recorded ~config ~ident h);
+                    Conair.run_recorded ~config ~engine ~ident h);
                 Format.printf "outcome: %a@." Outcome.pp r.outcome;
                 List.iter (Format.printf "output:  %s@.") r.outputs;
                 Format.printf "stats:   %a@." Stats.pp r.stats;
@@ -630,8 +653,8 @@ let file_cmd =
          "Parse a Mir source file, harden it (survival mode) and run it; \
           --emit prints the program instead.")
     Term.(
-      const run $ file_arg $ no_harden_arg $ emit_arg $ record_arg
-      $ fuel_arg $ seed_arg $ max_retries_arg)
+      const run $ file_arg $ no_harden_arg $ emit_arg $ engine_arg
+      $ record_arg $ fuel_arg $ seed_arg $ max_retries_arg)
 
 let dot_cmd =
   let func_arg =
@@ -741,8 +764,8 @@ let profile_cmd =
       value & opt int 10
       & info [ "top" ] ~doc:"Context rows to print (0 for all).")
   in
-  let run app variant oracle sites fix runs collapsed wasted chrome json top
-      fuel seed max_retries =
+  let run app variant oracle engine sites fix runs collapsed wasted chrome
+      json top fuel seed max_retries =
     match find_spec app with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
@@ -767,16 +790,14 @@ let profile_cmd =
             if fix then Conair.Fix inst.fix_site_iids else Conair.Survival
           in
           let h = Conair.harden_exn inst.program mode in
-          let m =
-            Machine.create ~config
+          let prof = Obs.Prof.create () in
+          let sink = Trace.create () in
+          let _, outcome =
+            run_with_engine ~config
               ~meta:(Machine.meta_of_harden h.hardened)
+              ~trace:sink ~profile:(Obs.Prof.probe prof) engine
               h.hardened.program
           in
-          let prof = Obs.Prof.create () in
-          Machine.set_profile m (Obs.Prof.probe prof);
-          let sink = Trace.create () in
-          Machine.set_trace m sink;
-          let outcome = Machine.run m in
           Obs.Prof.finalize prof;
           Format.printf "outcome:    %a@." Outcome.pp outcome;
           Printf.printf "useful:     %d steps\n"
@@ -844,9 +865,10 @@ let profile_cmd =
           flamegraph and Chrome-trace exports (--sites for the ConSeq-style \
           execution-count profile).")
     Term.(
-      const run $ app_arg $ variant_arg $ oracle_arg $ sites_arg $ fix_arg
-      $ runs_arg $ collapsed_arg $ wasted_arg $ chrome_arg $ json_arg
-      $ top_arg $ fuel_arg $ seed_arg $ max_retries_arg)
+      const run $ app_arg $ variant_arg $ oracle_arg $ engine_arg
+      $ sites_arg $ fix_arg $ runs_arg $ collapsed_arg $ wasted_arg
+      $ chrome_arg $ json_arg $ top_arg $ fuel_arg $ seed_arg
+      $ max_retries_arg)
 
 let overhead_cmd =
   let apps_arg =
@@ -998,8 +1020,8 @@ let races_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the full race report to $(docv) as JSON.")
   in
-  let run app file variant oracle original hb lockset deadlock json fuel
-      seed max_retries =
+  let run app file variant oracle engine original hb lockset deadlock json
+      fuel seed max_retries =
     let program =
       match (app, file) with
       | Some name, None -> (
@@ -1023,9 +1045,9 @@ let races_cmd =
         in
         let config = machine_config fuel seed max_retries in
         let r, report =
-          if original then Conair.run_detected ~config ~options p
+          if original then Conair.run_detected ~config ~engine ~options p
           else
-            Conair.detect_hardened ~config ~options
+            Conair.detect_hardened ~config ~engine ~options
               (Conair.harden_exn p Conair.Survival)
         in
         Format.printf "outcome: %a@." Outcome.pp r.outcome;
@@ -1058,8 +1080,8 @@ let races_cmd =
           were found.")
     Term.(
       const run $ app_opt_arg $ file_arg $ variant_arg $ oracle_arg
-      $ original_arg $ hb_arg $ lockset_arg $ deadlock_arg $ json_arg
-      $ fuel_arg $ seed_arg $ max_retries_arg)
+      $ engine_arg $ original_arg $ hb_arg $ lockset_arg $ deadlock_arg
+      $ json_arg $ fuel_arg $ seed_arg $ max_retries_arg)
 
 (* --- schedule record-and-replay ----------------------------------- *)
 
@@ -1154,18 +1176,6 @@ let replay_cmd =
        recorded MD5) instead of parsing the log's embedded text."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
-  in
-  let engine_arg =
-    let e =
-      Arg.enum [ ("fast", Replay.Driver.Fast); ("ref", Replay.Driver.Ref) ]
-    in
-    Arg.(
-      value
-      & opt e Replay.Driver.Fast
-      & info [ "engine" ]
-          ~doc:
-            "Replaying engine: the pre-resolved interpreter (fast) or the \
-             reference interpreter (ref). Logs are engine-independent.")
   in
   let at_arg =
     Arg.(

@@ -12,7 +12,14 @@
    - round-trip: emit/parse reproduces the hardened program.
 
    Usage:  conair_fuzz [--jsonl FILE] [--detect] [--record DIR]
-                       [ITERATIONS] [BASE_SEED]          (defaults 500 0)
+                       [--engine NAME] [ITERATIONS] [BASE_SEED]
+                       (defaults 500 0)
+
+   With --engine (ref, fast or block; default fast), every execution —
+   reference, hardened, recorded and detected — runs on the named
+   engine. All engines agree bit-for-bit, so the checks and the summary
+   are engine-independent; running the fuzzer under each engine is
+   itself a differential test.
 
    With --jsonl, every hardened run appends one {"type":"run",...} record
    to FILE (the input format of [Conair.Obs.Aggregate] and the aggregate
@@ -35,12 +42,16 @@
 
 module Gen = Conair_genprog.Genprog
 module Machine = Conair.Runtime.Machine
+module Engine = Conair.Runtime.Engine
 module Sched = Conair.Runtime.Sched
 module Outcome = Conair.Runtime.Outcome
 module Stats = Conair.Runtime.Stats
 module Json = Conair.Obs.Json
 
 let config = { Machine.default_config with fuel = 300_000 }
+
+(* --engine: which interpreter runs everything (default: fast) *)
+let engine = ref Engine.Fast
 
 type failure_report = { case : string; detail : string }
 
@@ -71,12 +82,12 @@ let recorded_recovered = ref []
    the same (case, seed). *)
 let execute_recorded ~case ~seed ?(tag = "") ~config (h : Conair.hardened) =
   match !record_dir with
-  | None -> Conair.execute_hardened ~config h
+  | None -> Conair.execute_hardened ~config ~engine:!engine h
   | Some dir ->
       let ident =
         Conair.Replay.Log.ident ~variant:case ~mode:"survival" "conair_fuzz"
       in
-      let r, log = Conair.run_recorded ~config ~ident h in
+      let r, log = Conair.run_recorded ~config ~engine:!engine ~ident h in
       let failing = not (Outcome.is_success r.outcome) in
       let recovered = r.Conair.stats.rollbacks > 0 in
       if failing || recovered then begin
@@ -161,7 +172,7 @@ let fuzz_arith seed =
   if ops <> [] then begin
     let detail = Gen.arith_spec_print ops in
     let p, expected = Gen.arith_program ops in
-    let r0 = Conair.execute ~config p in
+    let r0 = Conair.execute ~config ~engine:!engine p in
     check "arith: reference" ~detail
       (Outcome.is_success r0.outcome
       && r0.outputs = [ string_of_int expected ]);
@@ -201,7 +212,7 @@ let fuzz_racy seed =
       if !detect then begin
         (* same schedule again, this time with the detector installed *)
         incr detect_schedules;
-        let _, rep = Conair.detect_hardened ~config h in
+        let _, rep = Conair.detect_hardened ~config ~engine:!engine h in
         List.iter
           (fun rc ->
             let a = Conair.Race.Report.addr_string rc.Conair.Race.Report.rc_addr in
@@ -216,7 +227,9 @@ let fuzz_racy seed =
   (* determinism *)
   let once () =
     let r =
-      Conair.execute_hardened ~config:{ config with policy = Sched.Random seed } h
+      Conair.execute_hardened
+        ~config:{ config with policy = Sched.Random seed }
+        ~engine:!engine h
     in
     (Outcome.to_string r.outcome, r.outputs, r.stats.steps)
   in
@@ -226,7 +239,7 @@ let fuzz_ring seed =
   let spec = gen_with seed Gen.ring_spec_gen in
   let detail = Gen.ring_spec_print spec in
   let p = Gen.ring_program spec in
-  let r0 = Conair.execute ~config p in
+  let r0 = Conair.execute ~config ~engine:!engine p in
   check "ring: hangs unhardened" ~detail
     (match r0.outcome with Outcome.Hang _ -> true | _ -> false);
   let h = Conair.harden_exn p Conair.Survival in
@@ -245,7 +258,7 @@ let fuzz_wakeup seed =
      check recovery unconditionally and the hang only when it applies *)
   let detail = Gen.wakeup_spec_print spec in
   let p = Gen.wakeup_program spec in
-  let r0 = Conair.execute ~config p in
+  let r0 = Conair.execute ~config ~engine:!engine p in
   let hung = match r0.outcome with Outcome.Hang _ -> true | _ -> false in
   let h = Conair.harden_exn p Conair.Survival in
   let r =
@@ -280,6 +293,17 @@ let parse_argv () =
         scan rest
     | "--record" :: [] ->
         prerr_endline "conair_fuzz: --record needs a DIR argument";
+        exit 2
+    | "--engine" :: name :: rest -> (
+        match Engine.of_string name with
+        | Ok e ->
+            engine := e;
+            scan rest
+        | Error e ->
+            prerr_endline ("conair_fuzz: " ^ e);
+            exit 2)
+    | "--engine" :: [] ->
+        prerr_endline "conair_fuzz: --engine needs a NAME argument";
         exit 2
     | arg :: rest ->
         positional := arg :: !positional;

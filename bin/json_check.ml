@@ -9,6 +9,12 @@
    - *.collapsed — collapsed-stack flamegraph lines: every non-empty
                    line is "frame;frame;... N" with non-empty frames
                    and a positive count, and there is at least one;
+   - BENCH_interp.json — the interpreter bench document: "micro" and
+                   "sweep" sections with per-engine timing columns and
+                   cross-engine ratios, all positive and mutually
+                   consistent; additionally a performance gate — the
+                   block engine's micro steps/s must be at least 3x the
+                   committed fast-engine baseline;
    - *.json      — the whole file must parse; if the value carries a
                    "traceEvents" member it must be a list (Chrome trace
                    format sanity, as loaded by Perfetto).
@@ -127,6 +133,96 @@ let check_sched file =
         file !decisions
   end
 
+(* The micro fast-engine throughput recorded in BENCH_interp.json when
+   the block-compiled engine landed. The @perf gate measures the block
+   engine against this committed figure rather than the same run's fast
+   column so a uniformly slow or fast CI machine cannot mask a real
+   block-engine regression behind a stable-looking ratio. *)
+let fast_micro_baseline_steps_per_sec = 23_548_530.
+
+let check_bench_interp file =
+  let before = !errors in
+  match Json.of_string (read_file file) with
+  | Error e -> fail file e
+  | Ok j ->
+      let section name = Json.member name j in
+      let number sec_name sec field =
+        match Json.member field sec with
+        | Some (Json.Float f) when f > 0. -> Some f
+        | Some (Json.Int n) when n > 0 -> Some (float n)
+        | Some _ ->
+            fail file
+              (Printf.sprintf "%s.%s is not a positive number" sec_name field);
+            None
+        | None ->
+            fail file (Printf.sprintf "%s.%s is missing" sec_name field);
+            None
+      in
+      let check_section name fields =
+        match section name with
+        | Some (Json.Obj _ as sec) ->
+            List.iter (fun f -> ignore (number name sec f)) fields;
+            Some sec
+        | Some _ ->
+            fail file (Printf.sprintf "%S is not an object" name);
+            None
+        | None ->
+            fail file (Printf.sprintf "%S section is missing" name);
+            None
+      in
+      let per_engine =
+        [
+          "ref_seconds";
+          "fast_seconds";
+          "block_seconds";
+          "speedup";
+          "fast_vs_ref";
+          "block_vs_ref";
+          "block_vs_fast";
+        ]
+      in
+      let micro =
+        check_section "micro"
+          ([
+             "steps";
+             "ref_steps_per_sec";
+             "fast_steps_per_sec";
+             "block_steps_per_sec";
+           ]
+          @ per_engine)
+      in
+      ignore (check_section "sweep" ("runs" :: per_engine));
+      (match micro with
+      | Some sec -> (
+          (match
+             ( number "micro" sec "fast_steps_per_sec",
+               number "micro" sec "block_steps_per_sec",
+               number "micro" sec "block_vs_fast" )
+           with
+          | Some fast, Some block, Some ratio
+            when abs_float ((block /. fast /. ratio) -. 1.) > 1e-6 ->
+              fail file
+                (Printf.sprintf
+                   "micro.block_vs_fast %.4f disagrees with \
+                    block/fast steps/s %.4f"
+                   ratio (block /. fast))
+          | _ -> ());
+          match number "micro" sec "block_steps_per_sec" with
+          | Some block when block < 3. *. fast_micro_baseline_steps_per_sec ->
+              fail file
+                (Printf.sprintf
+                   "block engine regressed: micro %.0f steps/s is below 3x \
+                    the committed fast-engine baseline (%.0f)"
+                   block
+                   (3. *. fast_micro_baseline_steps_per_sec))
+          | _ -> ())
+      | None -> ());
+      if !errors = before then
+        Printf.printf
+          "json_check: %s: interp bench ok (block micro >= 3x committed fast \
+           baseline)\n"
+          file
+
 let check_json file =
   match Json.of_string (read_file file) with
   | Error e -> fail file e
@@ -147,6 +243,8 @@ let () =
   List.iter
     (fun file ->
       if not (Sys.file_exists file) then fail file "no such file"
+      else if Filename.basename file = "BENCH_interp.json" then
+        check_bench_interp file
       else if Filename.check_suffix file ".sched.jsonl" then
         check_sched file
       else if Filename.check_suffix file ".jsonl" then check_jsonl file

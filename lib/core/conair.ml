@@ -60,6 +60,10 @@ module Runtime = struct
   module Stats = Conair_runtime.Stats
   module Machine = Conair_runtime.Machine
   module Ref_machine = Conair_runtime.Ref_machine
+  module Compile = Conair_runtime.Compile
+  module Block_machine = Conair_runtime.Block_machine
+  module Engine = Conair_runtime.Engine
+  module Hooks = Conair_runtime.Hooks
   module Trace = Conair_runtime.Trace
   module Profile = Conair_runtime.Profile
   module Race_probe = Conair_runtime.Race_probe
@@ -124,34 +128,36 @@ let harden_exn ?analysis ?transform p mode =
   | Ok h -> h
   | Error e -> invalid_arg ("Conair.harden: " ^ e)
 
-(** One program execution and everything measured about it. *)
+(** One program execution and everything measured about it. [machine] is
+    packed per engine; use [Engine.steps] / [Engine.sched] / ... for
+    engine-generic access. *)
 type run = {
   outcome : Outcome.t;
   outputs : string list;
   stats : Stats.t;
-  machine : Machine.t;
+  machine : Engine.machine;
 }
 
-let execute ?(config = Machine.default_config) (p : Program.t) : run =
-  let machine, outcome = Machine.run_program ~config p in
+let make_run machine outcome =
   {
     outcome;
-    outputs = Machine.outputs machine;
-    stats = Machine.stats machine;
+    outputs = Engine.outputs machine;
+    stats = Engine.stats machine;
     machine;
   }
 
-let execute_hardened ?(config = Machine.default_config) (h : hardened) : run =
+let execute ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    (p : Program.t) : run =
+  let machine, outcome = Engine.run_program ~config engine p in
+  make_run machine outcome
+
+let execute_hardened ?(config = Machine.default_config)
+    ?(engine = Engine.Fast) (h : hardened) : run =
   let meta = Machine.meta_of_harden h.hardened in
   let machine, outcome =
-    Machine.run_program ~config ~meta h.hardened.program
+    Engine.run_program ~config ~meta engine h.hardened.program
   in
-  {
-    outcome;
-    outputs = Machine.outputs machine;
-    stats = Machine.stats machine;
-    machine;
-  }
+  make_run machine outcome
 
 (** One observed execution: the run itself plus every telemetry artifact
     the observability layer derives from it. *)
@@ -170,10 +176,10 @@ type run_report = {
     live metrics fed from the event stream, optional JSONL streaming to
     [trace_writer] (meta record first when [meta_info] is given), and a
     post-run fold into spans, metrics and a structured JSON report. *)
-let run_observed ?(config = Machine.default_config) ?meta_info ?trace_writer
-    (h : hardened) : run_report =
+let run_observed ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    ?meta_info ?trace_writer (h : hardened) : run_report =
   let meta = Machine.meta_of_harden h.hardened in
-  let m = Machine.create ~config ~meta h.hardened.program in
+  let m = Engine.create ~config ~meta engine h.hardened.program in
   let live = Conair_obs.Metrics.create () in
   (match (trace_writer, meta_info) with
   | Some w, Some mi ->
@@ -186,16 +192,10 @@ let run_observed ?(config = Machine.default_config) ?meta_info ?trace_writer
     Conair_obs.Report.live_metrics live ev
   in
   let sink = Trace.create ~emit () in
-  Machine.set_trace m sink;
-  let outcome = Machine.run m in
-  let run =
-    {
-      outcome;
-      outputs = Machine.outputs m;
-      stats = Machine.stats m;
-      machine = m;
-    }
+  let outcome =
+    Hooks.with_installed (Engine.hooks m) ~trace:sink (fun () -> Engine.run m)
   in
+  let run = make_run m outcome in
   let events = Trace.events sink in
   let spans = Conair_obs.Span.of_events events in
   let metrics = Conair_obs.Report.standard_metrics ~into:live run.stats in
@@ -209,34 +209,36 @@ let run_observed ?(config = Machine.default_config) ?meta_info ?trace_writer
     the finalized profile next to the run: per-context useful/checkpoint/
     wasted attribution, per-site rollback waste, flamegraph and Chrome
     counter exports (see [Obs.Prof]). *)
-let run_profiled ?(config = Machine.default_config) (h : hardened) :
-    run * Conair_obs.Prof.t =
+let run_profiled ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    (h : hardened) : run * Conair_obs.Prof.t =
   let meta = Machine.meta_of_harden h.hardened in
-  let m = Machine.create ~config ~meta h.hardened.program in
+  let m = Engine.create ~config ~meta engine h.hardened.program in
   let prof = Conair_obs.Prof.create () in
-  Machine.set_profile m (Conair_obs.Prof.probe prof);
-  let outcome = Machine.run m in
+  let outcome =
+    Hooks.with_installed (Engine.hooks m)
+      ~profile:(Conair_obs.Prof.probe prof) (fun () -> Engine.run m)
+  in
   Conair_obs.Prof.finalize prof;
-  ( { outcome; outputs = Machine.outputs m; stats = Machine.stats m; machine = m },
-    prof )
+  (make_run m outcome, prof)
 
 (** Run a program with the race/deadlock detector installed and return
     the finalized report next to the run. Pass [meta] (from
     [Machine.meta_of_harden]) to detect on a hardened program — the mode
     that matters for fail-stop bugs, where recovery keeps the run alive
     long enough for the conflicting access to execute. *)
-let run_detected ?(config = Machine.default_config) ?options ?meta
-    (p : Program.t) : run * Conair_race.Report.t =
-  let m = Machine.create ~config ?meta p in
+let run_detected ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    ?options ?meta (p : Program.t) : run * Conair_race.Report.t =
+  let m = Engine.create ~config ?meta engine p in
   let d = Conair_race.Detect.create ?options () in
-  Machine.set_race m (Conair_race.Detect.probe d);
-  let outcome = Machine.run m in
-  ( { outcome; outputs = Machine.outputs m; stats = Machine.stats m; machine = m },
-    Conair_race.Detect.report d )
+  let outcome =
+    Hooks.with_installed (Engine.hooks m) ~race:(Conair_race.Detect.probe d)
+      (fun () -> Engine.run m)
+  in
+  (make_run m outcome, Conair_race.Detect.report d)
 
 (** [run_detected] on a hardened program with its recovery metadata. *)
-let detect_hardened ?config ?options (h : hardened) =
-  run_detected ?config ?options
+let detect_hardened ?config ?engine ?options (h : hardened) =
+  run_detected ?config ?engine ?options
     ~meta:(Machine.meta_of_harden h.hardened)
     h.hardened.program
 
@@ -256,46 +258,42 @@ let mode_name : mode -> string = function
   | Survival -> "survival"
   | Fix _ -> "fix"
 
-(* Record on the fast engine while keeping the machine, so the result is a
-   full facade [run] next to the schedule log. *)
-let record_into ?(config = Machine.default_config) ?meta ~ident program :
-    run * Replay.Log.t =
-  let m = Machine.create ~config ?meta program in
-  let r = Conair_replay.Recorder.attach m.Machine.sched in
-  let outcome = Machine.run m in
-  Conair_replay.Recorder.detach m.Machine.sched;
-  let run =
-    {
-      outcome;
-      outputs = Machine.outputs m;
-      stats = Machine.stats m;
-      machine = m;
-    }
+(* Record while keeping the machine, so the result is a full facade
+   [run] next to the schedule log. *)
+let record_into ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    ?meta ~ident program : run * Replay.Log.t =
+  let m = Engine.create ~config ?meta engine program in
+  let r = Conair_replay.Recorder.create () in
+  let outcome =
+    Hooks.with_installed (Engine.hooks m)
+      ~tap:(Conair_replay.Recorder.tap r) (fun () -> Engine.run m)
   in
+  let run = make_run m outcome in
   let bundle =
     {
       Conair_replay.Driver.rb_outcome = outcome;
       rb_outputs = run.outputs;
       rb_stats = run.stats;
-      rb_steps = m.Machine.step;
+      rb_steps = Engine.steps m;
     }
   in
   ( run,
-    Conair_replay.Driver.log_of_run ~config ?meta ~ident ~program r bundle )
+    Conair_replay.Driver.log_of_run ~engine ~config ?meta ~ident ~program r
+      bundle )
 
 (** [execute] with the schedule recorder installed: the run plus a
     self-contained schedule log that replays it bit-for-bit. *)
-let record_run ?config ?ident (p : Program.t) : run * Replay.Log.t =
+let record_run ?config ?engine ?ident (p : Program.t) : run * Replay.Log.t =
   let ident =
     match ident with
     | Some i -> i
     | None -> Conair_replay.Schedule_log.ident "program"
   in
-  record_into ?config ~ident p
+  record_into ?config ?engine ~ident p
 
 (** [execute_hardened] with the schedule recorder installed. The default
     ident carries the plan's mode ("survival" or "fix"). *)
-let run_recorded ?config ?ident (h : hardened) : run * Replay.Log.t =
+let run_recorded ?config ?engine ?ident (h : hardened) : run * Replay.Log.t =
   let ident =
     match ident with
     | Some i -> i
@@ -303,7 +301,7 @@ let run_recorded ?config ?ident (h : hardened) : run * Replay.Log.t =
         Conair_replay.Schedule_log.ident ~mode:(mode_name h.plan.Plan.mode)
           "program"
   in
-  record_into ?config
+  record_into ?config ?engine
     ~meta:(Machine.meta_of_harden h.hardened)
     ~ident h.hardened.program
 

@@ -60,6 +60,10 @@ module Runtime : sig
   module Stats = Conair_runtime.Stats
   module Machine = Conair_runtime.Machine
   module Ref_machine = Conair_runtime.Ref_machine
+  module Compile = Conair_runtime.Compile
+  module Block_machine = Conair_runtime.Block_machine
+  module Engine = Conair_runtime.Engine
+  module Hooks = Conair_runtime.Hooks
   module Trace = Conair_runtime.Trace
   module Profile = Conair_runtime.Profile
   module Race_probe = Conair_runtime.Race_probe
@@ -126,20 +130,30 @@ val harden_exn :
   hardened
 (** @raise Invalid_argument on bad fix-mode sites. *)
 
-(** One program execution and everything measured about it. *)
+(** One program execution and everything measured about it. [machine] is
+    packed per engine; use {!Runtime.Engine} accessors for
+    engine-generic access, or match on the constructor for
+    engine-specific state. *)
 type run = {
   outcome : Conair_runtime.Outcome.t;
   outputs : string list;
   stats : Conair_runtime.Stats.t;
-  machine : Conair_runtime.Machine.t;
+  machine : Conair_runtime.Engine.machine;
 }
 
 val execute :
-  ?config:Conair_runtime.Machine.config -> Conair_ir.Program.t -> run
-(** Run an (unhardened) program. *)
+  ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
+  Conair_ir.Program.t ->
+  run
+(** Run an (unhardened) program on the chosen engine (default
+    [Engine.Fast]). All engines produce identical runs; pick by speed. *)
 
 val execute_hardened :
-  ?config:Conair_runtime.Machine.config -> hardened -> run
+  ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
+  hardened ->
+  run
 (** Run a hardened program with the recovery metadata installed. *)
 
 (** One observed execution: the run itself plus every telemetry artifact
@@ -155,6 +169,7 @@ type run_report = {
 
 val run_observed :
   ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
   ?meta_info:Conair_obs.Jsonl.run_meta ->
   ?trace_writer:Conair_obs.Jsonl.writer ->
   hardened ->
@@ -168,6 +183,7 @@ val run_observed :
 
 val run_profiled :
   ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
   hardened ->
   run * Conair_obs.Prof.t
 (** {!execute_hardened} with the cost profiler installed: the returned
@@ -195,17 +211,19 @@ val well_tested : ?threshold:int -> site_profile list -> int list
 
 val run_detected :
   ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
   ?options:Conair_race.Detect.options ->
   ?meta:Conair_runtime.Machine.meta ->
   Conair_ir.Program.t ->
   run * Conair_race.Report.t
 (** Run a program with the race/deadlock detector installed and return
     the finalized report next to the run. Reports are deterministic in
-    (program, config, policy, seed) and identical across the two
+    (program, config, policy, seed) and identical across all three
     engines. *)
 
 val detect_hardened :
   ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
   ?options:Conair_race.Detect.options ->
   hardened ->
   run * Conair_race.Report.t
@@ -234,16 +252,18 @@ end
 
 val record_run :
   ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
   ?ident:Replay.Log.ident ->
   Conair_ir.Program.t ->
   run * Replay.Log.t
 (** {!execute} with the schedule recorder installed: the run plus a
     self-contained schedule log (embedded program, config, decision
-    stream, result trailer) that replays it bit-for-bit on either
+    stream, result trailer) that replays it bit-for-bit on any
     engine. *)
 
 val run_recorded :
   ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
   ?ident:Replay.Log.ident ->
   hardened ->
   run * Replay.Log.t

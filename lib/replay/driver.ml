@@ -1,18 +1,14 @@
-(* Record a run into a schedule log; replay a log on either engine with
+(* Record a run into a schedule log; replay a log on any engine with
    divergence detection; verify a replay against the recorded trailer. *)
 
 open Conair_ir
 open Conair_runtime
 module Log = Schedule_log
 
-type engine = Fast | Ref
+type engine = Engine.t = Ref | Fast | Block
 
-let engine_name = function Fast -> "fast" | Ref -> "ref"
-
-let engine_of_name = function
-  | "fast" -> Ok Fast
-  | "ref" -> Ok Ref
-  | s -> Error (Printf.sprintf "unknown engine %S (expected fast or ref)" s)
+let engine_name = Engine.name
+let engine_of_name = Engine.of_string
 
 (** What both engines report about a finished execution. *)
 type result_bundle = {
@@ -78,32 +74,19 @@ let log_of_run ?(engine = Fast) ~config ?meta ?(embed_program = true) ~ident
 
 let record ?(engine = Fast) ?config ?meta ?embed_program ~ident program =
   let config = Option.value ~default:Machine.default_config config in
-  let bundle, recorder =
-    match engine with
-    | Fast ->
-        let m = Machine.create ~config ?meta program in
-        let r = Recorder.attach m.Machine.sched in
-        let outcome = Machine.run m in
-        Recorder.detach m.Machine.sched;
-        ( {
-            rb_outcome = outcome;
-            rb_outputs = Machine.outputs m;
-            rb_stats = Machine.stats m;
-            rb_steps = m.Machine.step;
-          },
-          r )
-    | Ref ->
-        let m = Ref_machine.create ~config ?meta program in
-        let r = Recorder.attach (Ref_machine.sched m) in
-        let outcome = Ref_machine.run m in
-        Recorder.detach (Ref_machine.sched m);
-        ( {
-            rb_outcome = outcome;
-            rb_outputs = Ref_machine.outputs m;
-            rb_stats = Ref_machine.stats m;
-            rb_steps = Ref_machine.steps m;
-          },
-          r )
+  let m = Engine.create ~config ?meta engine program in
+  let recorder = Recorder.create () in
+  let outcome =
+    Hooks.with_installed (Engine.hooks m) ~tap:(Recorder.tap recorder)
+      (fun () -> Engine.run m)
+  in
+  let bundle =
+    {
+      rb_outcome = outcome;
+      rb_outputs = Engine.outputs m;
+      rb_stats = Engine.stats m;
+      rb_steps = Engine.steps m;
+    }
   in
   ( bundle,
     log_of_run ~engine ~config ?meta ?embed_program ~ident ~program recorder
@@ -140,66 +123,43 @@ let replay ?(engine = Fast) ?program ?meta (log : Log.t) =
   | Ok program -> (
       let meta = resolve_meta ?meta log in
       let config = log.Log.config in
-      let finish sched steps bundle h =
-        Feed.detach sched;
-        if h.Feed.pos < Array.length log.Log.decisions then
+      let m = Engine.create ~config ?meta engine program in
+      let h = Feed.strict log.Log.decisions in
+      match
+        Hooks.with_installed (Engine.hooks m) ~feed:(Feed.strict_decide h)
+          (fun () -> Engine.run m)
+      with
+      | outcome ->
+          if h.Feed.pos < Array.length log.Log.decisions then
+            Error
+              (Diverged
+                 {
+                   dv_decision = h.Feed.pos;
+                   dv_step = Engine.steps m;
+                   dv_expected = Some log.Log.decisions.(h.Feed.pos);
+                   dv_actual = [];
+                   dv_reason =
+                     "the execution finished before consuming the recorded \
+                      schedule";
+                 })
+          else
+            Ok
+              {
+                rb_outcome = outcome;
+                rb_outputs = Engine.outputs m;
+                rb_stats = Engine.stats m;
+                rb_steps = Engine.steps m;
+              }
+      | exception Feed.Diverged d ->
           Error
             (Diverged
                {
-                 dv_decision = h.Feed.pos;
-                 dv_step = steps;
-                 dv_expected = Some log.Log.decisions.(h.Feed.pos);
-                 dv_actual = [];
-                 dv_reason =
-                   "the execution finished before consuming the recorded \
-                    schedule";
-               })
-        else Ok bundle
-      in
-      let diverged sched steps (d : Feed.divergence_info) =
-        Feed.detach sched;
-        Error
-          (Diverged
-             {
-               dv_decision = d.Feed.at;
-               dv_step = steps;
-               dv_expected = d.Feed.expected;
-               dv_actual = d.Feed.eligible;
-               dv_reason = exhausted_reason d.Feed.expected;
-             })
-      in
-      match engine with
-      | Fast -> (
-          let m = Machine.create ~config ?meta program in
-          let sched = m.Machine.sched in
-          let h = Feed.attach_strict sched log.Log.decisions in
-          match Machine.run m with
-          | outcome ->
-              finish sched m.Machine.step
-                {
-                  rb_outcome = outcome;
-                  rb_outputs = Machine.outputs m;
-                  rb_stats = Machine.stats m;
-                  rb_steps = m.Machine.step;
-                }
-                h
-          | exception Feed.Diverged d -> diverged sched m.Machine.step d)
-      | Ref -> (
-          let m = Ref_machine.create ~config ?meta program in
-          let sched = Ref_machine.sched m in
-          let h = Feed.attach_strict sched log.Log.decisions in
-          match Ref_machine.run m with
-          | outcome ->
-              finish sched (Ref_machine.steps m)
-                {
-                  rb_outcome = outcome;
-                  rb_outputs = Ref_machine.outputs m;
-                  rb_stats = Ref_machine.stats m;
-                  rb_steps = Ref_machine.steps m;
-                }
-                h
-          | exception Feed.Diverged d -> diverged sched (Ref_machine.steps m) d
-          ))
+                 dv_decision = d.Feed.at;
+                 dv_step = Engine.steps m;
+                 dv_expected = d.Feed.expected;
+                 dv_actual = d.Feed.eligible;
+                 dv_reason = exhausted_reason d.Feed.expected;
+               }))
 
 let check (log : Log.t) (b : result_bundle) =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in

@@ -1,11 +1,15 @@
-(** Record a run into a {!Schedule_log}, replay a log on either engine
-    with divergence detection, and verify a replay against the recorded
+(** Record a run into a {!Schedule_log}, replay a log on any engine with
+    divergence detection, and verify a replay against the recorded
     trailer. *)
 
 open Conair_ir
 open Conair_runtime
 
-type engine = Fast  (** [Machine] *) | Ref  (** [Ref_machine] *)
+(** = {!Conair_runtime.Engine.t}: any engine records, any engine replays,
+    in any combination — schedule logs are engine-interchangeable. *)
+type engine = Engine.t = Ref  (** [Ref_machine] *)
+  | Fast  (** [Machine] *)
+  | Block  (** [Block_machine] *)
 
 val engine_name : engine -> string
 val engine_of_name : string -> (engine, string) result

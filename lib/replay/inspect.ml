@@ -124,7 +124,9 @@ let frame_json texts (fr : Thread.frame) =
       regs := (Ident.Reg.name names.(i), value_json v) :: !regs
   done;
   let stack_vars =
-    Hashtbl.fold (fun k v acc -> (k, value_json v) :: acc) fr.Thread.stack_vars []
+    (match fr.Thread.stack_vars with
+    | None -> []
+    | Some h -> Hashtbl.fold (fun k v acc -> (k, value_json v) :: acc) h [])
     |> List.sort compare
   in
   Json.Obj

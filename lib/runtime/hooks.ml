@@ -1,0 +1,37 @@
+(* Scoped installation of the per-run observation hooks.
+
+   Every engine carries the same five hook slots: a trace sink, a
+   cost-profiler probe, a race-detector probe, and the scheduler's
+   record tap / replay feed. Before this module each caller installed
+   them by hand ([set_trace] / [set_profile] / [Recorder.attach] / ...)
+   and was responsible for uninstalling them afterwards — which nobody
+   did on the exception paths, so a run that died mid-way could leave a
+   feed attached to a scheduler that outlived it.
+
+   [with_installed] is the one scoped entry point: it installs exactly
+   the hooks the caller passes, runs the body, and clears all five slots
+   on the way out — normal return or exception — via [Fun.protect]. The
+   engines themselves stay hook-agnostic: they expose a [target] (the
+   five setters bundled) and never manage hook lifetime. *)
+
+type target = {
+  ht_trace : Trace.sink option -> unit;
+  ht_profile : Profile.probe option -> unit;
+  ht_race : Race_probe.probe option -> unit;
+  ht_sched : Sched.t;
+}
+
+let clear t =
+  t.ht_trace None;
+  t.ht_profile None;
+  t.ht_race None;
+  Sched.set_tap t.ht_sched None;
+  Sched.set_feed t.ht_sched None
+
+let with_installed t ?trace ?profile ?race ?tap ?feed f =
+  (match trace with None -> () | Some s -> t.ht_trace (Some s));
+  (match profile with None -> () | Some p -> t.ht_profile (Some p));
+  (match race with None -> () | Some p -> t.ht_race (Some p));
+  (match tap with None -> () | Some g -> Sched.set_tap t.ht_sched (Some g));
+  (match feed with None -> () | Some g -> Sched.set_feed t.ht_sched (Some g));
+  Fun.protect ~finally:(fun () -> clear t) f

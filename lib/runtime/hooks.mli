@@ -1,0 +1,33 @@
+(** Scoped installation of the per-run observation hooks.
+
+    One run may carry up to five hooks: a trace sink, a cost-profiler
+    probe, a race-detector probe, and the scheduler's record tap /
+    replay feed. [with_installed] installs a chosen subset on an
+    engine's {!target} and guarantees — by [Fun.protect] — that all five
+    slots are cleared when the body returns or raises, so no engine ever
+    leaves hooks installed on an exception path. *)
+
+(** The five hook slots of one engine instance, bundled. Obtain one from
+    [Machine.hooks], [Ref_machine.hooks], [Block_machine.hooks] or
+    generically from [Engine.hooks]. *)
+type target = {
+  ht_trace : Trace.sink option -> unit;
+  ht_profile : Profile.probe option -> unit;
+  ht_race : Race_probe.probe option -> unit;
+  ht_sched : Sched.t;  (** carries the tap and feed slots *)
+}
+
+val clear : target -> unit
+(** Uninstall all five hooks. *)
+
+val with_installed :
+  target ->
+  ?trace:Trace.sink ->
+  ?profile:Profile.probe ->
+  ?race:Race_probe.probe ->
+  ?tap:(chosen:int -> eligible:int list -> unit) ->
+  ?feed:(eligible:int list -> int) ->
+  (unit -> 'a) ->
+  'a
+(** Install the given hooks, run the body, then {!clear} — on normal
+    return and on exception alike. *)

@@ -237,9 +237,26 @@ let link_func ~fail_index funcs id (f : Func.t) : lfunc =
     lf_block_index = block_index;
   }
 
-(** Pre-resolve [p]. [fail_blocks] is the hardening metadata (fail-arm
-    label -> site id); pass [[]] for unhardened programs. *)
-let link ?(fail_blocks = []) ?fail_index (p : Program.t) : program =
+(* Linking is deterministic and its output is never mutated, so machines
+   created repeatedly over the same program — bench sweeps, schedule
+   replay, fuzz loops — share one linked image instead of re-interning
+   every name.  Keyed by physical identity of the inputs (the only cheap
+   equality on whole programs); a bounded MRU list scanned with [==]. *)
+let memo :
+    (Program.t
+    * (Label.t * int) list
+    * (string, int) Hashtbl.t option
+    * program)
+    list
+    ref =
+  ref []
+
+let memo_max = 256
+
+let truncate n l =
+  if List.length l <= n then l else List.filteri (fun i _ -> i < n) l
+
+let link_uncached ?(fail_blocks = []) ?fail_index (p : Program.t) : program =
   let funcs = Hashtbl.create 16 in
   List.iteri
     (fun i (f : Func.t) ->
@@ -273,6 +290,26 @@ let link ?(fail_blocks = []) ?fail_index (p : Program.t) : program =
           (Format.asprintf "Program.func_exn: no function %a" Fname.pp p.main)
   in
   { lp_src = p; lp_funcs; lp_main }
+
+(** Pre-resolve [p]. [fail_blocks] is the hardening metadata (fail-arm
+    label -> site id); pass [[]] for unhardened programs. Re-linking the
+    same inputs returns the first link's image (see [memo] above). *)
+let link ?(fail_blocks = []) ?fail_index (p : Program.t) : program =
+  let same (p', fb', fi', _) =
+    p' == p
+    && fb' == fail_blocks
+    &&
+    match (fi', fail_index) with
+    | None, None -> true
+    | Some a, Some b -> a == b
+    | _ -> false
+  in
+  match List.find_opt same !memo with
+  | Some (_, _, _, lp) -> lp
+  | None ->
+      let lp = link_uncached ~fail_blocks ?fail_index p in
+      memo := truncate memo_max ((p, fail_blocks, fail_index, lp) :: !memo);
+      lp
 
 let func_by_id lp id = lp.lp_funcs.(id)
 

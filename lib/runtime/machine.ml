@@ -123,6 +123,10 @@ type t = {
           at spawn and death instead of folded from [threads] per step *)
   mutable live_n : int;
   mutable ready : int array;  (** scratch: eligible indices into [live] *)
+  mutable wbound : int;
+      (** the running window's step budget, consulted by compiled
+          control-transfer links ([Compile]) before chaining into their
+          target block; owned by [Block_machine], unused here *)
 }
 
 (* --- the live-thread array ----------------------------------------- *)
@@ -194,6 +198,7 @@ let create ?(config = default_config) ?meta (prog : Program.t) =
       live = [||];
       live_n = 0;
       ready = [||];
+      wbound = 0;
     }
   in
   let main = Link.func_by_id linked linked.Link.lp_main in
@@ -216,6 +221,15 @@ let set_profile m probe = m.prof <- Some probe
 (** Install a race-detector probe; subsequent memory accesses and
     synchronization operations are reported. *)
 let set_race m probe = m.race <- Some probe
+
+(** The machine's five hook slots, bundled for [Hooks.with_installed]. *)
+let hooks m =
+  {
+    Hooks.ht_trace = (fun s -> m.trace <- s);
+    ht_profile = (fun p -> m.prof <- p);
+    ht_race = (fun p -> m.race <- p);
+    ht_sched = m.sched;
+  }
 
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
@@ -673,7 +687,9 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
   | Link.L_load_stack (r, s) ->
       race_slot m th i Race_probe.Read s;
       regs.(r) <-
-        Option.value ~default:Value.zero (Hashtbl.find_opt fr.Thread.stack_vars s);
+        (match fr.Thread.stack_vars with
+        | None -> Value.zero
+        | Some h -> Option.value ~default:Value.zero (Hashtbl.find_opt h s));
       advance fr
   | Link.L_store_global (g, a) ->
       race_global m th i Race_probe.Write g;
@@ -684,7 +700,7 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       else raise (Fault ("store to undeclared global " ^ g))
   | Link.L_store_stack (s, a) ->
       race_slot m th i Race_probe.Write s;
-      Hashtbl.replace fr.Thread.stack_vars s (eval fr a);
+      Hashtbl.replace (Thread.stack_tbl fr) s (eval fr a);
       advance fr
   | Link.L_load_idx (r, p, ix) -> (
       (* operands bound right-to-left, preserving the original argument
@@ -1090,7 +1106,7 @@ type snapshot = {
 let copy_frame (fr : Thread.frame) =
   {
     fr with
-    Thread.stack_vars = Hashtbl.copy fr.Thread.stack_vars;
+    Thread.stack_vars = Option.map Hashtbl.copy fr.Thread.stack_vars;
     regs = Array.copy fr.Thread.regs;
   }
 

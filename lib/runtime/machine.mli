@@ -92,6 +92,10 @@ type t = {
           at spawn and death instead of folded from [threads] per step *)
   mutable live_n : int;
   mutable ready : int array;  (** scratch: eligible indices into [live] *)
+  mutable wbound : int;
+      (** the running window's step budget, consulted by compiled
+          control-transfer links ([Compile]) before chaining into their
+          target block; owned by [Block_machine], unused here *)
 }
 
 val set_trace : t -> Trace.sink -> unit
@@ -128,6 +132,52 @@ val run : t -> Outcome.t
 (** Run to completion or until the fuel runs out. *)
 
 val run_program : ?config:config -> ?meta:meta -> Program.t -> t * Outcome.t
+
+val hooks : t -> Hooks.target
+(** The machine's five hook slots (trace, profile, race, sched tap/feed),
+    bundled for [Hooks.with_installed]. *)
+
+(** {1 Engine internals}
+
+    The execution helpers, exported for [Compile]/[Block_machine]: the
+    block-compiled engine reuses [Machine]'s own evaluation, failure and
+    recovery paths verbatim so the two engines cannot drift. Not intended
+    for other callers. *)
+
+exception Fault of string
+(** An unrecovered runtime fault of the current thread. *)
+
+val eval_reg : Thread.frame -> int -> Value.t
+val eval : Thread.frame -> Link.rarg -> Value.t
+val eval_args : Thread.frame -> Link.rarg array -> Value.t array
+val eval_arg_list : Thread.frame -> Link.rarg array -> Value.t list
+val as_int : Value.t -> int
+val as_mutex : Value.t -> string
+val eval_binop : Instr.binop -> Value.t -> Value.t -> Value.t
+val eval_unop : Instr.unop -> Value.t -> Value.t
+val render_output : string -> Value.t list -> string
+
+val set_failure :
+  t ->
+  kind:Instr.failure_kind ->
+  site_id:int option ->
+  iid:int option ->
+  tid:int ->
+  msg:string ->
+  unit
+
+val note_branch_taken :
+  t -> Thread.t -> Thread.frame -> taken_idx:int -> other_idx:int -> unit
+
+val close_episode : t -> Thread.t -> unit
+val do_return : t -> Thread.t -> Value.t option -> unit
+val eligible : t -> Thread.t -> bool
+
+val run_thread_step : t -> Thread.t -> unit
+(** Execute one instruction (or terminator) of [th], including the
+    sleeper wake and all probe emission — everything [step] does except
+    eligibility scanning, the scheduling decision and the step-counter
+    bump. *)
 
 (** {1 Whole-machine snapshots}
 

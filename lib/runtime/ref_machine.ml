@@ -186,6 +186,14 @@ let set_trace m sink = m.trace <- Some sink
 let set_profile m probe = m.prof <- Some probe
 let set_race m probe = m.race <- Some probe
 
+let hooks m =
+  {
+    Hooks.ht_trace = (fun s -> m.trace <- s);
+    ht_profile = (fun p -> m.prof <- p);
+    ht_race = (fun p -> m.race <- p);
+    ht_sched = m.sched;
+  }
+
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
 

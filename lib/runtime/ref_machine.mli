@@ -37,6 +37,9 @@ val sched : t -> Sched.t
 (** The machine's scheduler — the attach point for the record/replay
     hooks ({!Sched.set_tap}, {!Sched.set_feed}). *)
 
+val hooks : t -> Hooks.target
+(** The machine's five hook slots, bundled for [Hooks.with_installed]. *)
+
 val stats : t -> Stats.t
 val outcome : t -> Outcome.t option
 

@@ -19,7 +19,10 @@ type frame = {
   mutable block : Link.lblock;
   mutable idx : int;  (** next instruction index; [= length] means terminator *)
   mutable regs : Value.t array;  (** indexed by the function's interning *)
-  stack_vars : (string, Value.t) Hashtbl.t;
+  mutable stack_vars : (string, Value.t) Hashtbl.t option;
+      (** named frame slots, allocated on first write: most frames never
+          touch one, and calls are hot enough that the empty table was a
+          measurable cost *)
   ret_reg : int option;  (** caller's register index for the return value *)
 }
 
@@ -87,9 +90,18 @@ let make_frame (func : Link.lfunc) ~args ~ret_reg =
     block = func.Link.lf_blocks.(func.Link.lf_entry);
     idx = 0;
     regs;
-    stack_vars = Hashtbl.create 8;
+    stack_vars = None;
     ret_reg;
   }
+
+(* A read against a frame with no table behaves as an empty table. *)
+let stack_tbl fr =
+  match fr.stack_vars with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      fr.stack_vars <- Some h;
+      h
 
 let create ~tid (func : Link.lfunc) ~args =
   {

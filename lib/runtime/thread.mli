@@ -20,7 +20,9 @@ type frame = {
   mutable block : Link.lblock;
   mutable idx : int;  (** next instruction; [= length] means terminator *)
   mutable regs : Value.t array;  (** indexed by the function's interning *)
-  stack_vars : (string, Value.t) Hashtbl.t;
+  mutable stack_vars : (string, Value.t) Hashtbl.t option;
+      (** named frame slots, allocated on first write; [None] reads as an
+          empty table *)
   ret_reg : int option;  (** caller's register index for the return value *)
 }
 
@@ -72,6 +74,9 @@ type t = {
 val make_frame :
   Link.lfunc -> args:Value.t array -> ret_reg:int option -> frame
 (** @raise Invalid_argument on an arity mismatch. *)
+
+val stack_tbl : frame -> (string, Value.t) Hashtbl.t
+(** The frame's named-slot table, allocating it on first use. *)
 
 val create : tid:int -> Link.lfunc -> args:Value.t array -> t
 

@@ -1,19 +1,29 @@
-(* The pre-resolved engine ([Machine]) against the reference interpreter
-   ([Ref_machine]): bit-for-bit semantic identity over the whole bugbench
-   catalog — every Table 2 benchmark (buggy and clean), every taxonomy
-   catalog entry, every Fig 2 micro pattern — under both scheduling
-   policies, original and hardened.
+(* The pre-resolved engine ([Machine]) and the block-compiled engine
+   ([Block_machine]) against the reference interpreter ([Ref_machine]):
+   bit-for-bit semantic identity over the whole bugbench catalog — every
+   Table 2 benchmark (buggy and clean), every taxonomy catalog entry,
+   every Fig 2 micro pattern — under both scheduling policies, original
+   and hardened.
 
    "Identical" means: outcome, final outputs, step/instruction/idle
    counts, checkpoint and rollback counts, compensation counts, the full
    recovery-episode list (per-site retry stats included), the per-id
    checkpoint-hit table, the complete trace-event stream, and the cost
    profiler's full attribution (per-context flamegraph lines, per-site
-   wasted-step charges). *)
+   wasted-step charges). It also extends to the serialized artifacts:
+   JSONL event logs, race-detector report JSON, and recorded schedule
+   logs must match byte for byte across all three engines.
+
+   Each comparison runs twice per engine: once fully hooked (trace sink
+   and cost profiler installed) and once bare. The bare pass matters for
+   the block engine, whose compiled straight-line windows only engage
+   when no hooks are installed. *)
 
 open Conair.Ir
 module Machine = Conair.Runtime.Machine
 module Ref_machine = Conair.Runtime.Ref_machine
+module Engine = Conair.Runtime.Engine
+module Hooks = Conair.Runtime.Hooks
 module Sched = Conair.Runtime.Sched
 module Stats = Conair.Runtime.Stats
 module Trace = Conair.Runtime.Trace
@@ -94,43 +104,82 @@ let check_profiles name (rp : Prof.t) (fp : Prof.t) =
         (Prof.to_collapsed fp kind))
     [ Prof.Useful; Prof.Checkpoint; Prof.Wasted; Prof.Total ]
 
-(* Run [p] through both engines under identical configuration and insist
-   on identical observable behaviour. *)
+(* Everything one hooked run exposes. *)
+type observed = {
+  o_outcome : Outcome.t;
+  o_outputs : string list;
+  o_steps : int;
+  o_stats : Stats.t;
+  o_sink : Trace.sink;
+  o_prof : Prof.t;
+}
+
+(* One fully-hooked run of [p] on [engine]: trace sink and cost profiler
+   installed for the whole execution. *)
+let observe engine ?meta config (p : Program.t) =
+  let m = Engine.create ~config ?meta engine p in
+  let sink = Trace.create () in
+  let prof = Prof.create () in
+  let outcome =
+    Hooks.with_installed (Engine.hooks m) ~trace:sink
+      ~profile:(Prof.probe prof) (fun () -> Engine.run m)
+  in
+  Prof.finalize prof;
+  {
+    o_outcome = outcome;
+    o_outputs = Engine.outputs m;
+    o_steps = Engine.steps m;
+    o_stats = Engine.stats m;
+    o_sink = sink;
+    o_prof = prof;
+  }
+
+(* One bare run: no hooks at all. On the block engine this is the path
+   that actually retires compiled straight-line windows. *)
+let bare engine ?meta config (p : Program.t) =
+  let m = Engine.create ~config ?meta engine p in
+  let outcome = Engine.run m in
+  (outcome, Engine.outputs m, Engine.steps m, Engine.stats m)
+
+(* The engines measured against the reference interpreter. *)
+let engines = [ ("fast", Engine.Fast); ("block", Engine.Block) ]
+
+(* Run [p] through all three engines under identical configuration and
+   insist on identical observable behaviour, hooked and bare. *)
 let check_same name ?meta config (p : Program.t) =
-  let ref_sink = Trace.create () in
-  let rm = Ref_machine.create ~config ?meta p in
-  Ref_machine.set_trace rm ref_sink;
-  let ref_prof = Prof.create () in
-  Ref_machine.set_profile rm (Prof.probe ref_prof);
-  let ref_outcome = Ref_machine.run rm in
-  Prof.finalize ref_prof;
-  let fast_sink = Trace.create () in
-  let fm = Machine.create ~config ?meta p in
-  Machine.set_trace fm fast_sink;
-  let fast_prof = Prof.create () in
-  Machine.set_profile fm (Prof.probe fast_prof);
-  let fast_outcome = Machine.run fm in
-  Prof.finalize fast_prof;
-  Alcotest.check outcome_t (name ^ ": outcome") ref_outcome fast_outcome;
-  Alcotest.(check (list string))
-    (name ^ ": outputs")
-    (Ref_machine.outputs rm) (Machine.outputs fm);
-  Alcotest.(check int)
-    (name ^ ": virtual time")
-    (Ref_machine.steps rm) fm.Machine.step;
-  check_stats name (Ref_machine.stats rm) (Machine.stats fm);
-  check_traces name ref_sink fast_sink;
-  (* the differential guarantee extends to the serialized telemetry:
-     both engines must produce byte-identical JSONL event logs *)
+  let r = observe Engine.Ref ?meta config p in
   let jsonl sink =
     String.concat "\n" (Conair.Obs.Jsonl.events_to_lines (Trace.events sink))
   in
-  Alcotest.(check string)
-    (name ^ ": serialized JSONL event log")
-    (jsonl ref_sink) (jsonl fast_sink);
-  (* ... and to the cost profiler: identical per-context and per-site
-     attribution, down to every flamegraph line *)
-  check_profiles name ref_prof fast_prof
+  List.iter
+    (fun (ename, engine) ->
+      let name = name ^ "#" ^ ename in
+      let o = observe engine ?meta config p in
+      Alcotest.check outcome_t (name ^ ": outcome") r.o_outcome o.o_outcome;
+      Alcotest.(check (list string))
+        (name ^ ": outputs") r.o_outputs o.o_outputs;
+      Alcotest.(check int) (name ^ ": virtual time") r.o_steps o.o_steps;
+      check_stats name r.o_stats o.o_stats;
+      check_traces name r.o_sink o.o_sink;
+      (* the differential guarantee extends to the serialized telemetry:
+         every engine must produce byte-identical JSONL event logs *)
+      Alcotest.(check string)
+        (name ^ ": serialized JSONL event log")
+        (jsonl r.o_sink) (jsonl o.o_sink);
+      (* ... and to the cost profiler: identical per-context and per-site
+         attribution, down to every flamegraph line *)
+      check_profiles name r.o_prof o.o_prof;
+      (* the bare run must agree with the hooked reference run too:
+         telemetry is observation, never behaviour *)
+      let b_outcome, b_outputs, b_steps, b_stats =
+        bare engine ?meta config p
+      in
+      Alcotest.check outcome_t (name ^ ": bare outcome") r.o_outcome b_outcome;
+      Alcotest.(check (list string))
+        (name ^ ": bare outputs") r.o_outputs b_outputs;
+      Alcotest.(check int) (name ^ ": bare virtual time") r.o_steps b_steps;
+      check_stats (name ^ "/bare") r.o_stats b_stats)
+    engines
 
 (* ------------------------------------------------------------------ *)
 (* The program corpus: the full bugbench catalog                       *)
@@ -194,6 +243,60 @@ let sweep_perturbed () =
             h.hardened.program)
     (corpus ())
 
+(* The race/deadlock detector's serialized report must match byte for
+   byte across the engines: the detector only sees probe events, and
+   every engine must emit the same stream. *)
+let sweep_detector_reports () =
+  let config = config (Sched.Random 42) in
+  List.iter
+    (fun (name, p) ->
+      let report engine =
+        let _, rep = Conair.run_detected ~config ~engine p in
+        Conair.Obs.Json.to_string (Conair.Race.Report.to_json rep)
+      in
+      let ref_report = report Engine.Ref in
+      List.iter
+        (fun (ename, engine) ->
+          Alcotest.(check string)
+            (name ^ "#" ^ ename ^ ": race report JSON")
+            ref_report (report engine))
+        engines)
+    (corpus ())
+
+(* Recorded schedule logs must serialize identically across the engines
+   — modulo the engine stamp itself, which names the recorder and is
+   checked separately. *)
+let sweep_recorded_logs () =
+  let config = config (Sched.Random 42) in
+  let module Log = Conair.Replay.Log in
+  let check_logs name log_of =
+    let log_lines engine =
+      let log : Log.t = log_of engine in
+      Alcotest.(check string)
+        (name ^ ": engine stamp")
+        (Engine.name engine) log.Log.engine;
+      Log.to_lines { log with Log.engine = "fast" }
+    in
+    let ref_lines = log_lines Engine.Ref in
+    List.iter
+      (fun (ename, engine) ->
+        Alcotest.(check (list string))
+          (name ^ "#" ^ ename ^ ": schedule log bytes")
+          ref_lines (log_lines engine))
+      engines
+  in
+  List.iter
+    (fun (name, p) ->
+      check_logs name (fun engine ->
+          snd (Conair.record_run ~config ~engine ~ident:(Log.ident name) p));
+      match Conair.harden p Conair.Survival with
+      | Error _ -> ()
+      | Ok h ->
+          check_logs (name ^ "/hardened") (fun engine ->
+              snd
+                (Conair.run_recorded ~config ~engine ~ident:(Log.ident name) h)))
+    (corpus ())
+
 (* [Sched.choose_idx] must mirror [Sched.choose] pick-for-pick: same
    selections, same cursor movement, same rng consumption. *)
 let choose_idx_agrees () =
@@ -238,6 +341,10 @@ let suites =
       @ [
           Alcotest.test_case "differential: perturbed + wait-graph" `Quick
             sweep_perturbed;
+          Alcotest.test_case "differential: race-detector reports" `Quick
+            sweep_detector_reports;
+          Alcotest.test_case "differential: recorded schedule logs" `Quick
+            sweep_recorded_logs;
           Alcotest.test_case "choose_idx mirrors choose" `Quick
             choose_idx_agrees;
         ] );

@@ -1,14 +1,18 @@
 (* Schedule record-and-replay: a recorded decision stream must replay
    bit-for-bit — same outcome, outputs, step/instruction/rollback counts
-   and serialized JSONL telemetry — on both engines, over the whole
+   and serialized JSONL telemetry — on all three engines, over the whole
    bugbench catalog (both variants), original and hardened, under both
-   scheduling policies. Divergence must surface as a structured error,
-   and the minimizer must shrink failing schedules to strictly fewer
-   preemptions that still reproduce the same failure, deterministically. *)
+   scheduling policies. Logs are engine-interchangeable: record on any
+   engine, replay on any other, zero divergence. Divergence must surface
+   as a structured error, and the minimizer must shrink failing
+   schedules to strictly fewer preemptions that still reproduce the same
+   failure, deterministically. *)
 
 open Conair.Ir
 module Machine = Conair.Runtime.Machine
 module Ref_machine = Conair.Runtime.Ref_machine
+module Engine = Conair.Runtime.Engine
+module Hooks = Conair.Runtime.Hooks
 module Sched = Conair.Runtime.Sched
 module Trace = Conair.Runtime.Trace
 module Outcome = Conair.Runtime.Outcome
@@ -51,10 +55,11 @@ let jsonl sink = String.concat "\n" (Jsonl.events_to_lines (Trace.events sink))
 let record_traced config ?meta p =
   let m = Machine.create ~config ?meta p in
   let sink = Trace.create () in
-  Machine.set_trace m sink;
-  let r = Recorder.attach m.Machine.sched in
-  let outcome = Machine.run m in
-  Recorder.detach m.Machine.sched;
+  let r = Recorder.create () in
+  let outcome =
+    Hooks.with_installed (Machine.hooks m) ~trace:sink ~tap:(Recorder.tap r)
+      (fun () -> Machine.run m)
+  in
   let bundle =
     {
       Driver.rb_outcome = outcome;
@@ -71,38 +76,24 @@ let record_traced config ?meta p =
 
 let replay_traced engine ?meta p (log : Log.t) =
   let config = log.Log.config in
-  match engine with
-  | Driver.Fast ->
-      let m = Machine.create ~config ?meta p in
-      let sink = Trace.create () in
-      Machine.set_trace m sink;
-      let _ = Feed.attach_strict m.Machine.sched log.Log.decisions in
-      let outcome = Machine.run m in
-      Feed.detach m.Machine.sched;
-      ( {
-          Driver.rb_outcome = outcome;
-          rb_outputs = Machine.outputs m;
-          rb_stats = Machine.stats m;
-          rb_steps = m.Machine.step;
-        },
-        jsonl sink )
-  | Driver.Ref ->
-      let m = Ref_machine.create ~config ?meta p in
-      let sink = Trace.create () in
-      Ref_machine.set_trace m sink;
-      let _ = Feed.attach_strict (Ref_machine.sched m) log.Log.decisions in
-      let outcome = Ref_machine.run m in
-      Feed.detach (Ref_machine.sched m);
-      ( {
-          Driver.rb_outcome = outcome;
-          rb_outputs = Ref_machine.outputs m;
-          rb_stats = Ref_machine.stats m;
-          rb_steps = Ref_machine.steps m;
-        },
-        jsonl sink )
+  let m = Engine.create ~config ?meta engine p in
+  let sink = Trace.create () in
+  let h = Feed.strict log.Log.decisions in
+  let outcome =
+    Hooks.with_installed (Engine.hooks m) ~trace:sink
+      ~feed:(Feed.strict_decide h) (fun () -> Engine.run m)
+  in
+  ( {
+      Driver.rb_outcome = outcome;
+      rb_outputs = Engine.outputs m;
+      rb_stats = Engine.stats m;
+      rb_steps = Engine.steps m;
+    },
+    jsonl sink )
 
-(* Record [p] once, then insist both engines replay it byte-for-byte:
-   trailer check plus identical serialized JSONL event logs. *)
+(* Record [p] once, then insist all three engines replay it
+   byte-for-byte: trailer check plus identical serialized JSONL event
+   logs. *)
 let check_roundtrip name config ?meta p =
   let log, recorded_jsonl = record_traced config ?meta p in
   List.iter
@@ -115,7 +106,7 @@ let check_roundtrip name config ?meta p =
       Alcotest.(check string)
         (name ^ " (" ^ ename ^ " replay): JSONL telemetry")
         recorded_jsonl replayed_jsonl)
-    [ Driver.Fast; Driver.Ref ]
+    [ Driver.Ref; Driver.Fast; Driver.Block ]
 
 let sweep_original (pname, policy) () =
   List.iter
@@ -134,26 +125,39 @@ let sweep_hardened (pname, policy) () =
             ~meta (config policy) h.Conair.hardened.program)
     (corpus ())
 
-(* Recording on the reference engine and replaying on the fast one (and
-   vice versa) must also agree: the log is engine-independent. *)
+(* Recording on any engine and replaying on any other must agree: the
+   log is engine-independent. Every ordered pair of distinct engines —
+   notably record-on-block replayed on fast/ref and vice versa. *)
 let cross_engine () =
   let spec = Option.get (Registry.find "HawkNL") in
   let inst = spec.make ~variant:Spec.Buggy ~oracle:true in
   List.iter
     (fun (rec_engine, replay_engine) ->
+      let pair =
+        Driver.engine_name rec_engine ^ "->" ^ Driver.engine_name replay_engine
+      in
       let _, log =
         Driver.record ~engine:rec_engine
           ~config:(config Sched.Round_robin)
           ~ident:(Log.ident "hawknl") inst.program
       in
+      Alcotest.(check string)
+        (pair ^ ": log names the recording engine")
+        (Driver.engine_name rec_engine)
+        log.Log.engine;
       match Driver.replay ~engine:replay_engine ~program:inst.program log with
       | Error e ->
-          Alcotest.failf "cross-engine replay: %s" (Driver.error_to_string e)
+          Alcotest.failf "cross-engine replay (%s): %s" pair
+            (Driver.error_to_string e)
       | Ok b -> (
           match Driver.check log b with
           | Ok () -> ()
-          | Error e -> Alcotest.failf "cross-engine: %s" e))
-    [ (Driver.Ref, Driver.Fast); (Driver.Fast, Driver.Ref) ]
+          | Error e -> Alcotest.failf "cross-engine (%s): %s" pair e))
+    (List.concat_map
+       (fun r -> List.filter_map
+          (fun p -> if p <> r then Some (r, p) else None)
+          [ Driver.Ref; Driver.Fast; Driver.Block ])
+       [ Driver.Ref; Driver.Fast; Driver.Block ])
 
 (* ------------------------------------------------------------------ *)
 (* The facade: run_recorded on a hardened program, replay resolving    *)

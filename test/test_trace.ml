@@ -114,7 +114,9 @@ let no_trace_no_cost () =
   let r = run_hardened h in
   expect_success r;
   Alcotest.(check bool) "machine has no sink" true
-    (r.machine.Machine.trace = None)
+    (match r.machine with
+    | Conair.Runtime.Engine.M_fast m -> m.Machine.trace = None
+    | _ -> Alcotest.fail "expected the fast engine")
 
 let suites =
   [
