@@ -15,12 +15,17 @@
                    consistent; additionally a performance gate — the
                    block engine's micro steps/s must be at least 3x the
                    committed fast-engine baseline;
+   - BENCH_fuzz.json — the campaign bench document written by
+                   `conair_fuzz --bench`: per-engine runs/sec, signature
+                   digests and growth curves, with the differential gate
+                   that every engine's digest is identical;
    - *.json      — the whole file must parse; if the value carries a
                    "traceEvents" member it must be a list (Chrome trace
                    format sanity, as loaded by Perfetto).
 
-   Exit 0 when every file validates, 1 otherwise. Used by the @smoke and
-   @perf aliases to assert the emitted telemetry is well-formed. *)
+   Exit 0 when every file validates, 1 otherwise. Used by the @smoke,
+   @perf, @replay and @fuzz aliases to assert the emitted telemetry is
+   well-formed. *)
 
 module Json = Conair.Obs.Json
 
@@ -223,6 +228,109 @@ let check_bench_interp file =
            baseline)\n"
           file
 
+(* BENCH_fuzz.json: the campaign bench document written by
+   `conair_fuzz --bench` — one sharded campaign per engine. Shape checks
+   plus the differential gate: every engine's signature digest must be
+   identical and "signature_agreement" must say so. *)
+let check_bench_fuzz file =
+  let before = !errors in
+  match Json.of_string (read_file file) with
+  | Error e -> fail file e
+  | Ok j ->
+      (match Json.member "type" j with
+      | Some (Json.String "bench_fuzz") -> ()
+      | _ -> fail file "\"type\" is not \"bench_fuzz\"");
+      let pos_int name parent ctx =
+        match Json.member name parent with
+        | Some (Json.Int n) when n > 0 -> Some n
+        | _ ->
+            fail file (Printf.sprintf "%s%s is not a positive integer" ctx name);
+            None
+      in
+      let nonneg_int name parent ctx =
+        match Json.member name parent with
+        | Some (Json.Int n) when n >= 0 -> Some n
+        | _ ->
+            fail file
+              (Printf.sprintf "%s%s is not a non-negative integer" ctx name);
+            None
+      in
+      ignore (pos_int "iterations" j "");
+      ignore (pos_int "jobs" j "");
+      let digests = ref [] in
+      (match Json.member "engines" j with
+      | Some (Json.Obj engines) ->
+          List.iter
+            (fun expected ->
+              if not (List.mem_assoc expected engines) then
+                fail file (Printf.sprintf "engines.%s is missing" expected))
+            [ "ref"; "fast"; "block" ];
+          List.iter
+            (fun (name, e) ->
+              let ctx = Printf.sprintf "engines.%s." name in
+              ignore (pos_int "runs" e ctx);
+              (match Json.member "runs_per_sec" e with
+              | Some (Json.Float f) when f > 0. -> ()
+              | Some (Json.Int n) when n > 0 -> ()
+              | _ ->
+                  fail file (ctx ^ "runs_per_sec is not a positive number"));
+              let uniq = nonneg_int "unique_signatures" e ctx in
+              let found = nonneg_int "findings" e ctx in
+              (match (uniq, found) with
+              | Some u, Some f when f < u ->
+                  fail file
+                    (Printf.sprintf "%sfindings %d < unique_signatures %d" ctx
+                       f u)
+              | _ -> ());
+              (match Json.member "signatures_md5" e with
+              | Some (Json.String d)
+                when String.length d = 32
+                     && String.for_all
+                          (function
+                            | '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+                          d ->
+                  digests := d :: !digests
+              | _ -> fail file (ctx ^ "signatures_md5 is not an MD5 digest"));
+              match Json.member "curve" e with
+              | Some (Json.List pts) ->
+                  let last = ref (-1, -1) in
+                  List.iter
+                    (fun pt ->
+                      match pt with
+                      | Json.List [ Json.Int x; Json.Int y ] ->
+                          let px, py = !last in
+                          if x < px || y < py then
+                            fail file (ctx ^ "curve is not nondecreasing");
+                          last := (x, y)
+                      | _ -> fail file (ctx ^ "curve point is not [runs, uniques]"))
+                    pts;
+                  (match (uniq, !last) with
+                  | Some u, (_, y) when y <> u ->
+                      fail file
+                        (Printf.sprintf
+                           "%scurve ends at %d uniques, unique_signatures \
+                            says %d"
+                           ctx y u)
+                  | _ -> ())
+              | _ -> fail file (ctx ^ "curve is not a list"))
+            engines
+      | _ -> fail file "\"engines\" is not an object");
+      (match List.sort_uniq compare !digests with
+      | [] | [ _ ] -> ()
+      | ds ->
+          fail file
+            (Printf.sprintf "engines disagree on signatures (%d digests)"
+               (List.length ds)));
+      (match Json.member "signature_agreement" j with
+      | Some (Json.Bool true) -> ()
+      | Some (Json.Bool false) ->
+          fail file "signature_agreement is false: engines diverged"
+      | _ -> fail file "\"signature_agreement\" is not a boolean");
+      if !errors = before then
+        Printf.printf
+          "json_check: %s: fuzz bench ok (signatures agree across engines)\n"
+          file
+
 let check_json file =
   match Json.of_string (read_file file) with
   | Error e -> fail file e
@@ -245,6 +353,8 @@ let () =
       if not (Sys.file_exists file) then fail file "no such file"
       else if Filename.basename file = "BENCH_interp.json" then
         check_bench_interp file
+      else if Filename.basename file = "BENCH_fuzz.json" then
+        check_bench_fuzz file
       else if Filename.check_suffix file ".sched.jsonl" then
         check_sched file
       else if Filename.check_suffix file ".jsonl" then check_jsonl file

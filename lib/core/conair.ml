@@ -87,6 +87,8 @@ module Obs = struct
   module Prof = Conair_obs.Prof
   module Overhead = Conair_obs.Overhead
   module Aggregate = Conair_obs.Aggregate
+  module Coverage = Conair_obs.Coverage
+  module Campaign = Conair_obs.Campaign
 end
 
 open Conair_ir
@@ -259,13 +261,15 @@ let mode_name : mode -> string = function
   | Fix _ -> "fix"
 
 (* Record while keeping the machine, so the result is a full facade
-   [run] next to the schedule log. *)
+   [run] next to the schedule log. [race] rides along in the same scoped
+   install — campaign workers observe schedule coverage (the
+   [Obs.Coverage] collector probe) on the very run they record. *)
 let record_into ?(config = Machine.default_config) ?(engine = Engine.Fast)
-    ?meta ~ident program : run * Replay.Log.t =
+    ?meta ?race ~ident program : run * Replay.Log.t =
   let m = Engine.create ~config ?meta engine program in
   let r = Conair_replay.Recorder.create () in
   let outcome =
-    Hooks.with_installed (Engine.hooks m)
+    Hooks.with_installed (Engine.hooks m) ?race
       ~tap:(Conair_replay.Recorder.tap r) (fun () -> Engine.run m)
   in
   let run = make_run m outcome in
@@ -283,17 +287,19 @@ let record_into ?(config = Machine.default_config) ?(engine = Engine.Fast)
 
 (** [execute] with the schedule recorder installed: the run plus a
     self-contained schedule log that replays it bit-for-bit. *)
-let record_run ?config ?engine ?ident (p : Program.t) : run * Replay.Log.t =
+let record_run ?config ?engine ?ident ?race (p : Program.t) :
+    run * Replay.Log.t =
   let ident =
     match ident with
     | Some i -> i
     | None -> Conair_replay.Schedule_log.ident "program"
   in
-  record_into ?config ?engine ~ident p
+  record_into ?config ?engine ?race ~ident p
 
 (** [execute_hardened] with the schedule recorder installed. The default
     ident carries the plan's mode ("survival" or "fix"). *)
-let run_recorded ?config ?engine ?ident (h : hardened) : run * Replay.Log.t =
+let run_recorded ?config ?engine ?ident ?race (h : hardened) :
+    run * Replay.Log.t =
   let ident =
     match ident with
     | Some i -> i
@@ -301,9 +307,28 @@ let run_recorded ?config ?engine ?ident (h : hardened) : run * Replay.Log.t =
         Conair_replay.Schedule_log.ident ~mode:(mode_name h.plan.Plan.mode)
           "program"
   in
-  record_into ?config ?engine
+  record_into ?config ?engine ?race
     ~meta:(Machine.meta_of_harden h.hardened)
     ~ident h.hardened.program
+
+(** The canonical interleaving signature of a recorded run: the
+    [Obs.Coverage] digest over the log's preemption-point sequence,
+    contextualized by the recorded ident and program MD5 (so identical
+    shapes of different programs stay distinct). Pass the per-address
+    access orders of an [Obs.Coverage] collector that watched the run to
+    sharpen the signature with data-access ordering. Engine-independent:
+    the log's decision stream and the collector's event stream are
+    byte-identical across ref/fast/block. *)
+let interleaving_signature ?orders (log : Replay.Log.t) : string =
+  let ident = log.Conair_replay.Schedule_log.ident in
+  Conair_obs.Coverage.signature
+    ~context:
+      (Printf.sprintf "%s/%s/%s" ident.Conair_replay.Schedule_log.id_app
+         ident.Conair_replay.Schedule_log.id_variant
+         log.Conair_replay.Schedule_log.program_md5)
+    ?orders
+    ~decisions:log.Conair_replay.Schedule_log.decisions
+    ~preemptions:log.Conair_replay.Schedule_log.preemptions ()
 
 (** Re-execute a recorded schedule on either engine, detecting any
     divergence from the recording as a structured error. *)

@@ -97,6 +97,8 @@ module Obs : sig
   module Prof = Conair_obs.Prof
   module Overhead = Conair_obs.Overhead
   module Aggregate = Conair_obs.Aggregate
+  module Coverage = Conair_obs.Coverage
+  module Campaign = Conair_obs.Campaign
 end
 
 (** The two usage modes of §3.1: survival mode hardens every potential
@@ -254,21 +256,33 @@ val record_run :
   ?config:Conair_runtime.Machine.config ->
   ?engine:Conair_runtime.Engine.t ->
   ?ident:Replay.Log.ident ->
+  ?race:Conair_runtime.Race_probe.probe ->
   Conair_ir.Program.t ->
   run * Replay.Log.t
 (** {!execute} with the schedule recorder installed: the run plus a
     self-contained schedule log (embedded program, config, decision
-    stream, result trailer) that replays it bit-for-bit on any
-    engine. *)
+    stream, result trailer) that replays it bit-for-bit on any engine.
+    [race] installs an additional race probe in the same scoped hook
+    installation — e.g. an {!Obs.Coverage} collector observing schedule
+    coverage on the recorded run. *)
 
 val run_recorded :
   ?config:Conair_runtime.Machine.config ->
   ?engine:Conair_runtime.Engine.t ->
   ?ident:Replay.Log.ident ->
+  ?race:Conair_runtime.Race_probe.probe ->
   hardened ->
   run * Replay.Log.t
 (** {!execute_hardened} with the schedule recorder installed. The
     default ident carries the plan's mode ("survival" or "fix"). *)
+
+val interleaving_signature : ?orders:(string * string) list ->
+  Replay.Log.t -> string
+(** The canonical interleaving signature of a recorded run
+    ({!Obs.Coverage.signature} over the log's preemption-point sequence,
+    contextualized by its ident and program MD5; [orders] adds a
+    collector's per-address access orders). Byte-identical across
+    engines and coordinator restarts — the campaign dedupe key. *)
 
 val replay :
   ?engine:Replay.Driver.engine ->

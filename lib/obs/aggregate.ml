@@ -36,6 +36,9 @@ type t = {
   g_p95_retries : int;
   g_max_retries : int;
   g_sites : site_agg list;  (** ascending site id *)
+  g_engines : string list;
+  g_elapsed : float;
+  g_runs_per_sec : float;
 }
 
 (** Nearest-rank percentile of an unsorted list; [0] on the empty list.
@@ -61,7 +64,30 @@ let string_member key j =
 
 let is_run j = string_member "type" j = "run"
 
+(* fuzz_summary trailers carry the stream-level facts the run records do
+   not repeat: which engine executed and the wall-clock the whole stream
+   took. Elapsed folds by max — parallel workers' streams overlap in
+   time, so the longest stream is the campaign's wall-clock. *)
+let float_member key j =
+  match Json.member key j with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int n) -> float_of_int n
+  | _ -> 0.
+
+let summary_facts records =
+  let engines = ref [] and elapsed = ref 0. in
+  List.iter
+    (fun r ->
+      if string_member "type" r = "fuzz_summary" then begin
+        let e = string_member "engine" r in
+        if e <> "" && not (List.mem e !engines) then engines := e :: !engines;
+        elapsed := Float.max !elapsed (float_member "elapsed_sec" r)
+      end)
+    records;
+  (List.sort compare !engines, !elapsed)
+
 let of_records (records : Json.t list) : t =
+  let engines, elapsed = summary_facts records in
   let runs = List.filter is_run records in
   let outcomes = Hashtbl.create 8 in
   let sites = Hashtbl.create 16 in
@@ -126,6 +152,10 @@ let of_records (records : Json.t list) : t =
     g_p95_retries = percentile !retries 95.;
     g_max_retries = percentile !retries 100.;
     g_sites = site_aggs;
+    g_engines = engines;
+    g_elapsed = elapsed;
+    g_runs_per_sec =
+      (if elapsed > 0. then float_of_int (List.length runs) /. elapsed else 0.);
   }
 
 let of_lines (lines : string list) : (t, string) result =
@@ -151,6 +181,10 @@ let to_json (t : t) : Json.t =
         Json.Obj (List.map (fun (tag, n) -> (tag, Json.Int n)) t.g_outcomes) );
       ("recovery_runs", Json.Int t.g_recovery_runs);
       ("total_steps", Json.Int t.g_total_steps);
+      ( "engines",
+        Json.List (List.map (fun e -> Json.String e) t.g_engines) );
+      ("elapsed_sec", Json.Float t.g_elapsed);
+      ("runs_per_sec", Json.Float t.g_runs_per_sec);
       ( "recovery_steps",
         Json.Obj
           [
@@ -187,6 +221,17 @@ let render (t : t) : string list =
          (List.map (fun (tag, n) -> Printf.sprintf "%s %d" tag n) t.g_outcomes));
     Printf.sprintf "recovery runs: %d, total steps: %d" t.g_recovery_runs
       t.g_total_steps;
+  ]
+  @ (if t.g_elapsed > 0. then
+       [
+         Printf.sprintf "throughput: %.1f runs/sec over %.2fs%s"
+           t.g_runs_per_sec t.g_elapsed
+           (match t.g_engines with
+           | [] -> ""
+           | es -> " (" ^ String.concat ", " es ^ ")");
+       ]
+     else [])
+  @ [
     Printf.sprintf "recovery steps: p50 %d, p95 %d, max %d"
       t.g_p50_recovery_steps t.g_p95_recovery_steps t.g_max_recovery_steps;
     Printf.sprintf "retries:        p50 %d, p95 %d, max %d" t.g_p50_retries

@@ -5,8 +5,10 @@
     steps, and the wasted-step ratio (site recovery steps / total steps
     of all runs).
 
-    Lines whose ["type"] is not ["run"] (the meta header, the trailing
-    summary) are skipped; an unparsable line is an error. *)
+    ["fuzz_summary"] records contribute their ["engine"] and
+    ["elapsed_sec"] members, so the aggregate reports throughput
+    (runs/sec) without re-parsing logs. Lines of any other ["type"] (the
+    meta header) are skipped; an unparsable line is an error. *)
 
 type site_agg = {
   g_site : int;
@@ -28,6 +30,12 @@ type t = {
   g_p95_retries : int;
   g_max_retries : int;
   g_sites : site_agg list;  (** ascending site id *)
+  g_engines : string list;
+      (** distinct engines named by [fuzz_summary] records, sorted *)
+  g_elapsed : float;
+      (** max [elapsed_sec] across [fuzz_summary] records — the stream's
+          wall-clock; [0.] when no summary carried one *)
+  g_runs_per_sec : float;  (** [g_runs /. g_elapsed]; [0.] when unknown *)
 }
 
 val percentile : int list -> float -> int

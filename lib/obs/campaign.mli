@@ -1,0 +1,107 @@
+(** Campaign-level aggregation: fold the JSONL streams of many parallel
+    fuzz workers into one deduplicated, coverage-annotated report.
+
+    A campaign orchestrator (see [conair_fuzz --jobs]) shards a seed
+    range across worker processes; each worker streams one JSONL file of
+    records:
+
+    - ["run"] — one hardened execution (the {!Aggregate} vocabulary);
+    - ["finding"] — a failing run, carrying its interleaving
+      ["signature"] ({!Coverage.signature}), the worker-local
+      ["run_index"] at discovery, and the saved schedule-log ["log"]
+      path when recording was on;
+    - ["coverage"] — the worker's final {!Coverage.to_json} dump;
+    - ["fuzz_summary"] — the stream trailer with ["worker"], ["engine"],
+      ["elapsed_sec"], check counts and the [--detect] race tallies.
+
+    {!of_workers} folds any number of such streams deterministically
+    (workers in id order, records in stream order): findings dedupe by
+    signature, the unique-failures-vs-runs curve is rebuilt, run records
+    flow through {!Aggregate} for the recovery percentiles, coverage
+    dumps merge into one {!Coverage.t}, and per-address detector tallies
+    sum. The result renders as text, as JSON ({!to_json}) and as live
+    Prometheus instruments ({!metrics}). See [docs/OBSERVABILITY.md]. *)
+
+(** One deduplicated failure. *)
+type finding = {
+  f_signature : string;
+  f_case : string;  (** generator case or bugbench app name *)
+  f_seed : int;
+  f_outcome : string;
+  f_log : string option;  (** recorded schedule log, when saved *)
+  f_minimized : string option;  (** corpus path, once minimized *)
+  f_run_index : int;  (** worker-local run ordinal at first discovery *)
+  f_count : int;  (** runs that hit this signature, across all workers *)
+}
+
+(** One worker's stream trailer. *)
+type worker = {
+  w_id : int;
+  w_engine : string;
+  w_runs : int;  (** total executions, unhardened probe runs included *)
+  w_checks : int;
+  w_check_failures : int;
+  w_findings : int;  (** finding records, duplicates included *)
+  w_elapsed : float;
+}
+
+type t = {
+  c_workers : worker list;  (** ascending id *)
+  c_runs : int;
+  c_elapsed : float;
+      (** wall-clock: the [elapsed] override when given, else the longest
+          worker stream *)
+  c_runs_per_sec : float;
+  c_engines : string list;  (** distinct, sorted *)
+  c_findings : finding list;  (** unique, in deterministic discovery order *)
+  c_duplicates : int;  (** finding records folded into an existing one *)
+  c_curve : (int * int) list;
+      (** unique-failures-vs-runs growth: (approximate campaign runs,
+          cumulative unique findings), nondecreasing in both columns *)
+  c_detected : (string * int) list;
+      (** address -> schedules that raced it, summed over workers *)
+  c_agg : Aggregate.t;  (** recovery percentiles over every run record *)
+  c_coverage : Coverage.t;  (** merged schedule coverage *)
+}
+
+val of_workers :
+  ?elapsed:float -> (int * Json.t list) list -> (t, string) result
+(** Fold the parsed records of each worker ([(worker id, records)]).
+    [elapsed] overrides the campaign wall-clock (the coordinator knows
+    it; workers only know their own). *)
+
+val of_worker_lines :
+  ?elapsed:float -> (int * string list) list -> (t, string) result
+(** {!of_workers} over raw JSONL lines; [Error] names the first bad
+    line. Blank lines are skipped. *)
+
+val set_minimized : t -> signature:string -> path:string -> t
+(** Record the corpus path of a finding's minimized schedule. *)
+
+val signatures_digest : t -> string
+(** MD5 hex over the sorted unique signatures — one value to compare
+    across engines or coordinator restarts. *)
+
+val to_json : t -> Json.t
+(** The campaign report document
+    ([{"type":"campaign_report",...}]). *)
+
+val render : t -> string list
+
+val metrics : ?into:Metrics.t -> t -> Metrics.t
+(** The campaign counter set ([conair_campaign_runs_total],
+    [..._unique_failures], [..._duplicates_total], per-app coverage
+    gauges, ...) registered into [into] (default a fresh registry) —
+    ready for {!Metrics.to_prometheus} exposition. Counters are set
+    idempotently from the folded state, so re-exporting after each fold
+    gives live campaign counters. *)
+
+val parse_seed_range : string -> (int * int, string) result
+(** Parse the [--seeds LO..HI] syntax (inclusive bounds, [HI >= LO]).
+    The error text is user-facing usage help. *)
+
+val bench_json : jobs:int -> iterations:int -> (string * t) list -> Json.t
+(** The [BENCH_fuzz.json] document: per-engine runs/sec and
+    unique-signature growth from one campaign per engine, plus
+    ["signature_agreement"] — whether every engine produced the same
+    {!signatures_digest}. Validated by [json_check]. *)

@@ -176,8 +176,9 @@ let measure ?(config = Machine.default_config) ?(random_runs = 5) ?detect
   let prof = Prof.create () in
   let meta = Machine.meta_of_harden h_surv in
   let m = Machine.create ~config ~meta h_surv.Harden.program in
-  Machine.set_profile m (Prof.probe prof);
-  ignore (Machine.run m);
+  ignore
+    (Hooks.with_installed (Machine.hooks m) ~profile:(Prof.probe prof)
+       (fun () -> Machine.run m));
   Prof.finalize prof;
   let stats = Machine.stats m in
   {

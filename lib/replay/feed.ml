@@ -77,10 +77,11 @@ let directed_decide d ~eligible =
   Hashtbl.replace d.counts tid (local tid + 1);
   tid
 
+let directed directives =
+  { queue = directives; cur = -1; counts = Hashtbl.create 16; fired = 0 }
+
 let attach_directed sched directives =
-  let d =
-    { queue = directives; cur = -1; counts = Hashtbl.create 16; fired = 0 }
-  in
+  let d = directed directives in
   Sched.set_feed sched (Some (fun ~eligible -> directed_decide d ~eligible));
   d
 

@@ -46,6 +46,11 @@ type directed = {
   mutable fired : int;  (** directives consumed so far *)
 }
 
+val directed : directive list -> directed
+(** Fresh feed state without touching any scheduler — pair
+    [directed_decide] with [Hooks.with_installed ~feed] for scoped
+    installation. *)
+
 val directed_decide : directed -> eligible:int list -> int
 val attach_directed : Sched.t -> directive list -> directed
 

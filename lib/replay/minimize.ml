@@ -173,10 +173,14 @@ let minimize ?(max_tests = 2000) ?(detect = true) ?program ?meta (log : Log.t)
         let tests = ref 0 in
         let run_directed directives =
           let m = Machine.create ~config ?meta program in
-          let d = Feed.attach_directed m.Machine.sched directives in
-          let outcome = Machine.run m in
-          Feed.detach m.Machine.sched;
-          ignore d;
+          let d = Feed.directed directives in
+          (* scoped install: the feed cannot leak onto the scheduler of a
+             later candidate run, even if the execution raises *)
+          let outcome =
+            Hooks.with_installed (Machine.hooks m)
+              ~feed:(fun ~eligible -> Feed.directed_decide d ~eligible)
+              (fun () -> Machine.run m)
+          in
           (outcome, m)
         in
         let test subset =
@@ -196,7 +200,6 @@ let minimize ?(max_tests = 2000) ?(detect = true) ?program ?meta (log : Log.t)
           (* Final run: directed by the winning set, re-recorded, with
              the switch contexts captured as they happen. *)
           let m = Machine.create ~config ?meta program in
-          let sched = m.Machine.sched in
           let texts =
             let tbl = Hashtbl.create 256 in
             Program.iter_funcs program (fun f ->
@@ -208,28 +211,29 @@ let minimize ?(max_tests = 2000) ?(detect = true) ?program ?meta (log : Log.t)
           let recorder = Recorder.create () in
           let switches = ref [] in
           let prev = ref (-1) in
-          Sched.set_tap sched
-            (Some
-               (fun ~chosen ~eligible ->
-                 (if !prev >= 0 && chosen <> !prev then
-                    let preemptive = List.mem !prev eligible in
-                    switches :=
-                      {
-                        sw_index = Recorder.count recorder;
-                        sw_step = m.Machine.step;
-                        sw_from = !prev;
-                        sw_to = chosen;
-                        sw_from_at = locate texts m !prev;
-                        sw_to_at = locate texts m chosen;
-                        sw_preemptive = preemptive;
-                      }
-                      :: !switches);
-                 prev := chosen;
-                 Recorder.tap recorder ~chosen ~eligible));
-          let d = Feed.attach_directed sched (merge fixed best) in
-          let outcome = Machine.run m in
-          Feed.detach sched;
-          Sched.set_tap sched None;
+          let tap ~chosen ~eligible =
+            (if !prev >= 0 && chosen <> !prev then
+               let preemptive = List.mem !prev eligible in
+               switches :=
+                 {
+                   sw_index = Recorder.count recorder;
+                   sw_step = m.Machine.step;
+                   sw_from = !prev;
+                   sw_to = chosen;
+                   sw_from_at = locate texts m !prev;
+                   sw_to_at = locate texts m chosen;
+                   sw_preemptive = preemptive;
+                 }
+                 :: !switches);
+            prev := chosen;
+            Recorder.tap recorder ~chosen ~eligible
+          in
+          let d = Feed.directed (merge fixed best) in
+          let outcome =
+            Hooks.with_installed (Machine.hooks m) ~tap
+              ~feed:(fun ~eligible -> Feed.directed_decide d ~eligible)
+              (fun () -> Machine.run m)
+          in
           ignore d;
           if not (same_failure log.Log.outcome outcome) then
             Error "the minimized schedule stopped failing on re-execution"
@@ -254,15 +258,15 @@ let minimize ?(max_tests = 2000) ?(detect = true) ?program ?meta (log : Log.t)
                 (* replay the minimized schedule with the detector on *)
                 let dm = Machine.create ~config ?meta program in
                 let det = Conair_race.Detect.create () in
-                Machine.set_race dm (Conair_race.Detect.probe det);
-                let h =
-                  Feed.attach_strict dm.Machine.sched mn_log.Log.decisions
-                in
-                (match Machine.run dm with
+                let h = Feed.strict mn_log.Log.decisions in
+                (match
+                   Hooks.with_installed (Machine.hooks dm)
+                     ~race:(Conair_race.Detect.probe det)
+                     ~feed:(fun ~eligible -> Feed.strict_decide h ~eligible)
+                     (fun () -> Machine.run dm)
+                 with
                 | _ -> ()
                 | exception Feed.Diverged _ -> ());
-                Feed.detach dm.Machine.sched;
-                ignore h;
                 Some (Conair_race.Detect.report det)
               end
             in

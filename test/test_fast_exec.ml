@@ -297,6 +297,34 @@ let sweep_recorded_logs () =
                 (Conair.run_recorded ~config ~engine ~ident:(Log.ident name) h)))
     (corpus ())
 
+(* Interleaving signatures — the campaign's dedupe key — must be
+   byte-identical across engines: they hash the decision stream and the
+   race-probe access orders, both covered by the differential
+   guarantee. *)
+let sweep_signatures () =
+  let config = config (Sched.Random 7) in
+  let module Log = Conair.Replay.Log in
+  let module Coverage = Conair.Obs.Coverage in
+  let signature_of name engine p =
+    let coll = Coverage.collector () in
+    let _, log =
+      Conair.record_run ~config ~engine ~ident:(Log.ident name)
+        ~race:(Coverage.probe coll) p
+    in
+    let ob = Coverage.observed coll in
+    Conair.interleaving_signature ~orders:ob.Coverage.ob_orders log
+  in
+  List.iter
+    (fun (name, p) ->
+      let ref_sig = signature_of name Engine.Ref p in
+      List.iter
+        (fun (ename, engine) ->
+          Alcotest.(check string)
+            (name ^ "#" ^ ename ^ ": interleaving signature")
+            ref_sig (signature_of name engine p))
+        engines)
+    (corpus ())
+
 (* [Sched.choose_idx] must mirror [Sched.choose] pick-for-pick: same
    selections, same cursor movement, same rng consumption. *)
 let choose_idx_agrees () =
@@ -345,6 +373,8 @@ let suites =
             sweep_detector_reports;
           Alcotest.test_case "differential: recorded schedule logs" `Quick
             sweep_recorded_logs;
+          Alcotest.test_case "differential: interleaving signatures" `Quick
+            sweep_signatures;
           Alcotest.test_case "choose_idx mirrors choose" `Quick
             choose_idx_agrees;
         ] );
