@@ -109,15 +109,15 @@ let engine_arg =
   Arg.(value & opt e Engine.Fast & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
 (* The one engine-dispatch point every subcommand shares: create the
-   selected machine, run it with the requested hooks scoped to the run,
-   and hand back both. *)
+   selected machine with the requested hooks attached for its lifetime,
+   run it, and hand back both. *)
 let run_with_engine ~config ?meta ?trace ?profile engine program =
-  let m = Engine.create ~config ?meta engine program in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m) ?trace ?profile (fun () ->
-        Engine.run m)
+  let m =
+    Engine.create ~config ?meta
+      ~hooks:(Hooks.bundle ?trace ?profile ())
+      engine program
   in
-  (m, outcome)
+  (m, Engine.run m)
 
 let find_spec name =
   match Registry.find name with
@@ -228,9 +228,10 @@ let run_meta_of app variant seed =
 let write_file file contents =
   Out_channel.with_open_text file (fun oc -> output_string oc contents)
 
-(* Execute [inst] observed — hardened through the facade's
-   [run_observed], unhardened through a hand-installed sink — and write
-   whichever telemetry files were requested. *)
+(* Execute [inst] observed — both the hardened and the unhardened path
+   go through the facade's [run_report_of], the same code path the serve
+   daemon's run jobs use — and write whichever telemetry files were
+   requested. *)
 let observed_run ~config ~engine ~meta_info ~mode ~trace_json ~metrics_file
     ~spans_file (inst : Spec.instance) =
   let with_trace_writer k =
@@ -242,47 +243,8 @@ let observed_run ~config ~engine ~meta_info ~mode ~trace_json ~metrics_file
   in
   let rr =
     with_trace_writer @@ fun trace_writer ->
-    match mode with
-    | None ->
-        (* unhardened: same observation pipeline, no recovery metadata *)
-        let live = Obs.Metrics.create () in
-        (match trace_writer with
-        | Some w ->
-            Obs.Jsonl.write_json w (Obs.Jsonl.meta_json ~config meta_info)
-        | None -> ());
-        let emit ev =
-          (match trace_writer with
-          | Some w -> w.Obs.Jsonl.write (Obs.Jsonl.event_line ev)
-          | None -> ());
-          Obs.Report.live_metrics live ev
-        in
-        let sink = Trace.create ~emit () in
-        let m, outcome =
-          run_with_engine ~config ~trace:sink engine inst.Spec.program
-        in
-        let run =
-          {
-            Conair.outcome;
-            outputs = Engine.outputs m;
-            stats = Engine.stats m;
-            machine = m;
-          }
-        in
-        let events = Trace.events sink in
-        let spans = Obs.Span.of_events events in
-        let metrics = Obs.Report.standard_metrics ~into:live run.stats in
-        {
-          Conair.run;
-          events;
-          spans;
-          metrics;
-          report =
-            Obs.Report.run_json ~meta:meta_info ~config ~spans ~outcome
-              ~outputs:run.outputs run.stats;
-        }
-    | Some mode ->
-        let h = Conair.harden_exn inst.Spec.program mode in
-        Conair.run_observed ~config ~engine ~meta_info ?trace_writer h
+    Conair.run_report_of ~config ~engine ~meta_info ?trace_writer ~mode
+      inst.Spec.program
   in
   (match metrics_file with
   | Some file ->

@@ -19,13 +19,23 @@
                    `conair_fuzz --bench`: per-engine runs/sec, signature
                    digests and growth curves, with the differential gate
                    that every engine's digest is identical;
+   - *.prom      — Prometheus text exposition: every non-comment line
+                   is "name{labels} value" with a parsable metric name
+                   and a finite numeric value, and at least one sample
+                   and one # HELP/# TYPE comment are present;
+   - status.json — the serve daemon's status document: type
+                   "serve_status", a non-negative uptime, pool stats
+                   and a well-formed per-tenant table;
    - *.json      — the whole file must parse; if the value carries a
                    "traceEvents" member it must be a list (Chrome trace
                    format sanity, as loaded by Perfetto).
 
+   The first form `json_check --same A B` instead asserts the two
+   files are byte-identical — the @serve alias's CLI-equivalence gate.
+
    Exit 0 when every file validates, 1 otherwise. Used by the @smoke,
-   @perf, @replay and @fuzz aliases to assert the emitted telemetry is
-   well-formed. *)
+   @perf, @replay, @fuzz and @serve aliases to assert the emitted
+   telemetry is well-formed. *)
 
 module Json = Conair.Obs.Json
 
@@ -342,24 +352,168 @@ let check_json file =
       | Some _ -> fail file "\"traceEvents\" is not a list"
       | None -> Printf.printf "json_check: %s: json ok\n" file)
 
+(* Prometheus text exposition format, as written by
+   [Obs.Metrics.to_prometheus]: "# HELP"/"# TYPE" comments plus one
+   sample per line — a metric name (optionally with {label="..."}
+   pairs), whitespace, a finite number. *)
+let check_prom file =
+  let before = !errors in
+  let lines = String.split_on_char '\n' (read_file file) in
+  let samples = ref 0 and comments = ref 0 in
+  let name_ok s =
+    s <> ""
+    && String.for_all
+         (function
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         s
+  in
+  List.iteri
+    (fun i line ->
+      let bad msg = fail file (Printf.sprintf "line %d: %s" (i + 1) msg) in
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line >= 1 && line.[0] = '#' then begin
+        incr comments;
+        if
+          not
+            (String.starts_with ~prefix:"# HELP " line
+            || String.starts_with ~prefix:"# TYPE " line)
+        then bad "comment is neither # HELP nor # TYPE"
+      end
+      else begin
+        incr samples;
+        match String.rindex_opt line ' ' with
+        | None -> bad "sample line has no value"
+        | Some sp -> (
+            let name_part = String.sub line 0 sp in
+            let value =
+              String.sub line (sp + 1) (String.length line - sp - 1)
+            in
+            (match float_of_string_opt value with
+            | Some v when Float.is_finite v -> ()
+            | Some _ -> bad (Printf.sprintf "value %S is not finite" value)
+            | None -> bad (Printf.sprintf "value %S is not a number" value));
+            let name =
+              match String.index_opt name_part '{' with
+              | None -> name_part
+              | Some b ->
+                  if not (String.ends_with ~suffix:"}" name_part) then
+                    bad "unterminated label set";
+                  String.sub name_part 0 b
+            in
+            if not (name_ok (String.trim name)) then
+              bad (Printf.sprintf "bad metric name %S" name))
+      end)
+    lines;
+  if !samples = 0 then fail file "no samples"
+  else if !comments = 0 then fail file "no # HELP/# TYPE comments"
+  else if !errors = before then
+    Printf.printf "json_check: %s: %d prometheus samples ok\n" file !samples
+
+(* The serve daemon's status document. *)
+let check_serve_status file =
+  let before = !errors in
+  match Json.of_string (read_file file) with
+  | Error e -> fail file e
+  | Ok j ->
+      (match Json.member "type" j with
+      | Some (Json.String "serve_status") -> ()
+      | _ -> fail file "\"type\" is not \"serve_status\"");
+      (match Json.member "uptime_sec" j with
+      | Some (Json.Float f) when f >= 0. -> ()
+      | Some (Json.Int n) when n >= 0 -> ()
+      | _ -> fail file "\"uptime_sec\" is not a non-negative number");
+      (match Json.member "pool" j with
+      | Some (Json.Obj _ as pool) ->
+          List.iter
+            (fun k ->
+              match Json.member k pool with
+              | Some (Json.Int n) when n >= 0 -> ()
+              | _ ->
+                  fail file
+                    (Printf.sprintf "pool.%s is not a non-negative integer" k))
+            [ "workers"; "pending"; "inflight" ]
+      | _ -> fail file "\"pool\" is not an object");
+      (match Json.member "tenants" j with
+      | Some (Json.List ts) ->
+          List.iter
+            (fun t ->
+              let ctx =
+                match Json.member "tenant" t with
+                | Some (Json.String s) -> s
+                | _ ->
+                    fail file "tenant row without a \"tenant\" name";
+                    "?"
+              in
+              List.iter
+                (fun k ->
+                  match Json.member k t with
+                  | Some (Json.Int n) when n >= 0 -> ()
+                  | _ ->
+                      fail file
+                        (Printf.sprintf
+                           "tenant %s: %s is not a non-negative integer" ctx k))
+                [ "submitted"; "completed"; "failed"; "queued" ];
+              match Json.member "aggregate" t with
+              | Some (Json.Obj _) -> ()
+              | _ -> fail file (Printf.sprintf "tenant %s: no aggregate" ctx))
+            ts
+      | _ -> fail file "\"tenants\" is not a list");
+      if !errors = before then
+        Printf.printf "json_check: %s: serve status ok\n" file
+
+(* --same A B: byte equality, reporting the first differing line. *)
+let check_same a b =
+  match (Sys.file_exists a, Sys.file_exists b) with
+  | false, _ -> fail a "no such file"
+  | _, false -> fail b "no such file"
+  | true, true ->
+      let ca = read_file a and cb = read_file b in
+      if ca = cb then
+        Printf.printf "json_check: %s and %s are byte-identical (%d bytes)\n"
+          a b (String.length ca)
+      else begin
+        let la = String.split_on_char '\n' ca
+        and lb = String.split_on_char '\n' cb in
+        let rec first_diff i = function
+          | x :: xs, y :: ys ->
+              if x <> y then Some (i, x, y) else first_diff (i + 1) (xs, ys)
+          | [], y :: _ -> Some (i, "<eof>", y)
+          | x :: _, [] -> Some (i, x, "<eof>")
+          | [], [] -> None
+        in
+        match first_diff 1 (la, lb) with
+        | Some (i, x, y) ->
+            fail a
+              (Printf.sprintf "differs from %s at line %d:\n  %s: %s\n  %s: %s"
+                 b i a x b y)
+        | None -> fail a (Printf.sprintf "differs from %s (lengths)" b)
+      end
+
+let check_file file =
+  if not (Sys.file_exists file) then fail file "no such file"
+  else if Filename.basename file = "BENCH_interp.json" then
+    check_bench_interp file
+  else if Filename.basename file = "BENCH_fuzz.json" then
+    check_bench_fuzz file
+  else if Filename.basename file = "status.json" then
+    check_serve_status file
+  else if Filename.check_suffix file ".sched.jsonl" then check_sched file
+  else if Filename.check_suffix file ".jsonl" then check_jsonl file
+  else if Filename.check_suffix file ".collapsed" then check_collapsed file
+  else if Filename.check_suffix file ".prom" then check_prom file
+  else check_json file
+
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
-  if files = [] then begin
-    prerr_endline "usage: json_check FILE.jsonl FILE.json ...";
-    exit 2
-  end;
-  List.iter
-    (fun file ->
-      if not (Sys.file_exists file) then fail file "no such file"
-      else if Filename.basename file = "BENCH_interp.json" then
-        check_bench_interp file
-      else if Filename.basename file = "BENCH_fuzz.json" then
-        check_bench_fuzz file
-      else if Filename.check_suffix file ".sched.jsonl" then
-        check_sched file
-      else if Filename.check_suffix file ".jsonl" then check_jsonl file
-      else if Filename.check_suffix file ".collapsed" then
-        check_collapsed file
-      else check_json file)
-    files;
+  (match List.tl (Array.to_list Sys.argv) with
+  | [] ->
+      prerr_endline
+        "usage: json_check FILE.jsonl FILE.json ... | json_check --same A B";
+      exit 2
+  | [ "--same"; a; b ] -> check_same a b
+  | "--same" :: _ ->
+      prerr_endline "usage: json_check --same A B";
+      exit 2
+  | files -> List.iter check_file files);
   exit (if !errors = 0 then 0 else 1)

@@ -63,9 +63,12 @@ let () =
   print_endline "\n=== Hardened server, same schedule (with recovery trace) ===";
   let h = Conair.harden_exn program Conair.Survival in
   let meta = Machine.meta_of_harden h.hardened in
-  let m = Machine.create ~meta h.hardened.program in
   let sink = Trace.create () in
-  Machine.set_trace m sink;
+  let m =
+    Machine.create ~meta
+      ~hooks:(Conair.Runtime.Hooks.bundle ~trace:sink ())
+      h.hardened.program
+  in
   let outcome = Machine.run m in
   Format.printf "outcome: %a@." Outcome.pp outcome;
   List.iter (Format.printf "served:  %s@.") (Machine.outputs m);

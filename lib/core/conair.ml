@@ -178,10 +178,8 @@ type run_report = {
     live metrics fed from the event stream, optional JSONL streaming to
     [trace_writer] (meta record first when [meta_info] is given), and a
     post-run fold into spans, metrics and a structured JSON report. *)
-let run_observed ?(config = Machine.default_config) ?(engine = Engine.Fast)
-    ?meta_info ?trace_writer (h : hardened) : run_report =
-  let meta = Machine.meta_of_harden h.hardened in
-  let m = Engine.create ~config ~meta engine h.hardened.program in
+let observed_with ~config ~engine ?meta ?meta_info ?trace_writer program :
+    run_report =
   let live = Conair_obs.Metrics.create () in
   (match (trace_writer, meta_info) with
   | Some w, Some mi ->
@@ -194,9 +192,11 @@ let run_observed ?(config = Machine.default_config) ?(engine = Engine.Fast)
     Conair_obs.Report.live_metrics live ev
   in
   let sink = Trace.create ~emit () in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m) ~trace:sink (fun () -> Engine.run m)
+  let m =
+    Engine.create ~config ?meta ~hooks:(Hooks.bundle ~trace:sink ()) engine
+      program
   in
+  let outcome = Engine.run m in
   let run = make_run m outcome in
   let events = Trace.events sink in
   let spans = Conair_obs.Span.of_events events in
@@ -207,6 +207,27 @@ let run_observed ?(config = Machine.default_config) ?(engine = Engine.Fast)
   in
   { run; events; spans; metrics; report }
 
+let run_observed ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    ?meta_info ?trace_writer (h : hardened) : run_report =
+  let meta = Machine.meta_of_harden h.hardened in
+  observed_with ~config ~engine ~meta ?meta_info ?trace_writer
+    h.hardened.program
+
+(** One fully-observed execution of [p] — hardened per [mode] first when
+    one is given, as written when [mode] is [None] — with the same
+    pipeline either way: live metrics fed from the event stream,
+    optional JSONL streaming to [trace_writer], spans, and the
+    structured report. This is the single code path behind both the
+    CLI's run/report subcommands and the serve daemon's run jobs, which
+    is what makes their reports byte-identical. *)
+let run_report_of ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    ?meta_info ?trace_writer ~(mode : mode option) (p : Program.t) :
+    run_report =
+  match mode with
+  | Some mode ->
+      run_observed ~config ~engine ?meta_info ?trace_writer (harden_exn p mode)
+  | None -> observed_with ~config ~engine ?meta_info ?trace_writer p
+
 (** Run a hardened program with the cost profiler installed and return
     the finalized profile next to the run: per-context useful/checkpoint/
     wasted attribution, per-site rollback waste, flamegraph and Chrome
@@ -214,12 +235,13 @@ let run_observed ?(config = Machine.default_config) ?(engine = Engine.Fast)
 let run_profiled ?(config = Machine.default_config) ?(engine = Engine.Fast)
     (h : hardened) : run * Conair_obs.Prof.t =
   let meta = Machine.meta_of_harden h.hardened in
-  let m = Engine.create ~config ~meta engine h.hardened.program in
   let prof = Conair_obs.Prof.create () in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m)
-      ~profile:(Conair_obs.Prof.probe prof) (fun () -> Engine.run m)
+  let m =
+    Engine.create ~config ~meta
+      ~hooks:(Hooks.bundle ~profile:(Conair_obs.Prof.probe prof) ())
+      engine h.hardened.program
   in
+  let outcome = Engine.run m in
   Conair_obs.Prof.finalize prof;
   (make_run m outcome, prof)
 
@@ -230,12 +252,13 @@ let run_profiled ?(config = Machine.default_config) ?(engine = Engine.Fast)
     long enough for the conflicting access to execute. *)
 let run_detected ?(config = Machine.default_config) ?(engine = Engine.Fast)
     ?options ?meta (p : Program.t) : run * Conair_race.Report.t =
-  let m = Engine.create ~config ?meta engine p in
   let d = Conair_race.Detect.create ?options () in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m) ~race:(Conair_race.Detect.probe d)
-      (fun () -> Engine.run m)
+  let m =
+    Engine.create ~config ?meta
+      ~hooks:(Hooks.bundle ~race:(Conair_race.Detect.probe d) ())
+      engine p
   in
+  let outcome = Engine.run m in
   (make_run m outcome, Conair_race.Detect.report d)
 
 (** [run_detected] on a hardened program with its recovery metadata. *)
@@ -266,12 +289,13 @@ let mode_name : mode -> string = function
    [Obs.Coverage] collector probe) on the very run they record. *)
 let record_into ?(config = Machine.default_config) ?(engine = Engine.Fast)
     ?meta ?race ~ident program : run * Replay.Log.t =
-  let m = Engine.create ~config ?meta engine program in
   let r = Conair_replay.Recorder.create () in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m) ?race
-      ~tap:(Conair_replay.Recorder.tap r) (fun () -> Engine.run m)
+  let m =
+    Engine.create ~config ?meta
+      ~hooks:(Hooks.bundle ?race ~tap:(Conair_replay.Recorder.tap r) ())
+      engine program
   in
+  let outcome = Engine.run m in
   let run = make_run m outcome in
   let bundle =
     {

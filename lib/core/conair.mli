@@ -183,6 +183,21 @@ val run_observed :
     is folded into recovery spans, the standard metric set, and a
     structured JSON report. *)
 
+val run_report_of :
+  ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
+  ?meta_info:Conair_obs.Jsonl.run_meta ->
+  ?trace_writer:Conair_obs.Jsonl.writer ->
+  mode:mode option ->
+  Conair_ir.Program.t ->
+  run_report
+(** One fully-observed execution of the program — hardened per [mode]
+    first when one is given, as written when [mode] is [None] — through
+    the same pipeline as {!run_observed} either way. The single code
+    path behind both the CLI's run/report subcommands and the serve
+    daemon's run jobs, which is what makes their reports
+    byte-identical. *)
+
 val run_profiled :
   ?config:Conair_runtime.Machine.config ->
   ?engine:Conair_runtime.Engine.t ->

@@ -47,6 +47,9 @@ let percentile xs p =
   match List.sort compare xs with
   | [] -> 0
   | sorted ->
+      (* A NaN or out-of-range p must not turn into a wild List.nth
+         index: treat NaN as 0 and clamp to [0, 100]. *)
+      let p = if Float.is_nan p then 0. else Float.max 0. (Float.min 100. p) in
       let n = List.length sorted in
       let rank =
         max 1 (int_of_float (ceil (p /. 100. *. float_of_int n)))
@@ -81,7 +84,11 @@ let summary_facts records =
       if string_member "type" r = "fuzz_summary" then begin
         let e = string_member "engine" r in
         if e <> "" && not (List.mem e !engines) then engines := e :: !engines;
-        elapsed := Float.max !elapsed (float_member "elapsed_sec" r)
+        (* A corrupt summary (NaN/inf/negative elapsed) must not poison
+           the throughput figure; only positive finite values fold. *)
+        let el = float_member "elapsed_sec" r in
+        if Float.is_finite el && el > 0. then
+          elapsed := Float.max !elapsed el
       end)
     records;
   (List.sort compare !engines, !elapsed)
@@ -155,7 +162,11 @@ let of_records (records : Json.t list) : t =
     g_engines = engines;
     g_elapsed = elapsed;
     g_runs_per_sec =
-      (if elapsed > 0. then float_of_int (List.length runs) /. elapsed else 0.);
+      (* zero runs or unknown/zero elapsed both mean "no throughput
+         figure", not a division — the JSON stays finite either way *)
+      (if runs <> [] && elapsed > 0. then
+         float_of_int (List.length runs) /. elapsed
+       else 0.);
   }
 
 let of_lines (lines : string list) : (t, string) result =

@@ -40,7 +40,8 @@ type t = {
 
 val percentile : int list -> float -> int
 (** Nearest-rank percentile (the value at rank ceil(p/100*n), 1-based) of
-    an unsorted list; [0] on the empty list. *)
+    an unsorted list; [0] on the empty list. [p] is clamped to
+    [\[0, 100\]] (NaN counts as 0), so any float is a safe argument. *)
 
 val of_records : Json.t list -> t
 

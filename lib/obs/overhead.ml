@@ -175,10 +175,12 @@ let measure ?(config = Machine.default_config) ?(random_runs = 5) ?detect
   (* the profiled run: deterministic buggy schedule, survival hardening *)
   let prof = Prof.create () in
   let meta = Machine.meta_of_harden h_surv in
-  let m = Machine.create ~config ~meta h_surv.Harden.program in
-  ignore
-    (Hooks.with_installed (Machine.hooks m) ~profile:(Prof.probe prof)
-       (fun () -> Machine.run m));
+  let m =
+    Machine.create ~config ~meta
+      ~hooks:(Hooks.bundle ~profile:(Prof.probe prof) ())
+      h_surv.Harden.program
+  in
+  ignore (Machine.run m);
   Prof.finalize prof;
   let stats = Machine.stats m in
   {

@@ -74,12 +74,13 @@ let log_of_run ?(engine = Fast) ~config ?meta ?(embed_program = true) ~ident
 
 let record ?(engine = Fast) ?config ?meta ?embed_program ~ident program =
   let config = Option.value ~default:Machine.default_config config in
-  let m = Engine.create ~config ?meta engine program in
   let recorder = Recorder.create () in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m) ~tap:(Recorder.tap recorder)
-      (fun () -> Engine.run m)
+  let m =
+    Engine.create ~config ?meta
+      ~hooks:(Hooks.bundle ~tap:(Recorder.tap recorder) ())
+      engine program
   in
+  let outcome = Engine.run m in
   let bundle =
     {
       rb_outcome = outcome;
@@ -123,12 +124,13 @@ let replay ?(engine = Fast) ?program ?meta (log : Log.t) =
   | Ok program -> (
       let meta = resolve_meta ?meta log in
       let config = log.Log.config in
-      let m = Engine.create ~config ?meta engine program in
       let h = Feed.strict log.Log.decisions in
-      match
-        Hooks.with_installed (Engine.hooks m) ~feed:(Feed.strict_decide h)
-          (fun () -> Engine.run m)
-      with
+      let m =
+        Engine.create ~config ?meta
+          ~hooks:(Hooks.bundle ~feed:(Feed.strict_decide h) ())
+          engine program
+      in
+      match Engine.run m with
       | outcome ->
           if h.Feed.pos < Array.length log.Log.decisions then
             Error

@@ -172,16 +172,18 @@ let minimize ?(max_tests = 2000) ?(detect = true) ?program ?meta (log : Log.t)
         let fixed, cand = directives_of_log log in
         let tests = ref 0 in
         let run_directed directives =
-          let m = Machine.create ~config ?meta program in
           let d = Feed.directed directives in
-          (* scoped install: the feed cannot leak onto the scheduler of a
-             later candidate run, even if the execution raises *)
-          let outcome =
-            Hooks.with_installed (Machine.hooks m)
-              ~feed:(fun ~eligible -> Feed.directed_decide d ~eligible)
-              (fun () -> Machine.run m)
+          (* the feed is part of this candidate machine and dies with
+             it — it cannot leak onto a later candidate run *)
+          let m =
+            Machine.create ~config ?meta
+              ~hooks:
+                (Hooks.bundle
+                   ~feed:(fun ~eligible -> Feed.directed_decide d ~eligible)
+                   ())
+              program
           in
-          (outcome, m)
+          (Machine.run m, m)
         in
         let test subset =
           !tests < max_tests
@@ -229,11 +231,14 @@ let minimize ?(max_tests = 2000) ?(detect = true) ?program ?meta (log : Log.t)
             Recorder.tap recorder ~chosen ~eligible
           in
           let d = Feed.directed (merge fixed best) in
-          let outcome =
-            Hooks.with_installed (Machine.hooks m) ~tap
-              ~feed:(fun ~eligible -> Feed.directed_decide d ~eligible)
-              (fun () -> Machine.run m)
-          in
+          (* the tap closure reads [m]'s state as it records, so it can
+             only be built after [create]: install post-create via the
+             machine's own target (still private to this machine) *)
+          Hooks.install (Machine.hooks m)
+            (Hooks.bundle ~tap
+               ~feed:(fun ~eligible -> Feed.directed_decide d ~eligible)
+               ());
+          let outcome = Machine.run m in
           ignore d;
           if not (same_failure log.Log.outcome outcome) then
             Error "the minimized schedule stopped failing on re-execution"
@@ -256,15 +261,18 @@ let minimize ?(max_tests = 2000) ?(detect = true) ?program ?meta (log : Log.t)
               if not detect then None
               else begin
                 (* replay the minimized schedule with the detector on *)
-                let dm = Machine.create ~config ?meta program in
                 let det = Conair_race.Detect.create () in
                 let h = Feed.strict mn_log.Log.decisions in
-                (match
-                   Hooks.with_installed (Machine.hooks dm)
-                     ~race:(Conair_race.Detect.probe det)
-                     ~feed:(fun ~eligible -> Feed.strict_decide h ~eligible)
-                     (fun () -> Machine.run dm)
-                 with
+                let dm =
+                  Machine.create ~config ?meta
+                    ~hooks:
+                      (Hooks.bundle ~race:(Conair_race.Detect.probe det)
+                         ~feed:(fun ~eligible ->
+                           Feed.strict_decide h ~eligible)
+                         ())
+                    program
+                in
+                (match Machine.run dm with
                 | _ -> ()
                 | exception Feed.Diverged _ -> ());
                 Some (Conair_race.Detect.report det)

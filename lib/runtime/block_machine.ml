@@ -42,8 +42,8 @@ type t = { m : Machine.t; code : Compile.program }
 type config = Machine.config
 type meta = Machine.meta
 
-let create ?config ?meta prog =
-  let m = Machine.create ?config ?meta prog in
+let create ?config ?meta ?hooks prog =
+  let m = Machine.create ?config ?meta ?hooks prog in
   { m; code = Compile.compile m.Machine.linked }
 
 let machine bm = bm.m
@@ -54,9 +54,6 @@ let outcome bm = bm.m.Machine.outcome
 let sched bm = bm.m.Machine.sched
 let thread bm = Machine.thread bm.m
 let live_threads bm = Machine.live_threads bm.m
-let set_trace bm = Machine.set_trace bm.m
-let set_profile bm = Machine.set_profile bm.m
-let set_race bm = Machine.set_race bm.m
 let hooks bm = Machine.hooks bm.m
 let step bm = Machine.step bm.m
 

@@ -21,19 +21,18 @@ type t
 type config = Machine.config
 type meta = Machine.meta
 
-val create : ?config:config -> ?meta:meta -> Program.t -> t
+val create :
+  ?config:config -> ?meta:meta -> ?hooks:Hooks.bundle -> Program.t -> t
 (** Link and block-compile the program; the main thread is ready to
-    run. *)
+    run. [hooks] attaches the run's observation hooks at construction,
+    same as [Machine.create]. *)
 
 val machine : t -> Machine.t
 (** The underlying machine state (shared, not a copy). *)
 
-val set_trace : t -> Trace.sink -> unit
-val set_profile : t -> Profile.probe -> unit
-val set_race : t -> Race_probe.probe -> unit
-
 val hooks : t -> Hooks.target
-(** The machine's five hook slots, bundled for [Hooks.with_installed]. *)
+(** The machine's five hook slots, bundled for [Hooks.install] and the
+    [Hooks.with_installed] compatibility shim. *)
 
 val outputs : t -> string list
 (** In emission order. *)

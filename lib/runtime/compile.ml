@@ -1478,17 +1478,20 @@ let compile_uncached (lp : Link.program) : program =
 (* The compiled code is machine-independent (closures take the machine as
    an argument) and never mutated after the two-phase fill, so machines
    over the same linked image — which [Link]'s own memo already shares —
-   reuse one code image: a code cache, keyed by physical identity. *)
-let memo : (Link.program * program) list ref = ref []
+   reuse one code image: a code cache, keyed by physical identity. As
+   with [Link.memo], the [Atomic.t] makes concurrent compiles safe — a
+   racing publish can drop an entry (costing a recompile), never corrupt
+   one. *)
+let memo : (Link.program * program) list Atomic.t = Atomic.make []
 let memo_max = 256
 
 let truncate n l =
   if List.length l <= n then l else List.filteri (fun i _ -> i < n) l
 
 let compile (lp : Link.program) : program =
-  match List.find_opt (fun (lp', _) -> lp' == lp) !memo with
+  match List.find_opt (fun (lp', _) -> lp' == lp) (Atomic.get memo) with
   | Some (_, code) -> code
   | None ->
       let code = compile_uncached lp in
-      memo := truncate memo_max ((lp, code) :: !memo);
+      Atomic.set memo (truncate memo_max ((lp, code) :: Atomic.get memo));
       code

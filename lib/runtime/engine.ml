@@ -22,11 +22,11 @@ type machine =
   | M_fast of Machine.t
   | M_block of Block_machine.t
 
-let create ?config ?meta engine prog =
+let create ?config ?meta ?hooks engine prog =
   match engine with
-  | Ref -> M_ref (Ref_machine.create ?config ?meta prog)
-  | Fast -> M_fast (Machine.create ?config ?meta prog)
-  | Block -> M_block (Block_machine.create ?config ?meta prog)
+  | Ref -> M_ref (Ref_machine.create ?config ?meta ?hooks prog)
+  | Fast -> M_fast (Machine.create ?config ?meta ?hooks prog)
+  | Block -> M_block (Block_machine.create ?config ?meta ?hooks prog)
 
 let engine_of = function M_ref _ -> Ref | M_fast _ -> Fast | M_block _ -> Block
 
@@ -70,7 +70,7 @@ let hooks = function
   | M_fast m -> Machine.hooks m
   | M_block m -> Block_machine.hooks m
 
-let run_program ?config ?meta engine prog =
-  let m = create ?config ?meta engine prog in
+let run_program ?config ?meta ?hooks engine prog =
+  let m = create ?config ?meta ?hooks engine prog in
   let outcome = run m in
   (m, outcome)

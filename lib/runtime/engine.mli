@@ -31,7 +31,15 @@ type machine =
   | M_block of Block_machine.t
 
 val create :
-  ?config:Machine.config -> ?meta:Machine.meta -> t -> Program.t -> machine
+  ?config:Machine.config ->
+  ?meta:Machine.meta ->
+  ?hooks:Hooks.bundle ->
+  t ->
+  Program.t ->
+  machine
+(** [hooks] attaches the run's observation hooks at construction — the
+    re-entrant alternative to [Hooks.with_installed]; see
+    [Machine.create]. *)
 
 val engine_of : machine -> t
 val run : machine -> Outcome.t
@@ -43,11 +51,13 @@ val outcome : machine -> Outcome.t option
 val sched : machine -> Sched.t
 
 val hooks : machine -> Hooks.target
-(** The machine's five hook slots, for [Hooks.with_installed]. *)
+(** The machine's five hook slots, for [Hooks.install] and the
+    [Hooks.with_installed] compatibility shim. *)
 
 val run_program :
   ?config:Machine.config ->
   ?meta:Machine.meta ->
+  ?hooks:Hooks.bundle ->
   t ->
   Program.t ->
   machine * Outcome.t

@@ -1,18 +1,24 @@
-(* Scoped installation of the per-run observation hooks.
+(* Per-run observation hooks, bundled.
 
    Every engine carries the same five hook slots: a trace sink, a
    cost-profiler probe, a race-detector probe, and the scheduler's
-   record tap / replay feed. Before this module each caller installed
-   them by hand ([set_trace] / [set_profile] / [Recorder.attach] / ...)
-   and was responsible for uninstalling them afterwards — which nobody
-   did on the exception paths, so a run that died mid-way could leave a
-   feed attached to a scheduler that outlived it.
+   record tap / replay feed. Historically callers installed them by hand
+   after [create] ([set_trace] / [set_profile] / [Recorder.attach] /
+   ...) and were responsible for uninstalling them afterwards — which
+   nobody did on the exception paths, and which made two in-process runs
+   race for the same mutable slots when they shared helper code.
 
-   [with_installed] is the one scoped entry point: it installs exactly
-   the hooks the caller passes, runs the body, and clears all five slots
-   on the way out — normal return or exception — via [Fun.protect]. The
-   engines themselves stay hook-agnostic: they expose a [target] (the
-   five setters bundled) and never manage hook lifetime. *)
+   The primary API is now the [bundle]: an immutable record of the five
+   optional hooks that a caller hands to [Machine.create] /
+   [Ref_machine.create] / [Block_machine.create] / [Engine.create]. The
+   hooks are part of the machine from its first step, they are private
+   to that machine, and there is nothing to uninstall — a machine is
+   never shared between runs, so concurrent in-process jobs cannot fight
+   over hook state.
+
+   [with_installed] survives as a compatibility shim for the scoped
+   post-create style (and for the rare self-referential hook that needs
+   the machine in scope before it can be built — see [install]). *)
 
 type target = {
   ht_trace : Trace.sink option -> unit;
@@ -20,6 +26,44 @@ type target = {
   ht_race : Race_probe.probe option -> unit;
   ht_sched : Sched.t;
 }
+
+type bundle = {
+  hb_trace : Trace.sink option;
+  hb_profile : Profile.probe option;
+  hb_race : Race_probe.probe option;
+  hb_tap : (chosen:int -> eligible:int list -> unit) option;
+  hb_feed : (eligible:int list -> int) option;
+}
+
+let none =
+  {
+    hb_trace = None;
+    hb_profile = None;
+    hb_race = None;
+    hb_tap = None;
+    hb_feed = None;
+  }
+
+let bundle ?trace ?profile ?race ?tap ?feed () =
+  { hb_trace = trace; hb_profile = profile; hb_race = race; hb_tap = tap;
+    hb_feed = feed }
+
+let is_none b =
+  b.hb_trace = None && b.hb_profile = None && b.hb_race = None
+  && b.hb_tap = None && b.hb_feed = None
+
+(* Only overwrite slots the bundle actually carries: [install] is also
+   the escape hatch for self-referential hooks (a feed that snapshots
+   the machine it steers), which are built after [create] and must not
+   clobber hooks the bundle installed at create time. *)
+let install t b =
+  (match b.hb_trace with None -> () | Some _ -> t.ht_trace b.hb_trace);
+  (match b.hb_profile with None -> () | Some _ -> t.ht_profile b.hb_profile);
+  (match b.hb_race with None -> () | Some _ -> t.ht_race b.hb_race);
+  (match b.hb_tap with None -> () | Some _ -> Sched.set_tap t.ht_sched b.hb_tap);
+  match b.hb_feed with
+  | None -> ()
+  | Some _ -> Sched.set_feed t.ht_sched b.hb_feed
 
 let clear t =
   t.ht_trace None;
@@ -29,9 +73,5 @@ let clear t =
   Sched.set_feed t.ht_sched None
 
 let with_installed t ?trace ?profile ?race ?tap ?feed f =
-  (match trace with None -> () | Some s -> t.ht_trace (Some s));
-  (match profile with None -> () | Some p -> t.ht_profile (Some p));
-  (match race with None -> () | Some p -> t.ht_race (Some p));
-  (match tap with None -> () | Some g -> Sched.set_tap t.ht_sched (Some g));
-  (match feed with None -> () | Some g -> Sched.set_feed t.ht_sched (Some g));
+  install t (bundle ?trace ?profile ?race ?tap ?feed ());
   Fun.protect ~finally:(fun () -> clear t) f

@@ -1,21 +1,56 @@
-(** Scoped installation of the per-run observation hooks.
+(** Per-run observation hooks, bundled.
 
     One run may carry up to five hooks: a trace sink, a cost-profiler
     probe, a race-detector probe, and the scheduler's record tap /
-    replay feed. [with_installed] installs a chosen subset on an
-    engine's {!target} and guarantees — by [Fun.protect] — that all five
-    slots are cleared when the body returns or raises, so no engine ever
-    leaves hooks installed on an exception path. *)
+    replay feed. The primary way to attach them is the {!bundle} passed
+    to [Machine.create] / [Ref_machine.create] / [Block_machine.create]
+    / [Engine.create]: the hooks belong to that machine from its first
+    step, are private to it, and need no uninstall — which makes
+    concurrent in-process runs safe (no shared mutable hook slots).
 
-(** The five hook slots of one engine instance, bundled. Obtain one from
-    [Machine.hooks], [Ref_machine.hooks], [Block_machine.hooks] or
-    generically from [Engine.hooks]. *)
+    {!with_installed} remains as a compatibility shim for the older
+    scoped post-create style; it clears all five slots on the way out
+    via [Fun.protect]. *)
+
+(** The five hook slots of one engine instance, bundled as setters.
+    Obtain one from [Machine.hooks], [Ref_machine.hooks],
+    [Block_machine.hooks] or generically from [Engine.hooks]. *)
 type target = {
   ht_trace : Trace.sink option -> unit;
   ht_profile : Profile.probe option -> unit;
   ht_race : Race_probe.probe option -> unit;
   ht_sched : Sched.t;  (** carries the tap and feed slots *)
 }
+
+(** An immutable selection of hooks for one run, passed to the engines'
+    [create]. *)
+type bundle = {
+  hb_trace : Trace.sink option;
+  hb_profile : Profile.probe option;
+  hb_race : Race_probe.probe option;
+  hb_tap : (chosen:int -> eligible:int list -> unit) option;
+  hb_feed : (eligible:int list -> int) option;
+}
+
+val none : bundle
+(** No hooks — what a machine gets when [?hooks] is omitted. *)
+
+val bundle :
+  ?trace:Trace.sink ->
+  ?profile:Profile.probe ->
+  ?race:Race_probe.probe ->
+  ?tap:(chosen:int -> eligible:int list -> unit) ->
+  ?feed:(eligible:int list -> int) ->
+  unit ->
+  bundle
+
+val is_none : bundle -> bool
+
+val install : target -> bundle -> unit
+(** Set exactly the hooks the bundle carries; [None] slots are left
+    untouched. The escape hatch for self-referential hooks — a feed or
+    tap that must capture the machine it observes is necessarily built
+    after [create], and installs itself here. *)
 
 val clear : target -> unit
 (** Uninstall all five hooks. *)
@@ -29,5 +64,6 @@ val with_installed :
   ?feed:(eligible:int list -> int) ->
   (unit -> 'a) ->
   'a
-(** Install the given hooks, run the body, then {!clear} — on normal
-    return and on exception alike. *)
+(** Compatibility shim: install the given hooks, run the body, then
+    {!clear} — on normal return and on exception alike. New code should
+    pass a {!bundle} to [create] instead. *)

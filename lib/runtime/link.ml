@@ -241,15 +241,19 @@ let link_func ~fail_index funcs id (f : Func.t) : lfunc =
    created repeatedly over the same program — bench sweeps, schedule
    replay, fuzz loops — share one linked image instead of re-interning
    every name.  Keyed by physical identity of the inputs (the only cheap
-   equality on whole programs); a bounded MRU list scanned with [==]. *)
+   equality on whole programs); a bounded MRU list scanned with [==].
+   Held in an [Atomic.t] so concurrent in-process runs (the serve
+   daemon's worker pool) can link safely: a racing publish may drop the
+   other thread's entry, which only costs a re-link, never a wrong
+   result — the cached images are immutable and keyed by identity. *)
 let memo :
     (Program.t
     * (Label.t * int) list
     * (string, int) Hashtbl.t option
     * program)
     list
-    ref =
-  ref []
+    Atomic.t =
+  Atomic.make []
 
 let memo_max = 256
 
@@ -304,11 +308,12 @@ let link ?(fail_blocks = []) ?fail_index (p : Program.t) : program =
     | Some a, Some b -> a == b
     | _ -> false
   in
-  match List.find_opt same !memo with
+  match List.find_opt same (Atomic.get memo) with
   | Some (_, _, _, lp) -> lp
   | None ->
       let lp = link_uncached ~fail_blocks ?fail_index p in
-      memo := truncate memo_max ((p, fail_blocks, fail_index, lp) :: !memo);
+      Atomic.set memo
+        (truncate memo_max ((p, fail_blocks, fail_index, lp) :: Atomic.get memo));
       lp
 
 let func_by_id lp id = lp.lp_funcs.(id)

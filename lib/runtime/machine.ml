@@ -168,7 +168,8 @@ let rebuild_live m =
 
 (* ------------------------------------------------------------------- *)
 
-let create ?(config = default_config) ?meta (prog : Program.t) =
+let create ?(config = default_config) ?meta ?(hooks = Hooks.none)
+    (prog : Program.t) =
   let linked =
     match meta with
     | Some mt -> Link.link ~fail_index:mt.fail_index prog
@@ -192,15 +193,17 @@ let create ?(config = default_config) ?meta (prog : Program.t) =
       stats = Stats.create ();
       sched = Sched.create config.policy;
       outcome = None;
-      trace = None;
-      prof = None;
-      race = None;
+      trace = hooks.Hooks.hb_trace;
+      prof = hooks.Hooks.hb_profile;
+      race = hooks.Hooks.hb_race;
       live = [||];
       live_n = 0;
       ready = [||];
       wbound = 0;
     }
   in
+  Sched.set_tap m.sched hooks.Hooks.hb_tap;
+  Sched.set_feed m.sched hooks.Hooks.hb_feed;
   let main = Link.func_by_id linked linked.Link.lp_main in
   let tid = m.next_tid in
   m.next_tid <- tid + 1;
@@ -212,17 +215,8 @@ let create ?(config = default_config) ?meta (prog : Program.t) =
 let outputs m = List.rev m.outputs
 let stats m = m.stats
 
-(** Install a trace sink; subsequent execution reports typed events. *)
-let set_trace m sink = m.trace <- Some sink
-
-(** Install a cost-profiler probe; subsequent steps are attributed. *)
-let set_profile m probe = m.prof <- Some probe
-
-(** Install a race-detector probe; subsequent memory accesses and
-    synchronization operations are reported. *)
-let set_race m probe = m.race <- Some probe
-
-(** The machine's five hook slots, bundled for [Hooks.with_installed]. *)
+(** The machine's five hook slots, bundled for [Hooks.install] and the
+    [Hooks.with_installed] compatibility shim. *)
 let hooks m =
   {
     Hooks.ht_trace = (fun s -> m.trace <- s);

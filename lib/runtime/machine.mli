@@ -98,25 +98,14 @@ type t = {
           target block; owned by [Block_machine], unused here *)
 }
 
-val set_trace : t -> Trace.sink -> unit
-(** Install a trace sink; subsequent execution reports typed events
-    (scheduling, blocking, checkpoints, rollbacks, compensation,
-    recovery). Off by default — tracing costs memory. *)
-
-val set_profile : t -> Profile.probe -> unit
-(** Install a cost-profiler probe (see [Conair_obs.Prof]); subsequent
-    steps are attributed. Off by default — with no probe the engine pays
-    one [match] per step, same as tracing. *)
-
-val set_race : t -> Race_probe.probe -> unit
-(** Install a race-detector probe (see [Conair_race.Detect]); subsequent
-    memory accesses and synchronization operations are reported. Off by
-    default — with no probe the engine pays one [match] per
-    memory/synchronization operation. *)
-
-val create : ?config:config -> ?meta:meta -> Program.t -> t
+val create :
+  ?config:config -> ?meta:meta -> ?hooks:Hooks.bundle -> Program.t -> t
 (** Link the program and return a machine with the main thread ready to
-    run. *)
+    run. [hooks] attaches the run's observation hooks (trace sink,
+    profiler probe, race probe, sched tap/feed) at construction; they
+    are private to this machine, so concurrent in-process runs never
+    share hook state. All hooks are off by default — with none installed
+    the engine pays one [match] per step. *)
 
 val outputs : t -> string list
 (** In emission order. *)
@@ -135,7 +124,8 @@ val run_program : ?config:config -> ?meta:meta -> Program.t -> t * Outcome.t
 
 val hooks : t -> Hooks.target
 (** The machine's five hook slots (trace, profile, race, sched tap/feed),
-    bundled for [Hooks.with_installed]. *)
+    bundled for [Hooks.install] — the escape hatch for self-referential
+    hooks — and the [Hooks.with_installed] compatibility shim. *)
 
 (** {1 Engine internals}
 

@@ -150,7 +150,8 @@ type t = {
   mutable race : Race_probe.probe option;
 }
 
-let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
+let create ?(config = Machine.default_config) ?meta ?(hooks = Hooks.none)
+    (prog : Program.t) =
   let globals = Hashtbl.create 32 in
   List.iter (fun (g, v) -> Hashtbl.replace globals g v) prog.globals;
   let m =
@@ -168,11 +169,13 @@ let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
       stats = Stats.create ();
       sched = Sched.create config.policy;
       outcome = None;
-      trace = None;
-      prof = None;
-      race = None;
+      trace = hooks.Hooks.hb_trace;
+      prof = hooks.Hooks.hb_profile;
+      race = hooks.Hooks.hb_race;
     }
   in
+  Sched.set_tap m.sched hooks.Hooks.hb_tap;
+  Sched.set_feed m.sched hooks.Hooks.hb_feed;
   let main = Program.func_exn prog prog.main in
   let tid = m.next_tid in
   m.next_tid <- tid + 1;
@@ -182,9 +185,6 @@ let create ?(config = Machine.default_config) ?meta (prog : Program.t) =
 let outputs m = List.rev m.outputs
 let stats m = m.stats
 let sched m = m.sched
-let set_trace m sink = m.trace <- Some sink
-let set_profile m probe = m.prof <- Some probe
-let set_race m probe = m.race <- Some probe
 
 let hooks m =
   {

@@ -16,19 +16,13 @@ type config = Machine.config
 type meta = Machine.meta
 type t
 
-val create : ?config:config -> ?meta:meta -> Program.t -> t
-val set_trace : t -> Trace.sink -> unit
-
-val set_profile : t -> Profile.probe -> unit
-(** Install a cost-profiler probe. The probe sees the same step/rollback/
-    idle sequence, with the same context names, as the fast engine's —
-    profiles are part of the bit-for-bit differential guarantee. *)
-
-val set_race : t -> Race_probe.probe -> unit
-(** Install a race-detector probe. The probe sees the same access and
-    synchronization event stream, with the same names and locksets, as
-    the fast engine's — race reports are part of the bit-for-bit
-    differential guarantee. *)
+val create :
+  ?config:config -> ?meta:meta -> ?hooks:Hooks.bundle -> Program.t -> t
+(** [hooks] attaches the run's observation hooks at construction, same
+    as [Machine.create]. Probes see the same step/rollback/idle sequence
+    and the same access/synchronization event stream, with the same
+    names, as the fast engine's — traces, profiles and race reports are
+    part of the bit-for-bit differential guarantee. *)
 
 val outputs : t -> string list
 (** In emission order. *)
@@ -38,7 +32,8 @@ val sched : t -> Sched.t
     hooks ({!Sched.set_tap}, {!Sched.set_feed}). *)
 
 val hooks : t -> Hooks.target
-(** The machine's five hook slots, bundled for [Hooks.with_installed]. *)
+(** The machine's five hook slots, bundled for [Hooks.install] and the
+    [Hooks.with_installed] compatibility shim. *)
 
 val stats : t -> Stats.t
 val outcome : t -> Outcome.t option

@@ -1,0 +1,116 @@
+(* A per-connection outbox: a bounded queue of response lines drained
+   by a dedicated writer thread.
+
+   Worker threads publishing telemetry never touch the socket — they
+   enqueue and move on. When the queue is full the producer blocks
+   (backpressure toward the pool), and when the peer disconnects the
+   writer marks the outbox dead and every queued or future line is
+   discarded, so a vanished client can never wedge a worker. *)
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  space : Condition.t;
+  q : string Queue.t;
+  max : int;
+  fd : Unix.file_descr;
+  mutable closing : bool;  (** flush what is queued, then stop *)
+  mutable dead : bool;  (** peer gone; discard everything *)
+  mutable writer : Thread.t option;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd b off (n - off) in
+      if w = 0 then raise End_of_file;
+      go (off + w)
+    end
+  in
+  go 0
+
+let rec writer_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.q && not t.closing && not t.dead do
+    Condition.wait t.nonempty t.mu
+  done;
+  if t.dead || (t.closing && Queue.is_empty t.q) then begin
+    Queue.clear t.q;
+    Condition.broadcast t.space;
+    Mutex.unlock t.mu
+  end
+  else begin
+    let line = Queue.pop t.q in
+    Condition.signal t.space;
+    Mutex.unlock t.mu;
+    (try write_all t.fd line
+     with _ ->
+       Mutex.lock t.mu;
+       t.dead <- true;
+       Queue.clear t.q;
+       Condition.broadcast t.space;
+       Mutex.unlock t.mu);
+    writer_loop t
+  end
+
+let create ?(max = 1024) fd =
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      space = Condition.create ();
+      q = Queue.create ();
+      max = Stdlib.max 1 max;
+      fd;
+      closing = false;
+      dead = false;
+      writer = None;
+    }
+  in
+  t.writer <- Some (Thread.create writer_loop t);
+  t
+
+(* Enqueue one response line (newline appended by the writer). Blocks
+   on a full queue; silently drops once the peer is gone or the outbox
+   is closing. *)
+let send t line =
+  Mutex.lock t.mu;
+  while Queue.length t.q >= t.max && not t.dead && not t.closing do
+    Condition.wait t.space t.mu
+  done;
+  if not t.dead && not t.closing then begin
+    Queue.push line t.q;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mu
+
+let send_json t j = send t (Conair_obs.Json.to_string j)
+
+let is_dead t =
+  Mutex.lock t.mu;
+  let d = t.dead in
+  Mutex.unlock t.mu;
+  d
+
+(* Mark the peer gone: discard queued lines and unblock producers. *)
+let kill t =
+  Mutex.lock t.mu;
+  t.dead <- true;
+  Queue.clear t.q;
+  Condition.broadcast t.space;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu
+
+(* Flush queued lines, stop the writer thread and join it. Does not
+   close the file descriptor — the connection owner does that. *)
+let close t =
+  Mutex.lock t.mu;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.space;
+  let w = t.writer in
+  t.writer <- None;
+  Mutex.unlock t.mu;
+  match w with Some th -> Thread.join th | None -> ()

@@ -1,0 +1,29 @@
+(** A per-connection outbox: a bounded queue of response lines drained
+    by a dedicated writer thread, so pool workers never touch sockets.
+
+    A full queue blocks the producer (backpressure toward the pool); a
+    dead peer flips the outbox to discard mode, where every queued and
+    future line is dropped and producers never block — a vanished
+    client cannot wedge a worker. *)
+
+type t
+
+val create : ?max:int -> Unix.file_descr -> t
+(** Spawn the writer thread. [max] (default 1024, floored at 1) bounds
+    the queued-line count. *)
+
+val send : t -> string -> unit
+(** Enqueue one line (newline appended on the wire). Blocks on a full
+    queue; drops silently once the peer is gone or {!close} began. *)
+
+val send_json : t -> Conair_obs.Json.t -> unit
+(** {!send} of the compact encoding. *)
+
+val is_dead : t -> bool
+
+val kill : t -> unit
+(** Mark the peer gone: discard queued lines, unblock producers. *)
+
+val close : t -> unit
+(** Flush queued lines (unless dead), stop and join the writer. Does
+    not close the file descriptor — the connection owner does. *)

@@ -1,0 +1,168 @@
+(* The worker pool: a fixed set of systhreads draining a bounded,
+   per-tenant FIFO job store.
+
+   Invariants, enforced by the single mutex:
+
+   - Per-tenant order: at most one job of a tenant runs at a time, and
+     jobs of a tenant start (hence finish) in submission order.
+   - Bounded: at most [max_pending] jobs are queued-or-running; a
+     further [submit] blocks the caller (backpressure) instead of
+     growing without bound, and wakes as soon as a job completes.
+   - Drain on shutdown: [shutdown] refuses new work, lets every
+     accepted job run to completion, then joins the workers. *)
+
+type job = { j_tenant : string; j_seq : int; j_work : unit -> unit }
+
+type t = {
+  mu : Mutex.t;
+  work_ready : Condition.t;  (** a tenant became runnable, or stopping *)
+  slot_free : Condition.t;  (** a job completed; pending shrank *)
+  queues : (string, job Queue.t) Hashtbl.t;
+  ready : string Queue.t;
+      (** tenants whose head job is runnable: non-empty queue, not
+          currently executing *)
+  running : (string, unit) Hashtbl.t;
+  seqs : (string, int) Hashtbl.t;  (** next per-tenant sequence number *)
+  max_pending : int;
+  mutable pending : int;  (** queued + running jobs *)
+  mutable inflight : int;  (** running jobs *)
+  mutable stopping : bool;
+  mutable workers : Thread.t list;
+}
+
+let tenant_queue t tenant =
+  match Hashtbl.find_opt t.queues tenant with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.queues tenant q;
+      q
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.ready && not (t.stopping && t.pending = 0) do
+    Condition.wait t.work_ready t.mu
+  done;
+  if Queue.is_empty t.ready then begin
+    (* stopping and fully drained *)
+    Mutex.unlock t.mu;
+    Condition.broadcast t.work_ready
+  end
+  else begin
+    let tenant = Queue.pop t.ready in
+    let q = tenant_queue t tenant in
+    let job = Queue.pop q in
+    Hashtbl.replace t.running tenant ();
+    t.inflight <- t.inflight + 1;
+    Mutex.unlock t.mu;
+    (try job.j_work () with _ -> ());
+    Mutex.lock t.mu;
+    Hashtbl.remove t.running tenant;
+    t.inflight <- t.inflight - 1;
+    t.pending <- t.pending - 1;
+    if not (Queue.is_empty q) then begin
+      Queue.push tenant t.ready;
+      Condition.signal t.work_ready
+    end;
+    Condition.signal t.slot_free;
+    if t.stopping && t.pending = 0 then Condition.broadcast t.work_ready;
+    Mutex.unlock t.mu;
+    worker_loop t
+  end
+
+let create ?(workers = 4) ?(max_pending = 256) () =
+  let t =
+    {
+      mu = Mutex.create ();
+      work_ready = Condition.create ();
+      slot_free = Condition.create ();
+      queues = Hashtbl.create 8;
+      ready = Queue.create ();
+      running = Hashtbl.create 8;
+      seqs = Hashtbl.create 8;
+      max_pending = max 1 max_pending;
+      pending = 0;
+      inflight = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (max 1 workers) (fun _ -> Thread.create worker_loop t);
+  t
+
+(* Submit [work] for [tenant]. Blocks while the pool is full; returns
+   the job's per-tenant sequence number, or [Error] once the pool is
+   shutting down. *)
+let submit t ~tenant work =
+  Mutex.lock t.mu;
+  while t.pending >= t.max_pending && not t.stopping do
+    Condition.wait t.slot_free t.mu
+  done;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    Error "pool is shutting down"
+  end
+  else begin
+    let seq = Option.value ~default:0 (Hashtbl.find_opt t.seqs tenant) in
+    Hashtbl.replace t.seqs tenant (seq + 1);
+    let q = tenant_queue t tenant in
+    let was_empty = Queue.is_empty q in
+    Queue.push { j_tenant = tenant; j_seq = seq; j_work = work } q;
+    t.pending <- t.pending + 1;
+    if was_empty && not (Hashtbl.mem t.running tenant) then begin
+      Queue.push tenant t.ready;
+      Condition.signal t.work_ready
+    end;
+    Mutex.unlock t.mu;
+    Ok seq
+  end
+
+(* Jobs queued for [tenant] (excluding one currently running). *)
+let depth t tenant =
+  Mutex.lock t.mu;
+  let d =
+    match Hashtbl.find_opt t.queues tenant with
+    | Some q -> Queue.length q
+    | None -> 0
+  in
+  Mutex.unlock t.mu;
+  d
+
+type stats = { s_pending : int; s_inflight : int; s_workers : int }
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      s_pending = t.pending;
+      s_inflight = t.inflight;
+      s_workers = List.length t.workers;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let pending t = (stats t).s_pending
+
+(* Block until every accepted job has completed. [slot_free] fires on
+   each completion, so this needs no polling. Meant for the shutdown
+   path; with submissions still arriving it may never return. *)
+let wait_drained t =
+  Mutex.lock t.mu;
+  while t.pending > 0 do
+    Condition.wait t.slot_free t.mu
+  done;
+  Mutex.unlock t.mu
+
+(* Refuse new submissions, run every accepted job to completion, join
+   the workers. Idempotent. *)
+let shutdown t =
+  Mutex.lock t.mu;
+  let ws = t.workers in
+  t.workers <- [];
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Condition.broadcast t.slot_free;
+  Mutex.unlock t.mu;
+  List.iter Thread.join ws

@@ -1,0 +1,35 @@
+(** The daemon's worker pool: a fixed set of systhreads draining a
+    bounded job store with strict per-tenant FIFO order.
+
+    Guarantees: at most one job per tenant executes at a time, and a
+    tenant's jobs start in submission order — so results (published by
+    the job itself) are per-tenant ordered. At most [max_pending] jobs
+    are queued-or-running; a further {!submit} blocks (backpressure)
+    until a slot frees. {!shutdown} refuses new work, runs every
+    accepted job to completion, and joins the workers. *)
+
+type t
+
+val create : ?workers:int -> ?max_pending:int -> unit -> t
+(** Defaults: 4 workers, 256 pending. Both floored at 1. *)
+
+val submit : t -> tenant:string -> (unit -> unit) -> (int, string) result
+(** Enqueue a job; blocks while the pool is full. Returns the job's
+    per-tenant sequence number, or [Error] once shutdown has begun.
+    Exceptions escaping the job are swallowed by the worker. *)
+
+val depth : t -> string -> int
+(** Jobs queued for a tenant (excluding one currently running). *)
+
+type stats = { s_pending : int; s_inflight : int; s_workers : int }
+
+val stats : t -> stats
+val pending : t -> int
+
+val wait_drained : t -> unit
+(** Block until every accepted job completed. Intended for the
+    shutdown path; with submissions still flowing it may not return. *)
+
+val shutdown : t -> unit
+(** Refuse new submissions, drain, join the workers. Idempotent, but
+    only the first caller joins (and thus waits for the drain). *)

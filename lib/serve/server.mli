@@ -1,0 +1,35 @@
+(** The recovery-as-a-service daemon: an accept loop over a Unix or
+    TCP socket, per-connection reader and writer threads, jobs on a
+    bounded per-tenant-FIFO worker pool, and shared live telemetry.
+    See [docs/SERVER.md] for the protocol and operational model. *)
+
+type address = Unix_path of string | Tcp of string * int
+
+type config = {
+  address : address;
+  workers : int;
+  max_pending : int;  (** pool backpressure bound *)
+  max_program_bytes : int;  (** inline payload guard *)
+  max_outbox : int;  (** per-connection response-queue bound *)
+}
+
+val default_config : address -> config
+(** 4 workers, 256 pending, 1 MB payloads, 4096-line outboxes. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (unlinking a stale Unix socket path first).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val serve : t -> unit
+(** Run the accept loop until a client sends [shutdown]. Drains every
+    queued and in-flight job, flushes outboxes, joins every thread,
+    closes and (for Unix sockets) unlinks the listening socket. *)
+
+val start : config -> t * Thread.t
+(** [create] + [serve] on a fresh thread — the in-process form the
+    test suite uses. Join the thread after a shutdown request. *)
+
+val request_stop : t -> unit
+(** Programmatic shutdown: what a [shutdown] request triggers. *)

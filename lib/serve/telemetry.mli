@@ -1,0 +1,58 @@
+(** The daemon's shared observability state: a mutex-guarded
+    {!Conair_obs.Metrics} registry (Prometheus-ready), per-tenant
+    aggregates over fuzz-style run records, bounded per-job span
+    history, and the status document. Every entry point is
+    thread-safe. *)
+
+module Json = Conair_obs.Json
+
+type t
+
+val create : ?max_history:int -> started:float -> unit -> t
+(** [max_history] (default 256) bounds per-tenant latency samples and
+    run records, and the span-document history. [started] is the
+    daemon's Unix start time, for the uptime figure. *)
+
+(** {2 Event entry points} *)
+
+val note_connection : t -> unit
+val note_submitted : t -> tenant:string -> kind:string -> unit
+val note_started : t -> unit
+val note_telemetry : t -> tenant:string -> unit
+
+val note_finished :
+  t ->
+  tenant:string ->
+  id:string ->
+  kind:string ->
+  status:string ->
+  exit:int ->
+  elapsed:float ->
+  ?record:Json.t ->
+  ?spans:Json.t ->
+  unit ->
+  unit
+(** One job finished. [record] (a fuzz-style run record) feeds the
+    tenant's {!Conair_obs.Aggregate}; [spans] (a Chrome trace document)
+    is retained for the spans endpoint, evicting oldest-first past
+    [max_history]. *)
+
+(** {2 Read endpoints} *)
+
+val prometheus : t -> string
+(** The registry in Prometheus text exposition format. *)
+
+val metrics_json : t -> Json.t
+val spans_of : t -> tenant:string -> id:string -> Json.t option
+
+val status_json :
+  t ->
+  now:float ->
+  pool_pending:int ->
+  pool_inflight:int ->
+  pool_workers:int ->
+  Json.t
+(** The ["serve_status"] document: uptime, pool stats, and per-tenant
+    submitted/completed/failed counts, latency percentiles
+    (nearest-rank, over the bounded sample window) and the aggregate
+    over retained run records. *)

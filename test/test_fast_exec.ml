@@ -117,13 +117,14 @@ type observed = {
 (* One fully-hooked run of [p] on [engine]: trace sink and cost profiler
    installed for the whole execution. *)
 let observe engine ?meta config (p : Program.t) =
-  let m = Engine.create ~config ?meta engine p in
   let sink = Trace.create () in
   let prof = Prof.create () in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m) ~trace:sink
-      ~profile:(Prof.probe prof) (fun () -> Engine.run m)
+  let m =
+    Engine.create ~config ?meta
+      ~hooks:(Hooks.bundle ~trace:sink ~profile:(Prof.probe prof) ())
+      engine p
   in
+  let outcome = Engine.run m in
   Prof.finalize prof;
   {
     o_outcome = outcome;

@@ -17,6 +17,7 @@ module Prof = Conair.Obs.Prof
 module Overhead = Conair.Obs.Overhead
 module Aggregate = Conair.Obs.Aggregate
 module Machine = Conair.Runtime.Machine
+module Hooks = Conair.Runtime.Hooks
 module Trace = Conair.Runtime.Trace
 module Stats = Conair.Runtime.Stats
 module Spec = Conair_bugbench.Bench_spec
@@ -123,8 +124,9 @@ let jsonl_golden () =
   let b = Buffer.create 256 in
   let meta = Jsonl.run_meta ~variant:"clean" "tiny" in
   let sink = Jsonl.sink ~meta ~store:true (Jsonl.buffer_writer b) in
-  let m = Machine.create (tiny_program ()) in
-  Machine.set_trace m sink;
+  let m =
+    Machine.create ~hooks:(Hooks.bundle ~trace:sink ()) (tiny_program ())
+  in
   let outcome = Machine.run m in
   Alcotest.(check bool) "tiny program succeeds" true
     (Conair.Runtime.Outcome.is_success outcome);
@@ -152,8 +154,9 @@ let jsonl_stream_matches_batch () =
   let config = Machine.default_config in
   let meta = Jsonl.run_meta ~variant:"buggy" "uninit-read" in
   let sink = Jsonl.sink ~config ~meta ~store:true (Jsonl.buffer_writer b) in
-  let m = Machine.create ~config entry.program in
-  Machine.set_trace m sink;
+  let m =
+    Machine.create ~config ~hooks:(Hooks.bundle ~trace:sink ()) entry.program
+  in
   ignore (Machine.run m);
   let events = Trace.events sink in
   Alcotest.(check bool) "events retained" true (events <> []);
@@ -424,9 +427,12 @@ let standard_metrics_track_stats () =
 let prof_tiny_exact () =
   (* the two-instruction program pins the attribution exactly: two useful
      steps, both in main/entry, nothing else *)
-  let m = Machine.create (tiny_program ()) in
   let prof = Prof.create () in
-  Machine.set_profile m (Prof.probe prof);
+  let m =
+    Machine.create
+      ~hooks:(Hooks.bundle ~profile:(Prof.probe prof) ())
+      (tiny_program ())
+  in
   ignore (Machine.run m);
   Prof.finalize prof;
   Alcotest.(check int) "useful" 2 (Prof.useful_steps prof);

@@ -14,6 +14,7 @@ module Machine = Conair.Runtime.Machine
 module Ref_machine = Conair.Runtime.Ref_machine
 module Sched = Conair.Runtime.Sched
 module Race_probe = Conair.Runtime.Race_probe
+module Hooks = Conair.Runtime.Hooks
 module Race = Conair.Race
 module Json = Conair.Obs.Json
 module Spec = Conair_bugbench.Bench_spec
@@ -409,16 +410,22 @@ let clean_zero_false_positives () =
 let differential_on ~policy (p : Program.t) meta name =
   let config = { Machine.default_config with policy; fuel = 8_000_000 } in
   let fast =
-    let m = Machine.create ~config ?meta p in
     let d = Race.Detect.create () in
-    Machine.set_race m (Race.Detect.probe d);
+    let m =
+      Machine.create ~config ?meta
+        ~hooks:(Hooks.bundle ~race:(Race.Detect.probe d) ())
+        p
+    in
     ignore (Machine.run m);
     Json.to_string (Race.Report.to_json (Race.Detect.report d))
   in
   let slow =
-    let m = Ref_machine.create ~config ?meta p in
     let d = Race.Detect.create () in
-    Ref_machine.set_race m (Race.Detect.probe d);
+    let m =
+      Ref_machine.create ~config ?meta
+        ~hooks:(Hooks.bundle ~race:(Race.Detect.probe d) ())
+        p
+    in
     ignore (Ref_machine.run m);
     Json.to_string (Race.Report.to_json (Race.Detect.report d))
   in

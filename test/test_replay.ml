@@ -53,13 +53,14 @@ let policies =
 let jsonl sink = String.concat "\n" (Jsonl.events_to_lines (Trace.events sink))
 
 let record_traced config ?meta p =
-  let m = Machine.create ~config ?meta p in
   let sink = Trace.create () in
   let r = Recorder.create () in
-  let outcome =
-    Hooks.with_installed (Machine.hooks m) ~trace:sink ~tap:(Recorder.tap r)
-      (fun () -> Machine.run m)
+  let m =
+    Machine.create ~config ?meta
+      ~hooks:(Hooks.bundle ~trace:sink ~tap:(Recorder.tap r) ())
+      p
   in
+  let outcome = Machine.run m in
   let bundle =
     {
       Driver.rb_outcome = outcome;
@@ -76,13 +77,14 @@ let record_traced config ?meta p =
 
 let replay_traced engine ?meta p (log : Log.t) =
   let config = log.Log.config in
-  let m = Engine.create ~config ?meta engine p in
   let sink = Trace.create () in
   let h = Feed.strict log.Log.decisions in
-  let outcome =
-    Hooks.with_installed (Engine.hooks m) ~trace:sink
-      ~feed:(Feed.strict_decide h) (fun () -> Engine.run m)
+  let m =
+    Engine.create ~config ?meta
+      ~hooks:(Hooks.bundle ~trace:sink ~feed:(Feed.strict_decide h) ())
+      engine p
   in
+  let outcome = Engine.run m in
   ( {
       Driver.rb_outcome = outcome;
       rb_outputs = Engine.outputs m;

@@ -8,9 +8,12 @@ module Trace = Conair.Runtime.Trace
 let traced_run ?(policy = Conair.Runtime.Sched.Round_robin) h =
   let meta = Machine.meta_of_harden h.Conair.hardened in
   let config = { Machine.default_config with policy; fuel = 500_000 } in
-  let m = Machine.create ~config ~meta h.Conair.hardened.program in
   let sink = Trace.create () in
-  Machine.set_trace m sink;
+  let m =
+    Machine.create ~config ~meta
+      ~hooks:(Conair.Runtime.Hooks.bundle ~trace:sink ())
+      h.Conair.hardened.program
+  in
   let outcome = Machine.run m in
   (outcome, sink)
 
@@ -79,12 +82,13 @@ let rollback_count_matches_stats () =
   let p = interproc_segfault_program ~buggy:true () in
   let h = Conair.harden_exn p Conair.Survival in
   let meta = Machine.meta_of_harden h.Conair.hardened in
+  let sink = Trace.create () in
   let m =
     Machine.create ~config:{ Machine.default_config with fuel = 500_000 }
-      ~meta h.Conair.hardened.program
+      ~meta
+      ~hooks:(Conair.Runtime.Hooks.bundle ~trace:sink ())
+      h.Conair.hardened.program
   in
-  let sink = Trace.create () in
-  Machine.set_trace m sink;
   ignore (Machine.run m);
   let rollback_events =
     List.length
