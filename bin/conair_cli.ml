@@ -1365,6 +1365,116 @@ let aggregate_cmd =
           of recovery cost (p50/p95/max steps and retries, per-site waste).")
     Term.(const run $ file_arg $ json_arg)
 
+(* --- automated fix synthesis --------------------------------------- *)
+
+let fix_cmd =
+  let module Fix = Conair.Fix in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the ranked fix report to $(docv) as JSON.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write each surviving candidate's patched Mir program to \
+             $(docv)/CANDIDATE.mir.")
+  in
+  let max_candidates_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-candidates" ] ~docv:"N"
+          ~doc:"Cap on synthesized candidate patches.")
+  in
+  let sweep_seeds_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "sweep-seeds" ] ~docv:"N"
+          ~doc:
+            "Random seeds per validation sweep (the regression and \
+             deadlock-freedom gates each candidate must pass).")
+  in
+  let search_seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "search-seeds" ] ~docv:"N"
+          ~doc:"Random seeds tried when hunting a failing schedule.")
+  in
+  let run app variant oracle engine json out max_candidates sweep_seeds
+      search_seeds fuel seed max_retries =
+    match find_spec app with
+    | Error e -> prerr_endline e; 1
+    | Ok spec ->
+        let inst = instance spec variant oracle in
+        let base = machine_config fuel seed max_retries in
+        let options =
+          {
+            Fix.Pipeline.default_options with
+            Fix.Pipeline.engine;
+            fuel = base.Machine.fuel;
+            max_retries = base.Machine.max_retries;
+            max_candidates;
+            sweep_seeds;
+            search_seeds;
+          }
+        in
+        let report =
+          Fix.Pipeline.run ~options ~accept:inst.Spec.accept ~app
+            ~variant:(variant_name variant) inst.Spec.program
+        in
+        print_string (Fix.Pipeline.render report);
+        (match json with
+        | Some file ->
+            write_file file
+              (Obs.Json.to_string_pretty (Fix.Pipeline.to_json report))
+        | None -> ());
+        (match out with
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iter
+              (fun (c : Fix.Pipeline.candidate) ->
+                if c.Fix.Pipeline.c_survived then begin
+                  let id = c.Fix.Pipeline.c_patch.Fix.Patch.p_id in
+                  let name =
+                    String.map
+                      (fun ch ->
+                        match ch with
+                        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' ->
+                            ch
+                        | _ -> '_')
+                      id
+                  in
+                  let file = Filename.concat dir (name ^ ".mir") in
+                  write_file file
+                    (Conair.Ir.Emit.program
+                       c.Fix.Pipeline.c_patch.Fix.Patch.p_program);
+                  Printf.printf "patched program: %s\n" file
+                end)
+              report.Fix.Pipeline.fx_candidates
+        | None -> ());
+        if report.Fix.Pipeline.fx_survivors > 0 then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "fix"
+       ~doc:
+         "Close the detect-explain-repair loop: detect races/deadlocks, \
+          record and minimize a failing schedule, synthesize candidate \
+          patches (lock insertion, order enforcement, lock fusion), \
+          validate each against three gates (directed replay of the \
+          failing schedule, a multi-seed regression sweep, \
+          deadlock-freedom) and rank survivors by measured overhead. \
+          Exits 0 when at least one candidate survives all gates, 2 \
+          otherwise.")
+    Term.(
+      const run $ app_arg $ variant_arg $ oracle_arg $ engine_arg $ json_arg
+      $ out_arg $ max_candidates_arg $ sweep_seeds_arg $ search_seeds_arg
+      $ fuel_arg $ seed_arg $ max_retries_arg)
+
 let main_cmd =
   let doc =
     "ConAir: featherweight concurrency-bug recovery via single-threaded \
@@ -1373,6 +1483,7 @@ let main_cmd =
   Cmd.group (Cmd.info "conair" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; report_cmd;
       restart_cmd; fullckpt_cmd; file_cmd; dot_cmd; profile_cmd;
-      overhead_cmd; races_cmd; replay_cmd; minimize_cmd; aggregate_cmd ]
+      overhead_cmd; races_cmd; replay_cmd; minimize_cmd; aggregate_cmd;
+      fix_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -96,7 +96,7 @@ let serve_cmd =
 let job_menu ~minimize_log ~tenant_ix ~job_ix =
   let seed = (tenant_ix * 100) + job_ix in
   let with_seed seed = { Protocol.default_exec with Protocol.seed } in
-  match job_ix mod 6 with
+  match job_ix mod 7 with
   | 0 ->
       Protocol.Run
         {
@@ -130,6 +130,15 @@ let job_menu ~minimize_log ~tenant_ix ~job_ix =
           target = Bench { app = "HawkNL"; variant = "buggy"; oracle = false };
           runs = 3;
           base_seed = seed;
+          exec = Protocol.default_exec;
+        }
+  | 5 ->
+      Protocol.Fix
+        {
+          target = Bench { app = "HawkNL"; variant = "buggy"; oracle = false };
+          max_candidates = 4;
+          sweep_seeds = 8;
+          search_seeds = 4;
           exec = Protocol.default_exec;
         }
   | _ ->

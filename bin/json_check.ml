@@ -26,6 +26,11 @@
    - status.json — the serve daemon's status document: type
                    "serve_status", a non-negative uptime, pool stats
                    and a well-formed per-tenant table;
+   - *_fix.json  — the fix synthesizer's report: type "fix_report",
+                   detection summary, candidate table with the three
+                   validation gates, and a summary whose survivor
+                   count matches the table (every survivor passed all
+                   gates and carries a cost);
    - *.json      — the whole file must parse; if the value carries a
                    "traceEvents" member it must be a list (Chrome trace
                    format sanity, as loaded by Perfetto).
@@ -463,6 +468,92 @@ let check_serve_status file =
       if !errors = before then
         Printf.printf "json_check: %s: serve status ok\n" file
 
+(* The fix synthesizer's report (conair_cli fix --json, or a serve fix
+   job): type "fix_report", a detection summary, the candidate table —
+   each candidate carrying the three gates — and a consistent summary.
+   Semantic gates: a survivor must have passed every gate and carry a
+   cost; survivors must not outnumber candidates. *)
+let check_fix_report file =
+  let before = !errors in
+  match Json.of_string (read_file file) with
+  | Error e -> fail file e
+  | Ok j ->
+      (match Json.member "type" j with
+      | Some (Json.String "fix_report") -> ()
+      | _ -> fail file "\"type\" is not \"fix_report\"");
+      List.iter
+        (fun k ->
+          match Json.member k j with
+          | Some (Json.String s) when s <> "" -> ()
+          | _ -> fail file (Printf.sprintf "%S is not a non-empty string" k))
+        [ "app"; "variant" ];
+      (match Json.member "detection" j with
+      | Some (Json.Obj _ as d) ->
+          List.iter
+            (fun k ->
+              match Json.member k d with
+              | Some (Json.Int n) when n >= 0 -> ()
+              | _ ->
+                  fail file
+                    (Printf.sprintf
+                       "detection.%s is not a non-negative integer" k))
+            [ "races"; "lockset_warnings"; "deadlock_cycles" ]
+      | _ -> fail file "\"detection\" is not an object");
+      let survivors_seen = ref 0 in
+      (match Json.member "candidates" j with
+      | Some (Json.List cs) ->
+          List.iteri
+            (fun i c ->
+              let ctx = Printf.sprintf "candidates[%d]." i in
+              (match Json.member "id" c with
+              | Some (Json.String s) when s <> "" -> ()
+              | _ -> fail file (ctx ^ "id is not a non-empty string"));
+              let survived =
+                match Json.member "survived" c with
+                | Some (Json.Bool b) -> b
+                | _ ->
+                    fail file (ctx ^ "survived is not a boolean");
+                    false
+              in
+              if survived then incr survivors_seen;
+              let gates_passed = ref true in
+              (match Json.member "gates" c with
+              | Some (Json.List gs) when List.length gs = 3 ->
+                  List.iter
+                    (fun g ->
+                      match (Json.member "gate" g, Json.member "passed" g) with
+                      | Some (Json.String _), Some (Json.Bool p) ->
+                          if not p then gates_passed := false
+                      | _ -> fail file (ctx ^ "malformed gate entry"))
+                    gs
+              | _ -> fail file (ctx ^ "gates is not a 3-entry list"));
+              if survived && not !gates_passed then
+                fail file (ctx ^ "survived but a gate failed");
+              if survived then
+                match Json.member "cost" c with
+                | Some (Json.Obj _) -> ()
+                | _ -> fail file (ctx ^ "survivor without a cost object"))
+            cs
+      | _ -> fail file "\"candidates\" is not a list");
+      (match Json.member "summary" j with
+      | Some (Json.Obj _ as s) -> (
+          match (Json.member "candidates" s, Json.member "survivors" s) with
+          | Some (Json.Int c), Some (Json.Int sv) ->
+              if sv > c then
+                fail file
+                  (Printf.sprintf "summary says %d survivors of %d candidates"
+                     sv c);
+              if sv <> !survivors_seen then
+                fail file
+                  (Printf.sprintf
+                     "summary says %d survivors, candidate table carries %d"
+                     sv !survivors_seen)
+          | _ -> fail file "summary without candidates/survivors counts")
+      | _ -> fail file "\"summary\" is not an object");
+      if !errors = before then
+        Printf.printf "json_check: %s: fix report ok (%d survivors)\n" file
+          !survivors_seen
+
 (* --same A B: byte equality, reporting the first differing line. *)
 let check_same a b =
   match (Sys.file_exists a, Sys.file_exists b) with
@@ -499,6 +590,7 @@ let check_file file =
     check_bench_fuzz file
   else if Filename.basename file = "status.json" then
     check_serve_status file
+  else if Filename.check_suffix file "_fix.json" then check_fix_report file
   else if Filename.check_suffix file ".sched.jsonl" then check_sched file
   else if Filename.check_suffix file ".jsonl" then check_jsonl file
   else if Filename.check_suffix file ".collapsed" then check_collapsed file

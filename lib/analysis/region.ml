@@ -179,6 +179,12 @@ let of_site (cfg : Cfg.t) (site : Site.t) =
 (** Does some region of this site contain a lock acquisition? (the §4.2
     deadlock-site recoverability test — the site's own lock does not
     count). *)
+(* Do all the given instruction ids fall inside the region's body? The
+   fix synthesizer compares a candidate patch's protected extent against
+   the racy access's idempotent region this way. *)
+let covers_iids (r : t) iids =
+  List.for_all (fun iid -> Iid_set.mem iid r.region_iids) iids
+
 let contains_lock_acquisition (cfg : Cfg.t) (r : t) =
   Iid_set.exists
     (fun iid ->

@@ -54,3 +54,11 @@ val of_site : Cfg.t -> Site.t -> t
 val contains_lock_acquisition : Cfg.t -> t -> bool
 (** The §4.2 deadlock-site recoverability test (the site's own lock does
     not count). *)
+
+val covers_iids : t -> int list -> bool
+(** Do all the given instruction ids fall inside this region (its
+    safe/compensable body — boundary instructions do not count)? The fix
+    synthesizer uses this to report whether a candidate patch's protected
+    extent stays within the racy access's idempotent region, i.e. whether
+    the lock scope it introduces is no wider than what ConAir would
+    re-execute on recovery. *)

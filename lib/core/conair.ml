@@ -279,6 +279,16 @@ module Replay = struct
   module Minimize = Conair_replay.Minimize
 end
 
+(** Automated fix synthesis: from a race report and a recorded failing
+    schedule, candidate patches over Mir, validated through three gates
+    (directed replay, regression sweep, deadlock-freedom) and ranked by
+    measured cost (see [docs/FIXING.md]). *)
+module Fix = struct
+  module Patch = Conair_fix.Patch
+  module Gates = Conair_fix.Gates
+  module Pipeline = Conair_fix.Pipeline
+end
+
 let mode_name : mode -> string = function
   | Survival -> "survival"
   | Fix _ -> "fix"

@@ -267,6 +267,19 @@ module Replay : sig
   module Minimize = Conair_replay.Minimize
 end
 
+(** Automated fix synthesis — closing the detect → explain → repair
+    loop: {!Fix.Patch} synthesizes candidate patches (lock ladder,
+    order enforcement, lock fusion) from a {!Race.Report} over the Mir
+    program, {!Fix.Gates} validates each against the recorded failing
+    schedule, a multi-seed regression sweep and the deadlock-freedom
+    lens, and {!Fix.Pipeline} runs the whole loop end to end and ranks
+    survivors by measured cost. See [docs/FIXING.md]. *)
+module Fix : sig
+  module Patch = Conair_fix.Patch
+  module Gates = Conair_fix.Gates
+  module Pipeline = Conair_fix.Pipeline
+end
+
 val record_run :
   ?config:Conair_runtime.Machine.config ->
   ?engine:Conair_runtime.Engine.t ->

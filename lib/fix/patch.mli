@@ -1,0 +1,63 @@
+(** Candidate-patch synthesis over Mir.
+
+    From a race/deadlock report, a small ordered grammar of candidate
+    rewrites (each a [Transform.Rewrite] pass, so original instruction
+    ids survive):
+
+    - the {b lock ladder} for atomicity violations — a fresh mutex at
+      three widening extents: each racy access individually (rung 0),
+      the first-to-last access span per block (rung 1), the whole
+      enclosing block (rung 2). The synthesizer "walks outward" by
+      emitting the wider rungs as further candidates;
+    - {b order enforcement} for order violations — [Notify] after one
+      access, [Timed_wait] before the other, in both directions (the
+      wrong one is rejected by the gates);
+    - {b lock fusion} for lock-order cycles — every acquisition of a
+      cycle lock becomes one fresh fused mutex, nested re-acquisitions
+      become [Nop];
+    - a {b combined} candidate when a report has both races and cycles.
+
+    Synthesis is purely static: every candidate is merely plausible and
+    must survive the three {!Gates} to be reported as a fix. *)
+
+open Conair_ir
+module Report = Conair_race.Report
+
+type strategy = Lock_access | Lock_span | Lock_block | Order | Fuse | Combined
+
+val strategy_name : strategy -> string
+
+type t = {
+  p_id : string;  (** ["strategy:target"], unique within a synthesis run *)
+  p_strategy : strategy;
+  p_rung : int;  (** widening step within the strategy (lock ladder) *)
+  p_target : string;  (** racy address / cycle key the candidate attacks *)
+  p_sync : string list;  (** fresh mutexes/events the patch introduces *)
+  p_edits : string list;  (** human-readable edit list, deterministic *)
+  p_region_local : bool;
+      (** the protected extent lies inside the racy access's idempotent
+          region ({!Conair_analysis.Region.covers_iids}) — the new
+          critical section is no wider than what ConAir re-executes *)
+  p_program : Program.t;  (** the patched program, [Validate]-clean *)
+}
+
+val fix_mutex : string
+(** The fresh mutex name lock-ladder candidates introduce. *)
+
+val fuse_mutex : string
+(** The fresh mutex name lock-fusion candidates introduce. *)
+
+val fix_event : string
+(** The fresh event name order candidates introduce. *)
+
+val synthesize :
+  ?max_candidates:int ->
+  ?order_timeout:int ->
+  Program.t ->
+  Report.t ->
+  t list
+(** All candidates for the report's findings, deduplicated (by edit
+    list), validated, and capped at [max_candidates] (default 8).
+    [order_timeout] (default 30_000 virtual steps) bounds the waits of
+    order candidates so a wrong-direction candidate degrades to a
+    timeout instead of a hang. Deterministic in (program, report). *)

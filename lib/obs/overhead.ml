@@ -311,3 +311,51 @@ let table_rows rows : string list =
            | [] -> "-"
            | l -> String.concat "," l))
        rows
+
+(* --- deterministic run-cost measurement ----------------------------- *)
+
+(* The fix synthesizer ranks surviving candidates by this: the
+   deterministic round-robin run plus a small fixed seed sweep, totalled
+   in executed instructions and scheduler steps. Measured on the fast
+   engine regardless of the caller's engine choice — instruction and
+   step counts are part of the differential guarantee, so the numbers
+   (and any JSON derived from them) are engine-independent. *)
+
+type cost = {
+  k_runs : int;
+  k_instrs : int;  (* total executed instructions across the runs *)
+  k_steps : int;  (* total scheduler steps across the runs *)
+  k_mean_instrs : float;
+}
+
+let cost_of ?(config = Machine.default_config) ?meta ?(seeds = [ 1; 2; 3 ])
+    (p : Program.t) : cost =
+  let instrs = ref 0 and steps = ref 0 and n = ref 0 in
+  let one policy =
+    let m, _ = Machine.run_program ~config:{ config with policy } ?meta p in
+    let st = Machine.stats m in
+    instrs := !instrs + st.Stats.instrs;
+    steps := !steps + st.Stats.steps;
+    incr n
+  in
+  one Sched.Round_robin;
+  List.iter (fun s -> one (Sched.Random s)) seeds;
+  {
+    k_runs = !n;
+    k_instrs = !instrs;
+    k_steps = !steps;
+    k_mean_instrs = float_of_int !instrs /. float_of_int (max 1 !n);
+  }
+
+let cost_overhead_pct ~base (c : cost) =
+  if base.k_instrs = 0 then 0.
+  else 100. *. (c.k_mean_instrs -. base.k_mean_instrs) /. base.k_mean_instrs
+
+let cost_json (c : cost) : Json.t =
+  Json.Obj
+    [
+      ("runs", Json.Int c.k_runs);
+      ("instrs", Json.Int c.k_instrs);
+      ("steps", Json.Int c.k_steps);
+      ("mean_instrs", Json.Float c.k_mean_instrs);
+    ]

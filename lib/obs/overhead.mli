@@ -97,3 +97,34 @@ val to_json : row list -> Json.t
 val table_rows : row list -> string list
 (** Text table in the shape of EXPERIMENTS.md Table 3 (header line
     first). *)
+
+(** {1 Deterministic run-cost measurement}
+
+    Used by the fix synthesizer to rank surviving candidates and to put
+    fixed-forever cost next to ConAir-hardened cost. Always measured on
+    the fast engine: instruction and step counts are part of the
+    engines' differential guarantee, so the numbers are
+    engine-independent. *)
+
+type cost = {
+  k_runs : int;
+  k_instrs : int;  (** total executed instructions across the runs *)
+  k_steps : int;  (** total scheduler steps across the runs *)
+  k_mean_instrs : float;
+}
+
+val cost_of :
+  ?config:Conair_runtime.Machine.config ->
+  ?meta:Conair_runtime.Machine.meta ->
+  ?seeds:int list ->
+  Program.t ->
+  cost
+(** One deterministic round-robin run plus one seeded random run per
+    entry of [seeds] (default [[1; 2; 3]]), totalled. [meta] carries the
+    recovery metadata when costing a hardened program. *)
+
+val cost_overhead_pct : base:cost -> cost -> float
+(** Mean-instruction overhead of a measured program relative to [base],
+    in percent (negative = cheaper than base). *)
+
+val cost_json : cost -> Json.t

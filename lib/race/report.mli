@@ -54,5 +54,18 @@ val race_global : race -> string option
 (** The global variable name, when the race is on one. *)
 
 val kind_string : Race_probe.kind -> Race_probe.kind -> string
+
+val cycle_key : cycle -> string
+(** Canonical identity of a lock-order cycle: its (already canonical)
+    lock list joined with ["->"]. Actual and potential cycles share a
+    key deliberately — demoting an actual deadlock to a potential one
+    does not remove the inversion. *)
+
+val new_cycles : baseline:t -> t -> cycle list
+(** The cycles of the second report whose lock sets the [baseline] never
+    saw — the fix synthesizer's deadlock-freedom gate: a candidate may
+    keep the cycles the buggy program already had, but must not mint new
+    ones. *)
+
 val to_json : t -> Json.t
 val pp : Format.formatter -> t -> unit

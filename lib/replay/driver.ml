@@ -163,6 +163,37 @@ let replay ?(engine = Fast) ?program ?meta (log : Log.t) =
                  dv_reason = exhausted_reason d.Feed.expected;
                }))
 
+(* Directed replay of a log's schedule against a *different* program —
+   the fix synthesizer's validation gate: the candidate patch changes
+   the program text (so strict replay's MD5 check and decision stream
+   are both off the table), but the recorded failure's context switches
+   can still be forced at the same per-thread decision counts. The
+   directed feed is divergence-safe by construction: between directives
+   the current thread keeps running, and when it cannot (say the patch
+   made it block on a new lock) control falls to the next eligible
+   thread in round-robin order — exactly what "the recorded failing
+   schedule now passes or diverges safely" means. *)
+let replay_directed ?(engine = Fast) ?meta ~program (log : Log.t) =
+  let config = log.Log.config in
+  let fixed, cand =
+    Feed.directives_of ~decisions:log.Log.decisions
+      ~preemptions:log.Log.preemptions
+  in
+  let d = Feed.directed (Feed.merge_directives fixed cand) in
+  let m =
+    Engine.create ~config ?meta
+      ~hooks:
+        (Hooks.bundle ~feed:(fun ~eligible -> Feed.directed_decide d ~eligible) ())
+      engine program
+  in
+  let outcome = Engine.run m in
+  {
+    rb_outcome = outcome;
+    rb_outputs = Engine.outputs m;
+    rb_stats = Engine.stats m;
+    rb_steps = Engine.steps m;
+  }
+
 let check (log : Log.t) (b : result_bundle) =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if b.rb_outcome <> log.Log.outcome then

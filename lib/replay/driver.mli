@@ -78,6 +78,21 @@ val replay :
     MD5 first. The replaying engine is independent of the recording one —
     cross-engine replay is part of the differential guarantee. *)
 
+val replay_directed :
+  ?engine:engine ->
+  ?meta:Machine.meta ->
+  program:Program.t ->
+  Schedule_log.t ->
+  result_bundle
+(** Re-execute a log's schedule against a *different* program — the fix
+    synthesizer's replay gate. The recording is recast as context-switch
+    directives ({!Feed.directives_of}) and driven through the
+    divergence-safe directed feed: the recorded failure's preemptions are
+    forced at the same per-thread decision counts, and wherever the
+    patched program can no longer follow (a thread now blocks on an
+    inserted lock or wait), control falls to the next eligible thread in
+    round-robin order. No MD5 check, never raises [Feed.Diverged]. *)
+
 val check : Schedule_log.t -> result_bundle -> (unit, string) result
 (** Compare a replay's results against the log's recorded trailer
     (outcome, outputs, steps, instruction and rollback counts). *)

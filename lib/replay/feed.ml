@@ -80,6 +80,36 @@ let directed_decide d ~eligible =
 let directed directives =
   { queue = directives; cur = -1; counts = Hashtbl.create 16; fired = 0 }
 
+(* Recast a recorded decision stream as context-switch directives: every
+   change of chosen thread is a switch; the preemption ordinals recorded
+   next to the stream tell which were preemptive (the outgoing thread was
+   still eligible). [dr_count] is how many decisions the outgoing thread
+   had run when the switch fired. Feeding [merge_directives fixed cand]
+   back through [directed] reproduces the recording exactly. *)
+let directives_of ~decisions ~preemptions =
+  let preemptive = Hashtbl.create 64 in
+  Array.iter (fun k -> Hashtbl.replace preemptive k ()) preemptions;
+  let counts = Hashtbl.create 16 in
+  let local tid = Option.value ~default:0 (Hashtbl.find_opt counts tid) in
+  let fixed = ref [] and cand = ref [] in
+  Array.iteri
+    (fun k tid ->
+      (if k > 0 then
+         let prev = decisions.(k - 1) in
+         if tid <> prev then begin
+           let dr = (k, { dr_from = prev; dr_count = local prev; dr_to = tid }) in
+           if Hashtbl.mem preemptive k then cand := dr :: !cand
+           else fixed := dr :: !fixed
+         end);
+      Hashtbl.replace counts tid (local tid + 1))
+    decisions;
+  (List.rev !fixed, List.rev !cand)
+
+(* Merge the forced directives with a (sub)set of preemptive ones, by
+   original decision ordinal. *)
+let merge_directives fixed subset =
+  List.merge (fun (a, _) (b, _) -> compare a b) fixed subset |> List.map snd
+
 let attach_directed sched directives =
   let d = directed directives in
   Sched.set_feed sched (Some (fun ~eligible -> directed_decide d ~eligible));

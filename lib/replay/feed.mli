@@ -54,4 +54,21 @@ val directed : directive list -> directed
 val directed_decide : directed -> eligible:int list -> int
 val attach_directed : Sched.t -> directive list -> directed
 
+val directives_of :
+  decisions:int array ->
+  preemptions:int array ->
+  (int * directive) list * (int * directive) list
+(** Recast a recorded decision stream as context-switch directives,
+    keyed by the decision ordinal where each switch fired: [(forced,
+    preemptive)]. Forced switches (the outgoing thread blocked or
+    finished) must be kept by any executor; the preemptive ones are the
+    minimizer's search space. Feeding
+    [merge_directives forced preemptive] back through {!directed}
+    reproduces the recording exactly. *)
+
+val merge_directives :
+  (int * directive) list -> (int * directive) list -> directive list
+(** Merge forced directives with a preemptive subset by original
+    ordinal, dropping the keys. *)
+
 val detach : Sched.t -> unit

@@ -46,35 +46,13 @@ type t = {
 (* Directive extraction                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Walk the decision stream: every change of chosen thread is a switch;
-   the preemption ordinals recorded in the log tell which were
-   preemptive. [dr_count] is how many decisions the outgoing thread had
-   run when the switch fired. *)
+(* The extraction itself lives in [Feed.directives_of] — the fix
+   synthesizer's replay gate recasts logs the same way. *)
 let directives_of_log (log : Log.t) =
-  let preemptive = Hashtbl.create 64 in
-  Array.iter (fun k -> Hashtbl.replace preemptive k ()) log.Log.preemptions;
-  let counts = Hashtbl.create 16 in
-  let local tid = Option.value ~default:0 (Hashtbl.find_opt counts tid) in
-  let fixed = ref [] and cand = ref [] in
-  Array.iteri
-    (fun k tid ->
-      (if k > 0 then
-         let prev = log.Log.decisions.(k - 1) in
-         if tid <> prev then begin
-           let dr =
-             (k, { Feed.dr_from = prev; dr_count = local prev; dr_to = tid })
-           in
-           if Hashtbl.mem preemptive k then cand := dr :: !cand
-           else fixed := dr :: !fixed
-         end);
-      Hashtbl.replace counts tid (local tid + 1))
-    log.Log.decisions;
-  (List.rev !fixed, List.rev !cand)
+  Feed.directives_of ~decisions:log.Log.decisions
+    ~preemptions:log.Log.preemptions
 
-(* Merge the always-kept forced directives with a candidate preemptive
-   subset, by original ordinal. *)
-let merge fixed subset =
-  List.merge (fun (a, _) (b, _) -> compare a b) fixed subset |> List.map snd
+let merge = Feed.merge_directives
 
 (* ------------------------------------------------------------------ *)
 (* ddmin (Zeller & Hildebrandt, TSE 2002)                              *)

@@ -8,6 +8,7 @@
    - minimize = [Conair.minimize]        (conair_cli minimize)
    - fuzz     = hardened seed sweep folding fuzz-style run records into
                 an [Obs.Aggregate] (conair_cli aggregate over a fuzz log)
+   - fix      = [Conair.Fix.Pipeline.run]  (conair_cli fix)
 
    Exit codes mirror the CLI too (0 ok, 2 failed run, 3 findings), so
    a client can script against the daemon exactly as against the CLI. *)
@@ -282,6 +283,38 @@ let exec_fuzz ~telemetry ~target ~runs ~base_seed ~(exec : Protocol.exec) =
             jr_spans = None;
           })
 
+let exec_fix ~target ~max_candidates ~sweep_seeds ~search_seeds
+    ~(exec : Protocol.exec) =
+  match resolve target with
+  | Error e -> failed e
+  | Ok (app, variant, inst) ->
+      let module Pipeline = Conair.Fix.Pipeline in
+      let base = config_of_exec exec in
+      let options =
+        {
+          Pipeline.default_options with
+          Pipeline.engine = engine_of_name exec.engine;
+          fuel = base.Machine.fuel;
+          max_retries = base.Machine.max_retries;
+          max_candidates;
+          sweep_seeds;
+          search_seeds;
+        }
+      in
+      let report =
+        Pipeline.run ~options ~accept:inst.Spec.accept ~app ~variant
+          inst.Spec.program
+      in
+      {
+        jr_status = "ok";
+        jr_exit =
+          (* exit 2 with no surviving candidate, as the fix subcommand *)
+          (if report.Pipeline.fx_survivors > 0 then 0 else 2);
+        jr_report = Pipeline.to_json report;
+        jr_record = None;
+        jr_spans = None;
+      }
+
 (* Execute [spec], streaming any per-job telemetry records through
    [telemetry] as they are produced. Never raises: failures come back
    as an ["error"] outcome. *)
@@ -298,6 +331,9 @@ let execute ?(telemetry = fun (_ : Json.t) -> ()) (spec : Protocol.spec) :
         exec_minimize ~log ~max_tests ~detect
     | Protocol.Fuzz { target; runs; base_seed; exec } ->
         exec_fuzz ~telemetry ~target ~runs ~base_seed ~exec
+    | Protocol.Fix { target; max_candidates; sweep_seeds; search_seeds; exec }
+      ->
+        exec_fix ~target ~max_candidates ~sweep_seeds ~search_seeds ~exec
   with
   | Invalid_argument e -> failed e
   | Failure e -> failed e

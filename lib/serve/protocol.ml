@@ -46,6 +46,16 @@ type spec =
       (** ddmin over an embedded schedule log (JSONL lines) *)
   | Fuzz of { target : target; runs : int; base_seed : int; exec : exec }
       (** seed sweep of hardened runs; returns the aggregate *)
+  | Fix of {
+      target : target;
+      max_candidates : int;
+      sweep_seeds : int;
+      search_seeds : int;
+      exec : exec;
+    }
+      (** the whole fix pipeline: detect, record+minimize a failing
+          schedule, synthesize candidate patches, validate through the
+          three gates, rank survivors; returns the fix report *)
 
 let kind_name = function
   | Run _ -> "run"
@@ -53,6 +63,7 @@ let kind_name = function
   | Detect _ -> "detect"
   | Minimize _ -> "minimize"
   | Fuzz _ -> "fuzz"
+  | Fix _ -> "fix"
 
 (* ------------------------------------------------------------------ *)
 (* Requests and responses                                              *)
@@ -246,6 +257,19 @@ let spec_of_json ~max_program_bytes j =
       if runs < 1 || runs > 10_000 then
         Error (Printf.sprintf "runs out of range: %d" runs)
       else Ok (Fuzz { target; runs; base_seed; exec })
+  | "fix" ->
+      let* target = target_of_json ~max_program_bytes j in
+      let* max_candidates = int_mem ~default:8 "max_candidates" j in
+      let* sweep_seeds = int_mem ~default:100 "sweep_seeds" j in
+      let* search_seeds = int_mem ~default:50 "search_seeds" j in
+      let* exec = exec_of_json j in
+      if max_candidates < 1 || max_candidates > 64 then
+        Error (Printf.sprintf "max_candidates out of range: %d" max_candidates)
+      else if sweep_seeds < 1 || sweep_seeds > 10_000 then
+        Error (Printf.sprintf "sweep_seeds out of range: %d" sweep_seeds)
+      else if search_seeds < 1 || search_seeds > 10_000 then
+        Error (Printf.sprintf "search_seeds out of range: %d" search_seeds)
+      else Ok (Fix { target; max_candidates; sweep_seeds; search_seeds; exec })
   | k -> Error (Printf.sprintf "unknown job kind %S" k)
 
 let request_of_json ~max_program_bytes j =
@@ -312,6 +336,14 @@ let spec_json = function
   | Fuzz { target; runs; base_seed; exec } ->
       (("kind", str "fuzz") :: target_json target)
       @ [ ("runs", Json.Int runs); ("base_seed", Json.Int base_seed) ]
+      @ exec_json exec
+  | Fix { target; max_candidates; sweep_seeds; search_seeds; exec } ->
+      (("kind", str "fix") :: target_json target)
+      @ [
+          ("max_candidates", Json.Int max_candidates);
+          ("sweep_seeds", Json.Int sweep_seeds);
+          ("search_seeds", Json.Int search_seeds);
+        ]
       @ exec_json exec
 
 let request_json = function

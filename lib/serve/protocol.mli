@@ -33,6 +33,13 @@ type spec =
   | Detect of { target : target; original : bool; exec : exec }
   | Minimize of { log : string list; max_tests : int; detect : bool }
   | Fuzz of { target : target; runs : int; base_seed : int; exec : exec }
+  | Fix of {
+      target : target;
+      max_candidates : int;
+      sweep_seeds : int;
+      search_seeds : int;
+      exec : exec;
+    }
 
 val kind_name : spec -> string
 

@@ -35,9 +35,10 @@ type actions = {
   before : Instr.op list;
   after : Instr.op list;
   guard : guard option;
+  replace : Instr.op option;
 }
 
-let no_actions = { before = []; after = []; guard = None }
+let no_actions = { before = []; after = []; guard = None; replace = None }
 
 type t = {
   by_iid : (int, actions) Hashtbl.t;
@@ -59,9 +60,17 @@ let insert_after t iid ops =
 
 let set_guard t iid g =
   update t iid (fun a ->
-      match a.guard with
-      | Some _ -> invalid_arg "Rewrite.set_guard: instruction already guarded"
-      | None -> { a with guard = Some g })
+      match (a.guard, a.replace) with
+      | Some _, _ -> invalid_arg "Rewrite.set_guard: instruction already guarded"
+      | _, Some _ -> invalid_arg "Rewrite.set_guard: instruction already replaced"
+      | None, None -> { a with guard = Some g })
+
+let replace_op t iid op =
+  update t iid (fun a ->
+      match (a.replace, a.guard) with
+      | Some _, _ -> invalid_arg "Rewrite.replace_op: instruction already replaced"
+      | _, Some _ -> invalid_arg "Rewrite.replace_op: instruction already guarded"
+      | None, None -> { a with replace = Some op })
 
 let prepend_entry t fname ops =
   let key = Fname.name fname in
@@ -133,7 +142,12 @@ let apply_block fr (edits : t) (b : Block.t) : Block.t list =
       let acts = actions_of edits i.iid in
       List.iter push_op acts.before;
       (match acts.guard with
-      | None -> push_instr i
+      | None -> (
+          (* A replacement keeps the original id: it is the same program
+             point, re-purposed (lock fusion rewrites Lock a -> Lock m). *)
+          match acts.replace with
+          | None -> push_instr i
+          | Some op -> push_instr { i with op })
       | Some (Guard_assert { site_id; kind; msg }) ->
           let cond =
             match i.op with

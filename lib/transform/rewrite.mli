@@ -30,7 +30,15 @@ val insert_before : t -> int -> Instr.op list -> unit
 val insert_after : t -> int -> Instr.op list -> unit
 
 val set_guard : t -> int -> guard -> unit
-(** @raise Invalid_argument if the instruction already has a guard. *)
+(** @raise Invalid_argument if the instruction already has a guard or a
+    replacement. *)
+
+val replace_op : t -> int -> Instr.op -> unit
+(** Swap the instruction's operation while keeping its id — the same
+    program point, re-purposed (the fix synthesizer's lock fusion turns
+    [Lock a] into [Lock fused] this way).
+    @raise Invalid_argument if the instruction already has a guard or a
+    replacement. *)
 
 val prepend_entry : t -> Fname.t -> Instr.op list -> unit
 
