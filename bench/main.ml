@@ -773,20 +773,37 @@ let bench_interp () =
   let (ref_m, ref_out), ref_t = time_engine Engine.Ref in
   let (fast_m, fast_out), fast_t = time_engine Engine.Fast in
   let (block_m, block_out), block_t = time_engine Engine.Block in
-  if fast_out <> ref_out || block_out <> ref_out then
+  (* The recorder-on column: the block engine with a flight ring
+     attached (ring creation included — that is what `--flight` pays
+     per run). The @perf gate holds this within 5% of recorder-off. *)
+  let (flight_m, flight_out), flight_t =
+    time_best ~repeats:12 (fun () ->
+        let ring = Conair.Runtime.Flight_ring.create () in
+        Engine.run_program ~config:micro_config
+          ~hooks:(Conair.Runtime.Hooks.bundle ~flight:ring ())
+          Engine.Block micro)
+  in
+  if fast_out <> ref_out || block_out <> ref_out || flight_out <> ref_out then
     failwith "interp bench: micro outcomes diverge between engines";
   let steps = Engine.steps fast_m in
-  if steps <> Engine.steps ref_m || steps <> Engine.steps block_m then
-    failwith "interp bench: micro step counts diverge between engines";
+  if
+    steps <> Engine.steps ref_m
+    || steps <> Engine.steps block_m
+    || steps <> Engine.steps flight_m
+  then failwith "interp bench: micro step counts diverge between engines";
   let ref_sps = float steps /. ref_t
   and fast_sps = float steps /. fast_t
-  and block_sps = float steps /. block_t in
+  and block_sps = float steps /. block_t
+  and flight_sps = float steps /. flight_t in
   Printf.printf "micro: %d steps\n" steps;
   Printf.printf "  reference:      %.4fs  %12.0f steps/s\n" ref_t ref_sps;
   Printf.printf "  pre-resolved:   %.4fs  %12.0f steps/s\n" fast_t fast_sps;
   Printf.printf "  block-compiled: %.4fs  %12.0f steps/s\n" block_t block_sps;
+  Printf.printf "  block + flight: %.4fs  %12.0f steps/s\n" flight_t flight_sps;
   Printf.printf "  fast/ref: %.2fx   block/ref: %.2fx   block/fast: %.2fx\n"
     (fast_sps /. ref_sps) (block_sps /. ref_sps) (block_sps /. fast_sps);
+  Printf.printf "  flight/block: %.3fx (recorder-on vs recorder-off)\n"
+    (flight_sps /. block_sps);
   let corpus = interp_sweep_corpus () in
   let sweep_config = { Machine.default_config with fuel = 200_000 } in
   let sweep engine =
@@ -823,11 +840,14 @@ let bench_interp () =
               ("fast_steps_per_sec", Float fast_sps);
               ("block_seconds", Float block_t);
               ("block_steps_per_sec", Float block_sps);
+              ("block_flight_seconds", Float flight_t);
+              ("block_flight_steps_per_sec", Float flight_sps);
               (* fast over ref; kept under its historical name *)
               ("speedup", Float (fast_sps /. ref_sps));
               ("fast_vs_ref", Float (fast_sps /. ref_sps));
               ("block_vs_ref", Float (block_sps /. ref_sps));
               ("block_vs_fast", Float (block_sps /. fast_sps));
+              ("flight_vs_block", Float (flight_sps /. block_sps));
             ] );
         ( "sweep",
           Obj

@@ -327,6 +327,56 @@ let record_schedule ~config ~engine ~app ~variant ~oracle ~mode file
     (Array.length log.Replay.Log.decisions)
     (Array.length log.Replay.Log.preemptions)
 
+let flight_arg =
+  Arg.(
+    value & flag
+    & info [ "flight" ]
+        ~doc:
+          "Attach the always-on flight recorder and dump a post-mortem \
+           diagnostic bundle (FLIGHT_APP.bundle.json) after the run — the \
+           decision tail, per-thread locksets, sync/recovery events, \
+           episode spans and a regeneration recipe the bundle subcommand \
+           replays and minimizes.")
+
+let bundle_out_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "bundle-out" ] ~docv:"DIR"
+        ~doc:"Directory for --flight diagnostic bundles (default: .).")
+
+let bundle_file_of ~dir app =
+  Filename.concat dir ("flight_" ^ String.lowercase_ascii app ^ ".bundle.json")
+
+(* Capture the run with the flight hook (deterministic, so identical to
+   the displayed one) and dump the diagnostic bundle. [reason] records
+   why: the displayed run's failure, or an explicit request. *)
+let flight_capture ~config ~engine ~app ~variant ~oracle ~mode ~dir ~reason
+    (inst : Spec.instance) =
+  let ident =
+    Replay.Log.ident
+      ~variant:(variant_name variant)
+      ~oracle ~mode:(mode_name mode) app
+  in
+  let _, bundle =
+    match mode with
+    | None -> Conair.run_flight ~config ~engine ~reason ~ident inst.Spec.program
+    | Some m ->
+        let h = Conair.harden_exn inst.Spec.program m in
+        Conair.run_flight ~config ~engine
+          ~meta:(Machine.meta_of_harden h.hardened)
+          ~reason ~ident h.hardened.program
+  in
+  let file = bundle_file_of ~dir app in
+  Obs.Flight.save bundle file;
+  Format.printf
+    "flight bundle: %s (%d of %d decisions retained, %d preemptions, %d \
+     events)@."
+    file
+    (Array.length bundle.Obs.Flight.fb_tail)
+    bundle.Obs.Flight.fb_tail_total
+    (Array.length bundle.Obs.Flight.fb_tail_preemptions)
+    (List.length bundle.Obs.Flight.fb_events)
+
 let run_cmd =
   let no_harden_arg =
     Arg.(
@@ -349,7 +399,7 @@ let run_cmd =
                 rollbacks, compensations).")
   in
   let run app variant oracle engine hardened no_harden fix trace trace_json
-      metrics_file spans_file record fuel seed max_retries =
+      metrics_file spans_file record flight bundle_out fuel seed max_retries =
     match find_spec app with
     | Error e -> prerr_endline e; 1
     | Ok spec ->
@@ -396,6 +446,14 @@ let run_cmd =
                 ~oracle:(oracle || spec.Spec.info.needs_oracle)
                 ~mode file inst
           | None -> ());
+          if flight then
+            flight_capture ~config ~engine ~app ~variant
+              ~oracle:(oracle || spec.Spec.info.needs_oracle)
+              ~mode ~dir:bundle_out
+              ~reason:
+                (if Outcome.is_success r.outcome then "requested"
+                 else "failure")
+              inst;
           Format.printf "outcome:  %a@." Outcome.pp r.outcome;
           List.iter (fun o -> Format.printf "output:   %s@." o) r.outputs;
           Format.printf "accepted: %b@." (inst.accept r.outputs);
@@ -419,8 +477,8 @@ let run_cmd =
     Term.(
       const run $ app_arg $ variant_arg $ oracle_arg $ engine_arg
       $ hardened_arg $ no_harden_arg $ fix_arg $ trace_arg $ trace_json_arg
-      $ metrics_file_arg $ spans_file_arg $ record_arg $ fuel_arg
-      $ seed_arg $ max_retries_arg)
+      $ metrics_file_arg $ spans_file_arg $ record_arg $ flight_arg
+      $ bundle_out_arg $ fuel_arg $ seed_arg $ max_retries_arg)
 
 let report_cmd =
   let fix_arg =
@@ -548,7 +606,8 @@ let file_cmd =
       & info [ "emit" ]
           ~doc:"Print the (possibly hardened) program instead of running it.")
   in
-  let run file no_harden emit engine record fuel seed max_retries =
+  let run file no_harden emit engine record flight bundle_out fuel seed
+      max_retries =
     let src = In_channel.with_open_text file In_channel.input_all in
     match Conair.Ir.Parse.program src with
     | Error e ->
@@ -579,6 +638,25 @@ let file_cmd =
                     (Array.length log.Replay.Log.decisions)
                     (Array.length log.Replay.Log.preemptions)
             in
+            let save_flight mode ?meta program outcome =
+              if flight then begin
+                let app = Filename.remove_extension (Filename.basename file) in
+                let ident = Replay.Log.ident ~mode:(mode_name mode) app in
+                let reason =
+                  if Outcome.is_success outcome then "requested" else "failure"
+                in
+                let _, bundle =
+                  Conair.run_flight ~config ~engine ?meta ~reason ~ident
+                    program
+                in
+                let out = bundle_file_of ~dir:bundle_out app in
+                Obs.Flight.save bundle out;
+                Format.printf
+                  "flight bundle: %s (%d of %d decisions retained)@." out
+                  (Array.length bundle.Obs.Flight.fb_tail)
+                  bundle.Obs.Flight.fb_tail_total
+              end
+            in
             if no_harden then begin
               if emit then begin
                 print_string (Conair.Ir.Emit.program p);
@@ -588,6 +666,7 @@ let file_cmd =
                 let r = Conair.execute ~config ~engine p in
                 save_record None (fun ident ->
                     Conair.record_run ~config ~engine ~ident p);
+                save_flight None p r.outcome;
                 Format.printf "outcome: %a@." Outcome.pp r.outcome;
                 List.iter (Format.printf "output:  %s@.") r.outputs;
                 if Outcome.is_success r.outcome then 0 else 2
@@ -603,6 +682,9 @@ let file_cmd =
                 let r = Conair.execute_hardened ~config ~engine h in
                 save_record (Some Conair.Survival) (fun ident ->
                     Conair.run_recorded ~config ~engine ~ident h);
+                save_flight (Some Conair.Survival)
+                  ~meta:(Machine.meta_of_harden h.hardened)
+                  h.hardened.program r.outcome;
                 Format.printf "outcome: %a@." Outcome.pp r.outcome;
                 List.iter (Format.printf "output:  %s@.") r.outputs;
                 Format.printf "stats:   %a@." Stats.pp r.stats;
@@ -616,7 +698,8 @@ let file_cmd =
           --emit prints the program instead.")
     Term.(
       const run $ file_arg $ no_harden_arg $ emit_arg $ engine_arg
-      $ record_arg $ fuel_arg $ seed_arg $ max_retries_arg)
+      $ record_arg $ flight_arg $ bundle_out_arg $ fuel_arg $ seed_arg
+      $ max_retries_arg)
 
 let dot_cmd =
   let func_arg =
@@ -1326,6 +1409,221 @@ let minimize_cmd =
       const run $ log_file_arg $ app_opt_arg $ out_arg $ json_arg
       $ max_tests_arg $ no_detect_arg)
 
+(* --- flight diagnostic bundles ------------------------------------- *)
+
+let bundle_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "A flight diagnostic bundle (.bundle.json, from run --flight, \
+           conair_fuzz findings or conair_serve captures).")
+
+let bundle_show_cmd =
+  let run file =
+    match Obs.Flight.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok b ->
+        let open Obs.Flight in
+        Printf.printf "app:      %s (variant %s, oracle %b, mode %s)\n"
+          b.fb_app b.fb_variant b.fb_oracle b.fb_mode;
+        Printf.printf "engine:   %s\n" b.fb_engine;
+        Printf.printf "reason:   %s\n" b.fb_reason;
+        Printf.printf "program:  md5 %s%s\n" b.fb_program_md5
+          (match b.fb_program_text with
+          | Some _ -> ""
+          | None -> " (text not embedded)");
+        Format.printf "outcome:  %a@." Outcome.pp b.fb_outcome;
+        Printf.printf "trailer:  %d steps, %d instrs, %d rollbacks\n"
+          b.fb_steps b.fb_instrs b.fb_rollbacks;
+        Printf.printf
+          "tail:     decisions %d..%d of %d (%d retained, %d preemptions)\n"
+          b.fb_tail_first (b.fb_tail_total - 1) b.fb_tail_total
+          (Array.length b.fb_tail)
+          (Array.length b.fb_tail_preemptions);
+        List.iter
+          (fun (tid, status, locks) ->
+            Printf.printf "thread %d: %s%s\n" tid status
+              (match locks with
+              | [] -> ""
+              | ls -> " holding [" ^ String.concat "; " ls ^ "]"))
+          b.fb_threads;
+        (match b.fb_episodes with
+        | [] -> ()
+        | eps ->
+            Printf.printf "episodes:\n";
+            List.iter
+              (fun ep ->
+                Printf.printf
+                  "  site %d tid %d: steps %d..%d (%d retries)\n" ep.be_site
+                  ep.be_tid ep.be_start ep.be_end ep.be_retries)
+              eps);
+        (match b.fb_events with
+        | [] -> ()
+        | evs ->
+            Printf.printf "events (%d retained):\n" (List.length evs);
+            List.iter
+              (fun e ->
+                Printf.printf "  step %-8d tid %-3d %-10s%s%s\n" e.bv_step
+                  e.bv_tid e.bv_kind
+                  (if e.bv_detail = "" then "" else " " ^ e.bv_detail)
+                  (if e.bv_arg < 0 then ""
+                   else Printf.sprintf " (arg %d)" e.bv_arg))
+              evs);
+        0
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a human-readable summary of a diagnostic bundle.")
+    Term.(const run $ bundle_pos_arg)
+
+let bundle_replay_cmd =
+  let run file =
+    match Obs.Flight.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok b ->
+        (* regenerate on every engine; the recover step itself verifies
+           the re-run against the recorded tail, then a strict replay of
+           the regenerated log closes the loop *)
+        let verify engine =
+          match Replay.Bundle.recover_log ~engine b with
+          | Error e ->
+              Printf.eprintf "%s engine: %s\n" (Engine.name engine) e;
+              Error 4
+          | Ok log -> (
+              match Conair.replay ~engine log with
+              | Error (Replay.Driver.Diverged d) ->
+                  Printf.eprintf "%s engine: " (Engine.name engine);
+                  pp_divergence d;
+                  Error 4
+              | Error e ->
+                  prerr_endline (Replay.Driver.error_to_string e);
+                  Error 1
+              | Ok rb -> (
+                  match Replay.Driver.check log rb with
+                  | Error e ->
+                      Printf.eprintf "%s engine: replay mismatch: %s\n"
+                        (Engine.name engine) e;
+                      Error 4
+                  | Ok () -> Ok log))
+        in
+        let rec go logs = function
+          | [] -> Ok (List.rev logs)
+          | e :: rest -> (
+              match verify e with
+              | Error code -> Error code
+              | Ok log -> go (log :: logs) rest)
+        in
+        (match go [] Engine.all with
+        | Error code -> code
+        | Ok logs ->
+            (* the regenerated decision streams must agree bit-for-bit
+               across engines — the cross-engine identity the bundle
+               format promises *)
+            let reference = List.hd logs in
+            let agree =
+              List.for_all
+                (fun (l : Replay.Log.t) ->
+                  l.Replay.Log.decisions
+                  = reference.Replay.Log.decisions
+                  && l.Replay.Log.preemptions
+                     = reference.Replay.Log.preemptions)
+                logs
+            in
+            if not agree then begin
+              prerr_endline
+                "engines regenerated different decision streams";
+              4
+            end
+            else begin
+              Printf.printf
+                "faithful on all engines: %d decisions regenerated (tail \
+                 %d..%d verified), %d preemptions\n"
+                (Array.length reference.Replay.Log.decisions)
+                b.Obs.Flight.fb_tail_first
+                (b.Obs.Flight.fb_tail_total - 1)
+                (Array.length reference.Replay.Log.preemptions);
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Regenerate a bundle's full schedule by deterministic re-run, \
+          verify the re-run against the recorded tail and strict-replay \
+          the regenerated log — on all three engines. Exits 4 on any \
+          divergence.")
+    Term.(const run $ bundle_pos_arg)
+
+let bundle_minimize_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the minimized schedule as a replayable log to $(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the interleaving explanation to $(docv) as JSON.")
+  in
+  let max_tests_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-tests" ]
+          ~doc:"Budget of candidate executions for the ddmin search.")
+  in
+  let run file out json max_tests =
+    match Obs.Flight.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok b -> (
+        match Replay.Bundle.recover_log b with
+        | Error e -> prerr_endline e; 1
+        | Ok log -> (
+            match Conair.minimize ~max_tests log with
+            | Error e -> prerr_endline e; 1
+            | Ok m ->
+                print_string (Replay.Minimize.render m);
+                (match out with
+                | Some file ->
+                    Replay.Log.save m.Replay.Minimize.mn_log file;
+                    Printf.printf "minimized log: %s\n" file
+                | None -> ());
+                (match json with
+                | Some file ->
+                    write_file file
+                      (Obs.Json.to_string_pretty (Replay.Minimize.to_json m));
+                    Printf.printf "explanation: %s\n" file
+                | None -> ());
+                0))
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:
+         "Regenerate a bundle's full schedule by deterministic re-run, \
+          then shrink it to a locally minimal set of preemptive context \
+          switches that still reproduces the failure — the same search \
+          the minimize subcommand runs on a full recording.")
+    Term.(const run $ bundle_pos_arg $ out_arg $ json_arg $ max_tests_arg)
+
+let bundle_cmd =
+  Cmd.group
+    (Cmd.info "bundle"
+       ~doc:
+         "Inspect, replay and minimize flight-recorder diagnostic bundles \
+          (.bundle.json).")
+    [ bundle_show_cmd; bundle_replay_cmd; bundle_minimize_cmd ]
+
 let aggregate_cmd =
   let file_arg =
     Arg.(
@@ -1483,7 +1781,7 @@ let main_cmd =
   Cmd.group (Cmd.info "conair" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; analyze_cmd; harden_cmd; run_cmd; report_cmd;
       restart_cmd; fullckpt_cmd; file_cmd; dot_cmd; profile_cmd;
-      overhead_cmd; races_cmd; replay_cmd; minimize_cmd; aggregate_cmd;
-      fix_cmd ]
+      overhead_cmd; races_cmd; replay_cmd; minimize_cmd; bundle_cmd;
+      aggregate_cmd; fix_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

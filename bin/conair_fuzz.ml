@@ -923,6 +923,18 @@ let run_campaign ~dir ~njobs ~lo ~hi ~eng ~minimize_corpus () =
                         "conair_fuzz: corpus: cannot load %s: %s\n" log_path e;
                       c
                   | Ok log -> (
+                      (* every unique finding also gets a post-mortem
+                         diagnostic bundle in the corpus, regenerated
+                         from the recorded log by deterministic re-run *)
+                      (match Conair.flight_of_log log with
+                      | Ok bundle ->
+                          Conair.Obs.Flight.save bundle
+                            (Filename.concat dir
+                               (Printf.sprintf "corpus/%s.bundle.json" stem))
+                      | Error e ->
+                          Printf.eprintf
+                            "conair_fuzz: corpus: bundle for %s: %s\n"
+                            log_path e);
                       match Conair.minimize ~detect:false log with
                       | Ok m ->
                           let dest =

@@ -234,8 +234,8 @@ let stress_cmd =
       value & opt string "."
       & info [ "out-dir" ] ~docv:"DIR"
           ~doc:
-            "Write metrics.prom, status.json, spans.json and \
-             report_hawknl.json here.")
+            "Write metrics.prom, status.json, spans.json, \
+             report_hawknl.json and hawknl.bundle.json here.")
   in
   let run tenants jobs out_dir workers =
     let sock =
@@ -352,6 +352,57 @@ let stress_cmd =
             write_file
               (Filename.concat out_dir "report_hawknl.json")
               (Json.to_string_pretty report)));
+
+    (* flight bundle: inject a failing run (HawkNL unhardened deadlocks
+       under round-robin), fetch its retained post-mortem, and assert it
+       is byte-identical to the in-process capture and still a working
+       regeneration recipe (recovered log replays divergence-free). This
+       runs before the scrapes below so the exported metrics and status
+       artifacts show the bundle accounting. *)
+    let failing_spec =
+      Protocol.Run
+        {
+          target = Bench { app = "HawkNL"; variant = "buggy"; oracle = false };
+          mode = "none";
+          exec = Protocol.default_exec;
+        }
+    in
+    (match
+       Client.submit c ~tenant:"cli-equiv" ~id:"hawknl-deadlock" failing_spec
+     with
+    | Error e -> fail "bundle job: %s" e
+    | Ok (frame, _telemetry) -> (
+        match member_int "exit" frame with
+        | Some 2 -> ()
+        | _ -> fail "bundle job: expected the injected run to fail (exit 2)"));
+    Client.send c
+      (Protocol.Bundle { tenant = "cli-equiv"; id = "hawknl-deadlock" });
+    (match Client.recv_until c (fun j -> Client.frame_type j = "bundle") with
+    | None -> fail "no bundle frame"
+    | Some frame -> (
+        match Json.member "bundle" frame with
+        | None -> fail "bundle frame carries no bundle document"
+        | Some doc -> (
+            write_file
+              (Filename.concat out_dir "hawknl.bundle.json")
+              (Json.to_string_pretty doc);
+            (match (Job.execute failing_spec).Job.jr_bundle with
+            | None -> fail "in-process run produced no flight bundle"
+            | Some expect ->
+                if Json.to_string doc <> Json.to_string expect then
+                  fail "served bundle differs from the in-process capture");
+            match Conair.Obs.Flight.of_json doc with
+            | Error e -> fail "served bundle does not decode: %s" e
+            | Ok b -> (
+                match Conair.Replay.Bundle.recover_log b with
+                | Error e -> fail "bundle regeneration failed: %s" e
+                | Ok log -> (
+                    match Conair.replay log with
+                    | Error _ -> fail "regenerated log does not replay"
+                    | Ok rb -> (
+                        match Conair.Replay.Driver.check log rb with
+                        | Error e -> fail "regenerated log mismatch: %s" e
+                        | Ok () -> ()))))));
     Client.send c Protocol.Metrics;
     (match Client.recv_until c (fun j -> Client.frame_type j = "metrics") with
     | Some frame ->
@@ -377,10 +428,10 @@ let stress_cmd =
                 0 ts
           | _ -> 0
         in
-        if completed < (tenants * jobs) + 1 then
+        if completed < (tenants * jobs) + 2 then
           fail "status reports %d completed jobs, expected at least %d"
             completed
-            ((tenants * jobs) + 1)
+            ((tenants * jobs) + 2)
     | None -> fail "no status frame");
     Client.send c (Protocol.Spans { tenant = "cli-equiv"; id = "hawknl-seed7" });
     (match Client.recv_until c (fun j -> Client.frame_type j = "spans") with

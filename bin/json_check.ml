@@ -12,9 +12,10 @@
    - BENCH_interp.json — the interpreter bench document: "micro" and
                    "sweep" sections with per-engine timing columns and
                    cross-engine ratios, all positive and mutually
-                   consistent; additionally a performance gate — the
+                   consistent; additionally two performance gates — the
                    block engine's micro steps/s must be at least 3x the
-                   committed fast-engine baseline;
+                   committed fast-engine baseline, and the recorder-on
+                   (flight) micro must be within 5% of recorder-off;
    - BENCH_fuzz.json — the campaign bench document written by
                    `conair_fuzz --bench`: per-engine runs/sec, signature
                    digests and growth curves, with the differential gate
@@ -31,6 +32,13 @@
                    validation gates, and a summary whose survivor
                    count matches the table (every survivor passed all
                    gates and carries a cost);
+   - *.bundle.json — a flight-recorder diagnostic bundle: type
+                   "flight_bundle" version 1, run identity + config,
+                   an embedded program hashing to program_md5, a
+                   decision tail of sched_chunk records summing to
+                   total - first with preemption ordinals inside the
+                   window, trailer, per-thread locksets, events and
+                   episode spans;
    - *.json      — the whole file must parse; if the value carries a
                    "traceEvents" member it must be a list (Chrome trace
                    format sanity, as loaded by Perfetto).
@@ -208,6 +216,9 @@ let check_bench_interp file =
              "ref_steps_per_sec";
              "fast_steps_per_sec";
              "block_steps_per_sec";
+             "block_flight_seconds";
+             "block_flight_steps_per_sec";
+             "flight_vs_block";
            ]
           @ per_engine)
       in
@@ -227,6 +238,27 @@ let check_bench_interp file =
                     block/fast steps/s %.4f"
                    ratio (block /. fast))
           | _ -> ());
+          (match
+             ( number "micro" sec "block_steps_per_sec",
+               number "micro" sec "block_flight_steps_per_sec",
+               number "micro" sec "flight_vs_block" )
+           with
+          | Some block, Some flight, Some ratio ->
+              if abs_float ((flight /. block /. ratio) -. 1.) > 1e-6 then
+                fail file
+                  (Printf.sprintf
+                     "micro.flight_vs_block %.4f disagrees with \
+                      flight/block steps/s %.4f"
+                     ratio (flight /. block));
+              (* the tentpole's overhead gate: the always-on flight
+                 recorder must cost the block engine at most 5% *)
+              if flight < 0.95 *. block then
+                fail file
+                  (Printf.sprintf
+                     "flight recorder overhead regressed: recorder-on micro \
+                      %.0f steps/s is below 95%% of recorder-off (%.0f)"
+                     flight (0.95 *. block))
+          | _ -> ());
           match number "micro" sec "block_steps_per_sec" with
           | Some block when block < 3. *. fast_micro_baseline_steps_per_sec ->
               fail file
@@ -240,7 +272,7 @@ let check_bench_interp file =
       if !errors = before then
         Printf.printf
           "json_check: %s: interp bench ok (block micro >= 3x committed fast \
-           baseline)\n"
+           baseline; flight recorder within 5%% of recorder-off)\n"
           file
 
 (* BENCH_fuzz.json: the campaign bench document written by
@@ -554,6 +586,201 @@ let check_fix_report file =
         Printf.printf "json_check: %s: fix report ok (%d survivors)\n" file
           !survivors_seen
 
+(* Flight-recorder diagnostic bundles — *.bundle.json — as written by
+   `conair_cli run --flight` / `bundle` and the serve daemon: run
+   identity + config, an MD5-verified embedded program, the decision
+   tail as sched_chunk records summing to total - first, preemption
+   ordinals inside the tail window, the trailer, per-thread locksets,
+   the event ring and episode spans. *)
+let check_flight_bundle file =
+  let before = !errors in
+  match Json.of_string (read_file file) with
+  | Error e -> fail file e
+  | Ok j ->
+      (match Json.member "type" j with
+      | Some (Json.String "flight_bundle") -> ()
+      | _ -> fail file "\"type\" is not \"flight_bundle\"");
+      (match Json.member "version" j with
+      | Some (Json.Int 1) -> ()
+      | _ -> fail file "\"version\" is not 1");
+      List.iter
+        (fun k ->
+          match Json.member k j with
+          | Some (Json.String s) when s <> "" -> ()
+          | _ -> fail file (Printf.sprintf "%S is not a non-empty string" k))
+        [ "app"; "variant"; "mode"; "engine"; "reason" ];
+      (match Json.member "oracle" j with
+      | Some (Json.Bool _) -> ()
+      | _ -> fail file "\"oracle\" is not a boolean");
+      (match Json.member "config" j with
+      | Some (Json.Obj _ as c) -> (
+          (match Json.member "policy" c with
+          | Some (Json.String _) -> ()
+          | _ -> fail file "config.policy is not a string");
+          match Json.member "fuel" c with
+          | Some (Json.Int n) when n > 0 -> ()
+          | _ -> fail file "config.fuel is not a positive integer")
+      | _ -> fail file "\"config\" is not an object");
+      let md5 =
+        match Json.member "program_md5" j with
+        | Some (Json.String d)
+          when String.length d = 32
+               && String.for_all
+                    (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+                    d ->
+            Some d
+        | _ ->
+            fail file "\"program_md5\" is not an MD5 digest";
+            None
+      in
+      (match (Json.member "program" j, md5) with
+      | Some (Json.String src), Some d ->
+          if Digest.to_hex (Digest.string src) <> d then
+            fail file "embedded program does not hash to program_md5"
+      | Some (Json.String _), None | None, _ -> ()
+      | Some _, _ -> fail file "\"program\" is not a string");
+      let tail_first = ref 0 and tail_total = ref 0 in
+      (match Json.member "tail" j with
+      | Some (Json.Obj _ as t) -> (
+          (match (Json.member "first" t, Json.member "total" t) with
+          | Some (Json.Int f), Some (Json.Int n) when 0 <= f && f <= n ->
+              tail_first := f;
+              tail_total := n
+          | _ -> fail file "tail.first/tail.total are not 0 <= first <= total");
+          (match Json.member "chunks" t with
+          | Some (Json.List chunks) ->
+              let retained = ref 0 in
+              List.iteri
+                (fun i c ->
+                  (match Json.member "type" c with
+                  | Some (Json.String "sched_chunk") -> ()
+                  | _ ->
+                      fail file
+                        (Printf.sprintf "tail.chunks[%d] is not a sched_chunk"
+                           i));
+                  match Json.member "d" c with
+                  | Some (Json.List ds)
+                    when List.for_all
+                           (function Json.Int _ -> true | _ -> false)
+                           ds ->
+                      retained := !retained + List.length ds
+                  | _ ->
+                      fail file
+                        (Printf.sprintf
+                           "tail.chunks[%d] without an integer \"d\" list" i))
+                chunks;
+              if !retained <> !tail_total - !tail_first then
+                fail file
+                  (Printf.sprintf
+                     "tail chunks carry %d decisions, total - first says %d"
+                     !retained
+                     (!tail_total - !tail_first))
+          | _ -> fail file "tail.chunks is not a list");
+          match Json.member "preemptions" t with
+          | Some (Json.List ps) ->
+              List.iter
+                (fun p ->
+                  match p with
+                  | Json.Int ord ->
+                      if ord < !tail_first || ord >= !tail_total then
+                        fail file
+                          (Printf.sprintf
+                             "preemption ordinal %d outside the tail window \
+                              [%d, %d)"
+                             ord !tail_first !tail_total)
+                  | _ -> fail file "tail.preemptions entry is not an integer")
+                ps
+          | _ -> fail file "tail.preemptions is not a list")
+      | _ -> fail file "\"tail\" is not an object");
+      (match Json.member "trailer" j with
+      | Some (Json.Obj _ as tr) -> (
+          List.iter
+            (fun k ->
+              match Json.member k tr with
+              | Some (Json.Int n) when n >= 0 -> ()
+              | _ ->
+                  fail file
+                    (Printf.sprintf
+                       "trailer.%s is not a non-negative integer" k))
+            [ "steps"; "instrs"; "rollbacks" ];
+          (match Json.member "outcome" tr with
+          | Some (Json.Obj _ as o) -> (
+              match Json.member "result" o with
+              | Some (Json.String _) -> ()
+              | _ -> fail file "trailer.outcome.result is not a string")
+          | _ -> fail file "trailer.outcome is not an object");
+          match Json.member "outputs" tr with
+          | Some (Json.List os)
+            when List.for_all
+                   (function Json.String _ -> true | _ -> false)
+                   os ->
+              ()
+          | _ -> fail file "trailer.outputs is not a string list")
+      | _ -> fail file "\"trailer\" is not an object");
+      (match Json.member "threads" j with
+      | Some (Json.List ts) ->
+          List.iteri
+            (fun i t ->
+              let ctx = Printf.sprintf "threads[%d]." i in
+              (match Json.member "tid" t with
+              | Some (Json.Int n) when n >= 0 -> ()
+              | _ -> fail file (ctx ^ "tid is not a non-negative integer"));
+              (match Json.member "status" t with
+              | Some (Json.String s) when s <> "" -> ()
+              | _ -> fail file (ctx ^ "status is not a non-empty string"));
+              match Json.member "locks" t with
+              | Some (Json.List ls)
+                when List.for_all
+                       (function Json.String _ -> true | _ -> false)
+                       ls ->
+                  ()
+              | _ -> fail file (ctx ^ "locks is not a string list"))
+            ts
+      | _ -> fail file "\"threads\" is not a list");
+      (match Json.member "events" j with
+      | Some (Json.List evs) ->
+          List.iteri
+            (fun i e ->
+              let ctx = Printf.sprintf "events[%d]." i in
+              (match Json.member "ev" e with
+              | Some (Json.String s) when s <> "" -> ()
+              | _ -> fail file (ctx ^ "ev is not a non-empty string"));
+              List.iter
+                (fun k ->
+                  match Json.member k e with
+                  | Some (Json.Int _) -> ()
+                  | _ -> fail file (ctx ^ k ^ " is not an integer"))
+                [ "step"; "tid"; "arg" ])
+            evs
+      | _ -> fail file "\"events\" is not a list");
+      (match Json.member "episodes" j with
+      | Some (Json.List eps) ->
+          List.iteri
+            (fun i e ->
+              let ctx = Printf.sprintf "episodes[%d]." i in
+              let get k =
+                match Json.member k e with
+                | Some (Json.Int n) -> Some n
+                | _ ->
+                    fail file (ctx ^ k ^ " is not an integer");
+                    None
+              in
+              ignore (get "site");
+              ignore (get "tid");
+              ignore (get "retries");
+              match (get "start", get "end") with
+              | Some s, Some e when e < s ->
+                  fail file (ctx ^ "ends before it starts")
+              | _ -> ())
+            eps
+      | _ -> fail file "\"episodes\" is not a list");
+      if !errors = before then
+        Printf.printf
+          "json_check: %s: flight bundle ok (%d of %d decisions retained)\n"
+          file
+          (!tail_total - !tail_first)
+          !tail_total
+
 (* --same A B: byte equality, reporting the first differing line. *)
 let check_same a b =
   match (Sys.file_exists a, Sys.file_exists b) with
@@ -591,6 +818,8 @@ let check_file file =
   else if Filename.basename file = "status.json" then
     check_serve_status file
   else if Filename.check_suffix file "_fix.json" then check_fix_report file
+  else if Filename.check_suffix file ".bundle.json" then
+    check_flight_bundle file
   else if Filename.check_suffix file ".sched.jsonl" then check_sched file
   else if Filename.check_suffix file ".jsonl" then check_jsonl file
   else if Filename.check_suffix file ".collapsed" then check_collapsed file

@@ -67,6 +67,7 @@ module Runtime = struct
   module Trace = Conair_runtime.Trace
   module Profile = Conair_runtime.Profile
   module Race_probe = Conair_runtime.Race_probe
+  module Flight_ring = Conair_runtime.Flight_ring
 end
 
 module Race = struct
@@ -89,6 +90,7 @@ module Obs = struct
   module Aggregate = Conair_obs.Aggregate
   module Coverage = Conair_obs.Coverage
   module Campaign = Conair_obs.Campaign
+  module Flight = Conair_obs.Flight
 end
 
 open Conair_ir
@@ -277,6 +279,7 @@ module Replay = struct
   module Driver = Conair_replay.Driver
   module Inspect = Conair_replay.Inspect
   module Minimize = Conair_replay.Minimize
+  module Bundle = Conair_replay.Bundle
 end
 
 (** Automated fix synthesis: from a race report and a recorded failing
@@ -344,6 +347,36 @@ let run_recorded ?config ?engine ?ident ?race (h : hardened) :
   record_into ?config ?engine ?race
     ~meta:(Machine.meta_of_harden h.hardened)
     ~ident h.hardened.program
+
+(** Run with the flight recorder attached: the run plus the diagnostic
+    bundle its ring retained — the always-on post-mortem artifact. The
+    flight hook is the one hook that keeps the block engine on its
+    window fast path, so this is cheap enough to leave on everywhere. *)
+let run_flight ?(config = Machine.default_config) ?(engine = Engine.Fast)
+    ?meta ?cap ?reason ~ident program : run * Conair_obs.Flight.t =
+  let m, outcome, bundle =
+    Conair_replay.Bundle.capture ~engine ~config ?meta ?cap ?reason ~ident
+      program
+  in
+  (make_run m outcome, bundle)
+
+(** Regenerate a diagnostic bundle from a recorded schedule log by
+    deterministic re-run — how the fuzzer attaches a post-mortem bundle
+    to each unique finding it already holds as a log. *)
+let flight_of_log ?cap ?(reason = "finding") (log : Replay.Log.t) :
+    (Conair_obs.Flight.t, string) result =
+  let ( let* ) = Result.bind in
+  let* program = Conair_replay.Schedule_log.program log in
+  let* engine =
+    Engine.of_string log.Conair_replay.Schedule_log.engine
+  in
+  let meta = Conair_replay.Schedule_log.machine_meta log in
+  let _, _, bundle =
+    Conair_replay.Bundle.capture ~engine
+      ~config:log.Conair_replay.Schedule_log.config ?meta ?cap ~reason
+      ~ident:log.Conair_replay.Schedule_log.ident program
+  in
+  Ok bundle
 
 (** The canonical interleaving signature of a recorded run: the
     [Obs.Coverage] digest over the log's preemption-point sequence,

@@ -67,6 +67,7 @@ module Runtime : sig
   module Trace = Conair_runtime.Trace
   module Profile = Conair_runtime.Profile
   module Race_probe = Conair_runtime.Race_probe
+  module Flight_ring = Conair_runtime.Flight_ring
 end
 
 (** The dynamic race and deadlock detector: an online probe on either
@@ -99,6 +100,7 @@ module Obs : sig
   module Aggregate = Conair_obs.Aggregate
   module Coverage = Conair_obs.Coverage
   module Campaign = Conair_obs.Campaign
+  module Flight = Conair_obs.Flight
 end
 
 (** The two usage modes of §3.1: survival mode hardens every potential
@@ -265,6 +267,7 @@ module Replay : sig
   module Driver = Conair_replay.Driver
   module Inspect = Conair_replay.Inspect
   module Minimize = Conair_replay.Minimize
+  module Bundle = Conair_replay.Bundle
 end
 
 (** Automated fix synthesis — closing the detect → explain → repair
@@ -303,6 +306,36 @@ val run_recorded :
   run * Replay.Log.t
 (** {!execute_hardened} with the schedule recorder installed. The
     default ident carries the plan's mode ("survival" or "fix"). *)
+
+val run_flight :
+  ?config:Conair_runtime.Machine.config ->
+  ?engine:Conair_runtime.Engine.t ->
+  ?meta:Conair_runtime.Machine.meta ->
+  ?cap:int ->
+  ?reason:string ->
+  ident:Replay.Log.ident ->
+  Conair_ir.Program.t ->
+  run * Conair_obs.Flight.t
+(** Run with the flight recorder attached: the run plus the diagnostic
+    bundle its ring retained (decision tail, preemptions, per-thread
+    locksets, sync/recovery events, episode spans, regeneration recipe —
+    see {!Obs.Flight}). [cap] sizes the decision ring (default
+    {!Runtime.Flight_ring.default_capacity}); [reason] defaults to
+    ["requested"]. Unlike every other hook, the flight recorder keeps
+    the block engine on its window fast path, so this is cheap enough to
+    leave always on (the [@perf] gate holds it within 5% of a bare
+    run). *)
+
+val flight_of_log :
+  ?cap:int ->
+  ?reason:string ->
+  Replay.Log.t ->
+  (Conair_obs.Flight.t, string) result
+(** Regenerate a diagnostic bundle from a recorded schedule log by
+    deterministic re-run under the log's embedded program, config and
+    engine. [reason] defaults to ["finding"] — the fuzzer uses this to
+    attach a post-mortem bundle to each unique finding in its corpus.
+    Fails when the log carries no program or names an unknown engine. *)
 
 val interleaving_signature : ?orders:(string * string) list ->
   Replay.Log.t -> string

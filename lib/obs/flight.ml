@@ -1,0 +1,430 @@
+(* The diagnostic bundle: one self-contained JSON document dumped from a
+   flight-recorder ring (plus the machine's post-mortem state) when a
+   run fails — or on explicit request.
+
+   A bundle carries everything a post-mortem needs without any prior
+   opt-in: run identification and config, the embedded program text and
+   its MD5, the retained decision tail (encoded as the same
+   "sched_chunk" objects full schedule logs use — see
+   [Jsonl.sched_chunks]), the preemptive switches inside the tail,
+   per-thread status + held locksets, the recent sync/recovery events,
+   recovery-episode spans, and the run's trailer (steps, instrs,
+   rollbacks, outcome, outputs).
+
+   Because runs are deterministic from (program, seed, config, engine),
+   the bundle is also a *regeneration recipe*: [Conair_replay.Bundle]
+   re-runs the embedded program under the embedded config, checks the
+   re-run's decision suffix and trailer against the recorded tail, and
+   returns a full schedule log — after which ordinary replay, directed
+   replay and minimization apply unchanged.
+
+   The document is engine-independent except for the "engine" field
+   itself: all three engines produce byte-identical sections on the same
+   run, which the flight test suite enforces over the bugbench
+   catalog. *)
+
+open Conair_runtime
+module Ring = Flight_ring
+
+type event = {
+  bv_kind : string;
+  bv_step : int;
+  bv_tid : int;
+  bv_arg : int;
+  bv_detail : string;
+}
+
+type episode = {
+  be_site : int;
+  be_tid : int;
+  be_start : int;
+  be_end : int;
+  be_retries : int;
+}
+
+type t = {
+  fb_app : string;
+  fb_variant : string;
+  fb_oracle : bool;
+  fb_mode : string;
+  fb_engine : string;
+  fb_reason : string;  (** why the bundle was dumped *)
+  fb_config : Machine.config;
+  fb_program_md5 : string;
+  fb_program_text : string option;
+  fb_fail_blocks : (string * int) list;
+  fb_tail_first : int;  (** absolute ordinal of the first retained decision *)
+  fb_tail_total : int;  (** decisions in the whole run *)
+  fb_tail : int array;  (** the retained suffix of the decision stream *)
+  fb_tail_preemptions : int array;  (** absolute ordinals, ascending *)
+  fb_steps : int;
+  fb_instrs : int;
+  fb_rollbacks : int;
+  fb_outcome : Outcome.t;
+  fb_outputs : string list;
+  fb_threads : (int * string * string list) list;
+  fb_events : event list;
+  fb_episodes : episode list;  (** chronological *)
+}
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Construction from a ring + post-mortem machine state                 *)
+(* ------------------------------------------------------------------ *)
+
+let of_ring ~app ~variant ~oracle ~mode ~engine ~reason ~config ~program_md5
+    ~program_text ~fail_blocks ~threads ~episodes ~steps ~instrs ~rollbacks
+    ~outcome ~outputs (ring : Ring.t) =
+  {
+    fb_app = app;
+    fb_variant = variant;
+    fb_oracle = oracle;
+    fb_mode = mode;
+    fb_engine = engine;
+    fb_reason = reason;
+    fb_config = config;
+    fb_program_md5 = program_md5;
+    fb_program_text = program_text;
+    fb_fail_blocks = fail_blocks;
+    fb_tail_first = Ring.tail_first ring;
+    fb_tail_total = Ring.total ring;
+    fb_tail = Ring.tail ring;
+    fb_tail_preemptions = Ring.tail_preemptions ring;
+    fb_steps = steps;
+    fb_instrs = instrs;
+    fb_rollbacks = rollbacks;
+    fb_outcome = outcome;
+    fb_outputs = outputs;
+    fb_threads = threads;
+    fb_events =
+      List.map
+        (fun (e : Ring.event) ->
+          {
+            bv_kind = Ring.kind_name e.Ring.fe_kind;
+            bv_step = e.Ring.fe_step;
+            bv_tid = e.Ring.fe_tid;
+            bv_arg = e.Ring.fe_arg;
+            bv_detail = e.Ring.fe_detail;
+          })
+        (Ring.events ring);
+    fb_episodes =
+      List.map
+        (fun (ep : Stats.episode) ->
+          {
+            be_site = ep.Stats.ep_site_id;
+            be_tid = ep.Stats.ep_tid;
+            be_start = ep.Stats.ep_start;
+            be_end = ep.Stats.ep_end;
+            be_retries = ep.Stats.ep_retries;
+          })
+        episodes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ints a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let to_json t : Json.t =
+  Json.Obj
+    ([
+       ("type", Json.String "flight_bundle");
+       ("version", Json.Int version);
+       ("app", Json.String t.fb_app);
+       ("variant", Json.String t.fb_variant);
+       ("oracle", Json.Bool t.fb_oracle);
+       ("mode", Json.String t.fb_mode);
+       ("engine", Json.String t.fb_engine);
+       ("reason", Json.String t.fb_reason);
+       ("config", Jsonl.config_json t.fb_config);
+       ("program_md5", Json.String t.fb_program_md5);
+     ]
+    @ (match t.fb_program_text with
+      | None -> []
+      | Some text -> [ ("program", Json.String text) ])
+    @ (match t.fb_fail_blocks with
+      | [] -> []
+      | fbs ->
+          [
+            ( "fail_blocks",
+              Json.List
+                (List.map
+                   (fun (name, site) ->
+                     Json.List [ Json.String name; Json.Int site ])
+                   fbs) );
+          ])
+    @ [
+        ( "tail",
+          Json.Obj
+            [
+              ("first", Json.Int t.fb_tail_first);
+              ("total", Json.Int t.fb_tail_total);
+              ("preemptions", ints t.fb_tail_preemptions);
+              ("chunks", Json.List (Jsonl.sched_chunks t.fb_tail));
+            ] );
+        ( "trailer",
+          Json.Obj
+            [
+              ("steps", Json.Int t.fb_steps);
+              ("instrs", Json.Int t.fb_instrs);
+              ("rollbacks", Json.Int t.fb_rollbacks);
+              ("outcome", Report.outcome_json t.fb_outcome);
+              ( "outputs",
+                Json.List (List.map (fun s -> Json.String s) t.fb_outputs) );
+            ] );
+        ( "threads",
+          Json.List
+            (List.map
+               (fun (tid, status, locks) ->
+                 Json.Obj
+                   [
+                     ("tid", Json.Int tid);
+                     ("status", Json.String status);
+                     ( "locks",
+                       Json.List (List.map (fun l -> Json.String l) locks) );
+                   ])
+               t.fb_threads) );
+        ( "events",
+          Json.List
+            (List.map
+               (fun e ->
+                 Json.Obj
+                   [
+                     ("ev", Json.String e.bv_kind);
+                     ("step", Json.Int e.bv_step);
+                     ("tid", Json.Int e.bv_tid);
+                     ("arg", Json.Int e.bv_arg);
+                     ("detail", Json.String e.bv_detail);
+                   ])
+               t.fb_events) );
+        ( "episodes",
+          Json.List
+            (List.map
+               (fun ep ->
+                 Json.Obj
+                   [
+                     ("site", Json.Int ep.be_site);
+                     ("tid", Json.Int ep.be_tid);
+                     ("start", Json.Int ep.be_start);
+                     ("end", Json.Int ep.be_end);
+                     ("retries", Json.Int ep.be_retries);
+                   ])
+               t.fb_episodes) );
+      ])
+
+let to_string t = Json.to_string (to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bundle: missing %S field" name)
+
+let str name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+
+let int name j =
+  match Json.member name j with
+  | Some (Json.Int n) -> Ok n
+  | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+
+let bool name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok b
+  | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+
+let int_list name j =
+  match Json.member name j with
+  | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Int n :: rest -> go (n :: acc) rest
+        | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+      in
+      go [] l
+  | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+
+let str_list name j =
+  match Json.member name j with
+  | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.String s :: rest -> go (s :: acc) rest
+        | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+      in
+      go [] l
+  | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+
+let obj_list name decode j =
+  match Json.member name j with
+  | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+            let* v = decode item in
+            go (v :: acc) rest
+      in
+      go [] l
+  | _ -> Error (Printf.sprintf "bundle: malformed %S field" name)
+
+let of_json (j : Json.t) : (t, string) result =
+  let* ty = str "type" j in
+  if ty <> "flight_bundle" then Error "bundle: not a flight_bundle document"
+  else
+    let* v = int "version" j in
+    if v > version then Error (Printf.sprintf "bundle: unsupported version %d" v)
+    else
+      let* app = str "app" j in
+      let* variant = str "variant" j in
+      let* oracle = bool "oracle" j in
+      let* mode = str "mode" j in
+      let* engine = str "engine" j in
+      let* reason = str "reason" j in
+      let* config_j = field "config" j in
+      let* config = Jsonl.config_of_json config_j in
+      let* program_md5 = str "program_md5" j in
+      let program_text =
+        match Json.member "program" j with
+        | Some (Json.String text) -> Some text
+        | _ -> None
+      in
+      let* fail_blocks =
+        match Json.member "fail_blocks" j with
+        | None -> Ok []
+        | Some (Json.List l) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | Json.List [ Json.String name; Json.Int site ] :: rest ->
+                  go ((name, site) :: acc) rest
+              | _ -> Error "bundle: malformed \"fail_blocks\" field"
+            in
+            go [] l
+        | Some _ -> Error "bundle: malformed \"fail_blocks\" field"
+      in
+      let* tail_j = field "tail" j in
+      let* tail_first = int "first" tail_j in
+      let* tail_total = int "total" tail_j in
+      let* tail_preempts = int_list "preemptions" tail_j in
+      let* tail =
+        match Json.member "chunks" tail_j with
+        | Some (Json.List chunks) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | chunk :: rest -> (
+                  match Json.member "type" chunk with
+                  | Some (Json.String "sched_chunk") ->
+                      let* d = Jsonl.sched_chunk_decisions chunk in
+                      go (List.rev_append d acc) rest
+                  | _ -> Error "bundle: tail chunk is not a sched_chunk record")
+            in
+            go [] chunks
+        | _ -> Error "bundle: malformed \"chunks\" field"
+      in
+      let* trailer_j = field "trailer" j in
+      let* steps = int "steps" trailer_j in
+      let* instrs = int "instrs" trailer_j in
+      let* rollbacks = int "rollbacks" trailer_j in
+      let* outcome_j = field "outcome" trailer_j in
+      let* outcome = Report.outcome_of_json outcome_j in
+      let* outputs = str_list "outputs" trailer_j in
+      let* threads =
+        obj_list "threads"
+          (fun tj ->
+            let* tid = int "tid" tj in
+            let* status = str "status" tj in
+            let* locks = str_list "locks" tj in
+            Ok (tid, status, locks))
+          j
+      in
+      let* events =
+        obj_list "events"
+          (fun ej ->
+            let* kind = str "ev" ej in
+            let* step = int "step" ej in
+            let* tid = int "tid" ej in
+            let* arg = int "arg" ej in
+            let* detail = str "detail" ej in
+            Ok
+              {
+                bv_kind = kind;
+                bv_step = step;
+                bv_tid = tid;
+                bv_arg = arg;
+                bv_detail = detail;
+              })
+          j
+      in
+      let* episodes =
+        obj_list "episodes"
+          (fun ej ->
+            let* site = int "site" ej in
+            let* tid = int "tid" ej in
+            let* start = int "start" ej in
+            let* end_ = int "end" ej in
+            let* retries = int "retries" ej in
+            Ok
+              {
+                be_site = site;
+                be_tid = tid;
+                be_start = start;
+                be_end = end_;
+                be_retries = retries;
+              })
+          j
+      in
+      Ok
+        {
+          fb_app = app;
+          fb_variant = variant;
+          fb_oracle = oracle;
+          fb_mode = mode;
+          fb_engine = engine;
+          fb_reason = reason;
+          fb_config = config;
+          fb_program_md5 = program_md5;
+          fb_program_text = program_text;
+          fb_fail_blocks = fail_blocks;
+          fb_tail_first = tail_first;
+          fb_tail_total = tail_total;
+          fb_tail = Array.of_list tail;
+          fb_tail_preemptions = Array.of_list tail_preempts;
+          fb_steps = steps;
+          fb_instrs = instrs;
+          fb_rollbacks = rollbacks;
+          fb_outcome = outcome;
+          fb_outputs = outputs;
+          fb_threads = threads;
+          fb_events = events;
+          fb_episodes = episodes;
+        }
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let save t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load file =
+  match
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | text -> of_string (String.trim text)
+  | exception Sys_error e -> Error ("bundle: " ^ e)

@@ -48,7 +48,6 @@ type t = {
 }
 
 let version = 1
-let chunk_size = 4096
 let digest text = Digest.to_hex (Digest.string text)
 let digest_program p = digest (Emit.program p)
 
@@ -59,8 +58,7 @@ let fail_blocks_of_meta : Machine.meta option -> (string * int) list = function
         (fun (l, site) -> (Ident.Label.name l, site))
         mm.Machine.fail_blocks
 
-let machine_meta t : Machine.meta option =
-  match t.fail_blocks with
+let meta_of_fail_blocks : (string * int) list -> Machine.meta option = function
   | [] -> None
   | fbs ->
       let fail_index = Hashtbl.create (List.length fbs) in
@@ -71,6 +69,8 @@ let machine_meta t : Machine.meta option =
             List.map (fun (name, site) -> (Ident.Label.v name, site)) fbs;
           fail_index;
         }
+
+let machine_meta t : Machine.meta option = meta_of_fail_blocks t.fail_blocks
 
 let program t =
   match t.program_text with
@@ -132,22 +132,8 @@ let end_json t =
     ]
 
 let to_lines t =
-  let n = Array.length t.decisions in
-  let chunks = ref [] in
-  let pos = ref 0 in
-  while !pos < n do
-    let len = min chunk_size (n - !pos) in
-    chunks :=
-      Json.Obj
-        [
-          ("type", Json.String "sched_chunk");
-          ("d", ints (Array.sub t.decisions !pos len));
-        ]
-      :: !chunks;
-    pos := !pos + len
-  done;
   List.map Json.to_string
-    ((meta_json t :: List.rev !chunks) @ [ end_json t ])
+    ((meta_json t :: Jsonl.sched_chunks t.decisions) @ [ end_json t ])
 
 let save t file =
   let oc = open_out file in
@@ -268,7 +254,7 @@ let of_lines lines =
               let* j = Json.of_string line in
               match line_type j with
               | "sched_chunk" ->
-                  let* d = int_list "d" j in
+                  let* d = Jsonl.sched_chunk_decisions j in
                   List.iter push d;
                   walk rest
               | "sched_end" ->

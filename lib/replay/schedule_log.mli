@@ -52,6 +52,10 @@ val digest_program : Program.t -> string
 val fail_blocks_of_meta : Machine.meta option -> (string * int) list
 (** Serialize recovery metadata as (label name, site id) pairs. *)
 
+val meta_of_fail_blocks : (string * int) list -> Machine.meta option
+(** Rebuild [Machine.meta] recovery metadata from serialized (label
+    name, site id) pairs; [None] when the list is empty. *)
+
 val machine_meta : t -> Machine.meta option
 (** Rebuild the [Machine.meta] recovery metadata recorded in
     [fail_blocks]; [None] for unhardened runs. *)

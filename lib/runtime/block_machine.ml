@@ -56,6 +56,7 @@ let thread bm = Machine.thread bm.m
 let live_threads bm = Machine.live_threads bm.m
 let hooks bm = Machine.hooks bm.m
 let step bm = Machine.step bm.m
+let thread_summaries bm = Machine.thread_summaries bm.m
 
 (* Any installed hook observes (or steers) per-step state the window
    skips, so its presence sends every step down the generic path.
@@ -162,7 +163,15 @@ let run_window bm (th : Thread.t) bound =
   let retired = m.Machine.step - step0 in
   m.Machine.stats.Stats.steps <- m.Machine.stats.Stats.steps + retired;
   m.Machine.stats.Stats.instrs <-
-    m.Machine.stats.Stats.instrs + (retired - !sched_steps)
+    m.Machine.stats.Stats.instrs + (retired - !sched_steps);
+  (* The flight recorder sees the window as [retired] consecutive
+     decisions for [th] — exactly what [Machine.step] would have pushed
+     one at a time — accounted in bulk so the recorder never forces the
+     window off its fast path. None is preemptive: [th] was the only
+     eligible thread for the whole window (see the invariant above). *)
+  match m.Machine.flight with
+  | None -> ()
+  | Some fl -> Flight_ring.push_run fl th.Thread.tid retired
 
 (* One fast-path attempt. Returns [true] if it made progress (or decided
    the outcome); [false] sends the caller to the generic [Machine.step].
@@ -276,6 +285,23 @@ let generic_step bm =
          !rn
      in
      let th = m.Machine.live.(m.Machine.ready.(k)) in
+     (match m.Machine.flight with
+     | None -> ()
+     | Some fl ->
+         (* same classification as [Machine.step]'s push *)
+         let tid = th.Thread.tid in
+         let p = Flight_ring.prev fl in
+         let preemptive =
+           tid <> p && p >= 0
+           &&
+           let found = ref false in
+           for j = 0 to !rn - 1 do
+             if m.Machine.live.(m.Machine.ready.(j)).Thread.tid = p then
+               found := true
+           done;
+           !found
+         in
+         Flight_ring.push fl tid ~preemptive);
      let fr = Thread.top th in
      let cbv =
        bm.code.(fr.Thread.func.Link.lf_id).(fr.Thread.block.Link.lb_index)

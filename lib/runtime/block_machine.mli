@@ -10,7 +10,9 @@
     outputs, step counts, stats, traces, profiles, race reports, JSONL
     telemetry, schedule logs) is bit-for-bit identical to [Machine] and
     [Ref_machine]; with any hook installed every step goes down
-    [Machine]'s own generic path. The three-way differential suite in
+    [Machine]'s own generic path — except the flight-recorder ring,
+    which windows feed in bulk ([Flight_ring.push_run]) precisely so it
+    can stay on always. The three-way differential suite in
     [test_fast_exec.ml] enforces the identity over the bugbench
     catalog. *)
 
@@ -31,7 +33,7 @@ val machine : t -> Machine.t
 (** The underlying machine state (shared, not a copy). *)
 
 val hooks : t -> Hooks.target
-(** The machine's five hook slots, bundled for [Hooks.install] and the
+(** The machine's six hook slots, bundled for [Hooks.install] and the
     [Hooks.with_installed] compatibility shim. *)
 
 val outputs : t -> string list
@@ -40,6 +42,7 @@ val outputs : t -> string list
 val stats : t -> Stats.t
 val thread : t -> int -> Thread.t
 val live_threads : t -> int list
+val thread_summaries : t -> (int * string * string list) list
 val sched : t -> Sched.t
 val outcome : t -> Outcome.t option
 

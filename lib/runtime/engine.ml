@@ -70,6 +70,11 @@ let hooks = function
   | M_fast m -> Machine.hooks m
   | M_block m -> Block_machine.hooks m
 
+let thread_summaries = function
+  | M_ref m -> Ref_machine.thread_summaries m
+  | M_fast m -> Machine.thread_summaries m
+  | M_block m -> Block_machine.thread_summaries m
+
 let run_program ?config ?meta ?hooks engine prog =
   let m = create ?config ?meta ?hooks engine prog in
   let outcome = run m in

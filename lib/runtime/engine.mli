@@ -51,8 +51,12 @@ val outcome : machine -> Outcome.t option
 val sched : machine -> Sched.t
 
 val hooks : machine -> Hooks.target
-(** The machine's five hook slots, for [Hooks.install] and the
+(** The machine's six hook slots, for [Hooks.install] and the
     [Hooks.with_installed] compatibility shim. *)
+
+val thread_summaries : machine -> (int * string * string list) list
+(** [Machine.thread_summaries] on whichever engine — byte-identical
+    across the three. *)
 
 val run_program :
   ?config:Machine.config ->

@@ -1,0 +1,173 @@
+(* The flight recorder's in-memory ring: a fixed-capacity, O(1)-per-event
+   record of the recent past of one run, cheap enough to leave on
+   everywhere (iReplayer-style always-on in-situ recording).
+
+   Three rings share one clock (the machine's scheduler-decision
+   ordinal):
+
+   - the *decision* ring holds the last [cap] scheduler decisions
+     (chosen tid per non-idle step) — the tail of exactly the stream a
+     [Conair_replay.Recorder] tap would capture;
+   - the *preemption* ring holds the absolute ordinals of the most
+     recent preemptive context switches (chosen <> previous while the
+     previous thread was still eligible), classified with the same rule
+     as the recorder;
+   - the *event* ring holds the recent synchronization / recovery
+     events (lock acquire/block/release, spawn, rollback, recovered,
+     failure), recorded only on paths every engine executes
+     interpretively or through the shared [Machine] helpers, so the
+     ring contents are byte-identical across ref/fast/block.
+
+   Steady state allocates nothing: decisions and preemption ordinals are
+   int stores into preallocated arrays, events mutate preallocated
+   records in place (the string payloads are existing values — lock
+   names, failure messages). The block engine's window fast path records
+   a whole window with one [push_run] (an [Array.fill] RLE), which is
+   what keeps recorder-on throughput within a few percent of
+   recorder-off. *)
+
+type event = {
+  mutable fe_kind : int;
+  mutable fe_step : int;
+  mutable fe_tid : int;
+  mutable fe_arg : int;  (** site id, child tid, ... — [-1] when unused *)
+  mutable fe_detail : string;  (** lock name, failure message, ... *)
+}
+
+(* Event kinds. Only paths that are interpretive on every engine (the
+   schedulable ops) or routed through the shared [Machine] helpers
+   (set_failure / close_episode / note_branch_taken, which the compiled
+   code calls too) may record events — anything emitted from inside
+   compiled straight-line code would go missing under the block engine's
+   window fast path. *)
+let k_acquire = 0
+let k_block = 1
+let k_release = 2
+let k_spawn = 3
+let k_rollback = 4
+let k_recovered = 5
+let k_fail = 6
+
+let kind_name = function
+  | 0 -> "acquire"
+  | 1 -> "block"
+  | 2 -> "release"
+  | 3 -> "spawn"
+  | 4 -> "rollback"
+  | 5 -> "recovered"
+  | 6 -> "fail"
+  | k -> "unknown:" ^ string_of_int k
+
+type t = {
+  cap : int;
+  d : int array;  (** decision ring, indexed [ordinal mod cap] *)
+  mutable d_total : int;  (** decisions ever pushed *)
+  mutable prev : int;  (** previously chosen tid, [-1] before the first *)
+  pre : int array;  (** preemption-ordinal ring *)
+  mutable pre_total : int;
+  evs : event array;
+  mutable ev_total : int;
+}
+
+let default_capacity = 4096
+let default_event_capacity = 256
+
+let create ?(cap = default_capacity) ?(events = default_event_capacity) () =
+  if cap <= 0 then invalid_arg "Flight_ring.create: capacity must be positive";
+  if events <= 0 then
+    invalid_arg "Flight_ring.create: event capacity must be positive";
+  {
+    cap;
+    d = Array.make cap 0;
+    d_total = 0;
+    prev = -1;
+    (* at most one preemption per decision, so [cap] ordinals always
+       cover every preemption still inside the decision tail *)
+    pre = Array.make cap 0;
+    pre_total = 0;
+    evs =
+      Array.init events (fun _ ->
+          { fe_kind = 0; fe_step = 0; fe_tid = 0; fe_arg = -1; fe_detail = "" });
+    ev_total = 0;
+  }
+
+let capacity t = t.cap
+let total t = t.d_total
+let prev t = t.prev
+
+let push t tid ~preemptive =
+  t.d.(t.d_total mod t.cap) <- tid;
+  if preemptive then begin
+    t.pre.(t.pre_total mod t.cap) <- t.d_total;
+    t.pre_total <- t.pre_total + 1
+  end;
+  t.d_total <- t.d_total + 1;
+  t.prev <- tid
+
+(* A run of [count] consecutive decisions for the same thread — the
+   block engine's window. The window invariant (the thread was the only
+   eligible one when the window opened, and straight-line code cannot
+   make another thread eligible) means none of these decisions is
+   preemptive: the first cannot preempt an ineligible predecessor and
+   the rest re-choose the same thread. *)
+let push_run t tid count =
+  if count < 0 then invalid_arg "Flight_ring.push_run: negative count";
+  if count > 0 then begin
+    if count >= t.cap then Array.fill t.d 0 t.cap tid
+    else begin
+      let start = t.d_total mod t.cap in
+      let first = min count (t.cap - start) in
+      Array.fill t.d start first tid;
+      if count > first then Array.fill t.d 0 (count - first) tid
+    end;
+    t.d_total <- t.d_total + count;
+    t.prev <- tid
+  end
+
+let event t ~kind ~step ~tid ~arg ~detail =
+  let e = t.evs.(t.ev_total mod Array.length t.evs) in
+  e.fe_kind <- kind;
+  e.fe_step <- step;
+  e.fe_tid <- tid;
+  e.fe_arg <- arg;
+  e.fe_detail <- detail;
+  t.ev_total <- t.ev_total + 1
+
+(* --- reading the rings out (dump time; allocation is fine here) ----- *)
+
+let tail_first t = t.d_total - min t.d_total t.cap
+
+let tail t =
+  let n = min t.d_total t.cap in
+  let first = t.d_total - n in
+  Array.init n (fun i -> t.d.((first + i) mod t.cap))
+
+(* Absolute ordinals of the preemptive switches inside the decision
+   tail, ascending. The preemption ring stores the most recent [cap]
+   preemptions; preemptions are at most one per decision, so every
+   preemption whose decision is still in the tail is still stored —
+   older stored ordinals are filtered out. *)
+let tail_preemptions t =
+  let n = min t.pre_total t.cap in
+  let first = tail_first t in
+  let out = ref [] in
+  for i = t.pre_total - 1 downto t.pre_total - n do
+    let ord = t.pre.(i mod t.cap) in
+    if ord >= first then out := ord :: !out
+  done;
+  Array.of_list !out
+
+let events t =
+  let stored = Array.length t.evs in
+  let n = min t.ev_total stored in
+  List.init n (fun i ->
+      let e = t.evs.((t.ev_total - n + i) mod stored) in
+      {
+        fe_kind = e.fe_kind;
+        fe_step = e.fe_step;
+        fe_tid = e.fe_tid;
+        fe_arg = e.fe_arg;
+        fe_detail = e.fe_detail;
+      })
+
+let events_total t = t.ev_total

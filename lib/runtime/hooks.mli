@@ -1,24 +1,29 @@
 (** Per-run observation hooks, bundled.
 
-    One run may carry up to five hooks: a trace sink, a cost-profiler
-    probe, a race-detector probe, and the scheduler's record tap /
-    replay feed. The primary way to attach them is the {!bundle} passed
-    to [Machine.create] / [Ref_machine.create] / [Block_machine.create]
-    / [Engine.create]: the hooks belong to that machine from its first
-    step, are private to it, and need no uninstall — which makes
-    concurrent in-process runs safe (no shared mutable hook slots).
+    One run may carry up to six hooks: a trace sink, a cost-profiler
+    probe, a race-detector probe, the scheduler's record tap / replay
+    feed, and the always-on flight-recorder ring. The primary way to
+    attach them is the {!bundle} passed to [Machine.create] /
+    [Ref_machine.create] / [Block_machine.create] / [Engine.create]:
+    the hooks belong to that machine from its first step, are private
+    to it, and need no uninstall — which makes concurrent in-process
+    runs safe (no shared mutable hook slots).
+
+    The flight slot is the one hook that does {e not} force the block
+    engine onto the generic step loop — see {!Flight_ring}.
 
     {!with_installed} remains as a compatibility shim for the older
-    scoped post-create style; it clears all five slots on the way out
+    scoped post-create style; it clears all six slots on the way out
     via [Fun.protect]. *)
 
-(** The five hook slots of one engine instance, bundled as setters.
+(** The six hook slots of one engine instance, bundled as setters.
     Obtain one from [Machine.hooks], [Ref_machine.hooks],
     [Block_machine.hooks] or generically from [Engine.hooks]. *)
 type target = {
   ht_trace : Trace.sink option -> unit;
   ht_profile : Profile.probe option -> unit;
   ht_race : Race_probe.probe option -> unit;
+  ht_flight : Flight_ring.t option -> unit;
   ht_sched : Sched.t;  (** carries the tap and feed slots *)
 }
 
@@ -28,6 +33,7 @@ type bundle = {
   hb_trace : Trace.sink option;
   hb_profile : Profile.probe option;
   hb_race : Race_probe.probe option;
+  hb_flight : Flight_ring.t option;
   hb_tap : (chosen:int -> eligible:int list -> unit) option;
   hb_feed : (eligible:int list -> int) option;
 }
@@ -39,6 +45,7 @@ val bundle :
   ?trace:Trace.sink ->
   ?profile:Profile.probe ->
   ?race:Race_probe.probe ->
+  ?flight:Flight_ring.t ->
   ?tap:(chosen:int -> eligible:int list -> unit) ->
   ?feed:(eligible:int list -> int) ->
   unit ->
@@ -53,13 +60,14 @@ val install : target -> bundle -> unit
     after [create], and installs itself here. *)
 
 val clear : target -> unit
-(** Uninstall all five hooks. *)
+(** Uninstall all six hooks. *)
 
 val with_installed :
   target ->
   ?trace:Trace.sink ->
   ?profile:Profile.probe ->
   ?race:Race_probe.probe ->
+  ?flight:Flight_ring.t ->
   ?tap:(chosen:int -> eligible:int list -> unit) ->
   ?feed:(eligible:int list -> int) ->
   (unit -> 'a) ->

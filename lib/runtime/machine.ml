@@ -118,6 +118,10 @@ type t = {
       (** cost-profiler probe; like [trace], one [match] per step when off *)
   mutable race : Race_probe.probe option;
       (** race-detector probe; one [match] per memory/sync op when off *)
+  mutable flight : Flight_ring.t option;
+      (** flight-recorder ring; one [match] per decision / sync op when
+          off, and the one hook that keeps the block engine on its
+          compiled window fast path *)
   mutable live : Thread.t array;
       (** slots [0, live_n): the live threads, ascending tid — maintained
           at spawn and death instead of folded from [threads] per step *)
@@ -196,6 +200,7 @@ let create ?(config = default_config) ?meta ?(hooks = Hooks.none)
       trace = hooks.Hooks.hb_trace;
       prof = hooks.Hooks.hb_profile;
       race = hooks.Hooks.hb_race;
+      flight = hooks.Hooks.hb_flight;
       live = [||];
       live_n = 0;
       ready = [||];
@@ -215,21 +220,47 @@ let create ?(config = default_config) ?meta ?(hooks = Hooks.none)
 let outputs m = List.rev m.outputs
 let stats m = m.stats
 
-(** The machine's five hook slots, bundled for [Hooks.install] and the
+(** The machine's six hook slots, bundled for [Hooks.install] and the
     [Hooks.with_installed] compatibility shim. *)
 let hooks m =
   {
     Hooks.ht_trace = (fun s -> m.trace <- s);
     ht_profile = (fun p -> m.prof <- p);
     ht_race = (fun p -> m.race <- p);
+    ht_flight = (fun f -> m.flight <- f);
     ht_sched = m.sched;
   }
+
+let flight_event m ~kind ~tid ~arg ~detail =
+  match m.flight with
+  | None -> ()
+  | Some fl -> Flight_ring.event fl ~kind ~step:m.step ~tid ~arg ~detail
 
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
 
 let thread m tid = Hashtbl.find m.threads tid
 let live_threads m = List.init m.live_n (fun i -> m.live.(i).Thread.tid)
+
+(* Per-thread post-mortem view for diagnostic bundles: every thread ever
+   spawned (the table keeps finished ones), its status rendered to an
+   engine-independent string, and the locks it holds. *)
+let thread_summaries m =
+  Hashtbl.fold
+    (fun tid (th : Thread.t) acc ->
+      let status =
+        match th.Thread.status with
+        | Thread.Runnable -> "runnable"
+        | Thread.Sleeping until -> "sleeping:" ^ string_of_int until
+        | Thread.Blocked_lock { name; _ } -> "blocked_lock:" ^ name
+        | Thread.Blocked_event { name; _ } -> "blocked_event:" ^ name
+        | Thread.Blocked_join t -> "blocked_join:" ^ string_of_int t
+        | Thread.Done -> "done"
+        | Thread.Failed -> "failed"
+      in
+      (tid, status, Locks.held_by m.locks ~tid) :: acc)
+    m.threads []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 (* --- race-probe emission ------------------------------------------- *)
 (* Each helper is one [match] when no probe is installed; the event
@@ -409,6 +440,9 @@ let set_failure m ~kind ~site_id ~iid ~tid ~msg =
   | _ ->
       th.Thread.status <- Thread.Failed;
       remove_live m th);
+  flight_event m ~kind:Flight_ring.k_fail ~tid
+    ~arg:(match site_id with Some s -> s | None -> -1)
+    ~detail:msg;
   m.outcome <-
     Some (Outcome.Failed { kind; site_id; iid; tid; step = m.step; msg })
 
@@ -437,6 +471,8 @@ let note_branch_taken m (th : Thread.t) (fr : Thread.frame) ~taken_idx
           trace m
             (Trace.Ev_recovered
                { step = m.step; tid = th.Thread.tid; site_id = site });
+          flight_event m ~kind:Flight_ring.k_recovered ~tid:th.Thread.tid
+            ~arg:site ~detail:"";
           th.Thread.recovering <- None
       | _ -> ())
   | _ -> ()
@@ -460,6 +496,8 @@ let close_episode m (th : Thread.t) =
       trace m
         (Trace.Ev_recovered
            { step = m.step; tid = th.Thread.tid; site_id = rec_.Thread.rec_site });
+      flight_event m ~kind:Flight_ring.k_recovered ~tid:th.Thread.tid
+        ~arg:rec_.Thread.rec_site ~detail:"";
       th.Thread.recovering <- None
 
 (* ------------------------------------------------------------------ *)
@@ -477,6 +515,8 @@ let compensate m (th : Thread.t) =
             trace m
               (Trace.Ev_compensate_lock
                  { step = m.step; tid = th.Thread.tid; lock = name });
+            flight_event m ~kind:Flight_ring.k_release ~tid:th.Thread.tid
+              ~arg:(-1) ~detail:name;
             race_release m th name
           end
       | Thread.R_block id ->
@@ -570,6 +610,8 @@ let try_recover m (th : Thread.t) ~site_id ~kind =
       | None -> ()
       | Some p ->
           p.Profile.p_rollback ~step:m.step ~tid:th.Thread.tid ~site_id);
+      flight_event m ~kind:Flight_ring.k_rollback ~tid:th.Thread.tid
+        ~arg:site_id ~detail:"";
       compensate m th;
       rollback m th ck;
       if kind = Instr.Deadlock && m.config.deadlock_backoff > 0 then begin
@@ -651,6 +693,8 @@ let exec_spawn m (th : Thread.t) ~reg ~fid ~fname ~args =
   (match m.race with
   | None -> ()
   | Some p -> p.Race_probe.rp_spawn ~step:m.step ~parent:th.Thread.tid ~child:tid);
+  flight_event m ~kind:Flight_ring.k_spawn ~tid:th.Thread.tid ~arg:tid
+    ~detail:"";
   fr.Thread.regs.(reg) <- Value.Tid tid;
   advance fr
 
@@ -732,6 +776,8 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       if Locks.try_acquire m.locks name ~tid:th.Thread.tid then begin
         Thread.log_acquisition th (Thread.R_lock name);
         race_acquire m th i name;
+        flight_event m ~kind:Flight_ring.k_acquire ~tid:th.Thread.tid ~arg:(-1)
+          ~detail:name;
         th.Thread.status <- Thread.Runnable;
         advance fr
       end
@@ -742,6 +788,8 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
             trace m
               (Trace.Ev_block { step = m.step; tid = th.Thread.tid; lock = name });
             race_request m th i name;
+            flight_event m ~kind:Flight_ring.k_block ~tid:th.Thread.tid
+              ~arg:(-1) ~detail:name;
             th.Thread.status <-
               Thread.Blocked_lock { name; since = m.step; timeout = None }
       end
@@ -750,6 +798,8 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       if Locks.try_acquire m.locks name ~tid:th.Thread.tid then begin
         Thread.log_acquisition th (Thread.R_lock name);
         race_acquire m th i name;
+        flight_event m ~kind:Flight_ring.k_acquire ~tid:th.Thread.tid ~arg:(-1)
+          ~detail:name;
         regs.(r) <- Value.truth;
         th.Thread.status <- Thread.Runnable;
         advance fr
@@ -776,7 +826,9 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
               trace m
                 (Trace.Ev_block
                    { step = m.step; tid = th.Thread.tid; lock = name });
-              race_request m th i name);
+              race_request m th i name;
+              flight_event m ~kind:Flight_ring.k_block ~tid:th.Thread.tid
+                ~arg:(-1) ~detail:name);
           th.Thread.status <-
             Thread.Blocked_lock { name; since; timeout = Some timeout }
         end
@@ -786,6 +838,8 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
       match Locks.release m.locks name ~tid:th.Thread.tid with
       | Ok () ->
           race_release m th name;
+          flight_event m ~kind:Flight_ring.k_release ~tid:th.Thread.tid
+            ~arg:(-1) ~detail:name;
           advance fr
       | Error e -> raise (Fault e))
   | Link.L_assert { cond; msg; oracle } ->
@@ -833,6 +887,8 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
           trace m
             (Trace.Ev_block
                { step = m.step; tid = th.Thread.tid; lock = "event:" ^ name });
+          flight_event m ~kind:Flight_ring.k_block ~tid:th.Thread.tid ~arg:1
+            ~detail:name;
           th.Thread.status <-
             Thread.Blocked_event { name; since = m.step; timeout = None })
   | Link.L_timed_wait (r, name, timeout) ->
@@ -852,7 +908,9 @@ let exec_instr m (th : Thread.t) (i : Link.linstr) =
         | _ ->
             trace m
               (Trace.Ev_block
-                 { step = m.step; tid = th.Thread.tid; lock = "event:" ^ name }));
+                 { step = m.step; tid = th.Thread.tid; lock = "event:" ^ name });
+            flight_event m ~kind:Flight_ring.k_block ~tid:th.Thread.tid ~arg:1
+              ~detail:name);
         th.Thread.status <-
           Thread.Blocked_event { name; since; timeout = Some timeout }
       end
@@ -1053,6 +1111,23 @@ let step m =
                ~tid_of:(fun j -> m.live.(m.ready.(j)).Thread.tid)
                !rn
            in
+           (match m.flight with
+           | None -> ()
+           | Some fl ->
+               let tid = m.live.(m.ready.(k)).Thread.tid in
+               let p = Flight_ring.prev fl in
+               let preemptive =
+                 tid <> p && p >= 0
+                 &&
+                 (* the recorder's rule: the switch is preemptive only if
+                    the previously running thread was still eligible *)
+                 let found = ref false in
+                 for j = 0 to !rn - 1 do
+                   if m.live.(m.ready.(j)).Thread.tid = p then found := true
+                 done;
+                 !found
+               in
+               Flight_ring.push fl tid ~preemptive);
            run_thread_step m m.live.(m.ready.(k));
            m.step <- m.step + 1;
            m.stats.steps <- m.stats.steps + 1

@@ -87,6 +87,10 @@ type t = {
       (** cost-profiler probe; like [trace], one [match] per step when off *)
   mutable race : Race_probe.probe option;
       (** race-detector probe; one [match] per memory/sync op when off *)
+  mutable flight : Flight_ring.t option;
+      (** flight-recorder ring; one [match] per decision / sync op when
+          off, and the one hook that keeps the block engine on its
+          compiled window fast path *)
   mutable live : Thread.t array;
       (** slots [0, live_n): the live threads, ascending tid — maintained
           at spawn and death instead of folded from [threads] per step *)
@@ -102,10 +106,10 @@ val create :
   ?config:config -> ?meta:meta -> ?hooks:Hooks.bundle -> Program.t -> t
 (** Link the program and return a machine with the main thread ready to
     run. [hooks] attaches the run's observation hooks (trace sink,
-    profiler probe, race probe, sched tap/feed) at construction; they
-    are private to this machine, so concurrent in-process runs never
-    share hook state. All hooks are off by default — with none installed
-    the engine pays one [match] per step. *)
+    profiler probe, race probe, flight ring, sched tap/feed) at
+    construction; they are private to this machine, so concurrent
+    in-process runs never share hook state. All hooks are off by default
+    — with none installed the engine pays one [match] per step. *)
 
 val outputs : t -> string list
 (** In emission order. *)
@@ -113,6 +117,14 @@ val outputs : t -> string list
 val stats : t -> Stats.t
 val thread : t -> int -> Thread.t
 val live_threads : t -> int list
+
+val thread_summaries : t -> (int * string * string list) list
+(** Post-mortem view for diagnostic bundles: every thread ever spawned
+    (finished ones included), ascending tid, as
+    [(tid, status, held locks)] with the status rendered to an
+    engine-independent string ([runnable], [sleeping:N],
+    [blocked_lock:NAME], [blocked_event:NAME], [blocked_join:TID],
+    [done], [failed]). *)
 
 val step : t -> bool
 (** Run one scheduler step; [false] once the program has finished. *)
@@ -123,9 +135,10 @@ val run : t -> Outcome.t
 val run_program : ?config:config -> ?meta:meta -> Program.t -> t * Outcome.t
 
 val hooks : t -> Hooks.target
-(** The machine's five hook slots (trace, profile, race, sched tap/feed),
-    bundled for [Hooks.install] — the escape hatch for self-referential
-    hooks — and the [Hooks.with_installed] compatibility shim. *)
+(** The machine's six hook slots (trace, profile, race, flight, sched
+    tap/feed), bundled for [Hooks.install] — the escape hatch for
+    self-referential hooks — and the [Hooks.with_installed]
+    compatibility shim. *)
 
 (** {1 Engine internals}
 

@@ -148,6 +148,7 @@ type t = {
   mutable trace : Trace.sink option;
   mutable prof : Profile.probe option;
   mutable race : Race_probe.probe option;
+  mutable flight : Flight_ring.t option;
 }
 
 let create ?(config = Machine.default_config) ?meta ?(hooks = Hooks.none)
@@ -172,6 +173,7 @@ let create ?(config = Machine.default_config) ?meta ?(hooks = Hooks.none)
       trace = hooks.Hooks.hb_trace;
       prof = hooks.Hooks.hb_profile;
       race = hooks.Hooks.hb_race;
+      flight = hooks.Hooks.hb_flight;
     }
   in
   Sched.set_tap m.sched hooks.Hooks.hb_tap;
@@ -191,11 +193,17 @@ let hooks m =
     Hooks.ht_trace = (fun s -> m.trace <- s);
     ht_profile = (fun p -> m.prof <- p);
     ht_race = (fun p -> m.race <- p);
+    ht_flight = (fun f -> m.flight <- f);
     ht_sched = m.sched;
   }
 
 let trace m ev =
   match m.trace with None -> () | Some sink -> Trace.record sink ev
+
+let flight_event m ~kind ~tid ~arg ~detail =
+  match m.flight with
+  | None -> ()
+  | Some fl -> Flight_ring.event fl ~kind ~step:m.step ~tid ~arg ~detail
 
 let thread m tid = Hashtbl.find m.threads tid
 
@@ -349,6 +357,9 @@ let set_failure m ~kind ~site_id ~iid ~tid ~msg =
   (match (thread m tid).T.status with
   | T.Done | T.Failed -> ()
   | _ -> (thread m tid).T.status <- T.Failed);
+  flight_event m ~kind:Flight_ring.k_fail ~tid
+    ~arg:(match site_id with Some s -> s | None -> -1)
+    ~detail:msg;
   m.outcome <-
     Some (Outcome.Failed { kind; site_id; iid; tid; step = m.step; msg })
 
@@ -375,6 +386,8 @@ let note_branch_taken m (th : T.t) ~taken ~other =
           m.stats.episodes <- ep :: m.stats.episodes;
           trace m
             (Trace.Ev_recovered { step = m.step; tid = th.tid; site_id = site });
+          flight_event m ~kind:Flight_ring.k_recovered ~tid:th.tid ~arg:site
+            ~detail:"";
           th.recovering <- None
       | _ -> ())
   | _ -> ()
@@ -395,6 +408,8 @@ let close_episode m (th : T.t) =
       m.stats.episodes <- ep :: m.stats.episodes;
       trace m
         (Trace.Ev_recovered { step = m.step; tid = th.tid; site_id = rec_.rec_site });
+      flight_event m ~kind:Flight_ring.k_recovered ~tid:th.tid
+        ~arg:rec_.rec_site ~detail:"";
       th.recovering <- None
 
 (* ------------------------------------------------------------------ *)
@@ -410,6 +425,8 @@ let compensate m (th : T.t) =
           if Locks.force_release m.locks name ~tid:th.tid then begin
             m.stats.compensated_locks <- m.stats.compensated_locks + 1;
             trace m (Trace.Ev_compensate_lock { step = m.step; tid = th.tid; lock = name });
+            flight_event m ~kind:Flight_ring.k_release ~tid:th.tid ~arg:(-1)
+              ~detail:name;
             race_release m th name
           end
       | T.R_block id ->
@@ -468,6 +485,8 @@ let try_recover m (th : T.t) ~site_id ~kind =
       (match m.prof with
       | None -> ()
       | Some p -> p.Profile.p_rollback ~step:m.step ~tid:th.tid ~site_id);
+      flight_event m ~kind:Flight_ring.k_rollback ~tid:th.tid ~arg:site_id
+        ~detail:"";
       compensate m th;
       rollback m th ck;
       if kind = Instr.Deadlock && m.config.deadlock_backoff > 0 then begin
@@ -549,6 +568,7 @@ let exec_spawn m (th : T.t) ~reg ~callee ~args =
   (match m.race with
   | None -> ()
   | Some p -> p.Race_probe.rp_spawn ~step:m.step ~parent:th.tid ~child:tid);
+  flight_event m ~kind:Flight_ring.k_spawn ~tid:th.tid ~arg:tid ~detail:"";
   fr.regs <- Reg.Map.add reg (Value.Tid tid) fr.regs;
   advance fr
 
@@ -626,6 +646,8 @@ let exec_instr m (th : T.t) (i : Instr.t) =
       if Locks.try_acquire m.locks name ~tid:th.tid then begin
         T.log_acquisition th (T.R_lock name);
         race_acquire m th i name;
+        flight_event m ~kind:Flight_ring.k_acquire ~tid:th.tid ~arg:(-1)
+          ~detail:name;
         th.status <- T.Runnable;
         advance fr
       end
@@ -635,6 +657,8 @@ let exec_instr m (th : T.t) (i : Instr.t) =
         | _ ->
             trace m (Trace.Ev_block { step = m.step; tid = th.tid; lock = name });
             race_request m th i name;
+            flight_event m ~kind:Flight_ring.k_block ~tid:th.tid ~arg:(-1)
+              ~detail:name;
             th.status <-
               T.Blocked_lock { name; since = m.step; timeout = None }
       end
@@ -643,6 +667,8 @@ let exec_instr m (th : T.t) (i : Instr.t) =
       if Locks.try_acquire m.locks name ~tid:th.tid then begin
         T.log_acquisition th (T.R_lock name);
         race_acquire m th i name;
+        flight_event m ~kind:Flight_ring.k_acquire ~tid:th.tid ~arg:(-1)
+          ~detail:name;
         set r Value.truth;
         th.status <- T.Runnable;
         advance fr
@@ -668,7 +694,9 @@ let exec_instr m (th : T.t) (i : Instr.t) =
           | _ ->
               trace m
                 (Trace.Ev_block { step = m.step; tid = th.tid; lock = name });
-              race_request m th i name);
+              race_request m th i name;
+              flight_event m ~kind:Flight_ring.k_block ~tid:th.tid ~arg:(-1)
+                ~detail:name);
           th.status <-
             T.Blocked_lock { name; since; timeout = Some timeout }
         end
@@ -678,6 +706,8 @@ let exec_instr m (th : T.t) (i : Instr.t) =
       match Locks.release m.locks name ~tid:th.tid with
       | Ok () ->
           race_release m th name;
+          flight_event m ~kind:Flight_ring.k_release ~tid:th.tid ~arg:(-1)
+            ~detail:name;
           advance fr
       | Error e -> raise (Fault e))
   | Instr.Assert { cond; msg; oracle } ->
@@ -722,6 +752,8 @@ let exec_instr m (th : T.t) (i : Instr.t) =
           trace m
             (Trace.Ev_block
                { step = m.step; tid = th.tid; lock = "event:" ^ name });
+          flight_event m ~kind:Flight_ring.k_block ~tid:th.tid ~arg:1
+            ~detail:name;
           th.status <-
             T.Blocked_event { name; since = m.step; timeout = None })
   | Instr.Timed_wait (r, name, timeout) ->
@@ -741,7 +773,9 @@ let exec_instr m (th : T.t) (i : Instr.t) =
         | _ ->
             trace m
               (Trace.Ev_block
-                 { step = m.step; tid = th.tid; lock = "event:" ^ name }));
+                 { step = m.step; tid = th.tid; lock = "event:" ^ name });
+            flight_event m ~kind:Flight_ring.k_block ~tid:th.tid ~arg:1
+              ~detail:name);
         th.status <-
           T.Blocked_event { name; since; timeout = Some timeout }
       end
@@ -915,6 +949,12 @@ let step m =
               m.outcome <- Some (Outcome.Hang { step = m.step; blocked = live })
         | _ :: _ ->
             let tid = Sched.choose m.sched ready in
+            (match m.flight with
+            | None -> ()
+            | Some fl ->
+                let p = Flight_ring.prev fl in
+                Flight_ring.push fl tid
+                  ~preemptive:(tid <> p && p >= 0 && List.mem p ready));
             run_thread_step m tid;
             m.step <- m.step + 1;
             m.stats.steps <- m.stats.steps + 1);
@@ -939,3 +979,22 @@ let run_program ?config ?meta prog =
 
 let outcome m = m.outcome
 let steps m = m.step
+
+(* Mirrors [Machine.thread_summaries]: same status strings, same sort,
+   so bundles are byte-identical across engines. *)
+let thread_summaries m =
+  Hashtbl.fold
+    (fun tid (th : T.t) acc ->
+      let status =
+        match th.T.status with
+        | T.Runnable -> "runnable"
+        | T.Sleeping until -> "sleeping:" ^ string_of_int until
+        | T.Blocked_lock { name; _ } -> "blocked_lock:" ^ name
+        | T.Blocked_event { name; _ } -> "blocked_event:" ^ name
+        | T.Blocked_join t -> "blocked_join:" ^ string_of_int t
+        | T.Done -> "done"
+        | T.Failed -> "failed"
+      in
+      (tid, status, Locks.held_by m.locks ~tid) :: acc)
+    m.threads []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

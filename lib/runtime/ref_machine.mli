@@ -32,11 +32,15 @@ val sched : t -> Sched.t
     hooks ({!Sched.set_tap}, {!Sched.set_feed}). *)
 
 val hooks : t -> Hooks.target
-(** The machine's five hook slots, bundled for [Hooks.install] and the
+(** The machine's six hook slots, bundled for [Hooks.install] and the
     [Hooks.with_installed] compatibility shim. *)
 
 val stats : t -> Stats.t
 val outcome : t -> Outcome.t option
+
+val thread_summaries : t -> (int * string * string list) list
+(** Same contract (and byte-identical output) as
+    [Machine.thread_summaries]. *)
 
 val steps : t -> int
 (** Virtual time: scheduler steps taken so far (idle ticks included). *)

@@ -32,6 +32,8 @@ type outcome = {
   jr_record : Json.t option;
       (** fuzz-style run record for cross-job aggregation *)
   jr_spans : Json.t option;  (** Chrome trace doc (run jobs) *)
+  jr_bundle : Json.t option;
+      (** flight-recorder diagnostic bundle (failed run jobs) *)
 }
 
 let failed ?(exit = 1) msg =
@@ -43,6 +45,7 @@ let failed ?(exit = 1) msg =
         [ ("type", Json.String "job_error"); ("message", Json.String msg) ];
     jr_record = None;
     jr_spans = None;
+    jr_bundle = None;
   }
 
 let engine_of_name name =
@@ -169,6 +172,37 @@ let exec_run ~telemetry ~target ~mode ~(exec : Protocol.exec) =
               ~trace_writer:writer ~mode inst.Spec.program
           in
           let seed = Option.value ~default:0 exec.seed in
+          (* A failed run additionally yields a flight-recorder bundle: a
+             deterministic capture re-run under the job's exact config and
+             engine, the same post-mortem the CLI dumps under [--flight].
+             The bundle is retained by telemetry for the [bundle] fetch
+             op, so a client can pull the post-mortem after the fact. *)
+          let bundle =
+            if Outcome.is_success rr.Conair.run.outcome then None
+            else
+              let mode_name =
+                match mode with
+                | None -> "none"
+                | Some Conair.Survival -> "survival"
+                | Some (Conair.Fix _) -> "fix"
+              in
+              let ident =
+                Conair.Replay.Log.ident ~variant ~mode:mode_name app
+              in
+              let _, b =
+                match mode with
+                | None ->
+                    Conair.run_flight ~config ~engine ~reason:"failure"
+                      ~ident inst.Spec.program
+                | Some m ->
+                    let h = Conair.harden_exn inst.Spec.program m in
+                    Conair.run_flight ~config ~engine
+                      ~meta:(Machine.meta_of_harden h.Conair.hardened)
+                      ~reason:"failure" ~ident
+                      h.Conair.hardened.Conair_transform.Harden.program
+              in
+              Some (Conair.Obs.Flight.to_json b)
+          in
           {
             jr_status = "ok";
             jr_exit =
@@ -177,6 +211,7 @@ let exec_run ~telemetry ~target ~mode ~(exec : Protocol.exec) =
             jr_record = Some (run_record ~case:app ~seed rr.Conair.run);
             jr_spans =
               Some (Span.to_chrome ~events:rr.Conair.events rr.Conair.spans);
+            jr_bundle = bundle;
           })
 
 let exec_harden ~target ~mode =
@@ -207,6 +242,7 @@ let exec_harden ~target ~mode =
                     ];
                 jr_record = None;
                 jr_spans = None;
+                jr_bundle = None;
               }))
 
 let exec_detect ~target ~original ~(exec : Protocol.exec) =
@@ -236,6 +272,7 @@ let exec_detect ~target ~original ~(exec : Protocol.exec) =
         jr_report = Conair.Race.Report.to_json report;
         jr_record = None;
         jr_spans = None;
+        jr_bundle = None;
       }
 
 let exec_minimize ~log ~max_tests ~detect =
@@ -251,6 +288,7 @@ let exec_minimize ~log ~max_tests ~detect =
             jr_report = Conair.Replay.Minimize.to_json m;
             jr_record = None;
             jr_spans = None;
+            jr_bundle = None;
           })
 
 let exec_fuzz ~telemetry ~target ~runs ~base_seed ~(exec : Protocol.exec) =
@@ -281,6 +319,7 @@ let exec_fuzz ~telemetry ~target ~runs ~base_seed ~(exec : Protocol.exec) =
               (* the sweep's last record stands in for the job *)
               (match List.rev records with last :: _ -> Some last | [] -> None);
             jr_spans = None;
+            jr_bundle = None;
           })
 
 let exec_fix ~target ~max_candidates ~sweep_seeds ~search_seeds
@@ -313,6 +352,7 @@ let exec_fix ~target ~max_candidates ~sweep_seeds ~search_seeds
         jr_report = Pipeline.to_json report;
         jr_record = None;
         jr_spans = None;
+        jr_bundle = None;
       }
 
 (* Execute [spec], streaming any per-job telemetry records through

@@ -15,6 +15,11 @@ type outcome = {
   jr_record : Json.t option;
       (** fuzz-style run record, for cross-job aggregation *)
   jr_spans : Json.t option;  (** Chrome trace document (run jobs) *)
+  jr_bundle : Json.t option;
+      (** flight-recorder diagnostic bundle — present when a run job's
+          observed execution failed; a deterministic capture re-run under
+          the job's exact config and engine, byte-identical to the CLI's
+          [--flight] dump for the same inputs *)
 }
 
 val run_record : case:string -> seed:int -> Conair.run -> Json.t

@@ -75,6 +75,8 @@ type request =
   | Metrics  (** Prometheus text exposition of the shared registry *)
   | Spans of { tenant : string; id : string }
       (** Chrome trace-event export of a finished run job *)
+  | Bundle of { tenant : string; id : string }
+      (** flight-recorder diagnostic bundle of a failed run job *)
   | Ping
   | Shutdown  (** drain queued and in-flight jobs, then exit *)
 
@@ -131,6 +133,15 @@ let spans_frame ~tenant ~id chrome =
       ("tenant", str tenant);
       ("id", str id);
       ("chrome", chrome);
+    ]
+
+let bundle_frame ~tenant ~id doc =
+  Json.Obj
+    [
+      ("type", str "bundle");
+      ("tenant", str tenant);
+      ("id", str id);
+      ("bundle", doc);
     ]
 
 let pong = Json.Obj [ ("type", str "pong") ]
@@ -289,6 +300,10 @@ let request_of_json ~max_program_bytes j =
       let* tenant = string_mem "tenant" j in
       let* id = string_mem "id" j in
       Ok (Spans { tenant; id })
+  | "bundle" ->
+      let* tenant = string_mem "tenant" j in
+      let* id = string_mem "id" j in
+      Ok (Bundle { tenant; id })
   | "ping" -> Ok Ping
   | "shutdown" -> Ok Shutdown
   | op -> Error (Printf.sprintf "unknown op %S" op)
@@ -357,6 +372,8 @@ let request_json = function
   | Metrics -> Json.Obj [ ("op", str "metrics") ]
   | Spans { tenant; id } ->
       Json.Obj [ ("op", str "spans"); ("tenant", str tenant); ("id", str id) ]
+  | Bundle { tenant; id } ->
+      Json.Obj [ ("op", str "bundle"); ("tenant", str tenant); ("id", str id) ]
   | Ping -> Json.Obj [ ("op", str "ping") ]
   | Shutdown -> Json.Obj [ ("op", str "shutdown") ]
 

@@ -48,6 +48,7 @@ type request =
   | Status
   | Metrics
   | Spans of { tenant : string; id : string }
+  | Bundle of { tenant : string; id : string }
   | Ping
   | Shutdown
 
@@ -68,6 +69,11 @@ val result :
 val error : ?tenant:string -> ?id:string -> string -> Json.t
 val metrics_frame : string -> Json.t
 val spans_frame : tenant:string -> id:string -> Json.t -> Json.t
+
+val bundle_frame : tenant:string -> id:string -> Json.t -> Json.t
+(** The flight-recorder diagnostic bundle of a failed run job, as
+    retained by the daemon's telemetry under the per-tenant cap. *)
+
 val pong : Json.t
 val bye : draining:int -> Json.t
 

@@ -98,7 +98,7 @@ let handle_submit t out ~tenant ~id job =
     Telemetry.note_finished t.telemetry ~tenant ~id
       ~kind:(Protocol.kind_name job) ~status:r.Job.jr_status
       ~exit:r.Job.jr_exit ~elapsed ?record:r.Job.jr_record
-      ?spans:r.Job.jr_spans ();
+      ?spans:r.Job.jr_spans ?bundle:r.Job.jr_bundle ();
     Outbox.send_json out
       (Protocol.result ~tenant ~id ~status:r.Job.jr_status ~exit:r.Job.jr_exit
          ~elapsed_ms:(Float.round (elapsed *. 1000.))
@@ -131,6 +131,12 @@ let handle_request t out = function
       | None ->
           Outbox.send_json out
             (Protocol.error ~tenant ~id "no spans recorded for this job"))
+  | Protocol.Bundle { tenant; id } -> (
+      match Telemetry.bundle_of t.telemetry ~tenant ~id with
+      | Some doc -> Outbox.send_json out (Protocol.bundle_frame ~tenant ~id doc)
+      | None ->
+          Outbox.send_json out
+            (Protocol.error ~tenant ~id "no flight bundle for this job"))
   | Protocol.Ping -> Outbox.send_json out Protocol.pong
   | Protocol.Shutdown ->
       Outbox.send_json out (Protocol.bye ~draining:(Pool.pending t.pool));

@@ -19,6 +19,7 @@ type tenant_state = {
   mutable failed : int;  (** completed with status <> "ok" or exit <> 0 *)
   mutable latencies_ms : float list;  (** most recent first, bounded *)
   mutable records : Json.t list;  (** fuzz-style run records, bounded *)
+  mutable bundles : int;  (** flight bundles produced (lifetime count) *)
 }
 
 type t = {
@@ -29,10 +30,17 @@ type t = {
   spans : (string * string, Json.t) Hashtbl.t;
       (** (tenant, job id) -> Chrome trace document *)
   mutable span_order : (string * string) list;  (** eviction order *)
+  bundles : (string * string, Json.t) Hashtbl.t;
+      (** (tenant, job id) -> flight-recorder diagnostic bundle *)
+  mutable bundle_order : (string * string) list;
+      (** per-tenant FIFO eviction order: retention is capped per tenant
+          (at [max_history]), so one tenant's failure storm cannot evict
+          another tenant's post-mortems *)
   max_history : int;
   inflight : Metrics.gauge;
   connections : Metrics.counter;
   telemetry_lines : Metrics.counter;
+  bundles_total : Metrics.counter;
 }
 
 let latency_buckets =
@@ -47,6 +55,8 @@ let create ?(max_history = 256) ~started () =
     tenants = Hashtbl.create 8;
     spans = Hashtbl.create 16;
     span_order = [];
+    bundles = Hashtbl.create 16;
+    bundle_order = [];
     max_history = max 1 max_history;
     inflight =
       Metrics.gauge ~help:"Jobs currently executing" metrics
@@ -57,6 +67,9 @@ let create ?(max_history = 256) ~started () =
     telemetry_lines =
       Metrics.counter ~help:"Telemetry lines streamed to clients" metrics
         "conair_serve_telemetry_lines_total";
+    bundles_total =
+      Metrics.counter ~help:"Flight-recorder bundles captured for failed jobs"
+        metrics "conair_serve_bundles_total";
   }
 
 let tenant_state t tenant =
@@ -70,6 +83,7 @@ let tenant_state t tenant =
           failed = 0;
           latencies_ms = [];
           records = [];
+          bundles = 0;
         }
       in
       Hashtbl.replace t.tenants tenant s;
@@ -113,9 +127,11 @@ let note_telemetry t ~tenant =
 
 (* One job finished. [record] is the fuzz-style run record (when the
    job kind produces one) feeding the per-tenant [Aggregate]; [spans]
-   the Chrome document for the spans endpoint. *)
-let note_finished t ~tenant ~id ~kind ~status ~exit ~elapsed ?record ?spans ()
-    =
+   the Chrome document for the spans endpoint; [bundle] the
+   flight-recorder post-mortem of a failed run job, retained for the
+   bundle endpoint under a per-tenant cap. *)
+let note_finished t ~tenant ~id ~kind ~status ~exit ~elapsed ?record ?spans
+    ?bundle () =
   locked t (fun () ->
       let s = tenant_state t tenant in
       s.completed <- s.completed + 1;
@@ -138,6 +154,39 @@ let note_finished t ~tenant ~id ~kind ~status ~exit ~elapsed ?record ?spans ()
             end
           end;
           Hashtbl.replace t.spans key doc
+      | None -> ());
+      (match bundle with
+      | Some doc ->
+          let key = (tenant, id) in
+          if not (Hashtbl.mem t.bundles key) then begin
+            s.bundles <- s.bundles + 1;
+            Metrics.inc t.bundles_total;
+            Metrics.inc
+              (Metrics.counter ~help:"Flight bundles per tenant"
+                 ~labels:[ ("tenant", tenant) ]
+                 t.metrics "conair_serve_tenant_bundles_total");
+            t.bundle_order <- t.bundle_order @ [ key ];
+            (* per-tenant retention cap: evict this tenant's oldest *)
+            let mine =
+              List.filter (fun (tn, _) -> tn = tenant) t.bundle_order
+            in
+            if List.length mine > t.max_history then begin
+              match mine with
+              | oldest :: _ ->
+                  Hashtbl.remove t.bundles oldest;
+                  t.bundle_order <-
+                    List.filter (fun k -> k <> oldest) t.bundle_order
+              | [] -> ()
+            end;
+            Metrics.set
+              (Metrics.gauge ~help:"Flight bundles retained per tenant"
+                 ~labels:[ ("tenant", tenant) ]
+                 t.metrics "conair_serve_bundles_retained")
+              (float_of_int
+                 (List.length
+                    (List.filter (fun (tn, _) -> tn = tenant) t.bundle_order)))
+          end;
+          Hashtbl.replace t.bundles key doc
       | None -> ());
       Metrics.set t.inflight
         (Float.max 0. (Metrics.gauge_value t.inflight -. 1.));
@@ -164,6 +213,9 @@ let metrics_json t = locked t (fun () -> Metrics.to_json t.metrics)
 
 let spans_of t ~tenant ~id =
   locked t (fun () -> Hashtbl.find_opt t.spans (tenant, id))
+
+let bundle_of t ~tenant ~id =
+  locked t (fun () -> Hashtbl.find_opt t.bundles (tenant, id))
 
 let percentile_ms xs p =
   (* reuse the hardened nearest-rank percentile over whole milliseconds *)
@@ -197,6 +249,7 @@ let status_json t ~now ~pool_pending ~pool_inflight ~pool_workers =
                        ("completed", Json.Int s.completed);
                        ("failed", Json.Int s.failed);
                        ("queued", Json.Int (s.submitted - s.completed));
+                       ("bundles", Json.Int s.bundles);
                        ( "latency_ms",
                          Json.Obj
                            [

@@ -30,12 +30,16 @@ val note_finished :
   elapsed:float ->
   ?record:Json.t ->
   ?spans:Json.t ->
+  ?bundle:Json.t ->
   unit ->
   unit
 (** One job finished. [record] (a fuzz-style run record) feeds the
     tenant's {!Conair_obs.Aggregate}; [spans] (a Chrome trace document)
     is retained for the spans endpoint, evicting oldest-first past
-    [max_history]. *)
+    [max_history]; [bundle] (a flight-recorder diagnostic bundle from a
+    failed run job) is retained for the bundle endpoint under a
+    per-tenant cap of [max_history] — one tenant's failure storm never
+    evicts another tenant's post-mortems. *)
 
 (** {2 Read endpoints} *)
 
@@ -44,6 +48,10 @@ val prometheus : t -> string
 
 val metrics_json : t -> Json.t
 val spans_of : t -> tenant:string -> id:string -> Json.t option
+
+val bundle_of : t -> tenant:string -> id:string -> Json.t option
+(** The flight-recorder bundle retained for a failed run job, if it is
+    still within the tenant's retention window. *)
 
 val status_json :
   t ->
